@@ -1,0 +1,25 @@
+"""Section III: the v0..v3 incremental development ladder.
+
+"Our first implementation of this approach did not show any improvements
+over the original intra-task kernel" -> register fixes -> query profile ->
+an order of magnitude.
+"""
+
+from repro.analysis import ablation_variants
+
+
+def test_ablation_variants(benchmark, archive):
+    result = benchmark(ablation_variants)
+    archive(result)
+
+    by = {row[0]: row[1] for row in result.rows}
+    # v0 is no better than the original kernel (within model noise).
+    assert by["v0-naive"] < 1.6 * by["original"]
+    # Register fixes are a big step; the finished kernel is ~an order of
+    # magnitude over the original.
+    assert by["v2-hand-unroll"] > 2 * by["v1-deep-swap"]
+    assert by["v3-query-profile"] > 6 * by["original"]
+    # Stages never regress.
+    ladder = ["v0-naive", "v1-deep-swap", "v2-hand-unroll", "v3-query-profile"]
+    values = [by[name] for name in ladder]
+    assert values == sorted(values)

@@ -1,0 +1,25 @@
+"""Extension beyond the paper: oversubscribed inter-task grids.
+
+The paper's launch-per-wave inter-task kernel collapses under length
+variance (Figure 2) — the reason the dispatch threshold exists.  This
+benchmark models the obvious CUDA remedy (grids of several waves with
+hardware block backfill) and quantifies how much of the collapse it
+removes.
+"""
+
+from repro.app.oversubscription import oversubscription_analysis
+
+
+def test_extension_oversubscription(benchmark, archive):
+    result = benchmark(oversubscription_analysis)
+    archive(result)
+
+    factors = result.extra["factors"]
+    k1 = [row[1] for row in result.rows]
+    k_hi = [row[len(factors)] for row in result.rows]
+    # The paper's model collapses with variance...
+    assert k1[0] > 2.0 * min(k1)
+    # ...the oversubscribed grid stays within ~35% of its best everywhere.
+    assert min(k_hi) > 0.65 * max(k_hi)
+    # And dominates the one-wave launch at every point.
+    assert all(hi >= lo * 0.99 for hi, lo in zip(k_hi, k1))

@@ -1,0 +1,30 @@
+"""Figure 2: kernel GCUPs vs the database length-distribution stddev.
+
+Regenerates the paper's Figure 2 series — the inter-task kernel collapsing
+under load imbalance while the intra-task kernel stays flat — and
+benchmarks the driver (dominated by the group-scheduling closed forms).
+"""
+
+from repro.analysis import figure2
+from repro.analysis.plot import ascii_chart
+
+
+def test_fig2_kernel_sensitivity(benchmark, archive):
+    result = benchmark(figure2)
+    archive(result)
+    print("\n" + ascii_chart(
+        result.column("stddev"),
+        {
+            "inter-task": result.column("inter_gcups"),
+            "intra-task": result.column("intra_gcups"),
+        },
+        width=56, height=14,
+        x_label="stddev of database sequence lengths", y_label="GCUPs",
+    ))
+
+    inter = result.column("inter_gcups")
+    intra = result.column("intra_gcups")
+    # The paper's shape: inter-task collapses, intra-task flat, crossover.
+    assert inter[0] / min(inter) > 4.0
+    assert max(intra) / min(intra) < 1.15
+    assert result.extra["crossover_std"] is not None

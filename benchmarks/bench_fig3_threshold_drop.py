@@ -1,0 +1,21 @@
+"""Figure 3: Swiss-Prot GCUPs vs threshold with the original kernel.
+
+The paper's 20 runs, decreasing the threshold by 100 each time — "even
+small variations in the threshold result in large performance impacts".
+"""
+
+from repro.analysis import figure3
+
+
+def test_fig3_threshold_drop(benchmark, archive):
+    result = benchmark.pedantic(figure3, rounds=1, iterations=1)
+    archive(result)
+
+    gcups = result.column("gcups")
+    assert all(a >= b for a, b in zip(gcups, gcups[1:]))
+    assert gcups[0] / gcups[-1] > 1.5
+    # ~2% of sequences in intra-task -> >50% of the running time (Sec. V).
+    seq_pct = result.column("pct_seqs_intra")
+    time_pct = result.column("pct_time_intra")
+    near2 = min(range(len(seq_pct)), key=lambda i: abs(seq_pct[i] - 2.0))
+    assert time_pct[near2] > 45.0

@@ -1,0 +1,24 @@
+"""Figure 5: GCUPs and intra-task time share vs % sequences compared by
+the intra-task kernel — the four-curve sweep (devices x kernels)."""
+
+from repro.analysis import figure5
+
+
+def test_fig5_threshold_sweep(benchmark, archive):
+    result = benchmark.pedantic(figure5, rounds=1, iterations=1)
+    archive(result)
+
+    gains = result.extra["gains"]
+    # Paper: gains at least 17.5% (C1060) / 6.7% (C2050) at the default
+    # threshold, growing to 67% / 39.3% as the intra share rises.
+    assert gains["C1060"][0] > 8.0
+    assert gains["C2050"][0] > 2.0
+    assert gains["C1060"][1] > 2 * gains["C1060"][0]
+    assert gains["C2050"][1] > 2 * gains["C2050"][0]
+    # Improved never loses, anywhere.
+    by = {}
+    for dev, kernel, t, _, g, _ in result.rows:
+        by[(dev, kernel, t)] = g
+    for (dev, kernel, t), g in by.items():
+        if kernel == "improved":
+            assert g >= by[(dev, "original", t)]

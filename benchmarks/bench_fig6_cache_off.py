@@ -1,0 +1,25 @@
+"""Figure 6: the Figure 5 sweep with the C2050's L1/L2 caches disabled.
+
+"The improvements gained by the original kernel on a Tesla C2050 are
+almost completely attributed to the cache."
+"""
+
+from repro.analysis import figure6
+
+
+def test_fig6_cache_off(benchmark, archive):
+    result = benchmark.pedantic(figure6, rounds=1, iterations=1)
+    archive(result)
+
+    assert result.extra["c2050_orig_cache_off"] < 0.85 * result.extra[
+        "c2050_orig_cache_on"
+    ]
+    # With caches off, the original kernel's C2050 results fall toward the
+    # C1060's at the bottom of the sweep.
+    by = {}
+    for dev, kernel, t, _, g, _ in result.rows:
+        by[(dev, kernel, t)] = g
+    bottom = min(t for _, _, t, _, _, _ in result.rows)
+    assert by[("C2050", "original", bottom)] < 1.6 * by[
+        ("C1060", "original", bottom)
+    ]

@@ -1,0 +1,35 @@
+"""Figure 7: GCUPs vs query length on Swiss-Prot, including SWPS3.
+
+The full CUDASW++ query ladder (144..5478) against the original and the
+improved application on both devices, with the SWPS3 4-core-Xeon reference
+curve (real striped algorithm, sampled and extrapolated).
+"""
+
+from repro.analysis import figure7
+from repro.analysis.plot import ascii_chart
+
+
+def test_fig7_query_sweep(benchmark, archive):
+    result = benchmark.pedantic(
+        figure7, kwargs={"swps3_sample_rows": 30_000}, rounds=1, iterations=1
+    )
+    archive(result)
+    print("\n" + ascii_chart(
+        result.column("query_len"),
+        {
+            "imp C2050": result.column("imp_c2050"),
+            "orig C2050": result.column("orig_c2050"),
+            "imp C1060": result.column("imp_c1060"),
+            "orig C1060": result.column("orig_c1060"),
+            "SWPS3": result.column("swps3"),
+        },
+        width=60, height=16, x_label="query length", y_label="GCUPs",
+    ))
+
+    for row in result.rows:
+        # Both CUDASW++ generations beat SWPS3 at every point tested.
+        assert min(row[1:5]) > row[5]
+        # Improved above original on both devices.
+        assert row[1] > row[2] and row[3] > row[4]
+    # The consistent gain the paper quotes (~4 GCUPs / 25% on average).
+    assert result.extra["avg_gain_c1060"] > 1.0

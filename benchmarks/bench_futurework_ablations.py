@@ -1,0 +1,23 @@
+"""Section VI: the proposed future optimizations, modeled.
+
+Coalesced boundary I/O, shared-memory-only boundaries, the persistent
+pipeline, streaming host->device copy, and multi-GPU scaling.
+"""
+
+from repro.analysis import future_work
+
+
+def test_futurework_ablations(benchmark, archive):
+    result = benchmark.pedantic(future_work, rounds=1, iterations=1)
+    archive(result)
+
+    rows = {row[0]: row for row in result.rows}
+    # Coalescing and the persistent pipeline never hurt.
+    assert rows["coalesced boundary I/O"][2] >= -0.5
+    assert rows["persistent pipeline (one fill/flush)"][2] >= -0.5
+    # Streaming copy hides transfer time (small but positive).
+    assert rows["streaming host->device copy"][2] > 0.0
+    # Near-linear multi-GPU scaling (Section IV-B).
+    speedups = {k: v for k, (_, v, _) in rows.items() if "GPUs" in k}
+    assert 1.8 < speedups["2 GPUs (speedup, not GCUPs)"] < 2.1
+    assert 3.5 < speedups["4 GPUs (speedup, not GCUPs)"] < 4.2

@@ -1,0 +1,18 @@
+"""Calibration robustness: do the reproduced claims survive perturbation?
+
+Not a paper exhibit but the reproduction's own due diligence: every
+behavioural constant of the cost model is halved/doubled one at a time
+and the three headline claims are re-evaluated.  A claim that only held
+at the tuned constants would be an artifact; all must survive the grid.
+"""
+
+from repro.analysis import sensitivity_analysis
+
+
+def test_model_sensitivity(benchmark, archive):
+    result = benchmark.pedantic(
+        sensitivity_analysis, kwargs={"scale": 0.5}, rounds=1, iterations=1
+    )
+    archive(result)
+
+    assert result.extra["survived"] == result.extra["total"]

@@ -1,0 +1,27 @@
+"""Section IV-A: the (threads/block, tile height) exploration.
+
+"We observed that strip height is the relevant parameter to optimize ...
+several combinations of n_th and t_height result in essentially the same
+performance."
+"""
+
+from repro.analysis import param_exploration
+
+
+def test_param_exploration(benchmark, archive):
+    result = benchmark.pedantic(param_exploration, rounds=1, iterations=1)
+    archive(result)
+
+    # Equal strip height -> essentially equal performance.
+    by_strip = {}
+    best = {}
+    for dev, n_th, t_h, strip, g in result.rows:
+        by_strip.setdefault((dev, strip), []).append(g)
+        best[dev] = max(best.get(dev, 0.0), g)
+    for values in by_strip.values():
+        if len(values) > 1:
+            assert max(values) / min(values) < 1.15
+    # The paper's tuned strips (512 / 1024) sit on the flat optimum.
+    for dev, target in (("C1060", 512), ("C2050", 1024)):
+        at_paper_optimum = max(by_strip[(dev, target)])
+        assert at_paper_optimum > 0.95 * best[dev]

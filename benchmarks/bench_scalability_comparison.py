@@ -1,0 +1,22 @@
+"""Section IV-B: SWPS3 thread scaling vs CUDASW++ GPU scaling.
+
+"Using eight x86 cores will give SWPS3 roughly a two times increase in
+speed; CUDASW++ will likewise see a twofold increase if two GPUs are
+used."
+"""
+
+from repro.analysis import scalability_comparison
+
+
+def test_scalability_comparison(benchmark, archive):
+    result = benchmark.pedantic(
+        scalability_comparison, kwargs={"swps3_sample_rows": 25_000},
+        rounds=1, iterations=1,
+    )
+    archive(result)
+
+    # The quoted equivalences hold.
+    assert 1.7 < result.extra["swps3_doubling"] < 2.1
+    assert 1.7 < result.extra["gpu_doubling"] < 2.1
+    # "CUDASW++ outperforms SWPS3 at all points tested using one GPU card."
+    assert result.extra["gpu_vs_8core"] > 1.0

@@ -1,0 +1,23 @@
+"""Table II: GCUPs for the six paper databases x devices x kernels."""
+
+from repro.analysis import table2
+
+
+def test_table2_databases(benchmark, archive):
+    result = benchmark.pedantic(table2, rounds=1, iterations=1)
+    archive(result)
+
+    gains = result.extra["gains"]
+    # Improved helps on every database and device.
+    assert all(g > 0 for g in gains.values())
+    # TAIR (0.06% over the threshold) shows the smallest gain.
+    tair = [g for (name, _), g in gains.items() if "TAIR" in name]
+    others = [g for (name, _), g in gains.items() if "TAIR" not in name]
+    assert max(tair) <= min(others)
+    # Gains are more pronounced on the C1060 (no caches to rescue the
+    # original kernel).
+    import numpy as np
+
+    assert np.mean([g for (_, d), g in gains.items() if d == "C1060"]) > np.mean(
+        [g for (_, d), g in gains.items() if d == "C2050"]
+    )

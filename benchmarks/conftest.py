@@ -1,0 +1,31 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one exhibit of the paper (figure or table),
+printing the rows/series the paper reports and archiving them under
+``benchmarks/results/`` so the output survives pytest's capture.  Run with
+
+    pytest benchmarks/ --benchmark-only -s
+
+to see the tables inline.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def archive():
+    """Print an experiment's rendering and archive it to disk."""
+
+    def _archive(result, float_digits: int = 2) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = result.render(float_digits=float_digits)
+        print("\n" + text)
+        (RESULTS_DIR / f"{result.name}.txt").write_text(text + "\n")
+
+    return _archive

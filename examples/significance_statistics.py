@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Score statistics: from raw Smith-Waterman scores to E-values.
+
+Shows the Karlin-Altschul machinery at work: the scoring system's
+(lambda, K, H), how raw scores translate into bit scores and E-values,
+and how the significance threshold separates an evolved homolog from
+chance hits in a database search.
+
+Run:  python examples/significance_statistics.py
+"""
+
+import numpy as np
+
+from repro.alphabet import BLOSUM62, GapPenalty
+from repro.app import CudaSW
+from repro.cuda import TESLA_C1060
+from repro.sequence import Database, evolve, plant_motif, random_protein
+from repro.stats import ScoreStatistics, annotate_hits
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    gaps = GapPenalty.cudasw_default()
+    stats = ScoreStatistics(BLOSUM62, gaps)
+    p = stats.parameters
+    print("=== the scoring system (BLOSUM62, gap open 10 / extend 2) ===\n")
+    print(f"  lambda = {p.lam:.4f}   (ungapped BLOSUM62 published: ~0.3176)")
+    print(f"  K      = {p.k:.4f}   (empirically calibrated)")
+    print(f"  H      = {p.h:.3f} bits per aligned column\n")
+
+    m, db_residues = 200, 50_000_000
+    print(f"raw score -> significance (query {m} aa, {db_residues:,} residue "
+          "database):")
+    for s in (40, 60, 80, 100, 150):
+        print(f"  S={s:>4}  bits={p.bit_score(s):6.1f}  "
+              f"E={p.evalue(s, m, db_residues):10.3g}")
+    cutoff = stats.significance_threshold(m, db_residues, evalue=1e-3)
+    print(f"\nscore needed for E <= 1e-3: {cutoff}\n")
+
+    # ------------------------------------------------------------------
+    print("=== search: one evolved homolog among decoys ===\n")
+    query = random_protein(m, rng, id="query")
+    diverged = evolve(query, rng, substitution_rate=0.35, indel_rate=0.03)
+    homolog, _ = plant_motif(diverged, 600, rng, id="distant_homolog")
+    decoys = [random_protein(600, rng, id=f"decoy{i}") for i in range(12)]
+    db = Database.from_sequences([homolog, *decoys])
+
+    result, _ = CudaSW(TESLA_C1060).search(query, db)
+    annotated = annotate_hits(result, stats, m, k=5)
+    print(f"{'hit':<18} {'score':>6} {'bits':>7} {'E-value':>10} verdict")
+    for a in annotated:
+        verdict = "significant" if a.evalue < 1e-3 else "chance-level"
+        print(f"{a.hit.id:<18} {a.hit.score:>6} {a.bit_score:>7.1f} "
+              f"{a.evalue:>10.2g} {verdict}")
+    print("\n35% diverged, yet unambiguously separated from every decoy — "
+          "the reason exact SW (and making it fast) matters.")
+
+
+if __name__ == "__main__":
+    main()

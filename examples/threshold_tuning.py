@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Automatic dispatch-threshold detection (the paper's Section VI).
+
+For each of the paper's six databases, sweeps candidate thresholds with
+the cost model and reports the detected optimum next to the default 3072
+— reproducing the TAIR observation (threshold 1500 gains ~4 GCUPs with
+the improved kernel on the C2050) and generalizing it.
+
+Run:  python examples/threshold_tuning.py
+"""
+
+import numpy as np
+
+from repro.app import CudaSW, optimal_threshold
+from repro.cuda import TESLA_C2050
+from repro.sequence import PAPER_DATABASES
+
+QUERY_LENGTH = 567
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    print(
+        f"{'database':<28} {'%>3072':>7} {'default':>8} {'auto thr':>9} "
+        f"{'auto':>7} {'gain':>7}"
+    )
+    print("-" * 72)
+    for profile in PAPER_DATABASES:
+        db = profile.build(rng)
+        app = CudaSW(TESLA_C2050, intra_kernel="improved")
+        default = app.predict(QUERY_LENGTH, db)
+        best = optimal_threshold(app, QUERY_LENGTH, db)
+        gain = 100 * (best.gcups / default.gcups - 1)
+        print(
+            f"{profile.name:<28} "
+            f"{100 * profile.frac_over_threshold:>6.2f}% "
+            f"{default.gcups:>8.2f} {best.threshold:>9} "
+            f"{best.gcups:>7.2f} {gain:>+6.1f}%"
+        )
+    print(
+        "\nthe paper's TAIR experiment: lowering 3072 -> 1500 gained "
+        "~4 GCUPs; 'we can gain similar performance increases in almost "
+        "all databases by lowering the threshold' (Section IV-B)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""repro — a reproduction of *Improving CUDASW++* (Hains et al., IPDPS 2011).
+
+The package implements, from scratch and in pure Python/numpy:
+
+* the Smith-Waterman local-alignment substrate (``repro.sw``),
+* sequence/database handling and the paper's synthetic database profiles
+  (``repro.sequence``, ``repro.alphabet``),
+* a CUDA device model with memory-transaction accounting, caches, occupancy
+  and an analytical cost model (``repro.cuda``),
+* the CUDASW++ kernels — inter-task, original intra-task, and the paper's
+  improved intra-task kernel with its incremental variants
+  (``repro.kernels``),
+* the end-to-end CUDASW++ application with threshold dispatch
+  (``repro.app``),
+* the SWPS3 and BLAST-like baselines (``repro.baselines``), and
+* drivers regenerating every figure and table of the paper
+  (``repro.analysis``).
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for
+paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"

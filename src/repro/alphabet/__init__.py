@@ -1,0 +1,53 @@
+"""Alphabets, substitution matrices and gap models.
+
+This package provides the scoring substrate shared by every Smith-Waterman
+implementation in the repository:
+
+* :class:`~repro.alphabet.alphabet.Alphabet` — symbol sets with fast
+  ``str`` <-> ``uint8`` encoding (protein and DNA alphabets are predefined).
+* :class:`~repro.alphabet.matrices.SubstitutionMatrix` — integer similarity
+  matrices indexed by encoded symbols.  BLOSUM62 is embedded; arbitrary
+  matrices can be loaded from NCBI-format text via
+  :func:`~repro.alphabet.parser.parse_ncbi_matrix`.
+* :class:`~repro.alphabet.gaps.GapPenalty` — the affine gap model used by the
+  paper's recurrences (gap of length ``k`` costs ``rho + (k - 1) * sigma``).
+"""
+
+from repro.alphabet.alphabet import (
+    Alphabet,
+    DNA,
+    PROTEIN,
+    AlphabetError,
+)
+from repro.alphabet.blosum_builder import build_blosum, cluster_sequences
+from repro.alphabet.gaps import GapPenalty
+from repro.alphabet.matrices import (
+    BLOSUM62,
+    SubstitutionMatrix,
+    dna_matrix,
+    identity_matrix,
+    random_matrix,
+)
+from repro.alphabet.parser import (
+    format_ncbi_matrix,
+    load_ncbi_matrix,
+    parse_ncbi_matrix,
+)
+
+__all__ = [
+    "Alphabet",
+    "AlphabetError",
+    "DNA",
+    "PROTEIN",
+    "GapPenalty",
+    "SubstitutionMatrix",
+    "BLOSUM62",
+    "build_blosum",
+    "cluster_sequences",
+    "dna_matrix",
+    "identity_matrix",
+    "random_matrix",
+    "parse_ncbi_matrix",
+    "format_ncbi_matrix",
+    "load_ncbi_matrix",
+]

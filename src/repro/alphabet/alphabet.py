@@ -1,0 +1,185 @@
+"""Symbol alphabets with fast vectorized encoding.
+
+An :class:`Alphabet` maps between human-readable symbols (single characters)
+and the dense ``uint8`` codes used throughout the library.  Encoding is
+implemented with a 256-entry lookup table so that whole sequences encode with
+a single numpy gather, which matters when loading databases with hundreds of
+thousands of sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Alphabet", "AlphabetError", "PROTEIN", "DNA"]
+
+
+class AlphabetError(ValueError):
+    """Raised when a symbol or code is not part of an alphabet."""
+
+
+@dataclass(frozen=True)
+class Alphabet:
+    """An ordered set of single-character symbols.
+
+    Parameters
+    ----------
+    name:
+        Human readable identifier, e.g. ``"protein"``.
+    symbols:
+        The symbols in code order; ``symbols[i]`` has code ``i``.
+    wildcard:
+        Optional symbol that unknown characters are mapped to when encoding
+        with ``strict=False`` (``'X'`` for proteins, ``'N'`` for DNA).
+
+    Notes
+    -----
+    Alphabets are immutable and hashable; two alphabets compare equal iff
+    their name, symbols and wildcard match.
+    """
+
+    name: str
+    symbols: str
+    wildcard: str | None = None
+    _lut: np.ndarray = field(init=False, repr=False, compare=False)
+    _strict_lut: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if len(set(self.symbols)) != len(self.symbols):
+            raise AlphabetError(f"duplicate symbols in alphabet {self.name!r}")
+        if not self.symbols:
+            raise AlphabetError("alphabet must contain at least one symbol")
+        if self.wildcard is not None and self.wildcard not in self.symbols:
+            raise AlphabetError(
+                f"wildcard {self.wildcard!r} not in alphabet {self.name!r}"
+            )
+        # 255 marks "invalid"; the strict LUT keeps it so errors can be
+        # detected after the gather, the lenient LUT redirects to the
+        # wildcard code (if any).
+        lut = np.full(256, 255, dtype=np.uint8)
+        for code, sym in enumerate(self.symbols):
+            lut[ord(sym)] = code
+            lut[ord(sym.lower())] = code
+        object.__setattr__(self, "_strict_lut", lut)
+        lenient = lut.copy()
+        if self.wildcard is not None:
+            lenient[lenient == 255] = self.symbols.index(self.wildcard)
+        object.__setattr__(self, "_lut", lenient)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.symbols)
+
+    def __contains__(self, symbol: str) -> bool:
+        return len(symbol) == 1 and self._strict_lut[ord(symbol)] != 255
+
+    @property
+    def size(self) -> int:
+        """Number of symbols in the alphabet."""
+        return len(self.symbols)
+
+    @property
+    def wildcard_code(self) -> int | None:
+        """Code of the wildcard symbol, or ``None``."""
+        if self.wildcard is None:
+            return None
+        return self.symbols.index(self.wildcard)
+
+    def code_of(self, symbol: str) -> int:
+        """Return the code of a single symbol (case-insensitive)."""
+        if len(symbol) != 1:
+            raise AlphabetError(f"expected a single character, got {symbol!r}")
+        code = int(self._strict_lut[ord(symbol)])
+        if code == 255:
+            raise AlphabetError(f"symbol {symbol!r} not in alphabet {self.name!r}")
+        return code
+
+    def symbol_of(self, code: int) -> str:
+        """Return the symbol for a code."""
+        if not 0 <= code < len(self.symbols):
+            raise AlphabetError(f"code {code} out of range for {self.name!r}")
+        return self.symbols[code]
+
+    # ------------------------------------------------------------------
+    # Vectorized encoding / decoding
+    # ------------------------------------------------------------------
+    def encode(self, text: str, *, strict: bool = True) -> np.ndarray:
+        """Encode a string into a ``uint8`` code array.
+
+        Parameters
+        ----------
+        text:
+            The sequence text.  Lower-case characters are accepted.
+        strict:
+            If true (default) unknown characters raise
+            :class:`AlphabetError`; otherwise they are replaced by the
+            wildcard symbol (which must exist).
+        """
+        raw = np.frombuffer(text.encode("ascii", errors="replace"), dtype=np.uint8)
+        if strict:
+            codes = self._strict_lut[raw]
+            if np.any(codes == 255):
+                bad = text[int(np.argmax(codes == 255))]
+                raise AlphabetError(
+                    f"symbol {bad!r} not in alphabet {self.name!r}"
+                )
+            return codes
+        if self.wildcard is None:
+            raise AlphabetError(
+                f"alphabet {self.name!r} has no wildcard; cannot encode leniently"
+            )
+        return self._lut[raw]
+
+    def decode(self, codes: np.ndarray) -> str:
+        """Decode a ``uint8`` code array back into a string."""
+        codes = np.asarray(codes)
+        if codes.size and int(codes.max(initial=0)) >= len(self.symbols):
+            raise AlphabetError(
+                f"code {int(codes.max())} out of range for {self.name!r}"
+            )
+        table = np.frombuffer(self.symbols.encode("ascii"), dtype=np.uint8)
+        return table[codes].tobytes().decode("ascii")
+
+    def random_codes(
+        self,
+        length: int,
+        rng: np.random.Generator,
+        frequencies: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Draw a random encoded sequence.
+
+        Parameters
+        ----------
+        length:
+            Number of symbols to draw.
+        rng:
+            Source of randomness.
+        frequencies:
+            Optional per-symbol probabilities (length :attr:`size`); uniform
+            when omitted.  They are normalized internally.
+        """
+        if frequencies is None:
+            return rng.integers(0, len(self.symbols), size=length, dtype=np.uint8)
+        freq = np.asarray(frequencies, dtype=np.float64)
+        if freq.shape != (len(self.symbols),):
+            raise AlphabetError(
+                f"frequencies must have shape ({len(self.symbols)},), "
+                f"got {freq.shape}"
+            )
+        if np.any(freq < 0) or freq.sum() <= 0:
+            raise AlphabetError("frequencies must be non-negative and not all zero")
+        freq = freq / freq.sum()
+        return rng.choice(len(self.symbols), size=length, p=freq).astype(np.uint8)
+
+
+#: The 20 standard amino acids, the ambiguity codes B (Asx), Z (Glx), the
+#: unknown residue X and the translation stop ``*`` — the NCBI ordering used
+#: by the BLOSUM/PAM matrix files.
+PROTEIN = Alphabet("protein", "ARNDCQEGHILKMFPSTWYVBZX*", wildcard="X")
+
+#: Nucleotides plus the unknown base N.
+DNA = Alphabet("dna", "ACGTN", wildcard="N")

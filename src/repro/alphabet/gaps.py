@@ -1,0 +1,83 @@
+"""Affine gap penalty model.
+
+The paper (eq. 1) writes the Smith-Waterman recurrences with a *gap open*
+penalty ``rho`` charged when a gap is started from ``H`` and a *gap
+extension* penalty ``sigma`` charged for each further gapped column::
+
+    E[i][j] = max(E[i][j-1] - sigma, H[i][j-1] - rho)
+    F[i][j] = max(F[i-1][j] - sigma, H[i-1][j] - rho)
+
+so a gap of length ``k`` costs ``rho + (k - 1) * sigma``.
+
+Many tools (SSEARCH, CUDASW++, SWPS3) instead quote penalties as
+``open``/``extend`` where a gap of length ``k`` costs ``open + k * extend``;
+that convention maps onto the paper's as ``rho = open + extend`` and
+``sigma = extend``.  :meth:`GapPenalty.from_open_extend` performs the
+conversion so both conventions are available without ambiguity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GapPenalty"]
+
+
+@dataclass(frozen=True)
+class GapPenalty:
+    """Affine gap penalties in the paper's convention.
+
+    Parameters
+    ----------
+    rho:
+        Cost of the first column of a gap (``H -> E/F`` transition).
+    sigma:
+        Cost of each additional gapped column (``E -> E`` / ``F -> F``).
+
+    Both penalties are stored as positive magnitudes and *subtracted* in the
+    recurrences.
+    """
+
+    rho: int
+    sigma: int
+
+    def __post_init__(self) -> None:
+        if self.rho <= 0:
+            raise ValueError(f"gap open penalty rho must be positive, got {self.rho}")
+        if self.sigma <= 0:
+            raise ValueError(
+                f"gap extension penalty sigma must be positive, got {self.sigma}"
+            )
+        if self.sigma > self.rho:
+            # A gap extension more expensive than opening a fresh gap makes
+            # the affine decomposition meaningless (E/F would never extend).
+            raise ValueError(
+                f"sigma ({self.sigma}) must not exceed rho ({self.rho})"
+            )
+
+    @classmethod
+    def from_open_extend(cls, open_: int, extend: int) -> "GapPenalty":
+        """Build from the ``open + k * extend`` convention.
+
+        A gap of length ``k`` costs ``open + k * extend``, i.e. the first
+        gapped column costs ``open + extend``.
+        """
+        return cls(rho=open_ + extend, sigma=extend)
+
+    @classmethod
+    def cudasw_default(cls) -> "GapPenalty":
+        """The CUDASW++ benchmark default: gap open 10, gap extend 2."""
+        return cls.from_open_extend(10, 2)
+
+    def gap_cost(self, length: int) -> int:
+        """Total penalty of a gap of ``length`` columns (0 for length 0)."""
+        if length < 0:
+            raise ValueError(f"gap length must be non-negative, got {length}")
+        if length == 0:
+            return 0
+        return self.rho + (length - 1) * self.sigma
+
+    @property
+    def open_extend(self) -> tuple[int, int]:
+        """The equivalent ``(open, extend)`` pair of the other convention."""
+        return (self.rho - self.sigma, self.sigma)

@@ -1,0 +1,165 @@
+"""Substitution (similarity) matrices.
+
+A :class:`SubstitutionMatrix` pairs an :class:`~repro.alphabet.alphabet.Alphabet`
+with a dense integer score table indexed by encoded symbols, so the inner
+loops of every aligner can score with a single numpy gather
+(``matrix.scores[q_codes[:, None], d_codes[None, :]]``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.alphabet.alphabet import DNA, PROTEIN, Alphabet, AlphabetError
+
+__all__ = [
+    "SubstitutionMatrix",
+    "BLOSUM62",
+    "dna_matrix",
+    "identity_matrix",
+    "random_matrix",
+]
+
+
+@dataclass(frozen=True)
+class SubstitutionMatrix:
+    """An integer similarity matrix over an alphabet.
+
+    Parameters
+    ----------
+    name:
+        Identifier, e.g. ``"BLOSUM62"``.
+    alphabet:
+        The alphabet the matrix scores.
+    scores:
+        ``(size, size)`` integer array; ``scores[a, b]`` is the similarity
+        of encoded symbols ``a`` and ``b``.  Stored as ``int32`` (DP tables
+        use 32-bit arithmetic throughout the library).
+    """
+
+    name: str
+    alphabet: Alphabet
+    scores: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        arr = np.ascontiguousarray(np.asarray(self.scores, dtype=np.int32))
+        n = self.alphabet.size
+        if arr.shape != (n, n):
+            raise AlphabetError(
+                f"matrix {self.name!r}: expected shape ({n}, {n}), got {arr.shape}"
+            )
+        arr.setflags(write=False)
+        object.__setattr__(self, "scores", arr)
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def score(self, a: str, b: str) -> int:
+        """Similarity of two symbols given as characters."""
+        return int(
+            self.scores[self.alphabet.code_of(a), self.alphabet.code_of(b)]
+        )
+
+    def pair_scores(self, q_codes: np.ndarray, d_codes: np.ndarray) -> np.ndarray:
+        """Full ``(len(q), len(d))`` score table for two encoded sequences."""
+        return self.scores[np.asarray(q_codes)[:, None], np.asarray(d_codes)[None, :]]
+
+    def row(self, code: int) -> np.ndarray:
+        """Scores of symbol ``code`` against the whole alphabet."""
+        return self.scores[code]
+
+    # ------------------------------------------------------------------
+    # Properties used by invariants and cost analysis
+    # ------------------------------------------------------------------
+    @property
+    def max_score(self) -> int:
+        """Largest entry (upper-bounds any per-column alignment gain)."""
+        return int(self.scores.max())
+
+    @property
+    def min_score(self) -> int:
+        return int(self.scores.min())
+
+    @property
+    def is_symmetric(self) -> bool:
+        return bool(np.array_equal(self.scores, self.scores.T))
+
+    def with_name(self, name: str) -> "SubstitutionMatrix":
+        """Copy of this matrix under a different name."""
+        return SubstitutionMatrix(name, self.alphabet, self.scores.copy())
+
+
+def identity_matrix(
+    alphabet: Alphabet, match: int = 1, mismatch: int = 0
+) -> SubstitutionMatrix:
+    """Diagonal ``match`` / off-diagonal ``mismatch`` matrix (LCS-style)."""
+    n = alphabet.size
+    scores = np.full((n, n), mismatch, dtype=np.int32)
+    np.fill_diagonal(scores, match)
+    return SubstitutionMatrix(
+        f"identity({match},{mismatch})@{alphabet.name}", alphabet, scores
+    )
+
+
+def dna_matrix(match: int = 2, mismatch: int = -3) -> SubstitutionMatrix:
+    """Simple nucleotide matrix (BLASTN-style defaults ``+2/-3``).
+
+    ``N`` scores ``mismatch`` against everything including itself, matching
+    the convention that an unknown base never rewards an alignment.
+    """
+    if match <= 0:
+        raise ValueError(f"match score must be positive, got {match}")
+    if mismatch >= 0:
+        raise ValueError(f"mismatch score must be negative, got {mismatch}")
+    n = DNA.size
+    scores = np.full((n, n), mismatch, dtype=np.int32)
+    np.fill_diagonal(scores, match)
+    wc = DNA.wildcard_code
+    scores[wc, :] = mismatch
+    scores[:, wc] = mismatch
+    return SubstitutionMatrix(f"dna({match},{mismatch})", DNA, scores)
+
+
+def random_matrix(
+    alphabet: Alphabet,
+    rng: np.random.Generator,
+    low: int = -4,
+    high: int = 6,
+    diagonal_bonus: int = 5,
+) -> SubstitutionMatrix:
+    """A random *symmetric* matrix with a positive-leaning diagonal.
+
+    Used by property tests to check that aligners agree on arbitrary scoring
+    schemes, not just BLOSUM62.  Entries are drawn uniformly from
+    ``[low, high]``; the diagonal additionally receives ``diagonal_bonus`` and
+    is clipped to at least 1 so self-alignment is always rewarding.
+    """
+    if low >= high:
+        raise ValueError(f"need low < high, got [{low}, {high}]")
+    n = alphabet.size
+    raw = rng.integers(low, high + 1, size=(n, n))
+    sym = np.tril(raw) + np.tril(raw, -1).T
+    diag = np.maximum(np.diagonal(sym) + diagonal_bonus, 1)
+    np.fill_diagonal(sym, diag)
+    return SubstitutionMatrix(
+        f"random@{alphabet.name}", alphabet, sym.astype(np.int32)
+    )
+
+
+def _load_blosum62() -> SubstitutionMatrix:
+    # Imported lazily to avoid an import cycle (parser imports this module's
+    # classes).
+    from repro.alphabet.data_blosum import BLOSUM62_TEXT
+    from repro.alphabet.parser import parse_ncbi_matrix
+
+    matrix = parse_ncbi_matrix(BLOSUM62_TEXT, name="BLOSUM62", alphabet=PROTEIN)
+    if not matrix.is_symmetric:  # pragma: no cover - embedded data guard
+        raise AssertionError("embedded BLOSUM62 data is corrupt (asymmetric)")
+    return matrix
+
+
+#: The NCBI BLOSUM62 matrix over :data:`repro.alphabet.PROTEIN` — the default
+#: scoring scheme of the CUDASW++ benchmarks reproduced here.
+BLOSUM62 = _load_blosum62()

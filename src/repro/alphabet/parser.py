@@ -1,0 +1,128 @@
+"""Reader/writer for the NCBI substitution-matrix text format.
+
+The format (as distributed with BLAST: ``BLOSUM62``, ``PAM250``, ...) is::
+
+    # comment lines
+       A  R  N  ...          <- header row: column symbols
+    A  4 -1 -2  ...          <- one row per symbol: row symbol then scores
+
+Rows and columns may appear in any order; the parser aligns them to the
+target alphabet's code order.  Symbols present in the alphabet but missing
+from the file raise; extra symbols in the file raise too (silently dropping
+scores is how scoring bugs are born).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.alphabet.alphabet import PROTEIN, Alphabet, AlphabetError
+from repro.alphabet.matrices import SubstitutionMatrix
+
+__all__ = ["parse_ncbi_matrix", "format_ncbi_matrix", "load_ncbi_matrix"]
+
+
+def parse_ncbi_matrix(
+    text: str,
+    *,
+    name: str,
+    alphabet: Alphabet = PROTEIN,
+) -> SubstitutionMatrix:
+    """Parse NCBI-format matrix text into a :class:`SubstitutionMatrix`.
+
+    Parameters
+    ----------
+    text:
+        The file contents.
+    name:
+        Name for the resulting matrix.
+    alphabet:
+        Target alphabet; every alphabet symbol must be covered by the file.
+    """
+    lines = [
+        ln for ln in text.splitlines() if ln.strip() and not ln.lstrip().startswith("#")
+    ]
+    if not lines:
+        raise AlphabetError(f"matrix {name!r}: no data lines found")
+
+    col_symbols = lines[0].split()
+    for sym in col_symbols:
+        if len(sym) != 1:
+            raise AlphabetError(
+                f"matrix {name!r}: bad column header token {sym!r}"
+            )
+        if sym not in alphabet:
+            raise AlphabetError(
+                f"matrix {name!r}: column symbol {sym!r} not in alphabet "
+                f"{alphabet.name!r}"
+            )
+
+    n = alphabet.size
+    scores = np.zeros((n, n), dtype=np.int32)
+    seen_rows: set[str] = set()
+    for ln in lines[1:]:
+        tokens = ln.split()
+        row_sym = tokens[0]
+        if len(row_sym) != 1 or row_sym not in alphabet:
+            raise AlphabetError(
+                f"matrix {name!r}: row symbol {row_sym!r} not in alphabet "
+                f"{alphabet.name!r}"
+            )
+        if row_sym in seen_rows:
+            raise AlphabetError(f"matrix {name!r}: duplicate row {row_sym!r}")
+        seen_rows.add(row_sym)
+        values = tokens[1:]
+        if len(values) != len(col_symbols):
+            raise AlphabetError(
+                f"matrix {name!r}: row {row_sym!r} has {len(values)} values, "
+                f"expected {len(col_symbols)}"
+            )
+        r = alphabet.code_of(row_sym)
+        for col_sym, value in zip(col_symbols, values):
+            try:
+                scores[r, alphabet.code_of(col_sym)] = int(value)
+            except ValueError as exc:
+                raise AlphabetError(
+                    f"matrix {name!r}: non-integer score {value!r} at "
+                    f"({row_sym}, {col_sym})"
+                ) from exc
+
+    missing = set(alphabet.symbols) - seen_rows
+    if missing:
+        raise AlphabetError(
+            f"matrix {name!r}: rows missing for symbols {sorted(missing)!r}"
+        )
+    missing_cols = set(alphabet.symbols) - set(col_symbols)
+    if missing_cols:
+        raise AlphabetError(
+            f"matrix {name!r}: columns missing for symbols {sorted(missing_cols)!r}"
+        )
+    return SubstitutionMatrix(name, alphabet, scores)
+
+
+def format_ncbi_matrix(matrix: SubstitutionMatrix) -> str:
+    """Render a matrix back into NCBI text format (round-trips with the parser)."""
+    alphabet = matrix.alphabet
+    width = max(len(str(int(v))) for v in matrix.scores.ravel()) + 1
+    out = [f"# {matrix.name}"]
+    out.append(" " + "".join(f"{sym:>{width}}" for sym in alphabet.symbols))
+    for r, sym in enumerate(alphabet.symbols):
+        row = "".join(f"{int(v):>{width}}" for v in matrix.scores[r])
+        out.append(f"{sym}{row}")
+    return "\n".join(out) + "\n"
+
+
+def load_ncbi_matrix(
+    path: str | os.PathLike,
+    *,
+    name: str | None = None,
+    alphabet: Alphabet = PROTEIN,
+) -> SubstitutionMatrix:
+    """Load an NCBI-format matrix file from disk."""
+    with open(path, "r", encoding="ascii") as fh:
+        text = fh.read()
+    if name is None:
+        name = os.path.splitext(os.path.basename(os.fspath(path)))[0]
+    return parse_ncbi_matrix(text, name=name, alphabet=alphabet)

@@ -1,0 +1,55 @@
+"""Experiment drivers regenerating every figure and table of the paper.
+
+One driver per exhibit (see DESIGN.md §4 for the index):
+
+========================  ======================================================
+driver                    paper exhibit
+========================  ======================================================
+:func:`figure2`           kernel GCUPs vs length-distribution standard deviation
+:func:`figure3`           Swiss-Prot GCUPs vs threshold (original kernel)
+:func:`figure5`           GCUPs and intra-task time share vs % intra sequences
+:func:`figure6`           the Figure 5 sweep with the C2050's caches disabled
+:func:`figure7`           GCUPs vs query length, incl. the SWPS3 reference
+:func:`table1`            global-memory transactions, original vs improved
+:func:`table2`            six databases x devices x kernels
+:func:`param_exploration` Section IV-A's (n_th, t_height) sweep
+:func:`ablation_variants` Section III's v0..v3 development ladder
+:func:`threshold_tuning`  Section IV/VI's TAIR threshold experiment
+:func:`future_work`       Section VI's proposed optimizations, modeled
+:func:`sensitivity_analysis`  robustness of the claims to the calibration
+:func:`scalability_comparison`  Section IV-B's cores-vs-GPUs equivalence
+========================  ======================================================
+
+Each driver returns an :class:`~repro.analysis.result.ExperimentResult`
+whose ``render()`` prints the same rows/series the paper reports;
+:mod:`~repro.analysis.compare` pins the qualitative claims.
+"""
+
+from repro.analysis.extras import (
+    ablation_variants,
+    future_work,
+    param_exploration,
+    threshold_tuning,
+)
+from repro.analysis.figures import figure2, figure3, figure5, figure6, figure7
+from repro.analysis.result import ExperimentResult
+from repro.analysis.scalability import scalability_comparison
+from repro.analysis.sensitivity import sensitivity_analysis
+from repro.analysis.tables import table1, table2
+
+__all__ = [
+    "ExperimentResult",
+    "ablation_variants",
+    "figure2",
+    "figure3",
+    "figure5",
+    "figure6",
+    "figure7",
+    "future_work",
+    "param_exploration",
+    "scalability_comparison",
+    "sensitivity_analysis",
+    "table1",
+    "table2",
+    "threshold_tuning",
+]

@@ -1,0 +1,378 @@
+"""Paper-vs-measured claim checking.
+
+Every qualitative claim of the paper's evaluation is encoded as a
+:class:`ClaimCheck` computed from the experiment drivers' structured
+output.  ``run_all_checks`` regenerates the full checklist (this is what
+EXPERIMENTS.md records, and what the integration tests assert); absolute
+numbers are expected to differ — the substrate is a device model, not the
+authors' testbed — but the *shapes* must hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.extras import (
+    ablation_variants,
+    param_exploration,
+    threshold_tuning,
+)
+from repro.analysis.figures import figure2, figure3, figure5, figure6, figure7
+from repro.analysis.result import ExperimentResult, format_table
+from repro.analysis.tables import table1, table2
+
+__all__ = ["ClaimCheck", "run_all_checks", "render_checks"]
+
+
+@dataclass(frozen=True)
+class ClaimCheck:
+    """One paper claim with the reproduced measurement."""
+
+    exhibit: str
+    claim: str
+    paper_value: str
+    measured_value: str
+    holds: bool
+
+
+def _fig2_checks(r: ExperimentResult) -> list[ClaimCheck]:
+    inter = r.column("inter_gcups")
+    intra = r.column("intra_gcups")
+    return [
+        ClaimCheck(
+            "Figure 2",
+            "inter-task kernel is very sensitive to length variance",
+            "large monotone-ish decline across the stddev sweep",
+            f"{inter[0]:.1f} -> {min(inter):.1f} GCUPs "
+            f"({inter[0] / min(inter):.1f}x decline)",
+            inter[0] / min(inter) > 4.0,
+        ),
+        ClaimCheck(
+            "Figure 2",
+            "intra-task kernel is insensitive to length variance",
+            "flat curve",
+            f"{min(intra):.2f}..{max(intra):.2f} GCUPs",
+            max(intra) / min(intra) < 1.15,
+        ),
+        ClaimCheck(
+            "Figure 2",
+            "the curves cross at high variance",
+            "crossover exists",
+            f"crossover at stddev ~{r.extra['crossover_std']}",
+            r.extra["crossover_std"] is not None,
+        ),
+    ]
+
+
+def _fig3_checks(r: ExperimentResult) -> list[ClaimCheck]:
+    gcups = r.column("gcups")
+    time_pct = r.column("pct_time_intra")
+    seq_pct = r.column("pct_seqs_intra")
+    near2 = min(range(len(seq_pct)), key=lambda i: abs(seq_pct[i] - 2.0))
+    return [
+        ClaimCheck(
+            "Figure 3",
+            "small threshold decreases cause large performance drops",
+            "~17 down to ~5 GCUPs over 20 steps of 100",
+            f"{gcups[0]:.1f} -> {gcups[-1]:.1f} GCUPs "
+            f"({gcups[0] / gcups[-1]:.2f}x)",
+            gcups[0] / gcups[-1] > 1.5 and all(
+                a >= b for a, b in zip(gcups, gcups[1:])
+            ),
+        ),
+        ClaimCheck(
+            "Figure 3 / Section V",
+            "with ~2% of sequences in intra-task, >50% of time is spent there",
+            ">50% of running time",
+            f"{time_pct[near2]:.1f}% of time at {seq_pct[near2]:.2f}% of sequences",
+            time_pct[near2] > 45.0,
+        ),
+    ]
+
+
+def _fig5_checks(r: ExperimentResult) -> list[ClaimCheck]:
+    gains = r.extra["gains"]
+    rows = r.rows
+    by = {}
+    for dev, kernel, t, pct, g, tf in rows:
+        by[(dev, kernel, t)] = (g, tf)
+    thresholds = sorted({t for _, _, t, _, _, _ in rows}, reverse=True)
+    always_faster = all(
+        by[(d, "improved", t)][0] >= by[(d, "original", t)][0]
+        for d in ("C1060", "C2050")
+        for t in thresholds
+    )
+    # Time-share claim: improved cuts the intra share by more than half at
+    # the sweep bottom on the C1060.
+    tf_orig = by[("C1060", "original", thresholds[-1])][1]
+    tf_imp = by[("C1060", "improved", thresholds[-1])][1]
+    return [
+        ClaimCheck(
+            "Figure 5(a)",
+            "the improved kernel always improves overall performance",
+            "gain at every threshold on both devices",
+            "holds at every swept point" if always_faster else "violated",
+            always_faster,
+        ),
+        ClaimCheck(
+            "Figure 5(a)",
+            "gain at the default threshold, C1060",
+            "+17.5% (25% at Swiss-Prot default in Sec. IV)",
+            f"+{gains['C1060'][0]:.1f}%",
+            8.0 <= gains["C1060"][0] <= 40.0,
+        ),
+        ClaimCheck(
+            "Figure 5(a)",
+            "gain at the default threshold, C2050",
+            "+6.7%",
+            f"+{gains['C2050'][0]:.1f}%",
+            2.0 <= gains["C2050"][0] <= 20.0,
+        ),
+        ClaimCheck(
+            "Figure 5(a)",
+            "gain grows with the intra-task share (C1060 sweep top)",
+            "up to +67%",
+            f"+{gains['C1060'][1]:.1f}%",
+            gains["C1060"][1] > gains["C1060"][0] * 2,
+        ),
+        ClaimCheck(
+            "Figure 5(b)",
+            "improved kernel cuts the intra-task time share by half or more",
+            ">2x reduction",
+            f"{tf_orig:.1f}% -> {tf_imp:.1f}%",
+            tf_imp < tf_orig / 2,
+        ),
+    ]
+
+
+def _fig6_checks(r: ExperimentResult) -> list[ClaimCheck]:
+    on = r.extra["c2050_orig_cache_on"]
+    off = r.extra["c2050_orig_cache_off"]
+    return [
+        ClaimCheck(
+            "Figure 6",
+            "the original kernel's Fermi gain is almost entirely the caches",
+            "cache-off curves collapse toward C1060 behaviour",
+            f"C2050/original at sweep bottom: {on:.1f} GCUPs cached, "
+            f"{off:.1f} uncached",
+            off < 0.85 * on,
+        )
+    ]
+
+
+def _fig7_checks(r: ExperimentResult) -> list[ClaimCheck]:
+    rows = r.rows
+    beats_swps3 = all(
+        min(r_[1], r_[2], r_[3], r_[4]) > r_[5] for r_ in rows
+    )
+    imp_beats_orig = all(r_[3] > r_[4] and r_[1] > r_[2] for r_ in rows)
+    c1060_gain_pct = float(
+        np.mean([100.0 * (r_[3] / r_[4] - 1.0) for r_ in rows])
+    )
+    imp = [r_[3] for r_ in rows]
+    orig = [r_[4] for r_ in rows]
+    return [
+        ClaimCheck(
+            "Figure 7",
+            "CUDASW++ outperforms SWPS3 at all points tested",
+            "all query lengths",
+            "holds at all query lengths" if beats_swps3 else "violated",
+            beats_swps3,
+        ),
+        ClaimCheck(
+            "Figure 7",
+            "improved CUDASW++ is consistently higher than the original",
+            "~+4 GCUPs / ~25% on average",
+            f"+{c1060_gain_pct:.1f}% on the C1060 on average",
+            imp_beats_orig and c1060_gain_pct > 10.0,
+        ),
+        ClaimCheck(
+            "Figure 7",
+            "improved version is less sensitive to query length",
+            "consistent performance above query length 1000",
+            f"improved spread {max(imp) / min(imp):.3f}x vs original "
+            f"{max(orig) / min(orig):.3f}x",
+            max(imp) / min(imp) <= max(orig) / min(orig) * 1.05,
+        ),
+    ]
+
+
+def _table1_checks(r: ExperimentResult) -> list[ClaimCheck]:
+    ratios = r.extra["ratios"]
+    return [
+        ClaimCheck(
+            "Table I",
+            "the improved kernel performs orders of magnitude fewer global "
+            "memory transactions",
+            "~50:1 reduction (paper's counter semantics)",
+            ", ".join(f"query {m}: {v:,.0f}:1" for m, v in ratios.items()),
+            all(v > 50 for v in ratios.values()),
+        )
+    ]
+
+
+def _table2_checks(r: ExperimentResult) -> list[ClaimCheck]:
+    gains = r.extra["gains"]
+    all_gain = all(g > 0 for g in gains.values())
+    tair = [g for (name, _), g in gains.items() if "TAIR" in name]
+    others = [g for (name, _), g in gains.items() if "TAIR" not in name]
+    return [
+        ClaimCheck(
+            "Table II",
+            "the improved kernel increases performance on all databases",
+            "every database, both devices",
+            "holds for all 12 database/device pairs" if all_gain else "violated",
+            all_gain,
+        ),
+        ClaimCheck(
+            "Table II",
+            "the smallest gain occurs on TAIR (fewest sequences over the "
+            "threshold)",
+            "TAIR lowest (0.06% over)",
+            f"TAIR mean gain {100 * np.mean(tair):.1f}% vs others' minimum "
+            f"{100 * min(others):.1f}%",
+            np.mean(tair) <= min(others),
+        ),
+        ClaimCheck(
+            "Table II",
+            "gains are more pronounced on the C1060 than the C2050",
+            "Fermi caching shrinks the gap",
+            "C1060 mean gain "
+            f"{100 * np.mean([g for (_, d), g in gains.items() if d == 'C1060']):.1f}% "
+            "vs C2050 "
+            f"{100 * np.mean([g for (_, d), g in gains.items() if d == 'C2050']):.1f}%",
+            np.mean([g for (_, d), g in gains.items() if d == "C1060"])
+            > np.mean([g for (_, d), g in gains.items() if d == "C2050"]),
+        ),
+    ]
+
+
+def _param_checks(r: ExperimentResult) -> list[ClaimCheck]:
+    optima = r.extra["optima"]
+    # "Several combinations of n_th and t_height result in essentially the
+    # same performance" — strip height governs.
+    by_strip: dict[tuple[str, int], list[float]] = {}
+    best_by_dev: dict[str, float] = {}
+    paper_optimum: dict[str, float] = {}
+    for dev, n_th, t_h, strip, g in r.rows:
+        by_strip.setdefault((dev, strip), []).append(g)
+        best_by_dev[dev] = max(best_by_dev.get(dev, 0.0), g)
+        target = 512 if dev == "C1060" else 1024
+        if strip == target:
+            paper_optimum[dev] = max(paper_optimum.get(dev, 0.0), g)
+    same_strip_spread = max(
+        max(v) / min(v) for v in by_strip.values() if len(v) > 1
+    )
+    # How close the paper's chosen strip heights come to our surface's
+    # best point — the surface is flat near the optimum, so "within a few
+    # percent" is the reproducible statement.
+    paper_gap = max(
+        1.0 - paper_optimum[d] / best_by_dev[d] for d in best_by_dev
+    )
+    return [
+        ClaimCheck(
+            "Section IV-A",
+            "strip height is the relevant parameter (same strip -> same "
+            "performance)",
+            "equal-strip configurations perform essentially the same",
+            f"max spread among equal-strip configs: "
+            f"{100 * (same_strip_spread - 1):.1f}%",
+            same_strip_spread < 1.15,
+        ),
+        ClaimCheck(
+            "Section IV-A",
+            "the paper's tuned strip heights (512 C1060 / 1024 C2050) sit "
+            "on the flat optimum of the surface",
+            "optimal strips 512 and 1024",
+            f"measured best: C1060 -> {optima['C1060']}, C2050 -> "
+            f"{optima['C2050']}; paper's choices within "
+            f"{100 * paper_gap:.1f}% of the best point",
+            paper_gap < 0.05,
+        ),
+    ]
+
+
+def _ablation_checks(r: ExperimentResult) -> list[ClaimCheck]:
+    by = {row[0]: row[1] for row in r.rows}
+    return [
+        ClaimCheck(
+            "Section III-A",
+            "the first tiled implementation showed no improvement over the "
+            "original kernel",
+            "v0 ~= original",
+            f"v0 {by['v0-naive']:.2f} vs original {by['original']:.2f} GCUPs",
+            by["v0-naive"] < 1.6 * by["original"],
+        ),
+        ClaimCheck(
+            "Section III-A",
+            "fixing the register pitfalls yields a large step",
+            "~2x from register residency",
+            f"v2/v1 = {by['v2-hand-unroll'] / by['v1-deep-swap']:.1f}x",
+            by["v2-hand-unroll"] > 2 * by["v1-deep-swap"],
+        ),
+        ClaimCheck(
+            "Section I / III",
+            "the finished kernel is an order of magnitude over the original",
+            "over 11x",
+            f"{by['v3-query-profile'] / by['original']:.1f}x",
+            by["v3-query-profile"] / by["original"] > 6.0,
+        ),
+    ]
+
+
+def _threshold_checks(r: ExperimentResult) -> list[ClaimCheck]:
+    gain = r.extra["tuning_gain"]
+    auto = r.extra["auto_threshold"]
+    return [
+        ClaimCheck(
+            "Section IV-B / VI",
+            "lowering the TAIR threshold from 3072 to 1500 helps the "
+            "improved kernel",
+            "~+4 GCUPs on the C2050",
+            f"{gain:+.2f} GCUPs",
+            gain > 0,
+        ),
+        ClaimCheck(
+            "Section VI",
+            "the optimal threshold can be auto-detected below the default",
+            "transition point below 3072",
+            f"auto-detected threshold {auto}",
+            auto < 3072,
+        ),
+    ]
+
+
+def run_all_checks(
+    seed: int = 0, *, scale: float = 1.0, swps3_sample_rows: int = 40_000
+) -> list[ClaimCheck]:
+    """Run every driver and evaluate every encoded paper claim."""
+    checks: list[ClaimCheck] = []
+    checks += _fig2_checks(figure2(seed))
+    checks += _fig3_checks(figure3(seed, scale=scale))
+    checks += _fig5_checks(figure5(seed, scale=scale))
+    checks += _fig6_checks(figure6(seed, scale=scale))
+    checks += _fig7_checks(
+        figure7(seed, scale=scale, swps3_sample_rows=swps3_sample_rows)
+    )
+    checks += _table1_checks(table1(seed, scale=scale))
+    checks += _table2_checks(table2(seed, scale=scale))
+    checks += _param_checks(param_exploration(seed, scale=scale))
+    checks += _ablation_checks(ablation_variants(seed, scale=scale))
+    checks += _threshold_checks(threshold_tuning(seed, scale=scale))
+    return checks
+
+
+def render_checks(checks: list[ClaimCheck]) -> str:
+    """ASCII table of the claim checklist."""
+    rows = [
+        (c.exhibit, c.claim, c.paper_value, c.measured_value,
+         "PASS" if c.holds else "FAIL")
+        for c in checks
+    ]
+    passed = sum(c.holds for c in checks)
+    table = format_table(
+        ("exhibit", "claim", "paper", "measured", "verdict"), rows
+    )
+    return table + f"\n\n{passed}/{len(checks)} claims hold"

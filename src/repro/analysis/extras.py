@@ -1,0 +1,284 @@
+"""Drivers for the paper's non-figure experiments: the parameter-space
+exploration (Section IV-A), the incremental-variant ladder (Section III),
+the TAIR threshold experiment (Section IV) and the Section VI future-work
+features."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.result import ExperimentResult
+from repro.app.cudasw import CudaSW
+from repro.app.multigpu import multi_gpu_time
+from repro.app.threshold import optimal_threshold
+from repro.cuda.cost import CostModel
+from repro.cuda.device import TESLA_C1060, TESLA_C2050, DeviceSpec
+from repro.kernels.intratask_improved import (
+    ImprovedIntraTaskKernel,
+    ImprovedKernelConfig,
+)
+from repro.kernels.intratask_original import OriginalIntraTaskKernel
+from repro.kernels.variants import VARIANT_LADDER, variant_kernel
+from repro.sequence.synthetic import PAPER_DATABASES, SWISSPROT_PROFILE
+
+__all__ = [
+    "param_exploration",
+    "ablation_variants",
+    "threshold_tuning",
+    "future_work",
+]
+
+
+def _intra_workload(seed: int, scale: float = 1.0) -> np.ndarray:
+    """The Swiss-Prot sequences the intra-task kernel processes."""
+    rng = np.random.default_rng(seed)
+    db = SWISSPROT_PROFILE.build(rng, scale=scale)
+    _, above = db.split_by_threshold(3072)
+    if above is None:
+        raise ValueError("no intra-task sequences at this scale")
+    return above.lengths
+
+
+def _intra_gcups(
+    kernel: ImprovedIntraTaskKernel | OriginalIntraTaskKernel,
+    m: int,
+    lengths: np.ndarray,
+    device: DeviceSpec,
+    *,
+    cache_enabled: bool = True,
+) -> float:
+    counts = kernel.bulk_pair_counts(m, lengths)
+    model = CostModel(device, cache_enabled=cache_enabled)
+    if (
+        isinstance(kernel, ImprovedIntraTaskKernel)
+        and kernel.config.shared_memory_only
+    ):
+        launch = kernel.launch_config(
+            int(lengths.size), max_n=int(lengths.max())
+        )
+    else:
+        launch = kernel.launch_config(int(lengths.size))
+    t = model.kernel_time(
+        counts,
+        launch,
+        kernel.cache_profile(m, int(lengths.mean())),
+    )
+    return counts.cells / t.total / 1e9
+
+
+# ----------------------------------------------------------------------
+# Section IV-A: n_th x t_height exploration
+# ----------------------------------------------------------------------
+def param_exploration(
+    seed: int = 0,
+    query_length: int = 5478,
+    threads: tuple[int, ...] = (64, 128, 192, 256, 320),
+    tile_heights: tuple[int, ...] = (4, 8),
+    scale: float = 1.0,
+) -> ExperimentResult:
+    """The paper's sweep: threads per block in {64..320}, tile height in
+    {4, 8}; the claim is that *strip height* (their product) is the
+    governing parameter, with 512 optimal on the C1060 and 1024 on the
+    C2050.  The default query is the ladder's longest (5478 residues —
+    the regime the intra-task kernel exists for), where partial-strip
+    padding does not dominate the comparison."""
+    lengths = _intra_workload(seed, scale)
+    rows = []
+    best = {}
+    for dev_name, device in (("C1060", TESLA_C1060), ("C2050", TESLA_C2050)):
+        for n_th in threads:
+            for t_h in tile_heights:
+                if n_th > device.max_threads_per_block:
+                    continue
+                kernel = ImprovedIntraTaskKernel(
+                    ImprovedKernelConfig(threads_per_block=n_th, tile_height=t_h),
+                    device,
+                )
+                g = _intra_gcups(kernel, query_length, lengths, device)
+                strip = n_th * t_h
+                rows.append((dev_name, n_th, t_h, strip, g))
+                key = (dev_name, strip)
+                best[key] = max(best.get(key, 0.0), g)
+    optima = {}
+    for dev_name in ("C1060", "C2050"):
+        dev_rows = [(s, g) for (d, s), g in best.items() if d == dev_name]
+        optima[dev_name] = max(dev_rows, key=lambda x: x[1])[0]
+    return ExperimentResult(
+        name="param_exploration",
+        title="improved intra-task kernel GCUPs over (threads/block, tile "
+        f"height) (query {query_length}, Swiss-Prot intra subset)",
+        headers=("device", "threads", "tile_height", "strip", "gcups"),
+        rows=tuple(rows),
+        notes=(
+            f"best strip height: C1060 -> {optima['C1060']}, "
+            f"C2050 -> {optima['C2050']} (paper: 512 and 1024)"
+        ),
+        extra={"optima": optima},
+    )
+
+
+# ----------------------------------------------------------------------
+# Section III: the v0..v3 incremental ladder
+# ----------------------------------------------------------------------
+def ablation_variants(
+    seed: int = 0,
+    query_length: int = 567,
+    device: DeviceSpec = TESLA_C1060,
+    scale: float = 1.0,
+) -> ExperimentResult:
+    """GCUPs of each development stage of the improved kernel next to the
+    original kernel — the Section III narrative in one table."""
+    lengths = _intra_workload(seed, scale)
+    orig = OriginalIntraTaskKernel()
+    base = _intra_gcups(orig, query_length, lengths, device)
+    rows = [("original", base, 1.0, "the CUDASW++ baseline kernel")]
+    for name in VARIANT_LADDER:
+        kernel = variant_kernel(name, device)
+        g = _intra_gcups(kernel, query_length, lengths, device)
+        reason = (
+            "register arrays in local memory: "
+            + "; ".join(sorted(kernel.compiled.demotion_reasons))
+            if kernel.compiled.uses_local_memory
+            else "register-resident tiles"
+        )
+        rows.append((name, g, g / base, reason))
+    return ExperimentResult(
+        name="ablation_variants",
+        title="Section III development ladder on the Swiss-Prot intra "
+        f"subset ({device.name}, query {query_length})",
+        headers=("variant", "gcups", "speedup_vs_original", "register state"),
+        rows=tuple(rows),
+        notes="v0 shows no improvement over the original kernel; fixing "
+        "the register pitfalls and adding the query profile recovers the "
+        "paper's order-of-magnitude gain",
+    )
+
+
+# ----------------------------------------------------------------------
+# Section IV/VI: the TAIR threshold experiment + autodetection
+# ----------------------------------------------------------------------
+def threshold_tuning(
+    seed: int = 0,
+    query_length: int = 567,
+    device: DeviceSpec = TESLA_C2050,
+    scale: float = 1.0,
+) -> ExperimentResult:
+    """TAIR with the improved kernel: default threshold 3072, the paper's
+    hand-tuned 1500, and the Section VI automatic detection."""
+    rng = np.random.default_rng(seed)
+    tair = next(p for p in PAPER_DATABASES if "TAIR" in p.name)
+    db = tair.build(rng, scale=scale)
+    rows = []
+    for label, threshold in (("default", 3072), ("paper-tuned", 1500)):
+        app = CudaSW(device, intra_kernel="improved", threshold=threshold)
+        r = app.predict(query_length, db)
+        rows.append(
+            (label, threshold, 100.0 * r.fraction_over_threshold, r.gcups)
+        )
+    app = CudaSW(device, intra_kernel="improved")
+    auto = optimal_threshold(app, query_length, db)
+    rows.append(
+        ("auto-detected", auto.threshold, 100.0 * auto.fraction_over, auto.gcups)
+    )
+    gain = rows[1][3] - rows[0][3]
+    return ExperimentResult(
+        name="threshold_tuning",
+        title=f"TAIR threshold tuning with the improved kernel ({device.name}, "
+        f"query {query_length})",
+        headers=("setting", "threshold", "pct_seqs_intra", "gcups"),
+        rows=tuple(rows),
+        notes=f"lowering 3072 -> 1500 changes GCUPs by {gain:+.2f} "
+        "(the paper reports ~+4 GCUPs); the auto-detected threshold does "
+        "at least as well",
+        extra={"tuning_gain": gain, "auto_threshold": auto.threshold},
+    )
+
+
+# ----------------------------------------------------------------------
+# Section VI: future-work features, modeled
+# ----------------------------------------------------------------------
+def future_work(
+    seed: int = 0,
+    query_length: int = 567,
+    device: DeviceSpec = TESLA_C2050,
+    scale: float = 1.0,
+) -> ExperimentResult:
+    """Each Section VI proposal applied to the improved kernel (or the
+    application), with its modeled effect."""
+    rng = np.random.default_rng(seed)
+    db = SWISSPROT_PROFILE.build(rng, scale=scale)
+    _, above = db.split_by_threshold(3072)
+    lengths = above.lengths
+    long_query = 5478  # strips matter for the pipeline/pass features
+
+    def kernel_with(**flags):
+        return ImprovedIntraTaskKernel(ImprovedKernelConfig(**flags), device)
+
+    base = _intra_gcups(kernel_with(), long_query, lengths, device)
+    rows = [("improved kernel (baseline)", base, 0.0)]
+
+    # The shared-memory-only mode is legal only where the boundary rows
+    # fit ("for sequence lengths less than 10,000", Section VI) — evaluate
+    # it, and the combined configuration, on the subset that fits.
+    probe = kernel_with(shared_memory_only=True)
+    fits = np.array([probe.shared_only_fits(int(n)) for n in lengths])
+    short_lengths = lengths[fits]
+    features = (
+        ("coalesced boundary I/O", dict(coalesced_boundary=True), lengths),
+        (
+            f"shared-memory-only boundaries ({fits.mean():.0%} of sequences fit)",
+            dict(shared_memory_only=True),
+            short_lengths,
+        ),
+        (
+            "persistent pipeline (one fill/flush)",
+            dict(persistent_pipeline=True),
+            lengths,
+        ),
+        (
+            "all three combined (on fitting sequences)",
+            dict(
+                coalesced_boundary=True,
+                shared_memory_only=True,
+                persistent_pipeline=True,
+            ),
+            short_lengths,
+        ),
+    )
+    for label, flags, subset in features:
+        reference = (
+            base
+            if subset is lengths
+            else _intra_gcups(kernel_with(), long_query, subset, device)
+        )
+        g = _intra_gcups(kernel_with(**flags), long_query, subset, device)
+        rows.append((label, g, 100.0 * (g / reference - 1)))
+
+    # Application-level features: streaming copy and multi-GPU scaling.
+    plain = CudaSW(device, intra_kernel="improved").predict(query_length, db)
+    stream = CudaSW(device, intra_kernel="improved", streaming_copy=True).predict(
+        query_length, db
+    )
+    rows.append(
+        (
+            "streaming host->device copy",
+            stream.gcups,
+            100.0 * (stream.gcups / plain.gcups - 1),
+        )
+    )
+    app = CudaSW(device, intra_kernel="improved")
+    t1 = plain.total_time
+    for gpus in (2, 4):
+        tn, _ = multi_gpu_time(app, query_length, db, gpus)
+        rows.append(
+            (f"{gpus} GPUs (speedup, not GCUPs)", t1 / tn, 0.0)
+        )
+    return ExperimentResult(
+        name="future_work",
+        title=f"Section VI proposals, modeled ({device.name})",
+        headers=("feature", "gcups_or_speedup", "pct_change"),
+        rows=tuple(rows),
+        notes="kernel features evaluated on the intra-task subset with the "
+        f"{long_query}-residue query; application features on the full "
+        f"database with the {query_length}-residue query",
+    )

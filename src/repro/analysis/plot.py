@@ -1,0 +1,99 @@
+"""Terminal plotting for experiment series.
+
+The paper's figures are line charts; the benchmarks and examples render
+their data as ASCII so the shapes (declines, crossovers, plateaus) are
+visible directly in a terminal or CI log — no plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["ascii_chart", "bar_chart"]
+
+_DOT = "o+x*#@%&"
+
+
+def ascii_chart(
+    x: Sequence[float],
+    series: dict[str, Sequence[float]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Scatter/line chart of one or more series on a shared axis.
+
+    Each series gets its own marker; later series overwrite earlier ones
+    where they collide.  Axes are annotated with min/max values.
+    """
+    if not series:
+        raise ValueError("no series given")
+    if width < 8 or height < 4:
+        raise ValueError("chart too small")
+    xs = list(x)
+    if any(len(ys) != len(xs) for ys in series.values()):
+        raise ValueError("all series must match the x vector's length")
+    if len(xs) < 2:
+        raise ValueError("need at least two points")
+
+    all_y = [v for ys in series.values() for v in ys]
+    y_lo, y_hi = min(all_y), max(all_y)
+    x_lo, x_hi = min(xs), max(xs)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    if x_hi == x_lo:
+        raise ValueError("x values are all equal")
+
+    grid = [[" "] * width for _ in range(height)]
+    for s_idx, (name, ys) in enumerate(series.items()):
+        marker = _DOT[s_idx % len(_DOT)]
+        for xv, yv in zip(xs, ys):
+            col = round((xv - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round((yv - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if y_label:
+        lines.append(y_label)
+    top = f"{y_hi:g}"
+    bottom = f"{y_lo:g}"
+    margin = max(len(top), len(bottom))
+    for r, row in enumerate(grid):
+        label = top if r == 0 else (bottom if r == height - 1 else "")
+        lines.append(f"{label:>{margin}} |" + "".join(row))
+    lines.append(" " * margin + " +" + "-" * width)
+    lines.append(
+        " " * margin + f"  {x_lo:g}" + " " * max(1, width - len(f"{x_lo:g}") - len(f"{x_hi:g}") - 2)
+        + f"{x_hi:g}"
+        + (f"  ({x_label})" if x_label else "")
+    )
+    legend = "   ".join(
+        f"{_DOT[i % len(_DOT)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * margin + "  " + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 48,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart (for the ablation/variant comparisons)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must match")
+    if not labels:
+        raise ValueError("nothing to plot")
+    peak = max(values)
+    if peak <= 0:
+        raise ValueError("values must contain something positive")
+    label_w = max(len(str(l)) for l in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, round(value / peak * width)) if value > 0 else ""
+        lines.append(f"{label:>{label_w}} | {bar} {value:g}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,67 @@
+"""Experiment result container and rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+__all__ = ["ExperimentResult", "format_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    float_digits: int = 2,
+) -> str:
+    """Render rows as an aligned ASCII table."""
+
+    def fmt(v: Any) -> str:
+        if isinstance(v, float):
+            return f"{v:.{float_digits}f}"
+        return str(v)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    out = [
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        out.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Structured output of one experiment driver."""
+
+    name: str
+    title: str
+    headers: tuple[str, ...]
+    rows: tuple[tuple, ...]
+    notes: str = ""
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for row in self.rows:
+            if len(row) != len(self.headers):
+                raise ValueError(
+                    f"{self.name}: row width {len(row)} != "
+                    f"{len(self.headers)} headers"
+                )
+
+    def column(self, header: str) -> list:
+        """All values of one column."""
+        idx = self.headers.index(header)
+        return [row[idx] for row in self.rows]
+
+    def render(self, *, float_digits: int = 2) -> str:
+        out = [f"== {self.name}: {self.title} =="]
+        out.append(format_table(self.headers, self.rows, float_digits=float_digits))
+        if self.notes:
+            out.append(self.notes)
+        return "\n".join(out)

@@ -1,0 +1,82 @@
+"""Multi-query searches.
+
+Real search campaigns run query *sets* (the paper itself evaluates a
+ladder of 20 queries).  The batch API runs them against one database,
+reusing the preprocessing (sort/split/partition happen once per database
+in CUDASW++), and aggregates the modeled timing into campaign-level
+GCUPs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.app.cudasw import CudaSW, SearchReport
+from repro.app.results import SearchResult
+from repro.sequence.database import Database
+from repro.sequence.sequence import Sequence
+
+__all__ = ["BatchReport", "predict_batch", "search_batch"]
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """Aggregated outcome of a multi-query campaign."""
+
+    reports: tuple[SearchReport, ...]
+
+    def __post_init__(self) -> None:
+        if not self.reports:
+            raise ValueError("a batch needs at least one query")
+
+    @property
+    def total_time(self) -> float:
+        """End-to-end time: the database is copied once, searches run
+        back to back."""
+        compute = sum(r.compute_time for r in self.reports)
+        transfer = max(r.transfer_time for r in self.reports)
+        return compute + transfer
+
+    @property
+    def total_cells(self) -> int:
+        return sum(r.total_cells for r in self.reports)
+
+    @property
+    def gcups(self) -> float:
+        """Campaign-level GCUPs (all queries' cells over the wall time)."""
+        return self.total_cells / self.total_time / 1e9
+
+    @property
+    def per_query_gcups(self) -> tuple[float, ...]:
+        return tuple(r.gcups for r in self.reports)
+
+    def worst_query(self) -> SearchReport:
+        """The query with the lowest modeled GCUPs."""
+        return min(self.reports, key=lambda r: r.gcups)
+
+
+def predict_batch(
+    app: CudaSW, query_lengths: list[int], db: Database
+) -> BatchReport:
+    """Model a multi-query campaign from query lengths alone."""
+    if not query_lengths:
+        raise ValueError("a batch needs at least one query")
+    return BatchReport(
+        reports=tuple(app.predict(m, db) for m in query_lengths)
+    )
+
+
+def search_batch(
+    app: CudaSW, queries: list[Sequence], db: Database
+) -> tuple[list[SearchResult], BatchReport]:
+    """Functionally search every query; returns per-query results plus
+    the aggregated report."""
+    if not queries:
+        raise ValueError("a batch needs at least one query")
+    results = []
+    reports = []
+    for query in queries:
+        result, report = app.search(query, db)
+        results.append(result)
+        reports.append(report)
+    return results, BatchReport(reports=tuple(reports))

@@ -1,0 +1,284 @@
+"""End-to-end CUDASW++: threshold dispatch, timing model, functional search.
+
+:class:`CudaSW` is the reproduction's equivalent of the ``cudasw``
+executable: configure a device, an intra-task kernel generation
+(original or improved) and a threshold, then either
+
+* :meth:`CudaSW.predict` — model the run time and GCUPs of a search from
+  sequence lengths alone (how every figure/table experiment runs at
+  Swiss-Prot scale), or
+* :meth:`CudaSW.search` — actually compute every alignment score
+  (functional mode, for examples and integration tests), with the same
+  timing report attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.alphabet import BLOSUM62, GapPenalty, SubstitutionMatrix
+from repro.cuda.calibration import DEFAULT_CALIBRATION, CostCalibration
+from repro.cuda.cost import CostModel
+from repro.cuda.counts import KernelCounts
+from repro.cuda.device import TESLA_C1060, TESLA_C2050, DeviceSpec
+from repro.kernels.base import PairKernel
+from repro.kernels.intertask import InterTaskKernel
+from repro.kernels.intratask_improved import (
+    ImprovedIntraTaskKernel,
+    ImprovedKernelConfig,
+)
+from repro.kernels.intratask_original import OriginalIntraTaskKernel
+from repro.app.results import SearchResult
+from repro.app.scheduler import schedule_inter_task
+from repro.app.transfer import TransferModel
+from repro.sequence.database import Database
+from repro.sequence.sequence import Sequence
+from repro.sw.antidiagonal import sw_score_antidiagonal
+
+__all__ = ["CudaSW", "SearchReport", "tuned_improved_config"]
+
+#: The paper's default dispatch threshold.
+DEFAULT_THRESHOLD = 3072
+
+
+def tuned_improved_config(device: DeviceSpec) -> ImprovedKernelConfig:
+    """The strip heights Section IV-A found optimal: 512 on the C1060
+    (128 threads x tile height 4) and 1024 on the C2050 (256 x 4)."""
+    if device.name == TESLA_C1060.name:
+        return ImprovedKernelConfig(threads_per_block=128, tile_height=4)
+    return ImprovedKernelConfig(threads_per_block=256, tile_height=4)
+
+
+@dataclass(frozen=True)
+class SearchReport:
+    """Modeled timing breakdown of one database search."""
+
+    device: str
+    query_length: int
+    threshold: int
+    n_inter_sequences: int
+    n_intra_sequences: int
+    fraction_over_threshold: float
+    inter_time: float
+    intra_time: float
+    transfer_time: float
+    inter_counts: KernelCounts
+    intra_counts: KernelCounts
+    inter_launches: int
+    load_balance_efficiency: float
+    total_cells: int
+
+    @property
+    def compute_time(self) -> float:
+        return self.inter_time + self.intra_time
+
+    @property
+    def total_time(self) -> float:
+        return self.compute_time + self.transfer_time
+
+    @property
+    def gcups(self) -> float:
+        """Overall GCUPs: query length x database residues over run time
+        (the paper's metric)."""
+        return self.total_cells / self.total_time / 1e9
+
+    @property
+    def intra_time_fraction(self) -> float:
+        """Fraction of running time spent in the intra-task kernel — the
+        y-axis of the paper's Figure 5(b)."""
+        if self.total_time <= 0:
+            return 0.0
+        return self.intra_time / self.total_time
+
+
+class CudaSW:
+    """The CUDASW++ application on the device model."""
+
+    def __init__(
+        self,
+        device: DeviceSpec = TESLA_C1060,
+        *,
+        intra_kernel: str | PairKernel = "improved",
+        threshold: int | str = DEFAULT_THRESHOLD,
+        matrix: SubstitutionMatrix = BLOSUM62,
+        gaps: GapPenalty | None = None,
+        calibration: CostCalibration = DEFAULT_CALIBRATION,
+        cache_enabled: bool = True,
+        streaming_copy: bool = False,
+    ) -> None:
+        auto_threshold = threshold == "auto"
+        if auto_threshold:
+            threshold = DEFAULT_THRESHOLD  # placeholder until tuned per-db
+        if not isinstance(threshold, int) or threshold <= 0:
+            raise ValueError(
+                "threshold must be a positive integer or 'auto' "
+                f"(got {threshold!r})"
+            )
+        #: Section VI mode: re-detect the optimal threshold per database
+        #: during :meth:`predict`/:meth:`search` preprocessing.
+        self.auto_threshold = auto_threshold
+        self.device = device
+        self.threshold = threshold
+        self.matrix = matrix
+        self.gaps = gaps or GapPenalty.cudasw_default()
+        self.inter_kernel = InterTaskKernel()
+        if isinstance(intra_kernel, PairKernel):
+            self.intra_kernel = intra_kernel
+        elif intra_kernel == "original":
+            self.intra_kernel = OriginalIntraTaskKernel()
+        elif intra_kernel == "improved":
+            self.intra_kernel = ImprovedIntraTaskKernel(
+                tuned_improved_config(device), device
+            )
+        else:
+            raise ValueError(
+                f"intra_kernel must be 'original', 'improved' or a kernel, "
+                f"got {intra_kernel!r}"
+            )
+        self.cost = CostModel(device, calibration, cache_enabled=cache_enabled)
+        self.transfer = TransferModel(device, streaming=streaming_copy)
+        self._auto_cache: dict = {}
+
+    def _resolve_threshold(self, query_length: int, db: Database) -> int:
+        """The dispatch threshold for this database: the configured one,
+        or — in ``threshold='auto'`` mode — the Section VI detected
+        optimum (cached per database fingerprint)."""
+        if not self.auto_threshold:
+            return self.threshold
+        fingerprint = (
+            len(db),
+            db.total_residues,
+            int(db.lengths.max()),
+            query_length,
+        )
+        if self._auto_cache.get("fingerprint") == fingerprint:
+            return self._auto_cache["threshold"]
+        from repro.app.threshold import optimal_threshold
+
+        best = optimal_threshold(self, query_length, db, max_candidates=12)
+        self._auto_cache = {
+            "fingerprint": fingerprint,
+            "threshold": best.threshold,
+        }
+        return best.threshold
+
+    # ------------------------------------------------------------------
+    # Performance model
+    # ------------------------------------------------------------------
+    def predict(self, query_length: int, db: Database) -> SearchReport:
+        """Model the run time of searching ``db`` with a query of the
+        given length.  Works on lengths-only databases."""
+        if query_length <= 0:
+            raise ValueError("query length must be positive")
+        threshold = self._resolve_threshold(query_length, db)
+        below, above = db.split_by_threshold(threshold)
+
+        inter_time = 0.0
+        inter_counts = KernelCounts()
+        inter_launches = 0
+        balance = 1.0
+        if below is not None:
+            schedule = schedule_inter_task(
+                query_length, below, self.inter_kernel, self.device
+            )
+            inter_counts = schedule.counts
+            inter_launches = schedule.n_launches
+            balance = schedule.load_balance_efficiency
+            launch = self.inter_kernel.launch_config(
+                max(schedule.group_size // self.inter_kernel.threads_per_block, 1)
+            )
+            profile = self.inter_kernel.cache_profile(
+                query_length, int(below.lengths.mean())
+            )
+            inter_time = self.cost.kernel_time(
+                inter_counts, launch, profile, launches=schedule.n_launches
+            ).total
+
+        intra_time = 0.0
+        intra_counts = KernelCounts()
+        if above is not None:
+            intra_counts = self.intra_kernel.bulk_pair_counts(
+                query_length, above.lengths
+            )
+            launch = self.intra_kernel.launch_config(len(above))
+            profile = self.intra_kernel.cache_profile(
+                query_length, int(above.lengths.mean())
+            )
+            intra_time = self.cost.kernel_time(
+                intra_counts, launch, profile
+            ).total
+
+        transfer_time = self.transfer.visible_copy_time(
+            db.total_residues, inter_time + intra_time
+        )
+        return SearchReport(
+            device=self.device.name,
+            query_length=query_length,
+            threshold=threshold,
+            n_inter_sequences=0 if below is None else len(below),
+            n_intra_sequences=0 if above is None else len(above),
+            fraction_over_threshold=db.fraction_over(threshold),
+            inter_time=inter_time,
+            intra_time=intra_time,
+            transfer_time=transfer_time,
+            inter_counts=inter_counts,
+            intra_counts=intra_counts,
+            inter_launches=inter_launches,
+            load_balance_efficiency=balance,
+            total_cells=query_length * db.total_residues,
+        )
+
+    # ------------------------------------------------------------------
+    # Functional search
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        query: Sequence,
+        db: Database,
+        *,
+        simulate_kernels: bool = False,
+    ) -> tuple[SearchResult, SearchReport]:
+        """Compute every database sequence's score, plus the timing report.
+
+        Parameters
+        ----------
+        simulate_kernels:
+            When true, every pair runs through the dispatched kernel's
+            functional simulator (slow; small databases only).  When false
+            (default) scores come from the vectorized reference aligner —
+            bit-identical to the kernels, which tests verify — while
+            counts/timing still come from the kernel models.
+        """
+        if not db.has_residues:
+            raise ValueError("functional search needs a materialized database")
+        if query.alphabet != db.alphabet:
+            raise ValueError("query and database alphabets differ")
+
+        threshold = self._resolve_threshold(len(query), db)
+        scores = np.zeros(len(db), dtype=np.int64)
+        for i in range(len(db)):
+            d_codes = db.codes_of(i)
+            if simulate_kernels:
+                kernel: PairKernel = (
+                    self.intra_kernel
+                    if d_codes.size >= threshold
+                    else self.inter_kernel
+                )
+                scores[i] = kernel.run_pair(
+                    query.codes, d_codes, self.matrix, self.gaps
+                ).score
+            else:
+                scores[i] = sw_score_antidiagonal(
+                    query.codes, d_codes, self.matrix, self.gaps
+                )
+
+        result = SearchResult(
+            query_id=query.id,
+            scores=scores,
+            ids=tuple(db.id_of(i) for i in range(len(db))),
+            lengths=db.lengths.copy(),
+        )
+        report = self.predict(len(query), db)
+        return result, report

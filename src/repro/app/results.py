@@ -1,0 +1,63 @@
+"""Search results: per-sequence scores and ranked hits."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Hit", "SearchResult"]
+
+
+@dataclass(frozen=True)
+class Hit:
+    """One database sequence's optimal local-alignment score."""
+
+    index: int
+    id: str
+    length: int
+    score: int
+
+    def __post_init__(self) -> None:
+        if self.score < 0:
+            raise ValueError("Smith-Waterman scores are non-negative")
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """All scores of a functional database search."""
+
+    query_id: str
+    scores: np.ndarray = field(repr=False)
+    ids: tuple[str, ...] = field(repr=False)
+    lengths: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if not (len(self.scores) == len(self.ids) == len(self.lengths)):
+            raise ValueError("scores, ids and lengths must have equal length")
+
+    def __len__(self) -> int:
+        return len(self.scores)
+
+    def top(self, k: int = 10) -> list[Hit]:
+        """The ``k`` best hits, by score descending then index ascending."""
+        if k <= 0:
+            raise ValueError("k must be positive")
+        k = min(k, len(self.scores))
+        order = np.lexsort((np.arange(len(self.scores)), -self.scores))[:k]
+        return [
+            Hit(
+                index=int(i),
+                id=self.ids[int(i)],
+                length=int(self.lengths[int(i)]),
+                score=int(self.scores[int(i)]),
+            )
+            for i in order
+        ]
+
+    def score_of(self, seq_id: str) -> int:
+        """Score of a database sequence by identifier."""
+        try:
+            return int(self.scores[self.ids.index(seq_id)])
+        except ValueError:
+            raise KeyError(f"no sequence {seq_id!r} in the result") from None

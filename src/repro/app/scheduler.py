@@ -1,0 +1,92 @@
+"""Inter-task group scheduling (Section II-C of the paper).
+
+The database part below the threshold is sorted by length and cut into
+groups of ``s`` sequences, where ``s`` is the number of threads the device
+keeps resident at the kernel's occupancy ("calculated at runtime based on
+machine parameters to maximize the occupancy").  One kernel launch
+processes one group, one thread per sequence, and runs as long as the
+group's *longest* member — sorting is what keeps groups near-uniform, and
+the threshold is what keeps the log-normal tail out of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cuda.counts import KernelCounts
+from repro.cuda.device import DeviceSpec
+from repro.cuda.occupancy import occupancy
+from repro.kernels.intertask import InterTaskKernel
+from repro.sequence.database import Database
+
+__all__ = ["InterTaskSchedule", "schedule_inter_task"]
+
+
+@dataclass(frozen=True)
+class InterTaskSchedule:
+    """The launch plan for the inter-task part of a search."""
+
+    group_size: int
+    n_launches: int
+    counts: KernelCounts
+    #: Useful cells over occupied thread-cells, aggregated over launches —
+    #: the quantity whose collapse is Figure 2.
+    load_balance_efficiency: float
+
+    def __post_init__(self) -> None:
+        if self.group_size <= 0 or self.n_launches <= 0:
+            raise ValueError("schedule must contain at least one launch")
+
+
+def schedule_inter_task(
+    query_length: int,
+    db: Database,
+    kernel: InterTaskKernel,
+    device: DeviceSpec,
+    *,
+    presorted: bool = False,
+) -> InterTaskSchedule:
+    """Plan the inter-task launches for ``db`` (the below-threshold part).
+
+    Parameters
+    ----------
+    query_length:
+        Length of the query sequence.
+    db:
+        Database (or sub-database) to process with the inter-task kernel.
+    presorted:
+        Skip the length sort when the caller already sorted (CUDASW++
+        sorts once during preprocessing).
+    """
+    if query_length <= 0:
+        raise ValueError("query length must be positive")
+    if len(db) == 0:
+        raise ValueError("cannot schedule an empty database")
+
+    launch = kernel.launch_config(1)
+    occ = occupancy(
+        device,
+        launch.threads_per_block,
+        launch.registers_per_thread,
+        launch.shared_mem_per_block,
+    )
+    s = occ.concurrent_threads_device
+
+    lengths = db.lengths if presorted else np.sort(db.lengths, kind="stable")
+    total = KernelCounts()
+    n_launches = 0
+    for start in range(0, lengths.size, s):
+        group = lengths[start : start + s]
+        total += kernel.group_counts(query_length, group)
+        n_launches += 1
+
+    useful = total.cells
+    slots = useful + total.idle_thread_steps
+    return InterTaskSchedule(
+        group_size=s,
+        n_launches=n_launches,
+        counts=total,
+        load_balance_efficiency=useful / slots if slots else 1.0,
+    )

@@ -1,0 +1,38 @@
+"""Baselines the paper compares against (or motivates with).
+
+* :mod:`~repro.baselines.sse` + :mod:`~repro.baselines.swps3` — a faithful
+  implementation of Farrar's *striped* SIMD Smith-Waterman, including the
+  lazy-F correction loop, on emulated SSE lanes, with the 4-core Xeon cost
+  model used to draw SWPS3's curve in Figure 7.
+* :mod:`~repro.baselines.blastlike` — a seed-and-extend heuristic in the
+  BLAST family (exact word seeds, two-hit trigger, X-drop ungapped
+  extension, banded gapped extension): fast, but without the optimality
+  guarantee — the paper's Section I framing for why exact SW on GPUs
+  matters.
+"""
+
+from repro.baselines.blastlike import BlastLikeSearcher, BlastParams
+from repro.baselines.cpu_cost import CpuSpec, XEON_E5345, swps3_time_seconds
+from repro.baselines.sse import (
+    SATURATION_LIMIT,
+    AdaptiveCounts,
+    StripedProfile,
+    striped_smith_waterman,
+    striped_smith_waterman_adaptive,
+)
+from repro.baselines.swps3 import Swps3Model, Swps3Report
+
+__all__ = [
+    "AdaptiveCounts",
+    "BlastLikeSearcher",
+    "BlastParams",
+    "CpuSpec",
+    "StripedProfile",
+    "Swps3Model",
+    "Swps3Report",
+    "XEON_E5345",
+    "striped_smith_waterman",
+    "striped_smith_waterman_adaptive",
+    "SATURATION_LIMIT",
+    "swps3_time_seconds",
+]

@@ -1,0 +1,76 @@
+"""CPU cost model for the SWPS3 baseline.
+
+The paper ran SWPS3 "using four cores of an Intel Xeon processor clocked
+at 2.33 GHz" as the Figure 7 reference curve.  The model converts the
+striped algorithm's counted vector operations into seconds on that
+machine; like the GPU model, the hardware facts live in the spec and the
+behavioural constant (sustained issue rate) is a documented calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.sse import StripedCounts
+
+__all__ = ["CpuSpec", "XEON_E5345", "swps3_time_seconds"]
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """A multicore SIMD CPU."""
+
+    name: str
+    clock_ghz: float
+    cores: int
+    #: SIMD lanes at the working precision (SSE2: 8 x 16-bit).
+    lanes: int
+    #: Sustained SSE instructions per cycle per core on this loop
+    #: (dependent-op chains keep it near 1).
+    sustained_ipc: float = 1.0
+    #: Per-database-sequence software overhead (dispatch, profile reuse).
+    per_sequence_overhead_us: float = 0.4
+
+    def __post_init__(self) -> None:
+        if min(self.clock_ghz, self.cores, self.lanes, self.sustained_ipc) <= 0:
+            raise ValueError("CPU spec values must be positive")
+
+
+#: The paper's SWPS3 host: 4 cores of a 2.33 GHz Xeon (E5345-class).
+XEON_E5345 = CpuSpec(name="Xeon 2.33 GHz", clock_ghz=2.33, cores=4, lanes=8)
+
+
+def swps3_time_seconds(
+    counts: StripedCounts | list[StripedCounts],
+    cpu: CpuSpec = XEON_E5345,
+    *,
+    threads: int | None = None,
+    n_sequences: int | None = None,
+) -> float:
+    """Modeled wall time of striped searches distributed over cores.
+
+    Sequences parallelize perfectly across cores (SWPS3 is multi-threaded
+    over database sequences); within a core the vector ops issue at the
+    sustained rate.
+
+    Parameters
+    ----------
+    n_sequences:
+        Database entries the per-sequence overhead applies to; defaults to
+        the number of count records (the extrapolating scale model passes
+        one aggregated record for many sequences).
+    """
+    if isinstance(counts, StripedCounts):
+        counts = [counts]
+    if not counts:
+        raise ValueError("no counts given")
+    threads = cpu.cores if threads is None else threads
+    if threads <= 0 or threads > cpu.cores:
+        raise ValueError(f"threads must be in [1, {cpu.cores}]")
+    n_sequences = len(counts) if n_sequences is None else n_sequences
+    if n_sequences <= 0:
+        raise ValueError("n_sequences must be positive")
+    total_ops = sum(c.vector_ops for c in counts)
+    op_time = total_ops / (threads * cpu.clock_ghz * 1e9 * cpu.sustained_ipc)
+    overhead = n_sequences * cpu.per_sequence_overhead_us * 1e-6 / threads
+    return op_time + overhead

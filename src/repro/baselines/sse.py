@@ -1,0 +1,277 @@
+"""Farrar's striped SIMD Smith-Waterman on emulated SSE lanes.
+
+The striped layout (Farrar 2007, used by SWPS3) assigns query position
+``p`` to vector row ``p mod seg`` and lane ``p // seg`` with
+``seg = ceil(m / V)``.  The inner loop then advances all ``V`` lanes one
+query position at a time with no intra-vector dependencies; the price is
+that the vertical gap state ``F`` cannot cross lane boundaries inside the
+main loop, which the **lazy-F** pass repairs afterwards.
+
+Our lazy-F pass differs from Farrar's published loop in one deliberate
+way: when it raises an ``H`` value it also refreshes the stored ``E`` for
+the next column (``E = max(E, H - rho)``).  Farrar's original skips that
+update, which can underestimate scores in rare corner cases; this
+implementation is tested for *bit-exact* agreement with the scalar
+reference over random inputs, so it takes the safe form.  The extra
+vector op is charged in the operation counts.
+
+Lanes are emulated with a numpy axis; computation is int32, so the plain
+entry point is exact by construction.  SWPS3's *adaptive precision* is
+modeled too: :func:`striped_smith_waterman_adaptive` runs a saturating
+"8-bit" pass (16 lanes, H capped at :data:`SATURATION_LIMIT`) and reruns
+at "16-bit" (8 lanes, exact) only when the cap is hit — exactness below
+the cap holds because saturation that never engages cannot perturb
+anything.  The :class:`StripedCounts`/:class:`AdaptiveCounts` records
+drive the CPU cost model of :mod:`repro.baselines.cpu_cost`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.alphabet import GapPenalty, SubstitutionMatrix
+from repro.sw.utils import NEG_INF, as_codes, check_nonempty, validate_penalties
+
+__all__ = [
+    "StripedProfile",
+    "StripedCounts",
+    "striped_smith_waterman",
+    "striped_smith_waterman_adaptive",
+    "SATURATION_LIMIT",
+]
+
+#: Saturation ceiling of the 8-bit first pass (SWPS3 biases scores into
+#: unsigned bytes; 255 is the representable maximum).
+SATURATION_LIMIT = 255
+
+#: SSE2 lanes at 16-bit precision.
+DEFAULT_LANES = 8
+
+#: Vector instructions per segment row of the main loop (adds, maxes,
+#: loads/stores of H/E/F — Farrar's inner loop is ~10 ops).
+MAIN_OPS_PER_ROW = 10
+#: Vector instructions per lazy-F row visit.
+LAZY_OPS_PER_ROW = 4
+
+
+@dataclass(frozen=True)
+class StripedCounts:
+    """Work performed by one striped alignment."""
+
+    cells: int
+    columns: int
+    segment_length: int
+    main_rows: int
+    lazy_rows: int
+
+    @property
+    def vector_ops(self) -> int:
+        return MAIN_OPS_PER_ROW * self.main_rows + LAZY_OPS_PER_ROW * self.lazy_rows
+
+    @property
+    def lazy_fraction(self) -> float:
+        """Share of row visits spent in the lazy-F loop — the source of
+        SWPS3's query-length sensitivity in the paper's Figure 7."""
+        total = self.main_rows + self.lazy_rows
+        return self.lazy_rows / total if total else 0.0
+
+
+class StripedProfile:
+    """Striped query profile: ``scores[a][row] = vector over lanes``."""
+
+    def __init__(
+        self,
+        query_codes: np.ndarray,
+        matrix: SubstitutionMatrix,
+        lanes: int = DEFAULT_LANES,
+    ) -> None:
+        if lanes <= 0:
+            raise ValueError("lanes must be positive")
+        query_codes = np.asarray(query_codes, dtype=np.uint8)
+        if query_codes.ndim != 1 or query_codes.size == 0:
+            raise ValueError("query must be a non-empty 1-D code array")
+        self.lanes = lanes
+        self.length = int(query_codes.size)
+        self.segment_length = -(-self.length // lanes)
+        # Pad query positions beyond m with the matrix minimum so padding
+        # lanes can never win.
+        padded = np.full(self.segment_length * lanes, matrix.alphabet.size - 1,
+                         dtype=np.int64)
+        pad_mask = np.ones(self.segment_length * lanes, dtype=bool)
+        padded[: self.length] = query_codes
+        pad_mask[: self.length] = False
+        # position p -> (row p % seg, lane p // seg)
+        rows = np.arange(self.segment_length * lanes) % self.segment_length
+        lanes_idx = np.arange(self.segment_length * lanes) // self.segment_length
+        scores = np.empty(
+            (matrix.alphabet.size, self.segment_length, lanes), dtype=np.int32
+        )
+        for a in range(matrix.alphabet.size):
+            col = matrix.scores[np.minimum(padded, matrix.alphabet.size - 1), a]
+            col = np.where(pad_mask, matrix.min_score, col)
+            scores[a, rows, lanes_idx] = col
+        self.scores = scores
+        self.scores.setflags(write=False)
+
+
+def _lane_shift(v: np.ndarray, fill: int) -> np.ndarray:
+    """Move each lane's value to the next lane (query position += seg ...
+    i.e. the striped successor); lane 0 receives ``fill``."""
+    out = np.empty_like(v)
+    out[0] = fill
+    out[1:] = v[:-1]
+    return out
+
+
+def striped_smith_waterman(
+    query,
+    database,
+    matrix: SubstitutionMatrix,
+    gaps: GapPenalty,
+    lanes: int = DEFAULT_LANES,
+    profile: StripedProfile | None = None,
+    clamp: int | None = None,
+) -> tuple[int, StripedCounts]:
+    """Local-alignment score via the striped algorithm.
+
+    Returns the score and the operation counts (for the CPU cost model).
+    Without ``clamp`` the score is exact.  ``clamp`` emulates a saturating
+    low-precision pass (SWPS3's 8-bit mode): H values cap there, and a
+    returned score equal to ``clamp`` means the pass overflowed — any
+    score *below* the clamp is still exact, because saturation never
+    engaged on the optimal path or anywhere else.
+    """
+    if clamp is not None and clamp <= 0:
+        raise ValueError("clamp must be positive")
+    q = as_codes(query, matrix)
+    d = as_codes(database, matrix)
+    check_nonempty(q, d)
+    validate_penalties(gaps)
+    if profile is None:
+        profile = StripedProfile(q, matrix, lanes)
+    elif profile.length != q.size or profile.lanes != lanes:
+        raise ValueError("profile does not match the query/lane configuration")
+    seg = profile.segment_length
+    V = profile.lanes
+    rho, sigma = gaps.rho, gaps.sigma
+    neg = np.int32(NEG_INF)
+
+    h_store = np.zeros((seg, V), dtype=np.int32)
+    h_load = np.zeros((seg, V), dtype=np.int32)
+    e = np.full((seg, V), neg, dtype=np.int32)
+    best = 0
+    main_rows = 0
+    lazy_rows = 0
+
+    for j in range(d.size):
+        prof = profile.scores[d[j]]
+        # vH enters row 0 as the previous column's last row, lane-shifted:
+        # that is H(prev column, position p - 1) for each lane start.
+        vh = _lane_shift(h_store[seg - 1], 0)
+        h_load, h_store = h_store, h_load
+        vf = np.full(V, neg, dtype=np.int32)
+
+        for i in range(seg):
+            main_rows += 1
+            vh = vh + prof[i]
+            vh = np.maximum(vh, e[i])
+            vh = np.maximum(vh, vf)
+            vh = np.maximum(vh, 0)
+            if clamp is not None:
+                np.minimum(vh, clamp, out=vh)
+            step_best = int(vh.max())
+            if step_best > best:
+                best = step_best
+            h_store[i] = vh
+            open_h = vh - rho
+            e[i] = np.maximum(e[i] - sigma, open_h)
+            vf = np.maximum(vf - sigma, open_h)
+            vh = h_load[i]
+
+        # ---- lazy-F: propagate F across lane boundaries to fixpoint ----
+        carry = vf
+        for _cycle in range(V):
+            carry = _lane_shift(carry, neg)
+            if not (carry > 0).any():
+                break  # H >= 0 everywhere: a non-positive F never matters
+            updated = False
+            for i in range(seg):
+                lazy_rows += 1
+                if (carry > h_store[i]).any():
+                    updated = True
+                    np.maximum(h_store[i], carry, out=h_store[i])
+                    if clamp is not None:
+                        np.minimum(h_store[i], clamp, out=h_store[i])
+                    # Keep E consistent with the corrected H (see module
+                    # docstring).
+                    np.maximum(e[i], h_store[i] - rho, out=e[i])
+                    step_best = int(h_store[i].max())
+                    if step_best > best:
+                        best = step_best
+                carry = carry - sigma
+                if not (carry > 0).any():
+                    break
+            if not updated:
+                break
+
+    counts = StripedCounts(
+        cells=int(q.size) * int(d.size),
+        columns=int(d.size),
+        segment_length=seg,
+        main_rows=main_rows,
+        lazy_rows=lazy_rows,
+    )
+    return best, counts
+
+
+@dataclass(frozen=True)
+class AdaptiveCounts:
+    """Work of an adaptive (8-bit first, 16-bit on overflow) alignment."""
+
+    byte_pass: StripedCounts
+    word_pass: StripedCounts | None
+
+    @property
+    def overflowed(self) -> bool:
+        return self.word_pass is not None
+
+    @property
+    def vector_ops(self) -> int:
+        ops = self.byte_pass.vector_ops
+        if self.word_pass is not None:
+            ops += self.word_pass.vector_ops
+        return ops
+
+
+def striped_smith_waterman_adaptive(
+    query,
+    database,
+    matrix: SubstitutionMatrix,
+    gaps: GapPenalty,
+    *,
+    byte_lanes: int = 16,
+    word_lanes: int = DEFAULT_LANES,
+    byte_profile: StripedProfile | None = None,
+    word_profile: StripedProfile | None = None,
+) -> tuple[int, AdaptiveCounts]:
+    """SWPS3's adaptive precision scheme, emulated.
+
+    A saturating "8-bit" pass runs first with twice the lanes (16 x uint8
+    per SSE register); if its score hits :data:`SATURATION_LIMIT` the pair
+    reruns at "16-bit" precision (8 lanes, exact).  The returned score is
+    always exact; the counts record both passes so the CPU cost model can
+    price the scheme.
+    """
+    q = as_codes(query, matrix)
+    byte_score, byte_counts = striped_smith_waterman(
+        q, database, matrix, gaps, byte_lanes,
+        profile=byte_profile, clamp=SATURATION_LIMIT,
+    )
+    if byte_score < SATURATION_LIMIT:
+        return byte_score, AdaptiveCounts(byte_counts, None)
+    word_score, word_counts = striped_smith_waterman(
+        q, database, matrix, gaps, word_lanes, profile=word_profile,
+    )
+    return word_score, AdaptiveCounts(byte_counts, word_counts)

@@ -1,0 +1,313 @@
+"""Command-line interface.
+
+Four subcommands::
+
+    python -m repro align   A.fasta B.fasta        # pairwise alignment
+    python -m repro search  query.fasta db.fasta   # database search + E-values
+    python -m repro predict --profile swissprot    # modeled GCUPs report
+    python -m repro exhibit figure3                # regenerate a paper exhibit
+
+Every subcommand accepts ``--help``.  The functions return process exit
+codes and print to the handles passed in, so the test suite drives them
+directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import IO, Sequence as TySequence
+
+import numpy as np
+
+from repro.alphabet import BLOSUM62, GapPenalty, load_ncbi_matrix
+from repro.app import CudaSW
+from repro.cuda.device import DEVICES
+from repro.sequence import read_fasta_file
+from repro.sequence.database import Database
+from repro.sequence.synthetic import PAPER_DATABASES
+
+__all__ = ["main", "build_parser"]
+
+_PROFILE_ALIASES = {
+    "swissprot": "UniProtKB/Swiss-Prot",
+    "tair": "TAIR Arabidopsis Proteins",
+    "dog": "Ensembl Dog Proteins",
+    "rat": "Ensembl Rat Proteins",
+    "human": "NCBI RefSeq Human Proteins",
+    "mouse": "NCBI RefSeq Mouse Proteins",
+}
+
+def _threshold_arg(value: str):
+    """argparse type: a positive integer or the literal 'auto'."""
+    if value == "auto":
+        return "auto"
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"threshold must be an integer or 'auto', got {value!r}"
+        ) from None
+
+
+_EXHIBITS = (
+    "figure2", "figure3", "figure5", "figure6", "figure7",
+    "table1", "table2", "param_exploration", "ablation_variants",
+    "threshold_tuning", "future_work", "sensitivity_analysis",
+    "scalability_comparison", "checks",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Smith-Waterman database search on a CUDA device model "
+        "(reproduction of 'Improving CUDASW++', IPDPS 2011)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_scoring(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--matrix", default=None, metavar="FILE",
+            help="NCBI-format substitution matrix file (default: BLOSUM62)",
+        )
+        p.add_argument("--gap-open", type=int, default=10)
+        p.add_argument("--gap-extend", type=int, default=2)
+
+    p_align = sub.add_parser("align", help="align two FASTA sequences")
+    p_align.add_argument("query", help="FASTA file (first record is used)")
+    p_align.add_argument("subject", help="FASTA file (first record is used)")
+    p_align.add_argument(
+        "--mode", choices=("local", "global"), default="local"
+    )
+    add_scoring(p_align)
+
+    p_search = sub.add_parser("search", help="search a FASTA database")
+    p_search.add_argument("query", help="query FASTA file")
+    p_search.add_argument("database", help="database FASTA file")
+    p_search.add_argument("--top", type=int, default=10)
+    p_search.add_argument(
+        "--max-evalue", type=float, default=None,
+        help="only report hits at or below this E-value",
+    )
+    p_search.add_argument(
+        "--device", choices=sorted(DEVICES), default="C1060"
+    )
+    p_search.add_argument(
+        "--kernel", choices=("original", "improved"), default="improved"
+    )
+    p_search.add_argument(
+        "--threshold", type=_threshold_arg, default=3072,
+        help="dispatch threshold (integer, or 'auto' for Section VI "
+        "detection)",
+    )
+    add_scoring(p_search)
+
+    p_predict = sub.add_parser(
+        "predict", help="model a search's run time and GCUPs"
+    )
+    src = p_predict.add_mutually_exclusive_group(required=True)
+    src.add_argument(
+        "--profile", choices=sorted(_PROFILE_ALIASES),
+        help="one of the paper's database profiles",
+    )
+    src.add_argument("--database", help="database FASTA file")
+    p_predict.add_argument("--query-length", type=int, default=567)
+    p_predict.add_argument(
+        "--device", choices=sorted(DEVICES), default="C1060"
+    )
+    p_predict.add_argument(
+        "--kernel", choices=("original", "improved"), default="improved"
+    )
+    p_predict.add_argument(
+        "--threshold", type=_threshold_arg, default=3072,
+        help="dispatch threshold (integer, or 'auto')",
+    )
+    p_predict.add_argument("--seed", type=int, default=0)
+    p_predict.add_argument(
+        "--explain", action="store_true",
+        help="show the cost model's per-kernel time breakdown",
+    )
+    p_predict.add_argument(
+        "--scale", type=float, default=1.0,
+        help="shrink a profile database by this factor",
+    )
+
+    p_exhibit = sub.add_parser(
+        "exhibit", help="regenerate a figure/table of the paper"
+    )
+    p_exhibit.add_argument("name", choices=_EXHIBITS)
+    p_exhibit.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _scoring(args) -> tuple:
+    matrix = (
+        BLOSUM62 if args.matrix is None else load_ncbi_matrix(args.matrix)
+    )
+    gaps = GapPenalty.from_open_extend(args.gap_open, args.gap_extend)
+    return matrix, gaps
+
+
+def _first_record(path: str):
+    records = read_fasta_file(path)
+    if not records:
+        raise SystemExit(f"no FASTA records in {path}")
+    return records[0]
+
+
+def _cmd_align(args, out: IO[str]) -> int:
+    from repro.sw import nw_align, sw_align
+
+    matrix, gaps = _scoring(args)
+    query = _first_record(args.query)
+    subject = _first_record(args.subject)
+    align = sw_align if args.mode == "local" else nw_align
+    alignment = align(query, subject, matrix, gaps)
+    print(f"# {args.mode} alignment of {query.id} vs {subject.id}", file=out)
+    print(alignment.pretty(matrix), file=out)
+    print(f"cigar: {alignment.cigar}", file=out)
+    return 0
+
+
+def _cmd_search(args, out: IO[str]) -> int:
+    from repro.stats import ScoreStatistics, annotate_hits
+
+    matrix, gaps = _scoring(args)
+    query = _first_record(args.query)
+    db = Database.from_sequences(read_fasta_file(args.database))
+    app = CudaSW(
+        DEVICES[args.device],
+        intra_kernel=args.kernel,
+        threshold=args.threshold,
+        matrix=matrix,
+        gaps=gaps,
+    )
+    result, report = app.search(query, db)
+    stats = ScoreStatistics(matrix, gaps)
+    hits = annotate_hits(
+        result, stats, len(query), k=args.top, max_evalue=args.max_evalue
+    )
+    print(
+        f"# query {query.id} ({len(query)} aa) vs {args.database} "
+        f"({len(db)} sequences, {db.total_residues} residues)",
+        file=out,
+    )
+    print(f"{'hit':<24} {'len':>6} {'score':>6} {'bits':>7} {'E-value':>10}",
+          file=out)
+    for a in hits:
+        print(
+            f"{a.hit.id:<24} {a.hit.length:>6} {a.hit.score:>6} "
+            f"{a.bit_score:>7.1f} {a.evalue:>10.2g}",
+            file=out,
+        )
+    if not hits:
+        print("(no hits pass the E-value cutoff)", file=out)
+    print(
+        f"# modeled on {report.device}: {report.gcups:.2f} GCUPs, "
+        f"{report.intra_time_fraction:.0%} of time in the intra-task kernel",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_predict(args, out: IO[str]) -> int:
+    if args.profile:
+        profile = next(
+            p for p in PAPER_DATABASES
+            if p.name == _PROFILE_ALIASES[args.profile]
+        )
+        rng = np.random.default_rng(args.seed)
+        db = profile.build(rng, scale=args.scale)
+    else:
+        db = Database.from_sequences(read_fasta_file(args.database))
+    app = CudaSW(
+        DEVICES[args.device], intra_kernel=args.kernel, threshold=args.threshold
+    )
+    r = app.predict(args.query_length, db)
+    print(f"# database: {db.name}", file=out)
+    print(f"#   {db.stats()}", file=out)
+    print(
+        f"#   {100 * r.fraction_over_threshold:.2f}% of sequences over "
+        f"threshold {r.threshold}"
+        + (" (auto-detected)" if args.threshold == "auto" else ""),
+        file=out,
+    )
+    print(f"device:               {r.device}", file=out)
+    print(f"intra-task kernel:    {args.kernel}", file=out)
+    print(f"query length:         {r.query_length}", file=out)
+    print(f"modeled GCUPs:        {r.gcups:.2f}", file=out)
+    print(f"total time:           {r.total_time * 1e3:.1f} ms", file=out)
+    print(f"  inter-task:         {r.inter_time * 1e3:.1f} ms "
+          f"({r.inter_launches} launches)", file=out)
+    print(f"  intra-task:         {r.intra_time * 1e3:.1f} ms "
+          f"({100 * r.intra_time_fraction:.1f}% of total)", file=out)
+    print(f"  host->device copy:  {r.transfer_time * 1e3:.1f} ms", file=out)
+    print(f"load-balance eff.:    {r.load_balance_efficiency:.3f}", file=out)
+    if args.explain:
+        _explain(app, r, db, out)
+    return 0
+
+
+def _explain(app: CudaSW, report, db, out: IO[str]) -> None:
+    """Re-run the cost model per dispatch side and print the breakdown."""
+    from repro.app.scheduler import schedule_inter_task
+
+    threshold = report.threshold
+    below, above = db.split_by_threshold(threshold)
+    if below is not None:
+        schedule = schedule_inter_task(
+            report.query_length, below, app.inter_kernel, app.device
+        )
+        t = app.cost.kernel_time(
+            schedule.counts,
+            app.inter_kernel.launch_config(
+                max(schedule.group_size // app.inter_kernel.threads_per_block, 1)
+            ),
+            app.inter_kernel.cache_profile(
+                report.query_length, int(below.lengths.mean())
+            ),
+            launches=schedule.n_launches,
+        )
+        print("\ninter-task kernel breakdown:", file=out)
+        print(t.render(), file=out)
+    if above is not None:
+        counts = app.intra_kernel.bulk_pair_counts(
+            report.query_length, above.lengths
+        )
+        t = app.cost.kernel_time(
+            counts,
+            app.intra_kernel.launch_config(len(above)),
+            app.intra_kernel.cache_profile(
+                report.query_length, int(above.lengths.mean())
+            ),
+        )
+        print("\nintra-task kernel breakdown:", file=out)
+        print(t.render(), file=out)
+
+
+def _cmd_exhibit(args, out: IO[str]) -> int:
+    import repro.analysis as analysis
+
+    if args.name == "checks":
+        from repro.analysis.compare import render_checks, run_all_checks
+
+        print(render_checks(run_all_checks(args.seed)), file=out)
+        return 0
+    driver = getattr(analysis, args.name)
+    print(driver(args.seed).render(), file=out)
+    return 0
+
+
+def main(argv: TySequence[str] | None = None, out: IO[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "align": _cmd_align,
+        "search": _cmd_search,
+        "predict": _cmd_predict,
+        "exhibit": _cmd_exhibit,
+    }
+    return handlers[args.command](args, out)

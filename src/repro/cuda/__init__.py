@@ -1,0 +1,76 @@
+"""A CUDA device model: the hardware substrate of the reproduction.
+
+There is no GPU in this environment, so the paper's Tesla C1060 and C2050
+are substituted by a device *model* (see DESIGN.md §2).  The model has the
+pieces the paper's analysis actually exercises:
+
+* :class:`~repro.cuda.device.DeviceSpec` — SM/warp geometry, clocks,
+  memory sizes, bandwidths and cache hierarchy;
+  :data:`~repro.cuda.device.TESLA_C1060` and
+  :data:`~repro.cuda.device.TESLA_C2050` are the paper's two boards;
+* :class:`~repro.cuda.counts.KernelCounts` — the work a kernel performed
+  (cells, ALU ops, global/shared/texture transactions, barriers, wavefront
+  steps, strip passes).  Functional kernels *count* these while computing
+  real alignment scores; closed-form formulas predict them, and tests
+  assert both agree exactly;
+* :mod:`~repro.cuda.occupancy` — the standard occupancy calculator;
+* :mod:`~repro.cuda.memory` — coalescing rules (transactions per warp
+  access) and shared-memory budget checks;
+* :mod:`~repro.cuda.cache` — Fermi's L1/L2: a real set-associative LRU
+  simulator for traces plus the analytic hit-rate model the cost model
+  uses (and that Figure 6 switches off);
+* :mod:`~repro.cuda.compiler` — a miniature nvcc resource model with the
+  two code-generation quirks documented in Section III-A of the paper
+  (pointer "shallow swap" and texture-blocked loop unrolling both demote
+  register arrays to local = global memory);
+* :mod:`~repro.cuda.cost` — the analytical roofline-plus-overheads model
+  converting counts into seconds, with machine constants in
+  :mod:`~repro.cuda.calibration`.
+"""
+
+from repro.cuda.cache import CacheConfig, CacheHierarchyModel, SetAssociativeCache
+from repro.cuda.calibration import CostCalibration, DEFAULT_CALIBRATION
+from repro.cuda.compiler import (
+    CompiledKernel,
+    KernelSource,
+    Loop,
+    RegisterArray,
+    compile_kernel,
+)
+from repro.cuda.counts import KernelCounts
+from repro.cuda.cost import CostModel, LaunchConfig
+from repro.cuda.device import DEVICES, TESLA_C1060, TESLA_C2050, DeviceSpec
+from repro.cuda.memory import (
+    AccessPattern,
+    shared_memory_fits,
+    transactions_per_warp_access,
+)
+from repro.cuda.occupancy import Occupancy, occupancy
+from repro.cuda.profiler import CudaProfiler, LaunchRecord
+
+__all__ = [
+    "AccessPattern",
+    "CacheConfig",
+    "CacheHierarchyModel",
+    "CompiledKernel",
+    "CostCalibration",
+    "CostModel",
+    "CudaProfiler",
+    "DEFAULT_CALIBRATION",
+    "DEVICES",
+    "DeviceSpec",
+    "KernelCounts",
+    "KernelSource",
+    "LaunchConfig",
+    "LaunchRecord",
+    "Loop",
+    "Occupancy",
+    "RegisterArray",
+    "SetAssociativeCache",
+    "TESLA_C1060",
+    "TESLA_C2050",
+    "compile_kernel",
+    "occupancy",
+    "shared_memory_fits",
+    "transactions_per_warp_access",
+]

@@ -1,0 +1,160 @@
+"""Fermi L1/L2 cache models.
+
+Two models, used at different fidelities:
+
+* :class:`SetAssociativeCache` — a real set-associative LRU cache fed with
+  an address trace.  Unit tests drive it with the kernels' actual access
+  patterns to justify the analytic model's regimes (wavefront reuse hits,
+  streaming misses).
+* :class:`CacheHierarchyModel` — the analytic hit-rate estimate the cost
+  model uses for Swiss-Prot-scale sweeps, where simulating every address
+  is out of the question.  Hit rate depends on the kernel's per-block
+  working set versus its per-block share of L1 + L2, scaled by the reuse
+  available in the access stream.  Figure 6 of the paper ("L1 and L2
+  caches turned off") corresponds to ``enabled=False``.
+
+The paper's finding this must reproduce: the *original* intra-task kernel
+(huge global traffic, wavefront working set small enough to cache) gains a
+lot from Fermi's caches, while the improved kernel (50x fewer transactions,
+streaming boundary traffic) gains almost nothing — Section IV-A.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.cuda.device import DeviceSpec
+
+__all__ = ["SetAssociativeCache", "CacheConfig", "CacheHierarchyModel"]
+
+
+class SetAssociativeCache:
+    """A set-associative LRU cache over a byte-address space."""
+
+    def __init__(self, size_bytes: int, line_bytes: int, ways: int) -> None:
+        if line_bytes <= 0 or size_bytes <= 0 or ways <= 0:
+            raise ValueError("cache geometry must be positive")
+        if size_bytes % (line_bytes * ways):
+            raise ValueError(
+                "size must be a multiple of line_bytes * ways "
+                f"(got {size_bytes} / {line_bytes} * {ways})"
+            )
+        self.size_bytes = size_bytes
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.num_sets = size_bytes // (line_bytes * ways)
+        # One LRU-ordered dict of tags per set.
+        self._sets: list[OrderedDict[int, None]] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, address: int) -> bool:
+        """Touch one byte address; returns True on hit.  Misses allocate."""
+        if address < 0:
+            raise ValueError("addresses must be non-negative")
+        line = address // self.line_bytes
+        set_idx = line % self.num_sets
+        tag = line // self.num_sets
+        s = self._sets[set_idx]
+        if tag in s:
+            s.move_to_end(tag)
+            self.hits += 1
+            return True
+        self.misses += 1
+        s[tag] = None
+        if len(s) > self.ways:
+            s.popitem(last=False)  # evict LRU
+        return False
+
+    def access_range(self, start: int, nbytes: int) -> int:
+        """Touch ``nbytes`` consecutive bytes; returns the number of line
+        accesses that hit."""
+        if nbytes <= 0:
+            raise ValueError("nbytes must be positive")
+        first = start // self.line_bytes
+        last = (start + nbytes - 1) // self.line_bytes
+        return sum(self.access(line * self.line_bytes) for line in range(first, last + 1))
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """A kernel's cache-relevant traffic profile.
+
+    Parameters
+    ----------
+    working_set_bytes:
+        Bytes a block re-touches within its reuse window (e.g. the three
+        live wavefronts of the original intra-task kernel).
+    reuse_factor:
+        Average number of times each working-set byte is touched before it
+        leaves the window; the compulsory-miss floor is ``1/reuse_factor``.
+    streaming:
+        True when the traffic is touch-once (the improved kernel's strip
+        boundary rows): no temporal locality, no cache benefit.
+    """
+
+    working_set_bytes: int
+    reuse_factor: float
+    streaming: bool = False
+
+    def __post_init__(self) -> None:
+        if self.working_set_bytes < 0:
+            raise ValueError("working_set_bytes must be non-negative")
+        if self.reuse_factor < 1.0:
+            raise ValueError("reuse_factor must be >= 1")
+
+
+class CacheHierarchyModel:
+    """Analytic L1+L2 hit-rate estimate for one kernel configuration."""
+
+    def __init__(self, device: DeviceSpec, *, enabled: bool = True) -> None:
+        self.device = device
+        self.enabled = enabled
+
+    def hit_rate(
+        self,
+        profile: CacheConfig | None,
+        *,
+        blocks_per_sm: int,
+        concurrent_blocks: int,
+    ) -> float:
+        """Fraction of global *load* transactions served by L1/L2.
+
+        Zero when the device has no caches (C1060), when caching is
+        disabled (Figure 6), when no profile is given, or when the traffic
+        is streaming.  Otherwise the reachable hit rate is the reuse limit
+        ``1 - 1/reuse_factor`` scaled by how much of the working set the
+        block's cache share covers.
+        """
+        if (
+            not self.enabled
+            or not self.device.has_l1_l2
+            or profile is None
+            or profile.streaming
+            or profile.working_set_bytes == 0
+        ):
+            return 0.0
+        if blocks_per_sm <= 0 or concurrent_blocks <= 0:
+            raise ValueError("block concurrency must be positive")
+        capacity = (
+            self.device.l1_bytes_per_sm / blocks_per_sm
+            + self.device.l2_bytes / concurrent_blocks
+        )
+        coverage = min(1.0, capacity / profile.working_set_bytes)
+        reuse_limit = 1.0 - 1.0 / profile.reuse_factor
+        return reuse_limit * coverage

@@ -1,0 +1,91 @@
+"""Behavioural constants of the cost model.
+
+:class:`repro.cuda.device.DeviceSpec` holds published hardware facts;
+everything judgemental — achievable fractions of peak, latency-hiding
+thresholds, per-event overheads — lives here, in one calibrated object, so
+the model's assumptions are visible and testable in a single place.
+
+Calibration targets are the paper's four anchor measurements on the Tesla
+C1060 (Section II-C): the inter-task kernel averages ~17 GCUPs, the
+original intra-task kernel ~1.5 GCUPs, the improved intra-task kernel is
+~11x the original, and CUDASW++ overall reaches ~17 GCUPs on Swiss-Prot at
+the default threshold.  EXPERIMENTS.md records how close the calibrated
+model lands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CostCalibration", "DEFAULT_CALIBRATION"]
+
+
+@dataclass(frozen=True)
+class CostCalibration:
+    """Machine-behaviour constants consumed by :class:`repro.cuda.cost.CostModel`."""
+
+    #: Fraction of peak simple-ALU issue rate a real kernel sustains, per
+    #: device.  GT200's scalar SMs sustain close to peak on dependent
+    #: integer code; Fermi's dual-scheduler SM cannot keep all 32 cores fed
+    #: from this dependency-heavy inner loop.
+    issue_efficiency: dict[str, float] = field(
+        default_factory=lambda: {"Tesla C1060": 0.95, "Tesla C2050": 0.72}
+    )
+
+    #: Achievable fraction of peak DRAM bandwidth for the kernels' mix of
+    #: transaction sizes.
+    bandwidth_efficiency: float = 0.60
+
+    #: Fraction of SMs that must be active to saturate DRAM bandwidth.
+    bw_sm_saturation_fraction: float = 0.5
+
+    #: Resident warps per SM needed to hide ALU pipeline latency.
+    warps_to_hide_alu: int = 6
+
+    #: Resident warps per SM needed to hide a global-memory round trip.
+    warps_to_hide_global: int = 20
+
+    #: Cycles charged per __syncthreads() on the critical path.
+    sync_cycles: int = 40
+
+    #: Scheduling cycles per wavefront step beyond the sync itself.
+    step_overhead_cycles: int = 8
+
+    #: Cycles to drain and refill the software pipeline at a strip
+    #: boundary (Section III-C / VI: "latency for filling and flushing the
+    #: pipeline").
+    pass_overhead_cycles: int = 600
+
+    #: Host-side cost of one kernel launch.
+    launch_overhead_us: float = 8.0
+
+    #: Fraction of the load hit rate that stores enjoy (Fermi L1 is
+    #: write-evict; only L2 helps stores).
+    store_cache_benefit: float = 0.5
+
+    #: L1/L2 hit service rate, transactions per cycle per SM.
+    l1_hit_transactions_per_cycle_per_sm: float = 8.0
+
+    #: Texture fetch rate per cycle per SM (dedicated texture units).
+    tex_fetches_per_cycle_per_sm: float = 4.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.bandwidth_efficiency <= 1:
+            raise ValueError("bandwidth_efficiency must be in (0, 1]")
+        if not 0 < self.bw_sm_saturation_fraction <= 1:
+            raise ValueError("bw_sm_saturation_fraction must be in (0, 1]")
+        for name, eff in self.issue_efficiency.items():
+            if not 0 < eff <= 1:
+                raise ValueError(f"issue efficiency for {name!r} must be in (0, 1]")
+        if min(self.warps_to_hide_alu, self.warps_to_hide_global) <= 0:
+            raise ValueError("latency-hiding warp counts must be positive")
+        if not 0 <= self.store_cache_benefit <= 1:
+            raise ValueError("store_cache_benefit must be in [0, 1]")
+
+    def issue_efficiency_for(self, device_name: str) -> float:
+        """Issue efficiency for a device (1.0 for unknown devices)."""
+        return self.issue_efficiency.get(device_name, 1.0)
+
+
+#: The calibration used throughout the benchmarks.
+DEFAULT_CALIBRATION = CostCalibration()

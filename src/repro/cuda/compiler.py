@@ -1,0 +1,185 @@
+"""A miniature nvcc resource model.
+
+Section III-A of the paper documents two code-generation pitfalls that
+silently demote register arrays to *local memory* (which physically lives
+in global memory):
+
+1. **Shallow swap** — swapping two register arrays by exchanging pointers
+   means an array reference can alias either buffer at run time, so nvcc
+   cannot map the arrays onto hardware registers.  Fix: a "deep swap"
+   copying element by element.
+2. **Texture-blocked unrolling** — nvcc (CUDA 3.2) refuses to unroll a
+   loop containing a texture fetch; without unrolling, array subscripts
+   are not compile-time constants and the arrays again land in local
+   memory.  Fix: hand-unroll the loop.
+
+This module models exactly that decision procedure.  A
+:class:`KernelSource` declares scalar register pressure, local arrays and
+loops; :func:`compile_kernel` decides which arrays become registers and
+which spill to local memory, plus which loops unroll.  The improved
+intra-task kernel's variants (v0 naive .. v3 final) differ only in these
+source attributes, which is how the ablation benchmark reproduces the
+paper's "about a two-fold performance increase when the registers were
+being utilized as intended".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cuda.device import DeviceSpec
+
+__all__ = ["RegisterArray", "Loop", "KernelSource", "CompiledKernel", "compile_kernel"]
+
+
+@dataclass(frozen=True)
+class Loop:
+    """A loop whose body indexes candidate register arrays."""
+
+    name: str
+    trip_count: int
+    contains_texture_fetch: bool = False
+    hand_unrolled: bool = False
+
+    def __post_init__(self) -> None:
+        if self.trip_count <= 0:
+            raise ValueError(f"loop {self.name!r}: trip count must be positive")
+
+
+@dataclass(frozen=True)
+class RegisterArray:
+    """A small per-thread array the author intends to keep in registers.
+
+    Parameters
+    ----------
+    length:
+        Elements (4-byte words).
+    indexed_by:
+        Name of the loop whose induction variable subscripts the array, or
+        ``None`` for constant subscripts.
+    pointer_swapped:
+        True when the code swaps this array with another via pointers (the
+        shallow swap of Section III-A).
+    """
+
+    name: str
+    length: int
+    indexed_by: str | None = None
+    pointer_swapped: bool = False
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise ValueError(f"array {self.name!r}: length must be positive")
+
+
+@dataclass(frozen=True)
+class KernelSource:
+    """Resource-relevant description of a kernel."""
+
+    name: str
+    scalar_registers: int
+    arrays: tuple[RegisterArray, ...] = ()
+    loops: tuple[Loop, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.scalar_registers < 0:
+            raise ValueError("scalar register count must be non-negative")
+        loop_names = {l.name for l in self.loops}
+        if len(loop_names) != len(self.loops):
+            raise ValueError("duplicate loop names")
+        array_names = [a.name for a in self.arrays]
+        if len(set(array_names)) != len(array_names):
+            raise ValueError("duplicate array names")
+        for a in self.arrays:
+            if a.indexed_by is not None and a.indexed_by not in loop_names:
+                raise ValueError(
+                    f"array {a.name!r} indexed by unknown loop {a.indexed_by!r}"
+                )
+
+
+@dataclass(frozen=True)
+class CompiledKernel:
+    """Result of the register-allocation decision."""
+
+    source: KernelSource
+    registers_per_thread: int
+    register_arrays: tuple[str, ...]
+    local_memory_arrays: tuple[str, ...]
+    unrolled_loops: tuple[str, ...]
+    demotion_reasons: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def local_memory_words(self) -> int:
+        """Per-thread 4-byte words living in local (= global) memory."""
+        by_name = {a.name: a for a in self.source.arrays}
+        return sum(by_name[n].length for n in self.local_memory_arrays)
+
+    @property
+    def uses_local_memory(self) -> bool:
+        return bool(self.local_memory_arrays)
+
+
+def compile_kernel(source: KernelSource, device: DeviceSpec) -> CompiledKernel:
+    """Decide register mapping for ``source`` on ``device``.
+
+    Rules (in order):
+
+    1. a loop unrolls iff it is hand-unrolled or contains no texture fetch;
+    2. an array maps to registers iff it is not pointer-swapped and every
+       subscript is compile-time constant (constant subscripts, or an
+       induction variable of an unrolled loop);
+    3. if total register demand exceeds the per-thread hardware limit, the
+       largest register arrays spill to local memory until it fits.
+    """
+    loops = {l.name: l for l in source.loops}
+    unrolled = tuple(
+        name
+        for name, loop in loops.items()
+        if loop.hand_unrolled or not loop.contains_texture_fetch
+    )
+    unrolled_set = set(unrolled)
+
+    reasons: dict[str, str] = {}
+    register_arrays: list[RegisterArray] = []
+    local_arrays: list[str] = []
+    for arr in source.arrays:
+        if arr.pointer_swapped:
+            local_arrays.append(arr.name)
+            reasons[arr.name] = (
+                "shallow pointer swap: the reference may alias either "
+                "buffer, so it cannot map to registers"
+            )
+        elif arr.indexed_by is not None and arr.indexed_by not in unrolled_set:
+            local_arrays.append(arr.name)
+            reasons[arr.name] = (
+                f"loop {arr.indexed_by!r} not unrolled (texture fetch in "
+                "body): subscripts are not compile-time constants"
+            )
+        else:
+            register_arrays.append(arr)
+
+    # Spill largest-first until the register budget fits.
+    register_arrays.sort(key=lambda a: a.length)
+    regs = source.scalar_registers + sum(a.length for a in register_arrays)
+    while regs > device.max_registers_per_thread and register_arrays:
+        victim = register_arrays.pop()  # largest
+        local_arrays.append(victim.name)
+        reasons[victim.name] = (
+            f"register pressure: demand exceeded the per-thread limit "
+            f"({device.max_registers_per_thread})"
+        )
+        regs -= victim.length
+    if regs > device.max_registers_per_thread:
+        raise ValueError(
+            f"kernel {source.name!r} needs {regs} scalar registers, more "
+            f"than {device.name} provides per thread"
+        )
+
+    return CompiledKernel(
+        source=source,
+        registers_per_thread=regs,
+        register_arrays=tuple(a.name for a in register_arrays),
+        local_memory_arrays=tuple(local_arrays),
+        unrolled_loops=unrolled,
+        demotion_reasons=reasons,
+    )

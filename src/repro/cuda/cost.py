@@ -1,0 +1,261 @@
+"""Analytical kernel-time model (roofline plus critical-path overheads).
+
+Converts a launch's :class:`~repro.cuda.counts.KernelCounts` into seconds.
+The model is a classic throughput roofline —
+
+    T_throughput = max(T_alu, T_dram, T_l1, T_texture, T_shared)
+
+— plus *critical-path* overheads that throughput cannot hide: per-step
+scheduling and barriers, exposed memory latency on dependent wavefront
+steps, strip-pass pipeline fill/flush, and kernel-launch cost.  Every term
+is scaled by the launch's actual concurrency (occupancy, and how many SMs
+the grid can feed), which is what makes one model reproduce both the
+memory-bound original intra-task kernel and the compute-bound inter-task
+and improved kernels.
+
+Counts are *totals across all blocks of the launch*; critical-path terms
+divide by the number of blocks executing in parallel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cuda.cache import CacheConfig, CacheHierarchyModel
+from repro.cuda.calibration import DEFAULT_CALIBRATION, CostCalibration
+from repro.cuda.counts import KernelCounts
+from repro.cuda.device import DeviceSpec
+from repro.cuda.occupancy import occupancy
+
+__all__ = ["LaunchConfig", "KernelTime", "CostModel"]
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """Execution configuration of one kernel launch."""
+
+    grid_blocks: int
+    threads_per_block: int
+    registers_per_thread: int
+    shared_mem_per_block: int
+    #: "shared" when wavefront steps synchronize through shared memory
+    #: (improved kernel), "global" when each step performs a dependent
+    #: global-memory round trip (original intra-task kernel), "none" for
+    #: kernels without inter-thread steps (inter-task).
+    step_memory: str = "none"
+
+    def __post_init__(self) -> None:
+        if self.grid_blocks <= 0:
+            raise ValueError("grid_blocks must be positive")
+        if self.step_memory not in ("none", "shared", "global"):
+            raise ValueError(f"unknown step_memory {self.step_memory!r}")
+
+
+@dataclass(frozen=True)
+class KernelTime:
+    """Time breakdown of a launch (seconds)."""
+
+    total: float
+    t_alu: float
+    t_dram: float
+    t_l1: float
+    t_texture: float
+    t_shared: float
+    t_steps: float
+    t_latency: float
+    t_passes: float
+    t_launch: float
+    cache_hit_rate: float
+    bound_by: str
+
+    def gcups(self, cells: int) -> float:
+        """Giga cell updates per second achieved for ``cells`` updates."""
+        if self.total <= 0:
+            raise ValueError("non-positive kernel time")
+        return cells / self.total / 1e9
+
+    def render(self) -> str:
+        """Human-readable breakdown of where the launch's time goes."""
+        parts = [
+            ("ALU issue", self.t_alu),
+            ("DRAM bandwidth", self.t_dram),
+            ("L1/L2 service", self.t_l1),
+            ("texture units", self.t_texture),
+            ("shared memory", self.t_shared),
+        ]
+        lines = [
+            f"bound by: {self.bound_by} "
+            f"(cache hit rate {self.cache_hit_rate:.0%})"
+        ]
+        for label, value in parts:
+            marker = " <- roofline" if value == max(v for _, v in parts) else ""
+            lines.append(f"  {label:<15} {1e3 * value:9.3f} ms{marker}")
+        lines.append(f"  {'step/sync path':<15} {1e3 * self.t_steps:9.3f} ms")
+        lines.append(f"  {'exposed latency':<15} {1e3 * self.t_latency:9.3f} ms")
+        lines.append(f"  {'pipeline passes':<15} {1e3 * self.t_passes:9.3f} ms")
+        lines.append(f"  {'launch overhead':<15} {1e3 * self.t_launch:9.3f} ms")
+        lines.append(f"  {'total':<15} {1e3 * self.total:9.3f} ms")
+        return "\n".join(lines)
+
+
+class CostModel:
+    """Analytical time model for one device."""
+
+    def __init__(
+        self,
+        device: DeviceSpec,
+        calibration: CostCalibration = DEFAULT_CALIBRATION,
+        *,
+        cache_enabled: bool = True,
+    ) -> None:
+        self.device = device
+        self.calibration = calibration
+        self.cache = CacheHierarchyModel(device, enabled=cache_enabled)
+
+    # ------------------------------------------------------------------
+    def kernel_time(
+        self,
+        counts: KernelCounts,
+        launch: LaunchConfig,
+        cache_profile: CacheConfig | None = None,
+        *,
+        launches: int = 1,
+    ) -> KernelTime:
+        """Time for a launch performing ``counts`` of work.
+
+        Parameters
+        ----------
+        counts:
+            Totals across all blocks of the launch (or across all
+            ``launches`` identical launches).
+        launch:
+            Execution configuration.
+        cache_profile:
+            The kernel's cache-traffic description (None -> no caching
+            benefit).
+        launches:
+            Number of kernel launches these counts span (adds launch
+            overhead; the grid/occupancy math uses one launch's grid).
+        """
+        if launches <= 0:
+            raise ValueError("launches must be positive")
+        dev = self.device
+        cal = self.calibration
+
+        occ = occupancy(
+            dev,
+            launch.threads_per_block,
+            launch.registers_per_thread,
+            launch.shared_mem_per_block,
+        )
+        active_sms = min(dev.num_sms, launch.grid_blocks)
+        parallel_blocks = min(
+            launch.grid_blocks, occ.blocks_per_sm * active_sms
+        )
+        # Warps actually resident per active SM (the grid may not fill the
+        # occupancy limit).
+        warps_per_block = launch.threads_per_block // dev.warp_size
+        resident_warps = min(
+            occ.resident_warps_per_sm,
+            max(1, (launch.grid_blocks * warps_per_block) // active_sms),
+        )
+
+        # --- throughput terms -----------------------------------------
+        alu_util = min(1.0, resident_warps / cal.warps_to_hide_alu)
+        issue = (
+            dev.instruction_throughput_per_second
+            * (active_sms / dev.num_sms)
+            * cal.issue_efficiency_for(dev.name)
+            * alu_util
+        )
+        t_alu = counts.alu_ops / issue if counts.alu_ops else 0.0
+
+        hit = self.cache.hit_rate(
+            cache_profile,
+            blocks_per_sm=occ.blocks_per_sm,
+            concurrent_blocks=max(parallel_blocks, 1),
+        )
+        dram_bytes = counts.global_bytes_loaded * (1.0 - hit) + (
+            counts.global_bytes_stored * (1.0 - hit * cal.store_cache_benefit)
+        )
+        bw_scale = min(
+            1.0, (active_sms / dev.num_sms) / cal.bw_sm_saturation_fraction
+        )
+        bw = dev.global_bandwidth_bytes_per_second * cal.bandwidth_efficiency * bw_scale
+        t_dram = dram_bytes / bw if dram_bytes else 0.0
+
+        hit_transactions = hit * (
+            counts.global_load_transactions
+            + cal.store_cache_benefit * counts.global_store_transactions
+        )
+        t_l1 = hit_transactions / (
+            active_sms * cal.l1_hit_transactions_per_cycle_per_sm * dev.clock_hz
+        )
+
+        t_tex = counts.texture_fetches / (
+            active_sms * cal.tex_fetches_per_cycle_per_sm * dev.clock_hz
+        )
+        t_shared = counts.shared_accesses / (
+            active_sms * dev.cores_per_sm * dev.clock_hz
+        )
+
+        # --- critical-path terms --------------------------------------
+        # Totals divided by the blocks running in parallel give the
+        # per-"wave" serial path; waves of blocks execute back to back.
+        p = max(parallel_blocks, 1)
+        step_cycles = counts.wavefront_steps * cal.step_overhead_cycles
+        sync_cycles = counts.syncs * cal.sync_cycles
+        t_steps = dev.cycles_to_seconds((step_cycles + sync_cycles) / p)
+
+        t_latency = 0.0
+        if counts.dependent_global_steps:
+            hiding = min(1.0, resident_warps / cal.warps_to_hide_global)
+            exposed = dev.global_latency_cycles * (1.0 - hiding) * (1.0 - hit)
+            t_latency = dev.cycles_to_seconds(
+                counts.dependent_global_steps * exposed / p
+            )
+
+        t_passes = dev.cycles_to_seconds(
+            counts.passes * cal.pass_overhead_cycles / p
+        )
+        t_launch = launches * cal.launch_overhead_us * 1e-6
+
+        terms = {
+            "alu": t_alu,
+            "dram": t_dram,
+            "l1": t_l1,
+            "texture": t_tex,
+            "shared": t_shared,
+        }
+        bound_by = max(terms, key=lambda k: terms[k])
+        total = (
+            max(terms.values()) + t_steps + t_latency + t_passes + t_launch
+        )
+        return KernelTime(
+            total=total,
+            t_alu=t_alu,
+            t_dram=t_dram,
+            t_l1=t_l1,
+            t_texture=t_tex,
+            t_shared=t_shared,
+            t_steps=t_steps,
+            t_latency=t_latency,
+            t_passes=t_passes,
+            t_launch=t_launch,
+            cache_hit_rate=hit,
+            bound_by=bound_by,
+        )
+
+    # ------------------------------------------------------------------
+    def transfer_time(self, nbytes: int) -> float:
+        """Host -> device copy time over PCIe."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return nbytes / self.device.pcie_bandwidth_bytes_per_second
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling division for non-negative operands."""
+    if b <= 0:
+        raise ValueError("divisor must be positive")
+    return -(-a // b)

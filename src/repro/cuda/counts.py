@@ -1,0 +1,115 @@
+"""Kernel work accounting.
+
+:class:`KernelCounts` is the common currency between the three layers of
+the performance story:
+
+1. the **functional kernels** increment counts while computing real
+   alignment scores;
+2. each kernel's **closed-form formulas** predict the same counts from
+   ``(m, n, parameters)`` alone — tests assert exact equality with (1);
+3. the **cost model** converts counts into seconds.
+
+Counting conventions
+--------------------
+* ``global_load/store_transactions`` are *memory transactions* (what the
+  CUDA profiler calls gld/gst transactions), i.e. already divided by the
+  coalescing width where applicable — kernels apply
+  :func:`repro.cuda.memory.transactions_per_warp_access` when they count.
+* ``alu_ops`` are executed thread-instructions (a busy thread-step counts
+  its instructions; idle lanes under divergence count into
+  ``idle_thread_steps`` instead).
+* ``wavefront_steps`` are the *serial* dependent steps of the kernel
+  (anti-diagonal steps, or tile-wavefront steps inside a strip); they feed
+  the latency/overhead term of the cost model.
+* ``passes`` are strip passes (pipeline fill/flush events).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = ["KernelCounts"]
+
+
+@dataclass
+class KernelCounts:
+    """Work performed by (or predicted for) a kernel execution."""
+
+    cells: int = 0
+    alu_ops: int = 0
+    global_load_transactions: int = 0
+    global_store_transactions: int = 0
+    global_bytes_loaded: int = 0
+    global_bytes_stored: int = 0
+    shared_loads: int = 0
+    shared_stores: int = 0
+    texture_fetches: int = 0
+    syncs: int = 0
+    wavefront_steps: int = 0
+    #: Wavefront steps whose critical path contains a *dependent* global
+    #: memory access (the original kernel's every step; the improved
+    #: kernel's steps in strips past the first, whose thread 0 loads the
+    #: boundary row).  These are the steps that expose memory latency.
+    dependent_global_steps: int = 0
+    passes: int = 0
+    idle_thread_steps: int = 0
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            v = getattr(self, f.name)
+            if not isinstance(v, int):
+                raise TypeError(f"{f.name} must be an int, got {type(v).__name__}")
+            if v < 0:
+                raise ValueError(f"{f.name} must be non-negative, got {v}")
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def __add__(self, other: "KernelCounts") -> "KernelCounts":
+        if not isinstance(other, KernelCounts):
+            return NotImplemented
+        return KernelCounts(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def __iadd__(self, other: "KernelCounts") -> "KernelCounts":
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def scaled(self, factor: int) -> "KernelCounts":
+        """Counts for ``factor`` identical executions."""
+        if factor < 0:
+            raise ValueError(f"factor must be non-negative, got {factor}")
+        return KernelCounts(
+            **{f.name: getattr(self, f.name) * factor for f in fields(self)}
+        )
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def global_transactions(self) -> int:
+        """Total global-memory transactions (the paper's Table I metric)."""
+        return self.global_load_transactions + self.global_store_transactions
+
+    @property
+    def global_bytes(self) -> int:
+        return self.global_bytes_loaded + self.global_bytes_stored
+
+    @property
+    def shared_accesses(self) -> int:
+        return self.shared_loads + self.shared_stores
+
+    def global_transactions_per_cell(self) -> float:
+        """Average global transactions per cell update (the paper's key
+        efficiency metric — ~50:1 between the two intra-task kernels)."""
+        if self.cells == 0:
+            raise ValueError("no cells recorded")
+        return self.global_transactions / self.cells
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}

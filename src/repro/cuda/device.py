@@ -1,0 +1,146 @@
+"""Device specifications for the modeled GPUs.
+
+The two boards of the paper:
+
+* **Tesla C1060** (GT200, compute capability 1.3): 30 SMs x 8 cores at
+  1.296 GHz, 16 KiB shared memory and 16384 registers per SM, no L1/L2 —
+  global memory is only cached through the small read-only texture cache.
+* **Tesla C2050** (Fermi GF100, compute capability 2.0): 14 SMs x 32 cores
+  at 1.15 GHz, 48 KiB shared + 16 KiB L1 per SM (the benchmark
+  configuration), a 768 KiB unified L2, 32768 registers per SM.
+
+Numbers follow NVIDIA's published board specifications; the cost model's
+behavioural constants live in :mod:`repro.cuda.calibration` instead, so the
+hardware description stays assumption-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceSpec", "TESLA_C1060", "TESLA_C2050", "DEVICES"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a CUDA device."""
+
+    name: str
+    compute_capability: tuple[int, int]
+    clock_ghz: float
+    num_sms: int
+    cores_per_sm: int
+    warp_size: int
+    max_threads_per_block: int
+    max_threads_per_sm: int
+    max_blocks_per_sm: int
+    registers_per_sm: int
+    max_registers_per_thread: int
+    shared_mem_per_sm_bytes: int
+    global_mem_bytes: int
+    global_bandwidth_gbps: float
+    global_latency_cycles: int
+    #: Smallest global-memory transaction the memory controller issues.
+    min_transaction_bytes: int
+    #: Cache line size for L1/L2 (Fermi) or the texture cache granularity.
+    cache_line_bytes: int
+    has_l1_l2: bool
+    l1_bytes_per_sm: int
+    l2_bytes: int
+    texture_cache_bytes_per_sm: int
+    pcie_bandwidth_gbps: float
+
+    def __post_init__(self) -> None:
+        if self.num_sms <= 0 or self.cores_per_sm <= 0:
+            raise ValueError("SM geometry must be positive")
+        if self.clock_ghz <= 0:
+            raise ValueError("clock must be positive")
+        if self.warp_size <= 0 or self.max_threads_per_block % self.warp_size:
+            raise ValueError("max threads per block must be a warp multiple")
+        if self.has_l1_l2 and (self.l1_bytes_per_sm <= 0 or self.l2_bytes <= 0):
+            raise ValueError("Fermi-class devices must define L1/L2 sizes")
+
+    # ------------------------------------------------------------------
+    # Derived throughput figures
+    # ------------------------------------------------------------------
+    @property
+    def total_cores(self) -> int:
+        return self.num_sms * self.cores_per_sm
+
+    @property
+    def instruction_throughput_per_second(self) -> float:
+        """Peak simple-ALU instructions per second, device-wide."""
+        return self.total_cores * self.clock_ghz * 1e9
+
+    @property
+    def global_bandwidth_bytes_per_second(self) -> float:
+        return self.global_bandwidth_gbps * 1e9
+
+    @property
+    def pcie_bandwidth_bytes_per_second(self) -> float:
+        return self.pcie_bandwidth_gbps * 1e9
+
+    @property
+    def clock_hz(self) -> float:
+        return self.clock_ghz * 1e9
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles / self.clock_hz
+
+    @property
+    def is_fermi(self) -> bool:
+        return self.compute_capability >= (2, 0)
+
+
+TESLA_C1060 = DeviceSpec(
+    name="Tesla C1060",
+    compute_capability=(1, 3),
+    clock_ghz=1.296,
+    num_sms=30,
+    cores_per_sm=8,
+    warp_size=32,
+    max_threads_per_block=512,
+    max_threads_per_sm=1024,
+    max_blocks_per_sm=8,
+    registers_per_sm=16384,
+    max_registers_per_thread=124,
+    shared_mem_per_sm_bytes=16 * 1024,
+    global_mem_bytes=4 * 1024**3,
+    global_bandwidth_gbps=102.0,
+    global_latency_cycles=550,
+    min_transaction_bytes=32,
+    cache_line_bytes=32,
+    has_l1_l2=False,
+    l1_bytes_per_sm=0,
+    l2_bytes=0,
+    texture_cache_bytes_per_sm=8 * 1024,
+    pcie_bandwidth_gbps=5.2,
+)
+
+TESLA_C2050 = DeviceSpec(
+    name="Tesla C2050",
+    compute_capability=(2, 0),
+    clock_ghz=1.15,
+    num_sms=14,
+    cores_per_sm=32,
+    warp_size=32,
+    max_threads_per_block=1024,
+    max_threads_per_sm=1536,
+    max_blocks_per_sm=8,
+    registers_per_sm=32768,
+    max_registers_per_thread=63,
+    shared_mem_per_sm_bytes=48 * 1024,
+    global_mem_bytes=3 * 1024**3,
+    global_bandwidth_gbps=144.0,
+    global_latency_cycles=400,
+    min_transaction_bytes=32,
+    cache_line_bytes=128,
+    has_l1_l2=True,
+    l1_bytes_per_sm=16 * 1024,
+    l2_bytes=768 * 1024,
+    texture_cache_bytes_per_sm=12 * 1024,
+    pcie_bandwidth_gbps=5.2,
+)
+
+#: The paper's two boards, by short name.
+DEVICES = {"C1060": TESLA_C1060, "C2050": TESLA_C2050}

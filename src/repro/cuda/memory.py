@@ -1,0 +1,89 @@
+"""Memory-system rules: coalescing and shared-memory budgets.
+
+Only the rules the kernels actually depend on are modeled:
+
+* **Coalescing** — how many global-memory transactions one warp-wide
+  access generates, as a function of the access pattern.  This is where
+  the original intra-task kernel's per-cell traffic and the improved
+  kernel's strip-boundary traffic get their transaction counts.
+* **Shared memory budgets** — whether a block's shared allocation fits the
+  SM (the improved kernel's wavefront buffers, and the future-work
+  "shared memory only" mode for short sequences).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.cuda.device import DeviceSpec
+
+__all__ = ["AccessPattern", "transactions_per_warp_access", "shared_memory_fits"]
+
+
+class AccessPattern(enum.Enum):
+    """How the threads of a warp address global memory in one access."""
+
+    #: Thread ``t`` reads element ``base + t`` (unit stride).
+    COALESCED = "coalesced"
+    #: Threads read elements with a stride larger than a transaction.
+    STRIDED = "strided"
+    #: One thread performs the access alone (e.g. the last thread of a
+    #: strip writing boundary values "one at a time", Section VI).
+    SINGLE_THREAD = "single_thread"
+    #: All threads read the same address (broadcast through cache/const).
+    BROADCAST = "broadcast"
+
+
+def transactions_per_warp_access(
+    device: DeviceSpec,
+    pattern: AccessPattern,
+    element_bytes: int = 4,
+    active_threads: int | None = None,
+) -> int:
+    """Global transactions one warp-wide access generates.
+
+    Parameters
+    ----------
+    pattern:
+        The addressing pattern of the warp.
+    element_bytes:
+        Size of the element each thread accesses.
+    active_threads:
+        Threads actually performing the access (predication/divergence);
+        defaults to the full warp.
+
+    Notes
+    -----
+    A coalesced full-warp 4-byte access touches ``32 * 4 = 128`` bytes:
+    one 128-byte transaction on Fermi, four 32-byte segments on GT200 —
+    both amount to the same bytes moved, so the distinction only shows up
+    in transaction *counts*, matching how the CUDA profiler reports them.
+    Strided and single-thread accesses pay one minimum-size transaction per
+    active thread; broadcasts pay one.
+    """
+    if element_bytes <= 0:
+        raise ValueError("element_bytes must be positive")
+    n = device.warp_size if active_threads is None else active_threads
+    if not 0 <= n <= device.warp_size:
+        raise ValueError(
+            f"active_threads must be in [0, {device.warp_size}], got {n}"
+        )
+    if n == 0:
+        return 0
+    if pattern is AccessPattern.BROADCAST:
+        return 1
+    if pattern is AccessPattern.COALESCED:
+        span = n * element_bytes
+        return -(-span // device.min_transaction_bytes)  # ceil
+    # STRIDED / SINGLE_THREAD: no two threads share a segment.
+    per_thread = -(-element_bytes // device.min_transaction_bytes)
+    return n * max(per_thread, 1)
+
+
+def shared_memory_fits(
+    device: DeviceSpec, bytes_per_block: int, blocks_per_sm: int = 1
+) -> bool:
+    """Whether ``blocks_per_sm`` blocks of this allocation fit one SM."""
+    if bytes_per_block < 0 or blocks_per_sm <= 0:
+        raise ValueError("invalid shared-memory budget query")
+    return bytes_per_block * blocks_per_sm <= device.shared_mem_per_sm_bytes

@@ -1,0 +1,111 @@
+"""The CUDA occupancy calculator.
+
+Occupancy — resident warps over the hardware maximum — determines how well
+a kernel hides memory and pipeline latency.  CUDASW++ sizes its inter-task
+groups from exactly this calculation ("s is calculated at runtime based on
+machine parameters to maximize the occupancy", Section II-C), which is why
+the application layer needs a faithful implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cuda.device import DeviceSpec
+
+__all__ = ["Occupancy", "occupancy"]
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Result of the occupancy calculation for one kernel configuration."""
+
+    blocks_per_sm: int
+    threads_per_block: int
+    device: DeviceSpec
+    limited_by: str
+
+    @property
+    def resident_threads_per_sm(self) -> int:
+        return self.blocks_per_sm * self.threads_per_block
+
+    @property
+    def resident_warps_per_sm(self) -> int:
+        return self.resident_threads_per_sm // self.device.warp_size
+
+    @property
+    def occupancy(self) -> float:
+        """Resident threads over the device maximum, in [0, 1]."""
+        return self.resident_threads_per_sm / self.device.max_threads_per_sm
+
+    @property
+    def concurrent_threads_device(self) -> int:
+        """Threads resident across the whole device — CUDASW++'s inter-task
+        group size ``s``."""
+        return self.resident_threads_per_sm * self.device.num_sms
+
+    @property
+    def concurrent_blocks_device(self) -> int:
+        return self.blocks_per_sm * self.device.num_sms
+
+
+def occupancy(
+    device: DeviceSpec,
+    threads_per_block: int,
+    registers_per_thread: int,
+    shared_mem_per_block: int,
+) -> Occupancy:
+    """Resident blocks per SM for a kernel configuration.
+
+    Applies the four hardware limits (block slots, thread slots, register
+    file, shared memory) and reports which one binds.
+    """
+    if threads_per_block <= 0:
+        raise ValueError("threads_per_block must be positive")
+    if threads_per_block > device.max_threads_per_block:
+        raise ValueError(
+            f"{threads_per_block} threads/block exceeds the device limit "
+            f"{device.max_threads_per_block}"
+        )
+    if threads_per_block % device.warp_size:
+        raise ValueError(
+            f"threads_per_block must be a multiple of the warp size "
+            f"({device.warp_size}), got {threads_per_block}"
+        )
+    if registers_per_thread < 0 or shared_mem_per_block < 0:
+        raise ValueError("resource usages must be non-negative")
+    if registers_per_thread > device.max_registers_per_thread:
+        raise ValueError(
+            f"{registers_per_thread} registers/thread exceeds the device "
+            f"limit {device.max_registers_per_thread}"
+        )
+    if shared_mem_per_block > device.shared_mem_per_sm_bytes:
+        raise ValueError(
+            f"shared memory per block ({shared_mem_per_block} B) exceeds the "
+            f"per-SM capacity ({device.shared_mem_per_sm_bytes} B)"
+        )
+
+    limits = {"block slots": device.max_blocks_per_sm}
+    limits["thread slots"] = device.max_threads_per_sm // threads_per_block
+    if registers_per_thread > 0:
+        limits["registers"] = device.registers_per_sm // (
+            registers_per_thread * threads_per_block
+        )
+    if shared_mem_per_block > 0:
+        limits["shared memory"] = (
+            device.shared_mem_per_sm_bytes // shared_mem_per_block
+        )
+
+    limiter = min(limits, key=lambda k: limits[k])
+    blocks = limits[limiter]
+    if blocks == 0:
+        raise ValueError(
+            f"kernel configuration does not fit on {device.name}: "
+            f"limited by {limiter}"
+        )
+    return Occupancy(
+        blocks_per_sm=blocks,
+        threads_per_block=threads_per_block,
+        device=device,
+        limited_by=limiter,
+    )

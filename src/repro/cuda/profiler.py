@@ -1,0 +1,96 @@
+"""Profiler: per-launch records and aggregate reports.
+
+Plays the role the CUDA Visual Profiler plays in the paper — in particular
+it produces the *total global memory transactions* figures of Table I.
+Kernels register one :class:`LaunchRecord` per launch; the profiler
+aggregates per kernel name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cuda.counts import KernelCounts
+
+__all__ = ["LaunchRecord", "CudaProfiler"]
+
+
+@dataclass(frozen=True)
+class LaunchRecord:
+    """One kernel launch's identity and measured work."""
+
+    kernel_name: str
+    counts: KernelCounts
+    grid_blocks: int
+    threads_per_block: int
+    time_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.grid_blocks <= 0 or self.threads_per_block <= 0:
+            raise ValueError("launch geometry must be positive")
+
+
+@dataclass
+class CudaProfiler:
+    """Accumulates launch records and summarizes them."""
+
+    records: list[LaunchRecord] = field(default_factory=list)
+
+    def record(self, record: LaunchRecord) -> None:
+        self.records.append(record)
+
+    def launches(self, kernel_name: str | None = None) -> list[LaunchRecord]:
+        if kernel_name is None:
+            return list(self.records)
+        return [r for r in self.records if r.kernel_name == kernel_name]
+
+    def kernel_names(self) -> list[str]:
+        seen: list[str] = []
+        for r in self.records:
+            if r.kernel_name not in seen:
+                seen.append(r.kernel_name)
+        return seen
+
+    def total_counts(self, kernel_name: str | None = None) -> KernelCounts:
+        """Aggregate counts, optionally restricted to one kernel."""
+        total = KernelCounts()
+        for r in self.launches(kernel_name):
+            total += r.counts
+        return total
+
+    def global_memory_transactions(self, kernel_name: str | None = None) -> int:
+        """The Table I metric: total global-memory transactions."""
+        return self.total_counts(kernel_name).global_transactions
+
+    def total_time(self, kernel_name: str | None = None) -> float:
+        """Summed modeled time (launches without a time count as 0)."""
+        return sum(
+            r.time_seconds or 0.0 for r in self.launches(kernel_name)
+        )
+
+    def time_fraction(self, kernel_name: str) -> float:
+        """Fraction of total recorded time spent in one kernel — the
+        quantity of the paper's Figure 5(b)."""
+        total = self.total_time()
+        if total <= 0:
+            raise ValueError("no timed launches recorded")
+        return self.total_time(kernel_name) / total
+
+    def report(self) -> str:
+        """Human-readable per-kernel summary table."""
+        lines = [
+            f"{'kernel':<28} {'launches':>8} {'cells':>14} "
+            f"{'gld tx':>12} {'gst tx':>12} {'time (s)':>10}"
+        ]
+        for name in self.kernel_names():
+            counts = self.total_counts(name)
+            lines.append(
+                f"{name:<28} {len(self.launches(name)):>8} "
+                f"{counts.cells:>14} {counts.global_load_transactions:>12} "
+                f"{counts.global_store_transactions:>12} "
+                f"{self.total_time(name):>10.4f}"
+            )
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        self.records.clear()

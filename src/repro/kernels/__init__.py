@@ -1,0 +1,51 @@
+"""The CUDASW++ kernels, implemented on the device model.
+
+Three kernels, as in the paper:
+
+* :class:`~repro.kernels.intertask.InterTaskKernel` — one *thread* per
+  query/database pair, 8x4 tiles, packed query profile (Section II-B.1);
+* :class:`~repro.kernels.intratask_original.OriginalIntraTaskKernel` — one
+  *block* per pair, plain anti-diagonal wavefront with every wavefront in
+  global memory (Section II-B.2) — the bottleneck the paper identifies;
+* :class:`~repro.kernels.intratask_improved.ImprovedIntraTaskKernel` — the
+  paper's contribution: strips of ``n_th x t_height`` rows, 4x1 tiles per
+  thread, registers for horizontal and shared memory for vertical/diagonal
+  dependencies, global memory only at strip boundaries (Section III), with
+  the incremental variants v0..v3 and the Section VI future-work features.
+
+Every kernel exposes the same dual interface (see
+:class:`~repro.kernels.base.PairKernel`):
+
+* ``run_pair`` — *functional simulation*: computes the real alignment
+  score while counting memory transactions and steps;
+* ``pair_counts`` — *closed-form prediction* of the same counts from
+  lengths alone, used by the Swiss-Prot-scale performance experiments.
+
+Tests assert ``run_pair`` and ``pair_counts`` agree exactly, and that every
+kernel's score matches the scalar reference.
+"""
+
+from repro.kernels.base import KernelRun, PairKernel
+from repro.kernels.intertask import InterTaskKernel
+from repro.kernels.intratask_improved import (
+    ImprovedKernelConfig,
+    ImprovedIntraTaskKernel,
+)
+from repro.kernels.intratask_original import OriginalIntraTaskKernel
+from repro.kernels.variants import (
+    VARIANT_LADDER,
+    improved_kernel_source,
+    variant_kernel,
+)
+
+__all__ = [
+    "ImprovedIntraTaskKernel",
+    "ImprovedKernelConfig",
+    "InterTaskKernel",
+    "KernelRun",
+    "OriginalIntraTaskKernel",
+    "PairKernel",
+    "VARIANT_LADDER",
+    "improved_kernel_source",
+    "variant_kernel",
+]

@@ -1,0 +1,98 @@
+"""Common kernel interface.
+
+A :class:`PairKernel` aligns one query against one database sequence on the
+device model.  It must provide both fidelity levels described in DESIGN.md:
+
+* :meth:`PairKernel.run_pair` executes the kernel's actual traversal order
+  (functional simulation), returning the exact local-alignment score *and*
+  the :class:`~repro.cuda.counts.KernelCounts` it generated;
+* :meth:`PairKernel.pair_counts` predicts the same counts from
+  ``(m, n)`` alone — this is what the Swiss-Prot-scale experiments use,
+  and tests pin it to ``run_pair``'s counts exactly.
+
+Kernels also describe their execution configuration
+(:meth:`launch_config`) and cache behaviour (:meth:`cache_profile`) so the
+cost model can time them.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.alphabet import GapPenalty, SubstitutionMatrix
+from repro.cuda.cache import CacheConfig
+from repro.cuda.cost import LaunchConfig
+from repro.cuda.counts import KernelCounts
+
+__all__ = ["KernelRun", "PairKernel"]
+
+
+@dataclass(frozen=True)
+class KernelRun:
+    """Result of functionally simulating a kernel on one pair."""
+
+    score: int
+    counts: KernelCounts
+
+    def __post_init__(self) -> None:
+        if self.score < 0:
+            raise ValueError("Smith-Waterman scores are non-negative")
+
+
+class PairKernel(abc.ABC):
+    """A GPU kernel that scores one query/database-sequence pair."""
+
+    #: Kernel identity used by the profiler and reports.
+    name: str
+
+    @abc.abstractmethod
+    def run_pair(
+        self,
+        q_codes: np.ndarray,
+        d_codes: np.ndarray,
+        matrix: SubstitutionMatrix,
+        gaps: GapPenalty,
+    ) -> KernelRun:
+        """Functionally simulate the kernel on one pair."""
+
+    @abc.abstractmethod
+    def pair_counts(self, m: int, n: int) -> KernelCounts:
+        """Closed-form prediction of :meth:`run_pair`'s counts."""
+
+    def bulk_pair_counts(self, m: int, lengths: np.ndarray) -> KernelCounts:
+        """Aggregate :meth:`pair_counts` over many database lengths.
+
+        Kernels with per-pair loops in their closed form override this
+        with a fully vectorized version (tests pin the two to each other).
+        """
+        total = KernelCounts()
+        for n in np.asarray(lengths):
+            total += self.pair_counts(m, int(n))
+        return total
+
+    @abc.abstractmethod
+    def launch_config(self, grid_blocks: int) -> LaunchConfig:
+        """Execution configuration for a launch of ``grid_blocks`` pairs."""
+
+    @abc.abstractmethod
+    def cache_profile(self, m: int, n: int) -> CacheConfig | None:
+        """Cache-traffic description for the cost model."""
+
+    # Convenience -------------------------------------------------------
+    @staticmethod
+    def _validate_pair(q_codes: np.ndarray, d_codes: np.ndarray) -> tuple[int, int]:
+        q_codes = np.asarray(q_codes)
+        d_codes = np.asarray(d_codes)
+        if q_codes.ndim != 1 or d_codes.ndim != 1:
+            raise ValueError("sequences must be 1-D code arrays")
+        if q_codes.size == 0 or d_codes.size == 0:
+            raise ValueError("cannot align empty sequences")
+        return int(q_codes.size), int(d_codes.size)
+
+    @staticmethod
+    def _validate_lengths(m: int, n: int) -> None:
+        if m <= 0 or n <= 0:
+            raise ValueError(f"sequence lengths must be positive, got ({m}, {n})")

@@ -1,0 +1,230 @@
+"""The CUDASW++ inter-task kernel (Section II-B.1).
+
+One *thread* per query/database pair.  The thread tiles the DP table into
+8x4 tiles, computed sequentially in row-major order (column-major inside a
+tile); all intra-tile state lives in registers, the bottom row of each tile
+row is staged through a global row buffer, and the rightmost column is
+carried in registers to the next tile.  Similarity scores come from the
+packed query profile in texture memory.
+
+The kernel's group behaviour is the paper's load-balancing story
+(Section II-C): one launch runs ``s`` independent threads, synchronized at
+the launch boundary, so *the whole group runs as long as its longest
+sequence*.  :meth:`InterTaskKernel.group_counts` charges ALU issue slots by
+the group's maximum padded length while memory/texture traffic follows the
+actual work — exactly the asymmetry that makes Figure 2's inter-task curve
+collapse as length variance grows while the intra-task curve stays flat.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.alphabet import GapPenalty, SubstitutionMatrix
+from repro.cuda.cache import CacheConfig
+from repro.cuda.cost import LaunchConfig, ceil_div
+from repro.cuda.counts import KernelCounts
+from repro.kernels.base import KernelRun, PairKernel
+from repro.sw.utils import NEG_INF, validate_penalties
+
+__all__ = ["InterTaskKernel"]
+
+#: ALU instructions per cell update (fully register resident).
+OPS_PER_CELL = 16
+TILE_ROWS = 8
+TILE_COLS = 4
+#: Words exchanged with the global row buffer per tile (H and F of the
+#: 4-column bottom row).
+ROWBUF_WORDS_PER_TILE = 2 * TILE_COLS
+#: Texture fetches per tile: 2 packed profile fetches per column (8 rows /
+#: 4 per fetch) plus the 4 database symbols.
+TEX_PER_TILE = 2 * TILE_COLS + TILE_COLS
+
+WORD_BYTES = 4
+WORDS_PER_TRANSACTION = 8  # 32-byte segments; row buffers are interleaved
+# across threads, so warp accesses coalesce fully.
+
+
+class InterTaskKernel(PairKernel):
+    """Functional + analytic model of the inter-task kernel."""
+
+    def __init__(self, threads_per_block: int = 256) -> None:
+        if threads_per_block <= 0 or threads_per_block % 32:
+            raise ValueError(
+                "threads_per_block must be a positive warp multiple"
+            )
+        self.threads_per_block = threads_per_block
+        self.name = "inter_task"
+
+    # ------------------------------------------------------------------
+    # Closed-form counts
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _tile_grid(m: int, n: int) -> tuple[int, int]:
+        return ceil_div(m, TILE_ROWS), ceil_div(n, TILE_COLS)
+
+    def pair_counts(self, m: int, n: int) -> KernelCounts:
+        """Counts for one pair in isolation (its own issue slots)."""
+        self._validate_lengths(m, n)
+        tr, tc = self._tile_grid(m, n)
+        tiles = tr * tc
+        padded_cells = tiles * TILE_ROWS * TILE_COLS
+        store_words = ROWBUF_WORDS_PER_TILE * tiles
+        # The first tile row reads the zero boundary instead of the buffer.
+        load_words = ROWBUF_WORDS_PER_TILE * (tiles - tc)
+        return KernelCounts(
+            cells=m * n,
+            alu_ops=OPS_PER_CELL * padded_cells,
+            global_load_transactions=ceil_div(load_words, WORDS_PER_TRANSACTION),
+            global_store_transactions=ceil_div(store_words, WORDS_PER_TRANSACTION)
+            + 1,  # final score
+            global_bytes_loaded=load_words * WORD_BYTES,
+            global_bytes_stored=(store_words + 1) * WORD_BYTES,
+            texture_fetches=TEX_PER_TILE * tiles,
+            idle_thread_steps=padded_cells - m * n,
+        )
+
+    def group_counts(self, m: int, lengths: np.ndarray) -> KernelCounts:
+        """Counts for one launch over a group of database sequences.
+
+        ALU issue slots are charged by the group's *longest* padded table
+        for every thread ("even if all but one of the threads have finished
+        ... they all must wait", Section II-C); memory and texture traffic
+        follow each pair's actual tiles.  Vectorized so Swiss-Prot-scale
+        groups cost one numpy pass.
+        """
+        if m <= 0:
+            raise ValueError("query length must be positive")
+        lengths = np.asarray(lengths, dtype=np.int64)
+        if lengths.size == 0 or int(lengths.min()) <= 0:
+            raise ValueError("group lengths must be positive and non-empty")
+        s = int(lengths.size)
+        tr = ceil_div(m, TILE_ROWS)
+        tc = -(-lengths // TILE_COLS)  # ceil per pair
+        tiles = tr * tc
+        padded_cells = tiles * (TILE_ROWS * TILE_COLS)
+        store_words = ROWBUF_WORDS_PER_TILE * tiles
+        load_words = ROWBUF_WORDS_PER_TILE * (tiles - tc)
+
+        slot_cells = s * tr * TILE_ROWS * int(tc.max()) * TILE_COLS
+        return KernelCounts(
+            cells=int(m * lengths.sum()),
+            alu_ops=OPS_PER_CELL * slot_cells,
+            global_load_transactions=int(
+                np.ceil(load_words / WORDS_PER_TRANSACTION).astype(np.int64).sum()
+            ),
+            global_store_transactions=int(
+                np.ceil(store_words / WORDS_PER_TRANSACTION).astype(np.int64).sum()
+            )
+            + s,
+            global_bytes_loaded=int(load_words.sum()) * WORD_BYTES,
+            global_bytes_stored=(int(store_words.sum()) + s) * WORD_BYTES,
+            texture_fetches=TEX_PER_TILE * int(tiles.sum()),
+            idle_thread_steps=slot_cells - int(m * lengths.sum()),
+        )
+
+    # ------------------------------------------------------------------
+    # Functional simulation
+    # ------------------------------------------------------------------
+    def run_pair(
+        self,
+        q_codes: np.ndarray,
+        d_codes: np.ndarray,
+        matrix: SubstitutionMatrix,
+        gaps: GapPenalty,
+    ) -> KernelRun:
+        """Simulate the single-thread tiled traversal.
+
+        Follows the kernel's exact order — tiles row-major, columns-major
+        inside a tile — with the register carry column and the global row
+        buffer, counting tiles structurally.  Intended for test-sized
+        pairs (O(mn) Python-level work).
+        """
+        m, n = self._validate_pair(q_codes, d_codes)
+        validate_penalties(gaps)
+        q = np.asarray(q_codes, dtype=np.uint8)
+        d = np.asarray(d_codes, dtype=np.uint8)
+        rho, sigma = gaps.rho, gaps.sigma
+        W = matrix.scores
+        pad = int(matrix.min_score)
+        neg = int(NEG_INF)
+
+        tr_count, tc_count = self._tile_grid(m, n)
+        tiles_done = 0
+        load_words = 0
+        store_words = 0
+        best = 0
+
+        # Global row buffer: H and F of the row above the current tile row.
+        h_row = [0] * (n + 1)
+        f_row = [neg] * (n + 1)
+
+        for tr in range(tr_count):
+            r_base = tr * TILE_ROWS
+            carry_h = [0] * TILE_ROWS  # H(r, j-1), boundary column = 0
+            carry_e = [neg] * TILE_ROWS
+            h_row_new = [0] * (n + 1)
+            f_row_new = [neg] * (n + 1)
+            for tc in range(tc_count):
+                tiles_done += 1
+                store_words += ROWBUF_WORDS_PER_TILE
+                if tr > 0:
+                    load_words += ROWBUF_WORDS_PER_TILE
+                for j in range(tc * TILE_COLS + 1, (tc + 1) * TILE_COLS + 1):
+                    in_cols = j <= n
+                    d_sym = int(d[j - 1]) if in_cols else -1
+                    h_up = h_row[j] if in_cols else 0
+                    f_up = f_row[j] if in_cols else neg
+                    diag = h_row[j - 1] if in_cols else 0
+                    for k in range(TILE_ROWS):
+                        r = r_base + k
+                        in_rows = r < m
+                        sub = int(W[q[r], d_sym]) if (in_rows and in_cols) else pad
+                        e = max(carry_e[k] - sigma, carry_h[k] - rho)
+                        f = max(f_up - sigma, h_up - rho)
+                        h = max(0, e, f, diag + sub)
+                        if in_rows and in_cols and h > best:
+                            best = h
+                        diag = carry_h[k]  # H(r, j-1) is row r+1's diagonal
+                        carry_h[k] = h
+                        carry_e[k] = e
+                        h_up = h
+                        f_up = f
+                    if in_cols:
+                        h_row_new[j] = h_up
+                        f_row_new[j] = f_up
+            h_row, f_row = h_row_new, f_row_new
+
+        padded_cells = tiles_done * TILE_ROWS * TILE_COLS
+        counts = KernelCounts(
+            cells=m * n,
+            alu_ops=OPS_PER_CELL * padded_cells,
+            global_load_transactions=ceil_div(load_words, WORDS_PER_TRANSACTION),
+            global_store_transactions=ceil_div(store_words, WORDS_PER_TRANSACTION)
+            + 1,
+            global_bytes_loaded=load_words * WORD_BYTES,
+            global_bytes_stored=(store_words + 1) * WORD_BYTES,
+            texture_fetches=TEX_PER_TILE * tiles_done,
+            idle_thread_steps=padded_cells - m * n,
+        )
+        return KernelRun(score=best, counts=counts)
+
+    # ------------------------------------------------------------------
+    # Cost-model descriptors
+    # ------------------------------------------------------------------
+    def launch_config(self, grid_blocks: int) -> LaunchConfig:
+        return LaunchConfig(
+            grid_blocks=grid_blocks,
+            threads_per_block=self.threads_per_block,
+            registers_per_thread=32,  # 8x4 tile state + carries
+            shared_mem_per_block=0,
+            step_memory="none",
+        )
+
+    def cache_profile(self, m: int, n: int) -> CacheConfig:
+        """Row-buffer traffic returns a whole tile row (8 query rows)
+        later; with 256 threads per block the combined buffers exceed any
+        cache, so the traffic is effectively streaming."""
+        self._validate_lengths(m, n)
+        ws = self.threads_per_block * 2 * n * WORD_BYTES
+        return CacheConfig(working_set_bytes=ws, reuse_factor=2.0, streaming=True)

@@ -1,0 +1,533 @@
+"""The paper's improved intra-task kernel (Section III).
+
+One thread block per pair.  The table is cut into *strips* of
+``n_th x t_height`` rows.  Within a strip each thread owns a
+``t_height x 1`` tile column and sweeps it left to right in a wavefront of
+tiles: at step ``s`` thread ``t`` computes column ``j = s - t`` of its
+rows.  Dependencies:
+
+* horizontal (same rows, previous column) — thread-private **registers**;
+* vertical/diagonal (row above, owned by thread ``t-1``) — **shared
+  memory**, published one step earlier;
+* strip boundary (bottom row of the strip) — **global memory**, written by
+  the last thread and read by thread 0 of the next strip.  This is the
+  only per-column global traffic, which is the whole point: ~8 bytes per
+  column per strip instead of ~32 bytes per *cell* in the original kernel.
+
+Counting conventions (shared by the functional simulation and the
+closed-form formulas; tests pin them to each other):
+
+* per strip ``p``, ``u_p = ceil(rows_p / t_height)`` threads have real
+  rows; issue slots are charged for ``a_p`` = ``u_p`` rounded up to a warp
+  (SIMT predication turns fully-inactive warps off, but partially-active
+  warps still issue);
+* the tile wavefront takes ``n + u_p - 1`` synchronized steps per strip;
+* shared/texture traffic is counted per *computed tile* (``u_p * n`` per
+  strip); strip-boundary global traffic per column crossed.
+
+The kernel models the paper's incremental development (Section III-A/B)
+through :class:`ImprovedKernelConfig`: the shallow-swap and
+texture-blocked-unroll pitfalls demote the register tiles to local (=
+global) memory via :mod:`repro.cuda.compiler`, and disabling the packed
+query profile both multiplies similarity fetches and turns them into
+scalar global loads — exactly the v0..v3 ladder the ablation benchmark
+sweeps.  The Section VI future-work features (coalesced boundary I/O,
+shared-memory-only mode, persistent pipeline) are modeled too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.alphabet import GapPenalty, SubstitutionMatrix
+from repro.cuda.cache import CacheConfig
+from repro.cuda.compiler import (
+    CompiledKernel,
+    KernelSource,
+    Loop,
+    RegisterArray,
+    compile_kernel,
+)
+from repro.cuda.cost import LaunchConfig, ceil_div
+from repro.cuda.counts import KernelCounts
+from repro.cuda.device import TESLA_C1060, DeviceSpec
+from repro.kernels.base import KernelRun, PairKernel
+from repro.sw.utils import NEG_INF, validate_penalties
+
+__all__ = ["ImprovedKernelConfig", "ImprovedIntraTaskKernel", "improved_kernel_source"]
+
+#: ALU instructions per cell update with registers working as intended.
+OPS_PER_CELL = 16
+#: Extra per-cell instructions when the tile loop is not unrolled
+#: (index arithmetic + loop control).
+LOOP_OVERHEAD_OPS = 6
+#: Extra per-cell instructions for scalar similarity lookup (no profile).
+NO_PROFILE_OPS = 2
+#: Without the query profile each cell's similarity score is a scalar
+#: global-memory lookup (the problem Wozniak/Rognes identified and the
+#: query profile exists to fix).
+NO_PROFILE_LOOKUP_WORDS_PER_CELL = 1
+
+#: Per-cell local-memory word traffic when the register tiles are demoted
+#: (each cell reads its H/E entries and writes them back).
+LOCAL_LOAD_WORDS_PER_CELL = 4
+LOCAL_STORE_WORDS_PER_CELL = 2
+
+WORD_BYTES = 4
+WORDS_PER_TRANSACTION = 8  # 32-byte segments
+WARP = 32
+#: Boundary values exchanged per column at a strip boundary (H and F).
+BOUNDARY_WORDS = 2
+#: Fixed per-pair bookkeeping traffic: sequence pointers/lengths and the
+#: result record (scattered single-thread accesses, one transaction each).
+OVERHEAD_LOAD_WORDS = 16
+OVERHEAD_STORE_WORDS = 6
+
+
+@dataclass(frozen=True)
+class ImprovedKernelConfig:
+    """Tunables and development-stage switches of the improved kernel.
+
+    The defaults are the paper's final kernel (v3, tuned): 256 threads,
+    tile height 4, query profile on, both register pitfalls fixed.
+    """
+
+    threads_per_block: int = 256
+    tile_height: int = 4
+    use_query_profile: bool = True
+    deep_swap: bool = True
+    hand_unrolled: bool = True
+    #: Section VI: stage boundary rows through shared memory and write them
+    #: coalesced instead of one word at a time.
+    coalesced_boundary: bool = False
+    #: Section VI: keep boundary rows entirely in shared memory (only legal
+    #: when they fit; see :meth:`ImprovedIntraTaskKernel.shared_only_fits`).
+    shared_memory_only: bool = False
+    #: Section VI: one pipeline fill/flush for the whole alignment instead
+    #: of one per strip.
+    persistent_pipeline: bool = False
+
+    def __post_init__(self) -> None:
+        if self.threads_per_block <= 0 or self.threads_per_block % WARP:
+            raise ValueError("threads_per_block must be a positive warp multiple")
+        if self.tile_height <= 0:
+            raise ValueError("tile_height must be positive")
+        if self.use_query_profile and self.tile_height % 4:
+            raise ValueError(
+                "the packed query profile requires a tile height that is a "
+                "multiple of 4 (Section III-B)"
+            )
+
+    @property
+    def strip_height(self) -> int:
+        """Rows per strip: ``n_th * t_height`` (Section III)."""
+        return self.threads_per_block * self.tile_height
+
+
+def improved_kernel_source(config: ImprovedKernelConfig) -> KernelSource:
+    """The kernel's resource description for the nvcc model.
+
+    The per-thread tile state (H and E of the current column, one entry per
+    tile row) is meant to live in registers.  A shallow pointer swap
+    (``deep_swap=False``) or a non-unrolled tile loop containing a texture
+    fetch (``hand_unrolled=False`` — the loop always fetches the database
+    symbol or the profile through texture) each independently demote it to
+    local memory — Section III-A.
+    """
+    return KernelSource(
+        name="intra_improved",
+        scalar_registers=18,
+        arrays=(
+            RegisterArray(
+                "h_tile",
+                config.tile_height,
+                indexed_by="tile_rows",
+                pointer_swapped=not config.deep_swap,
+            ),
+            RegisterArray(
+                "e_tile",
+                config.tile_height,
+                indexed_by="tile_rows",
+                pointer_swapped=not config.deep_swap,
+            ),
+        ),
+        loops=(
+            Loop(
+                "tile_rows",
+                config.tile_height,
+                contains_texture_fetch=True,
+                hand_unrolled=config.hand_unrolled,
+            ),
+        ),
+    )
+
+
+class ImprovedIntraTaskKernel(PairKernel):
+    """Functional + analytic model of the improved intra-task kernel."""
+
+    def __init__(
+        self,
+        config: ImprovedKernelConfig | None = None,
+        device: DeviceSpec = TESLA_C1060,
+    ) -> None:
+        self.config = config or ImprovedKernelConfig()
+        self.device = device
+        self.compiled: CompiledKernel = compile_kernel(
+            improved_kernel_source(self.config), device
+        )
+        c = self.config
+        self.name = (
+            f"intra_improved(T={c.threads_per_block},H={c.tile_height})"
+        )
+
+    # ------------------------------------------------------------------
+    # Derived structure
+    # ------------------------------------------------------------------
+    def passes(self, m: int) -> int:
+        """Strips needed for an ``m``-row query (Section III: multiple
+        passes when the query exceeds the strip)."""
+        return ceil_div(m, self.config.strip_height)
+
+    def strip_geometry(self, m: int) -> list[tuple[int, int]]:
+        """Per strip: ``(u, a)`` — threads with real rows, and the same
+        rounded up to a warp (issue granularity)."""
+        cfg = self.config
+        out = []
+        for p in range(self.passes(m)):
+            rows = min(cfg.strip_height, m - p * cfg.strip_height)
+            u = ceil_div(rows, cfg.tile_height)
+            a = min(ceil_div(u, WARP) * WARP, cfg.threads_per_block)
+            out.append((u, a))
+        return out
+
+    def shared_only_fits(self, n: int, device: DeviceSpec | None = None) -> bool:
+        """Whether the shared-memory-only mode can hold the boundary rows
+        for an ``n``-column database sequence (Section VI: "sequence
+        lengths less than 10,000")."""
+        device = device or self.device
+        need = self._base_shared_bytes() + BOUNDARY_WORDS * WORD_BYTES * n
+        return need <= device.shared_mem_per_sm_bytes
+
+    def _base_shared_bytes(self) -> int:
+        # Per-thread published (H, F) pairs (double use) plus a staging
+        # buffer for the database-sequence chunk.
+        return self.config.threads_per_block * 4 * WORD_BYTES + 1024
+
+    def _ops_per_cell(self) -> int:
+        ops = OPS_PER_CELL
+        if "tile_rows" not in self.compiled.unrolled_loops:
+            ops += LOOP_OVERHEAD_OPS
+        if not self.config.use_query_profile:
+            ops += NO_PROFILE_OPS
+        return ops
+
+    def _tex_per_tile(self) -> int:
+        th = self.config.tile_height
+        if self.config.use_query_profile:
+            # One packed fetch per 4 tile rows plus the database symbol.
+            return th // 4 + 1
+        # The database symbol only; similarity scores become global loads.
+        return 1
+
+    # ------------------------------------------------------------------
+    # Closed-form counts
+    # ------------------------------------------------------------------
+    def pair_counts(self, m: int, n: int) -> KernelCounts:
+        self._validate_lengths(m, n)
+        cfg = self.config
+        t_h = cfg.tile_height
+        geometry = self.strip_geometry(m)
+        P = len(geometry)
+
+        steps = sum(n + u - 1 for u, _ in geometry)
+        slot_cells = sum((n + u - 1) * a * t_h for u, a in geometry)
+        active_tiles = sum(u * n for u, _ in geometry)
+        active_cells = active_tiles * t_h
+        dependent = (
+            0
+            if cfg.coalesced_boundary or cfg.shared_memory_only
+            else sum(n + u - 1 for u, _ in geometry[1:])
+        )
+
+        counts = KernelCounts(
+            cells=m * n,
+            alu_ops=self._ops_per_cell() * slot_cells,
+            shared_loads=2 * active_tiles,
+            shared_stores=2 * active_tiles,
+            texture_fetches=self._tex_per_tile() * active_tiles,
+            syncs=steps,
+            wavefront_steps=steps,
+            dependent_global_steps=dependent,
+            passes=1 if cfg.persistent_pipeline else P,
+            idle_thread_steps=slot_cells - m * n,
+        )
+        self._add_memory_words(counts, self._memory_words(m, n, active_cells))
+        return counts
+
+    def _memory_words(self, m: int, n: int, active_cells: int) -> dict[str, int]:
+        """Global word traffic of one pair, by category."""
+        cfg = self.config
+        P = self.passes(m)
+        boundary = 0 if cfg.shared_memory_only else BOUNDARY_WORDS * n * (P - 1)
+        local_loads = (
+            LOCAL_LOAD_WORDS_PER_CELL * active_cells
+            if self.compiled.uses_local_memory
+            else 0
+        )
+        local_stores = (
+            LOCAL_STORE_WORDS_PER_CELL * active_cells
+            if self.compiled.uses_local_memory
+            else 0
+        )
+        lookup = (
+            0
+            if cfg.use_query_profile
+            else NO_PROFILE_LOOKUP_WORDS_PER_CELL * active_cells
+        )
+        return {
+            "boundary_load_words": boundary,
+            "boundary_store_words": boundary,
+            "local_load_words": local_loads + lookup,
+            "local_store_words": local_stores,
+            "overhead_load_words": OVERHEAD_LOAD_WORDS,
+            "overhead_store_words": OVERHEAD_STORE_WORDS,
+        }
+
+    def _add_memory_words(self, counts: KernelCounts, words: dict[str, int]) -> None:
+        """Convert word traffic into transactions/bytes (shared by the
+        closed form and the functional simulation so both agree exactly)."""
+        cfg = self.config
+        b_ld, b_st = words["boundary_load_words"], words["boundary_store_words"]
+        l_ld, l_st = words["local_load_words"], words["local_store_words"]
+        o_ld, o_st = words["overhead_load_words"], words["overhead_store_words"]
+
+        if cfg.coalesced_boundary:
+            # Staged through shared memory, written by full warps.
+            ld_tx = ceil_div(b_ld, WORDS_PER_TRANSACTION) if b_ld else 0
+            st_tx = ceil_div(b_st, WORDS_PER_TRANSACTION) if b_st else 0
+            counts.shared_loads += b_ld + b_st  # staging traffic
+            counts.shared_stores += b_ld + b_st
+        else:
+            # "The last thread ... must write out its values to global
+            # memory one at a time" (Section VI): one transaction per word.
+            ld_tx = b_ld
+            st_tx = b_st
+        # Local memory is interleaved per thread: warp accesses coalesce.
+        ld_tx += ceil_div(l_ld, WORDS_PER_TRANSACTION) if l_ld else 0
+        st_tx += ceil_div(l_st, WORDS_PER_TRANSACTION) if l_st else 0
+        # Bookkeeping accesses are scattered: one transaction per word.
+        ld_tx += o_ld
+        st_tx += o_st
+
+        counts.global_load_transactions += ld_tx
+        counts.global_store_transactions += st_tx
+        counts.global_bytes_loaded += (b_ld + l_ld + o_ld) * WORD_BYTES
+        counts.global_bytes_stored += (b_st + l_st + o_st) * WORD_BYTES
+
+    # ------------------------------------------------------------------
+    # Functional simulation
+    # ------------------------------------------------------------------
+    def run_pair(
+        self,
+        q_codes: np.ndarray,
+        d_codes: np.ndarray,
+        matrix: SubstitutionMatrix,
+        gaps: GapPenalty,
+    ) -> KernelRun:
+        """Simulate the strip/tile wavefront, vectorized across threads.
+
+        Computes the exact Smith-Waterman score (verified against the
+        scalar reference in tests) while structurally counting steps,
+        tiles and boundary words as they happen.
+        """
+        m, n = self._validate_pair(q_codes, d_codes)
+        validate_penalties(gaps)
+        cfg = self.config
+        n_th, t_h = cfg.threads_per_block, cfg.tile_height
+        geometry = self.strip_geometry(m)
+        P = len(geometry)
+        rho, sigma = gaps.rho, gaps.sigma
+        W = matrix.scores
+        pad = matrix.min_score
+        q = np.asarray(q_codes, dtype=np.uint8)
+        d = np.asarray(d_codes, dtype=np.uint8)
+        neg = np.int64(NEG_INF)
+
+        # Structural counters filled during execution.
+        steps_done = 0
+        dependent_steps = 0
+        slot_cells = 0
+        tiles_done = 0
+        boundary_store_words = 0
+        boundary_load_words = 0
+
+        best = 0
+
+        # Strip-boundary rows in "global memory": H and F of the row just
+        # above the current strip (row p*S - 1); zero / -inf for strip 0.
+        g_h = np.zeros(n, dtype=np.int64)
+        g_f = np.full(n, neg, dtype=np.int64)
+
+        for p, (u, a) in enumerate(geometry):
+            t_idx = np.arange(u)
+            r0 = p * cfg.strip_height + t_idx * t_h  # first row per thread
+            h_left = np.zeros((u, t_h), dtype=np.int64)
+            e_left = np.full((u, t_h), neg, dtype=np.int64)
+            diag_reg = np.zeros(u, dtype=np.int64)  # H(r0-1, j-1)
+            # Published (H, F) of each thread's bottom row, previous step.
+            sh_h = np.zeros(u, dtype=np.int64)
+            sh_f = np.full(u, neg, dtype=np.int64)
+
+            next_g_h = np.zeros(n, dtype=np.int64)
+            next_g_f = np.full(n, neg, dtype=np.int64)
+
+            for s in range(n + u - 1):
+                j = s - t_idx
+                active = (j >= 0) & (j < n)
+                steps_done += 1
+                if p > 0 and not (
+                    cfg.coalesced_boundary or cfg.shared_memory_only
+                ):
+                    dependent_steps += 1
+                slot_cells += a * t_h
+                n_active = int(np.count_nonzero(active))
+                tiles_done += n_active
+                if n_active == 0:  # pragma: no cover - cannot happen
+                    continue
+                jc = np.clip(j, 0, n - 1)
+
+                # Row-above values for each thread's first tile row.
+                top_h = np.empty(u, dtype=np.int64)
+                top_f = np.empty(u, dtype=np.int64)
+                top_h[1:] = sh_h[:-1]
+                top_f[1:] = sh_f[:-1]
+                if p == 0:
+                    top_h[0] = 0
+                    top_f[0] = neg
+                else:
+                    top_h[0] = g_h[jc[0]] if active[0] else 0
+                    top_f[0] = g_f[jc[0]] if active[0] else neg
+                    if active[0]:
+                        boundary_load_words += BOUNDARY_WORDS
+
+                h_above = top_h
+                f_above = top_f
+                diag = diag_reg
+                d_sym = d[jc]
+                for k in range(t_h):
+                    r = r0 + k
+                    valid_row = r < m
+                    rq = np.clip(r, 0, m - 1)
+                    sub = W[q[rq], d_sym].astype(np.int64)
+                    sub = np.where(valid_row, sub, pad)
+
+                    e = np.maximum(e_left[:, k] - sigma, h_left[:, k] - rho)
+                    f = np.maximum(f_above - sigma, h_above - rho)
+                    h = np.maximum(np.maximum(e, f), diag + sub)
+                    np.maximum(h, 0, out=h)
+
+                    scored = active & valid_row
+                    if scored.any():
+                        best = max(best, int(h[scored].max()))
+
+                    # Register updates only where the thread is active.
+                    old_h = h_left[:, k].copy()
+                    h_left[:, k] = np.where(active, h, h_left[:, k])
+                    e_left[:, k] = np.where(active, e, e_left[:, k])
+                    diag = old_h  # H(r, j-1) feeds row r+1's diagonal
+                    h_above = np.where(active, h, h_left[:, k])
+                    f_above = np.where(active, f, neg)
+
+                # Publish bottom-row (H, F) for thread t+1's next step.
+                sh_h = np.where(active, h_above, sh_h)
+                sh_f = np.where(active, f_above, sh_f)
+                diag_reg = np.where(active, top_h, diag_reg)
+
+                # Last thread stores the strip-boundary row (only full
+                # strips have a successor, so thread u-1 == n_th-1 there).
+                if p < P - 1 and active[u - 1]:
+                    col = jc[u - 1]
+                    next_g_h[col] = h_above[u - 1]
+                    next_g_f[col] = f_above[u - 1]
+                    boundary_store_words += BOUNDARY_WORDS
+
+            g_h, g_f = next_g_h, next_g_f
+
+        # Assemble counts from the structural counters.
+        counts = KernelCounts(
+            cells=m * n,
+            alu_ops=self._ops_per_cell() * slot_cells,
+            shared_loads=2 * tiles_done,
+            shared_stores=2 * tiles_done,
+            texture_fetches=self._tex_per_tile() * tiles_done,
+            syncs=steps_done,
+            wavefront_steps=steps_done,
+            dependent_global_steps=dependent_steps,
+            passes=1 if cfg.persistent_pipeline else P,
+            idle_thread_steps=slot_cells - m * n,
+        )
+        active_cells = tiles_done * t_h
+        words = {
+            "boundary_load_words": 0 if cfg.shared_memory_only else boundary_load_words,
+            "boundary_store_words": 0 if cfg.shared_memory_only else boundary_store_words,
+            "local_load_words": (
+                LOCAL_LOAD_WORDS_PER_CELL * active_cells
+                if self.compiled.uses_local_memory
+                else 0
+            )
+            + (
+                0
+                if self.config.use_query_profile
+                else NO_PROFILE_LOOKUP_WORDS_PER_CELL * active_cells
+            ),
+            "local_store_words": (
+                LOCAL_STORE_WORDS_PER_CELL * active_cells
+                if self.compiled.uses_local_memory
+                else 0
+            ),
+            "overhead_load_words": OVERHEAD_LOAD_WORDS,
+            "overhead_store_words": OVERHEAD_STORE_WORDS,
+        }
+        self._add_memory_words(counts, words)
+        return KernelRun(score=best, counts=counts)
+
+    # ------------------------------------------------------------------
+    # Cost-model descriptors
+    # ------------------------------------------------------------------
+    def launch_config(self, grid_blocks: int, max_n: int | None = None) -> LaunchConfig:
+        shared = self._base_shared_bytes()
+        if self.config.shared_memory_only:
+            if max_n is None:
+                raise ValueError(
+                    "shared_memory_only launches need max_n to size the "
+                    "boundary buffer"
+                )
+            shared += BOUNDARY_WORDS * WORD_BYTES * max_n
+        return LaunchConfig(
+            grid_blocks=grid_blocks,
+            threads_per_block=self.config.threads_per_block,
+            registers_per_thread=min(
+                self.compiled.registers_per_thread,
+                self.device.max_registers_per_thread,
+            ),
+            shared_mem_per_block=shared,
+            step_memory="shared",
+        )
+
+    def cache_profile(self, m: int, n: int) -> CacheConfig:
+        self._validate_lengths(m, n)
+        if self.compiled.uses_local_memory:
+            # Demoted tile state is hot: every cell re-touches it.
+            ws = (
+                self.config.threads_per_block
+                * (LOCAL_LOAD_WORDS_PER_CELL + LOCAL_STORE_WORDS_PER_CELL)
+                * WORD_BYTES
+            )
+            return CacheConfig(working_set_bytes=ws, reuse_factor=4.0)
+        # Boundary rows are written once and read once a whole strip later:
+        # no reuse the caches can capture (Section IV-A's explanation of why
+        # the improved kernel gains little from Fermi).
+        ws = BOUNDARY_WORDS * n * WORD_BYTES
+        return CacheConfig(working_set_bytes=ws, reuse_factor=1.0, streaming=True)

@@ -1,0 +1,271 @@
+"""The original CUDASW++ intra-task kernel (Section II-B.2).
+
+One thread block per pair.  The DP table is computed in plain anti-diagonal
+wavefront order, one cell per thread per step; the three live wavefronts of
+H plus the E and F wavefronts live in **global memory**, re-loaded and
+re-stored every step.  That is the paper's diagnosed bottleneck: roughly
+eight 4-byte global words per cell update, against near-zero for the
+improved kernel.
+
+Counting conventions (shared by the functional simulation and the
+closed-form formulas; tests pin them to each other):
+
+* a *chunk* is one synchronized step of ``threads_per_block`` threads over
+  a stretch of the current diagonal (``ceil(L / T)`` chunks per diagonal of
+  length ``L``);
+* per cell: 5 global word loads (H at ``(i-1,j)``, ``(i,j-1)``,
+  ``(i-1,j-1)``, E at ``(i,j-1)``, F at ``(i-1,j)``) and 3 word stores
+  (H, E, F) — unit-stride across the wavefront, so a full chunk's access
+  coalesces into ``ceil(active/8)`` 32-byte transactions per array access;
+* 2 texture fetches per cell (query and database symbols);
+* one barrier per chunk.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.alphabet import GapPenalty, SubstitutionMatrix
+from repro.cuda.cache import CacheConfig
+from repro.cuda.cost import LaunchConfig, ceil_div
+from repro.cuda.counts import KernelCounts
+from repro.kernels.base import KernelRun, PairKernel
+from repro.sw.utils import NEG_INF, validate_penalties
+
+__all__ = ["OriginalIntraTaskKernel"]
+
+#: ALU instructions per cell update (max/add chain plus wavefront index
+#: arithmetic; the original kernel recomputes global addresses every step).
+OPS_PER_CELL = 20
+
+#: Global word traffic per cell (see module docstring).
+LOAD_WORDS_PER_CELL = 5
+STORE_WORDS_PER_CELL = 3
+
+#: Texture fetches per cell (query + database symbol).
+TEX_PER_CELL = 2
+
+WORD_BYTES = 4
+WORDS_PER_TRANSACTION = 8  # 32-byte segments
+
+
+class OriginalIntraTaskKernel(PairKernel):
+    """Functional + analytic model of the original intra-task kernel."""
+
+    def __init__(self, threads_per_block: int = 256) -> None:
+        if threads_per_block <= 0 or threads_per_block % 32:
+            raise ValueError(
+                f"threads_per_block must be a positive warp multiple, got "
+                f"{threads_per_block}"
+            )
+        self.threads_per_block = threads_per_block
+        self.name = f"intra_original(T={threads_per_block})"
+
+    # ------------------------------------------------------------------
+    # Shared chunk accounting
+    # ------------------------------------------------------------------
+    def _chunk_counts(self, diag_lengths: np.ndarray) -> KernelCounts:
+        """Counts for processing diagonals of the given lengths."""
+        T = self.threads_per_block
+        L = np.asarray(diag_lengths, dtype=np.int64)
+        cells = int(L.sum())
+        full = L // T
+        rem = L % T
+        chunks = int(full.sum() + np.count_nonzero(rem))
+        # Transactions: each of the 8 word accesses per cell coalesces
+        # per chunk into ceil(active/8) segments.
+        tx_units = int(
+            (full * ceil_div(T, WORDS_PER_TRANSACTION)).sum()
+            + np.ceil(rem / WORDS_PER_TRANSACTION).astype(np.int64).sum()
+        )
+        return KernelCounts(
+            cells=cells,
+            alu_ops=OPS_PER_CELL * chunks * T,
+            global_load_transactions=LOAD_WORDS_PER_CELL * tx_units,
+            global_store_transactions=STORE_WORDS_PER_CELL * tx_units,
+            global_bytes_loaded=LOAD_WORDS_PER_CELL * WORD_BYTES * cells,
+            global_bytes_stored=STORE_WORDS_PER_CELL * WORD_BYTES * cells,
+            texture_fetches=TEX_PER_CELL * cells,
+            syncs=chunks,
+            wavefront_steps=chunks,
+            dependent_global_steps=chunks,  # every step reloads wavefronts
+            passes=1,
+            idle_thread_steps=chunks * T - cells,
+        )
+
+    @staticmethod
+    def _diag_lengths(m: int, n: int) -> np.ndarray:
+        """Lengths of the anti-diagonals of an m x n table."""
+        k = np.arange(2, m + n + 1, dtype=np.int64)
+        return np.minimum.reduce([k - 1, np.full_like(k, m), np.full_like(k, n), m + n + 1 - k])
+
+    # ------------------------------------------------------------------
+    # Closed form
+    # ------------------------------------------------------------------
+    def pair_counts(self, m: int, n: int) -> KernelCounts:
+        self._validate_lengths(m, n)
+        return self._chunk_counts(self._diag_lengths(m, n))
+
+    def bulk_pair_counts(self, m: int, lengths: np.ndarray) -> KernelCounts:
+        """Exact aggregate of :meth:`pair_counts` over many lengths,
+        fully vectorized (no per-diagonal arrays).
+
+        The diagonals of an ``m x n`` table ramp 1..a-1, plateau at
+        ``a = min(m, n)`` for ``b - a + 1`` diagonals, then ramp down, so
+        per-pair sums reduce to two arithmetic prefix sums:
+
+        * ``F_steps(L) = sum_{l=1..L} ceil(l/T)``
+        * ``F_txu(L)  = sum_{l=1..L} [ (l//T)*ceil(T/8) + ceil((l%T)/8) ]``
+
+        both of which have closed forms (block decomposition by ``l//T``).
+        """
+        if m <= 0:
+            raise ValueError("query length must be positive")
+        lengths = np.asarray(lengths, dtype=np.int64)
+        if lengths.size == 0 or int(lengths.min()) <= 0:
+            raise ValueError("lengths must be positive and non-empty")
+        T = self.threads_per_block
+        W8 = ceil_div(T, WORDS_PER_TRANSACTION)
+
+        def prefix_ceil(L, block):
+            """sum_{l=1..L} ceil(l/block), elementwise over array L."""
+            f = L // block
+            r = L - f * block
+            return block * f * (f + 1) // 2 + (f + 1) * r
+
+        def prefix_floor(L, block):
+            """sum_{l=1..L} (l//block)."""
+            f = L // block
+            r = L - f * block
+            return block * (f - 1) * f // 2 + f * (r + 1)
+
+        c_t = int(prefix_ceil(np.int64(T - 1), WORDS_PER_TRANSACTION))
+
+        def prefix_txu(L):
+            f = L // T
+            r = L - f * T
+            return (
+                W8 * prefix_floor(L, T)
+                + f * c_t
+                + prefix_ceil(r, WORDS_PER_TRANSACTION)
+            )
+
+        a = np.minimum(m, lengths)
+        b = np.maximum(m, lengths)
+        plateau = b - a + 1
+        steps = 2 * prefix_ceil(a - 1, T) + plateau * (-(-a // T))
+        tx_units = 2 * prefix_txu(a - 1) + plateau * (
+            (a // T) * W8 + -(-(a % T) // WORDS_PER_TRANSACTION)
+        )
+        cells = m * lengths
+
+        total_cells = int(cells.sum())
+        total_steps = int(steps.sum())
+        total_txu = int(tx_units.sum())
+        return KernelCounts(
+            cells=total_cells,
+            alu_ops=OPS_PER_CELL * total_steps * T,
+            global_load_transactions=LOAD_WORDS_PER_CELL * total_txu,
+            global_store_transactions=STORE_WORDS_PER_CELL * total_txu,
+            global_bytes_loaded=LOAD_WORDS_PER_CELL * WORD_BYTES * total_cells,
+            global_bytes_stored=STORE_WORDS_PER_CELL * WORD_BYTES * total_cells,
+            texture_fetches=TEX_PER_CELL * total_cells,
+            syncs=total_steps,
+            wavefront_steps=total_steps,
+            dependent_global_steps=total_steps,
+            passes=int(lengths.size),
+            idle_thread_steps=total_steps * T - total_cells,
+        )
+
+    # ------------------------------------------------------------------
+    # Functional simulation
+    # ------------------------------------------------------------------
+    def run_pair(
+        self,
+        q_codes: np.ndarray,
+        d_codes: np.ndarray,
+        matrix: SubstitutionMatrix,
+        gaps: GapPenalty,
+    ) -> KernelRun:
+        """Wavefront sweep computing the exact score, counting per chunk."""
+        m, n = self._validate_pair(q_codes, d_codes)
+        validate_penalties(gaps)
+        q = np.asarray(q_codes, dtype=np.uint8)
+        d = np.asarray(d_codes, dtype=np.uint8)
+        rho, sigma = gaps.rho, gaps.sigma
+        W = matrix.scores
+
+        counts = KernelCounts(passes=1)
+        T = self.threads_per_block
+
+        h_prev2 = np.zeros(m + 1, dtype=np.int32)
+        h_prev = np.zeros(m + 1, dtype=np.int32)
+        e_prev = np.full(m + 1, NEG_INF, dtype=np.int32)
+        f_prev = np.full(m + 1, NEG_INF, dtype=np.int32)
+        best = 0
+
+        for k in range(2, m + n + 1):
+            lo = max(1, k - n)
+            hi = min(m, k - 1)
+            if lo > hi:
+                continue
+            L = hi - lo + 1
+
+            # --- accounting: the block walks this diagonal in chunks ----
+            full, rem = divmod(L, T)
+            chunks = full + (1 if rem else 0)
+            tx_units = full * ceil_div(T, WORDS_PER_TRANSACTION) + (
+                ceil_div(rem, WORDS_PER_TRANSACTION) if rem else 0
+            )
+            counts.cells += L
+            counts.alu_ops += OPS_PER_CELL * chunks * T
+            counts.global_load_transactions += LOAD_WORDS_PER_CELL * tx_units
+            counts.global_store_transactions += STORE_WORDS_PER_CELL * tx_units
+            counts.global_bytes_loaded += LOAD_WORDS_PER_CELL * WORD_BYTES * L
+            counts.global_bytes_stored += STORE_WORDS_PER_CELL * WORD_BYTES * L
+            counts.texture_fetches += TEX_PER_CELL * L
+            counts.syncs += chunks
+            counts.wavefront_steps += chunks
+            counts.dependent_global_steps += chunks
+            counts.idle_thread_steps += chunks * T - L
+
+            # --- the DP itself (identical math to the reference) --------
+            i_range = slice(lo, hi + 1)
+            i_minus1 = slice(lo - 1, hi)
+            e_cur = np.maximum(e_prev[i_range] - sigma, h_prev[i_range] - rho)
+            f_cur = np.maximum(f_prev[i_minus1] - sigma, h_prev[i_minus1] - rho)
+            d_idx = (k - 1) - np.arange(lo, hi + 1)
+            subs = W[q[lo - 1 : hi], d[d_idx]]
+            h_cur = np.maximum(np.maximum(e_cur, f_cur), h_prev2[i_minus1] + subs)
+            np.maximum(h_cur, 0, out=h_cur)
+            best = max(best, int(h_cur.max()))
+
+            h_new = np.zeros(m + 1, dtype=np.int32)
+            e_new = np.full(m + 1, NEG_INF, dtype=np.int32)
+            f_new = np.full(m + 1, NEG_INF, dtype=np.int32)
+            h_new[i_range] = h_cur
+            e_new[i_range] = e_cur
+            f_new[i_range] = f_cur
+            h_prev2, h_prev, e_prev, f_prev = h_prev, h_new, e_new, f_new
+
+        return KernelRun(score=best, counts=counts)
+
+    # ------------------------------------------------------------------
+    # Cost-model descriptors
+    # ------------------------------------------------------------------
+    def launch_config(self, grid_blocks: int) -> LaunchConfig:
+        return LaunchConfig(
+            grid_blocks=grid_blocks,
+            threads_per_block=self.threads_per_block,
+            registers_per_thread=25,
+            shared_mem_per_block=256,  # scratch only; wavefronts are global
+            step_memory="global",
+        )
+
+    def cache_profile(self, m: int, n: int) -> CacheConfig:
+        """The live wavefronts: three H diagonals plus E and F, each up to
+        ``min(m, n)`` words — re-touched ~3x before sliding out of the
+        reuse window.  This is the working set Fermi's caches capture."""
+        self._validate_lengths(m, n)
+        ws = 5 * min(m, n) * WORD_BYTES
+        return CacheConfig(working_set_bytes=ws, reuse_factor=3.0)

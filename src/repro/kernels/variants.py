@@ -1,0 +1,58 @@
+"""The improved kernel's incremental development ladder (Section III).
+
+The paper presents the improved intra-task kernel as a sequence of
+incremental changes:
+
+* **v0** — first tiled implementation: register arrays shallow-swapped via
+  pointers, tile loop not hand-unrolled, no query profile.  "Our first
+  implementation of this approach did not show any improvements over the
+  original intra-task kernel."
+* **v1** — deep swap fixes the pointer aliasing; the texture fetch still
+  blocks unrolling, so the arrays stay in local memory.
+* **v2** — hand-unrolling the tile loop finally maps the arrays to
+  registers ("about a two-fold performance increase when the registers
+  were being utilized as intended").
+* **v3** — the packed query profile cuts similarity fetches 4x
+  (Section III-B); with the tuned strip height this is the final kernel.
+
+``bench_ablation_variants.py`` sweeps this ladder and reports the modeled
+GCUPs of each stage next to the original kernel.
+"""
+
+from __future__ import annotations
+
+from repro.cuda.device import DeviceSpec, TESLA_C1060
+from repro.kernels.intratask_improved import (
+    ImprovedIntraTaskKernel,
+    ImprovedKernelConfig,
+    improved_kernel_source,
+)
+
+__all__ = ["VARIANT_LADDER", "variant_kernel", "improved_kernel_source"]
+
+#: Name -> configuration of each development stage.
+VARIANT_LADDER: dict[str, ImprovedKernelConfig] = {
+    "v0-naive": ImprovedKernelConfig(
+        use_query_profile=False, deep_swap=False, hand_unrolled=False
+    ),
+    "v1-deep-swap": ImprovedKernelConfig(
+        use_query_profile=False, deep_swap=True, hand_unrolled=False
+    ),
+    "v2-hand-unroll": ImprovedKernelConfig(
+        use_query_profile=False, deep_swap=True, hand_unrolled=True
+    ),
+    "v3-query-profile": ImprovedKernelConfig(
+        use_query_profile=True, deep_swap=True, hand_unrolled=True
+    ),
+}
+
+
+def variant_kernel(
+    name: str, device: DeviceSpec = TESLA_C1060
+) -> ImprovedIntraTaskKernel:
+    """Build the improved kernel at one development stage."""
+    if name not in VARIANT_LADDER:
+        raise KeyError(
+            f"unknown variant {name!r}; choose from {sorted(VARIANT_LADDER)}"
+        )
+    return ImprovedIntraTaskKernel(VARIANT_LADDER[name], device)

@@ -1,0 +1,70 @@
+"""Sequences, databases, FASTA I/O and synthetic workload generation.
+
+This package is the data substrate of the reproduction:
+
+* :class:`~repro.sequence.sequence.Sequence` — an encoded biological
+  sequence with identifier and description.
+* :class:`~repro.sequence.database.Database` — a compact columnar container
+  (concatenated codes + offsets) with the preprocessing operations CUDASW++
+  performs: length sorting, partitioning into inter-task groups, length
+  statistics.
+* :mod:`~repro.sequence.fasta` — streaming FASTA reader/writer.
+* :mod:`~repro.sequence.synthetic` — log-normal database generators and the
+  fitted profiles of the six databases used in the paper's Table II.
+* :mod:`~repro.sequence.profile` — query profiles (the Rognes/Seeberg
+  vectorized similarity lookup), plain and packed-4 texture layouts.
+"""
+
+from repro.sequence.database import Database, DatabaseStats, SequenceGroup
+from repro.sequence.fasta import read_fasta, read_fasta_file, write_fasta
+from repro.sequence.frequencies import SWISSPROT_AA_FREQUENCIES, protein_frequencies
+from repro.sequence.codon import (
+    reverse_complement,
+    six_frame_translations,
+    translate,
+    translated_search,
+)
+from repro.sequence.mutate import evolve, indel_mutate, plant_motif, point_mutate
+from repro.sequence.serialize import load_database, save_database
+from repro.sequence.profile import PackedQueryProfile, QueryProfile
+from repro.sequence.sequence import Sequence
+from repro.sequence.synthetic import (
+    PAPER_DATABASES,
+    SWISSPROT_PROFILE,
+    DatabaseProfile,
+    fit_lognormal_sigma,
+    lognormal_database,
+    lognormal_lengths,
+    random_protein,
+)
+
+__all__ = [
+    "Sequence",
+    "Database",
+    "DatabaseStats",
+    "SequenceGroup",
+    "read_fasta",
+    "read_fasta_file",
+    "write_fasta",
+    "QueryProfile",
+    "PackedQueryProfile",
+    "SWISSPROT_AA_FREQUENCIES",
+    "protein_frequencies",
+    "DatabaseProfile",
+    "PAPER_DATABASES",
+    "SWISSPROT_PROFILE",
+    "lognormal_database",
+    "lognormal_lengths",
+    "fit_lognormal_sigma",
+    "random_protein",
+    "point_mutate",
+    "indel_mutate",
+    "evolve",
+    "plant_motif",
+    "reverse_complement",
+    "translate",
+    "six_frame_translations",
+    "translated_search",
+    "save_database",
+    "load_database",
+]

@@ -1,0 +1,146 @@
+"""Genetic-code translation and six-frame translated search (blastx-style).
+
+Nucleotide data enters protein searches through translation: a DNA query
+is translated in all six reading frames (three forward, three on the
+reverse complement) and each frame is searched against the protein
+database with the protein scoring system.  This module provides the
+standard genetic code, translation, and a convenience searcher built on
+the exact aligners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.alphabet import BLOSUM62, DNA, PROTEIN, GapPenalty, SubstitutionMatrix
+from repro.sequence.database import Database
+from repro.sequence.sequence import Sequence
+
+__all__ = [
+    "GENETIC_CODE",
+    "reverse_complement",
+    "translate",
+    "six_frame_translations",
+    "translated_search",
+    "FrameHit",
+]
+
+#: The standard genetic code, codon string -> amino acid (``*`` = stop).
+GENETIC_CODE: dict[str, str] = {}
+_BASES = "TCAG"
+_AA = (
+    "FFLLSSSSYY**CC*W"  # TTT..TGG
+    "LLLLPPPPHHQQRRRR"  # CTT..CGG
+    "IIIMTTTTNNKKSSRR"  # ATT..AGG
+    "VVVVAAAADDEEGGGG"  # GTT..GGG
+)
+for _i, _b1 in enumerate(_BASES):
+    for _j, _b2 in enumerate(_BASES):
+        for _k, _b3 in enumerate(_BASES):
+            GENETIC_CODE[_b1 + _b2 + _b3] = _AA[16 * _i + 4 * _j + _k]
+
+_COMPLEMENT = {"A": "T", "T": "A", "C": "G", "G": "C", "N": "N"}
+
+
+def reverse_complement(seq: Sequence) -> Sequence:
+    """The reverse complement of a DNA sequence."""
+    if seq.alphabet is not DNA:
+        raise ValueError("reverse_complement expects a DNA sequence")
+    text = "".join(_COMPLEMENT[c] for c in reversed(seq.text))
+    return Sequence.from_text(f"{seq.id}(rc)", text, DNA)
+
+
+def translate(seq: Sequence, frame: int = 0) -> Sequence:
+    """Translate a DNA sequence in one forward frame (0, 1 or 2).
+
+    Codons containing ``N`` translate to ``X``; stops become ``*`` (the
+    protein alphabet carries both).  Trailing partial codons are dropped.
+    """
+    if seq.alphabet is not DNA:
+        raise ValueError("translate expects a DNA sequence")
+    if frame not in (0, 1, 2):
+        raise ValueError(f"frame must be 0, 1 or 2, got {frame}")
+    text = seq.text[frame:]
+    n_codons = len(text) // 3
+    residues = []
+    for i in range(n_codons):
+        codon = text[3 * i : 3 * i + 3]
+        residues.append("X" if "N" in codon else GENETIC_CODE[codon])
+    return Sequence.from_text(
+        f"{seq.id}|frame+{frame + 1}", "".join(residues), PROTEIN
+    )
+
+
+def six_frame_translations(seq: Sequence) -> list[Sequence]:
+    """All six reading frames (skipping frames too short to translate)."""
+    frames = []
+    rc = reverse_complement(seq)
+    for frame in (0, 1, 2):
+        for strand, label in ((seq, f"+{frame + 1}"), (rc, f"-{frame + 1}")):
+            if len(strand) - frame >= 3:
+                t = translate(strand, frame)
+                frames.append(
+                    Sequence(f"{seq.id}|frame{label}", t.codes, PROTEIN)
+                )
+    return frames
+
+
+@dataclass(frozen=True)
+class FrameHit:
+    """Best hit of one database sequence across all query frames."""
+
+    index: int
+    id: str
+    score: int
+    frame: str
+
+    def __post_init__(self) -> None:
+        if self.score < 0:
+            raise ValueError("scores are non-negative")
+
+
+def translated_search(
+    dna_query: Sequence,
+    protein_db: Database,
+    *,
+    matrix: SubstitutionMatrix = BLOSUM62,
+    gaps: GapPenalty | None = None,
+    top: int = 10,
+) -> list[FrameHit]:
+    """blastx-style search: six-frame-translate the DNA query, score every
+    frame against every protein sequence exactly, report each database
+    entry's best frame."""
+    from repro.sw.antidiagonal import sw_score_antidiagonal
+
+    if not protein_db.has_residues:
+        raise ValueError("translated search needs a materialized database")
+    if protein_db.alphabet is not PROTEIN:
+        raise ValueError("the database must be a protein database")
+    gaps = gaps or GapPenalty.cudasw_default()
+    frames = [f for f in six_frame_translations(dna_query) if len(f) > 0]
+    if not frames:
+        raise ValueError("query too short to translate in any frame")
+
+    best_scores = np.zeros(len(protein_db), dtype=np.int64)
+    best_frames = [""] * len(protein_db)
+    for frame in frames:
+        for i in range(len(protein_db)):
+            s = sw_score_antidiagonal(
+                frame.codes, protein_db.codes_of(i), matrix, gaps
+            )
+            if s > best_scores[i]:
+                best_scores[i] = s
+                best_frames[i] = frame.id.rsplit("|", 1)[-1]
+
+    order = np.lexsort((np.arange(len(protein_db)), -best_scores))[:top]
+    return [
+        FrameHit(
+            index=int(i),
+            id=protein_db.id_of(int(i)),
+            score=int(best_scores[i]),
+            frame=best_frames[int(i)],
+        )
+        for i in order
+    ]

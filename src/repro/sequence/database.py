@@ -1,0 +1,313 @@
+"""Sequence database container and CUDASW++-style preprocessing.
+
+A :class:`Database` stores sequences column-wise — one concatenated
+``uint8`` code array plus an offsets array — which is both compact for
+hundreds of thousands of entries and exactly the layout CUDASW++ copies to
+the GPU.
+
+Databases come in two flavours:
+
+* **materialized** — residues present; required by anything that actually
+  computes alignments (tests, examples, Table I);
+* **lengths-only** — only sequence lengths; sufficient for the analytic
+  performance experiments (the cost model depends on lengths, never on
+  residue identity), which lets Figure 3/5/6/7 sweeps run over databases of
+  Swiss-Prot scale without allocating hundreds of megabytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence as TySequence
+
+import numpy as np
+
+from repro.alphabet import PROTEIN, Alphabet
+from repro.sequence.sequence import Sequence
+
+__all__ = ["Database", "DatabaseStats", "SequenceGroup"]
+
+
+@dataclass(frozen=True)
+class DatabaseStats:
+    """Length-distribution summary of a database."""
+
+    count: int
+    total_residues: int
+    min_length: int
+    max_length: int
+    mean_length: float
+    median_length: float
+    std_length: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.count} sequences, {self.total_residues} residues, "
+            f"lengths {self.min_length}..{self.max_length} "
+            f"(mean {self.mean_length:.1f}, median {self.median_length:.0f}, "
+            f"std {self.std_length:.1f})"
+        )
+
+
+@dataclass(frozen=True)
+class SequenceGroup:
+    """A contiguous group of (sorted) database sequences.
+
+    The inter-task kernel processes one group per kernel launch, one thread
+    per sequence; the launch runs for as long as its *longest* member
+    (Section II-C of the paper), which is what `max_length` and
+    `total_residues` exist to quantify.
+    """
+
+    indices: np.ndarray
+    lengths: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.indices.shape != self.lengths.shape:
+            raise ValueError("indices and lengths must have the same shape")
+        if self.indices.size == 0:
+            raise ValueError("a sequence group cannot be empty")
+
+    @property
+    def size(self) -> int:
+        return int(self.indices.size)
+
+    @property
+    def max_length(self) -> int:
+        return int(self.lengths.max())
+
+    @property
+    def total_residues(self) -> int:
+        return int(self.lengths.sum())
+
+    @property
+    def load_balance_efficiency(self) -> float:
+        """Useful work over occupied thread-time: ``sum(len) / (s * max_len)``.
+
+        1.0 means perfectly uniform lengths; the paper's Figure 2 is this
+        quantity degrading as length variance grows.
+        """
+        return self.total_residues / (self.size * self.max_length)
+
+
+class Database:
+    """An ordered collection of sequences over one alphabet."""
+
+    def __init__(
+        self,
+        lengths: np.ndarray,
+        codes: np.ndarray | None,
+        offsets: np.ndarray | None,
+        ids: list[str] | None,
+        alphabet: Alphabet = PROTEIN,
+        name: str = "database",
+    ) -> None:
+        self.name = name
+        self.alphabet = alphabet
+        self.lengths = np.ascontiguousarray(np.asarray(lengths, dtype=np.int64))
+        if self.lengths.ndim != 1:
+            raise ValueError("lengths must be 1-D")
+        if self.lengths.size and int(self.lengths.min()) <= 0:
+            raise ValueError("all sequence lengths must be positive")
+        self.lengths.setflags(write=False)
+
+        if (codes is None) != (offsets is None):
+            raise ValueError("codes and offsets must be given together")
+        self._codes = None
+        self._offsets = None
+        if codes is not None:
+            codes = np.ascontiguousarray(np.asarray(codes, dtype=np.uint8))
+            offsets = np.ascontiguousarray(np.asarray(offsets, dtype=np.int64))
+            if offsets.shape != (self.lengths.size + 1,):
+                raise ValueError(
+                    f"offsets must have shape ({self.lengths.size + 1},), "
+                    f"got {offsets.shape}"
+                )
+            if not np.array_equal(np.diff(offsets), self.lengths):
+                raise ValueError("offsets are inconsistent with lengths")
+            if offsets[0] != 0 or offsets[-1] != codes.size:
+                raise ValueError("offsets do not span the code array")
+            codes.setflags(write=False)
+            offsets.setflags(write=False)
+            self._codes = codes
+            self._offsets = offsets
+
+        if ids is not None and len(ids) != self.lengths.size:
+            raise ValueError(
+                f"got {len(ids)} ids for {self.lengths.size} sequences"
+            )
+        self._ids = ids
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_sequences(
+        cls, sequences: TySequence[Sequence] | Iterable[Sequence], name: str = "database"
+    ) -> "Database":
+        """Materialized database from :class:`Sequence` records."""
+        seqs = list(sequences)
+        if not seqs:
+            raise ValueError("cannot build a database from zero sequences")
+        alphabet = seqs[0].alphabet
+        for s in seqs:
+            if s.alphabet != alphabet:
+                raise ValueError(
+                    f"mixed alphabets in database: {alphabet.name!r} vs "
+                    f"{s.alphabet.name!r} ({s.id!r})"
+                )
+        lengths = np.array([len(s) for s in seqs], dtype=np.int64)
+        offsets = np.zeros(len(seqs) + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        codes = np.empty(int(offsets[-1]), dtype=np.uint8)
+        for i, s in enumerate(seqs):
+            codes[offsets[i] : offsets[i + 1]] = s.codes
+        ids = [s.id for s in seqs]
+        return cls(lengths, codes, offsets, ids, alphabet, name)
+
+    @classmethod
+    def from_lengths(
+        cls,
+        lengths: np.ndarray,
+        alphabet: Alphabet = PROTEIN,
+        name: str = "database",
+    ) -> "Database":
+        """Lengths-only database for analytic performance experiments."""
+        return cls(np.asarray(lengths), None, None, None, alphabet, name)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.lengths.size)
+
+    @property
+    def has_residues(self) -> bool:
+        """True when residue codes are materialized."""
+        return self._codes is not None
+
+    @property
+    def total_residues(self) -> int:
+        return int(self.lengths.sum())
+
+    def id_of(self, index: int) -> str:
+        if self._ids is not None:
+            return self._ids[index]
+        return f"{self.name}/{index}"
+
+    def codes_of(self, index: int) -> np.ndarray:
+        """Residue codes of sequence ``index`` (zero-copy view)."""
+        self._require_residues()
+        lo = int(self._offsets[index])
+        hi = int(self._offsets[index + 1])
+        return self._codes[lo:hi]
+
+    def __getitem__(self, index: int) -> Sequence:
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(index)
+        return Sequence(
+            self.id_of(index), self.codes_of(index).copy(), self.alphabet
+        )
+
+    def __iter__(self) -> Iterator[Sequence]:
+        for i in range(len(self)):
+            yield self[i]
+
+    def _require_residues(self) -> None:
+        if self._codes is None:
+            raise ValueError(
+                f"database {self.name!r} is lengths-only; residues are not "
+                "materialized (build with from_sequences/synthetic "
+                "materialize=True for functional use)"
+            )
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def stats(self) -> DatabaseStats:
+        """Length-distribution summary."""
+        lens = self.lengths
+        return DatabaseStats(
+            count=int(lens.size),
+            total_residues=int(lens.sum()),
+            min_length=int(lens.min()),
+            max_length=int(lens.max()),
+            mean_length=float(lens.mean()),
+            median_length=float(np.median(lens)),
+            std_length=float(lens.std()),
+        )
+
+    def fraction_over(self, threshold: int) -> float:
+        """Fraction of sequences with length >= ``threshold``.
+
+        The paper's dispatch rule is "below the threshold -> inter-task,
+        otherwise intra-task", so the intra-task share is ``len >= t``.
+        """
+        return float(np.count_nonzero(self.lengths >= threshold) / len(self))
+
+    # ------------------------------------------------------------------
+    # CUDASW++ preprocessing
+    # ------------------------------------------------------------------
+    def select(self, indices: np.ndarray, name: str | None = None) -> "Database":
+        """Sub-database consisting of ``indices`` in the given order."""
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size == 0:
+            raise ValueError("cannot select an empty database")
+        lengths = self.lengths[indices]
+        ids = [self.id_of(int(i)) for i in indices] if self._ids is not None else None
+        codes = offsets = None
+        if self._codes is not None:
+            offsets = np.zeros(indices.size + 1, dtype=np.int64)
+            np.cumsum(lengths, out=offsets[1:])
+            codes = np.empty(int(offsets[-1]), dtype=np.uint8)
+            for out_i, src_i in enumerate(indices):
+                codes[offsets[out_i] : offsets[out_i + 1]] = self.codes_of(int(src_i))
+        return Database(
+            lengths, codes, offsets, ids, self.alphabet, name or self.name
+        )
+
+    def sorted_by_length(self) -> "Database":
+        """Stable ascending length sort (CUDASW++'s preprocessing step)."""
+        order = np.argsort(self.lengths, kind="stable")
+        return self.select(order, name=f"{self.name}(sorted)")
+
+    def split_by_threshold(self, threshold: int) -> tuple["Database | None", "Database | None"]:
+        """Partition into (inter-task part, intra-task part).
+
+        Sequences with length < ``threshold`` go to the inter-task kernel,
+        the rest to the intra-task kernel.  Either part may be ``None`` when
+        empty.
+        """
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        below = np.flatnonzero(self.lengths < threshold)
+        above = np.flatnonzero(self.lengths >= threshold)
+        below_db = (
+            self.select(below, name=f"{self.name}(<{threshold})")
+            if below.size
+            else None
+        )
+        above_db = (
+            self.select(above, name=f"{self.name}(>={threshold})")
+            if above.size
+            else None
+        )
+        return below_db, above_db
+
+    def partition_groups(self, group_size: int) -> list[SequenceGroup]:
+        """Cut the database into consecutive groups of ``group_size``.
+
+        Must be called on a length-sorted database to reproduce CUDASW++'s
+        grouping (the last group may be smaller).  Group indices refer to
+        *this* database's ordering.
+        """
+        if group_size <= 0:
+            raise ValueError(f"group size must be positive, got {group_size}")
+        groups = []
+        for start in range(0, len(self), group_size):
+            stop = min(start + group_size, len(self))
+            idx = np.arange(start, stop, dtype=np.int64)
+            groups.append(SequenceGroup(idx, self.lengths[start:stop]))
+        return groups

@@ -1,0 +1,118 @@
+"""Streaming FASTA reader and writer.
+
+The reader is generator-based so databases larger than memory could in
+principle be streamed; in this repository it mostly round-trips the
+synthetic databases used by the examples and tests.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import Iterable, Iterator, TextIO
+
+from repro.alphabet import PROTEIN, Alphabet
+from repro.sequence.sequence import Sequence
+
+__all__ = ["read_fasta", "read_fasta_file", "write_fasta"]
+
+
+def read_fasta(
+    handle: TextIO | str,
+    alphabet: Alphabet = PROTEIN,
+    *,
+    strict: bool = False,
+) -> Iterator[Sequence]:
+    """Yield :class:`Sequence` records from FASTA text.
+
+    Parameters
+    ----------
+    handle:
+        An open text file or a string containing FASTA data.
+    alphabet:
+        Alphabet used to encode residues.
+    strict:
+        Passed to :meth:`Alphabet.encode`.  The default is lenient because
+        real databases contain rare non-standard residue codes (U, O, J)
+        that map to the wildcard.
+    """
+    if isinstance(handle, str):
+        handle = io.StringIO(handle)
+
+    header: str | None = None
+    chunks: list[str] = []
+
+    def flush() -> Sequence:
+        text = "".join(chunks)
+        assert header is not None
+        parts = header.split(None, 1)
+        seq_id = parts[0] if parts else ""
+        description = parts[1] if len(parts) > 1 else ""
+        return Sequence.from_text(
+            seq_id, text, alphabet, description=description, strict=strict
+        )
+
+    for raw in handle:
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith(">"):
+            if header is not None:
+                yield flush()
+            header = line[1:].strip()
+            chunks = []
+        else:
+            if header is None:
+                raise ValueError("FASTA data does not start with a '>' header")
+            chunks.append(line)
+    if header is not None:
+        yield flush()
+
+
+def read_fasta_file(
+    path: str | os.PathLike,
+    alphabet: Alphabet = PROTEIN,
+    *,
+    strict: bool = False,
+) -> list[Sequence]:
+    """Read a whole FASTA file into a list of sequences."""
+    with open(path, "r", encoding="ascii") as fh:
+        return list(read_fasta(fh, alphabet, strict=strict))
+
+
+def write_fasta(
+    sequences: Iterable[Sequence],
+    handle: TextIO | str | os.PathLike,
+    *,
+    width: int = 60,
+) -> None:
+    """Write sequences in FASTA format.
+
+    Parameters
+    ----------
+    sequences:
+        Records to write.
+    handle:
+        Open text file or a path.
+    width:
+        Residues per line (must be positive).
+    """
+    if width <= 0:
+        raise ValueError(f"line width must be positive, got {width}")
+
+    own = False
+    if isinstance(handle, (str, os.PathLike)):
+        handle = open(handle, "w", encoding="ascii")
+        own = True
+    try:
+        for seq in sequences:
+            header = f">{seq.id}"
+            if seq.description:
+                header += f" {seq.description}"
+            handle.write(header + "\n")
+            text = seq.text
+            for start in range(0, len(text), width):
+                handle.write(text[start : start + width] + "\n")
+    finally:
+        if own:
+            handle.close()

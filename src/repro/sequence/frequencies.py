@@ -1,0 +1,61 @@
+"""Amino-acid background frequencies.
+
+Residues of synthetic databases are drawn from the Swiss-Prot amino-acid
+composition (UniProtKB/Swiss-Prot release statistics, rounded to 0.01%)
+rather than uniformly, so substitution-score statistics of the synthetic
+workloads resemble real protein searches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.alphabet import PROTEIN
+
+__all__ = ["SWISSPROT_AA_FREQUENCIES", "protein_frequencies"]
+
+#: Swiss-Prot amino-acid composition, percent of residues.
+_SWISSPROT_PERCENT = {
+    "A": 8.25,
+    "R": 5.53,
+    "N": 4.06,
+    "D": 5.45,
+    "C": 1.37,
+    "Q": 3.93,
+    "E": 6.75,
+    "G": 7.07,
+    "H": 2.27,
+    "I": 5.96,
+    "L": 9.66,
+    "K": 5.84,
+    "M": 2.42,
+    "F": 3.86,
+    "P": 4.70,
+    "S": 6.56,
+    "T": 5.34,
+    "W": 1.08,
+    "Y": 2.92,
+    "V": 6.87,
+}
+
+
+def protein_frequencies(percent: dict[str, float] | None = None) -> np.ndarray:
+    """Build a frequency vector over :data:`repro.alphabet.PROTEIN`.
+
+    Symbols absent from ``percent`` (the ambiguity codes B/Z/X/*) get
+    probability zero; the vector is normalized to sum to 1.
+    """
+    table = _SWISSPROT_PERCENT if percent is None else percent
+    freq = np.zeros(PROTEIN.size, dtype=np.float64)
+    for sym, pct in table.items():
+        if pct < 0:
+            raise ValueError(f"negative frequency for {sym!r}")
+        freq[PROTEIN.code_of(sym)] = pct
+    total = freq.sum()
+    if total <= 0:
+        raise ValueError("frequencies sum to zero")
+    return freq / total
+
+
+#: Normalized Swiss-Prot composition over the 24-symbol protein alphabet.
+SWISSPROT_AA_FREQUENCIES = protein_frequencies()

@@ -1,0 +1,128 @@
+"""Sequence evolution utilities: controlled homology for tests and demos.
+
+Search experiments need pairs with *known* relationships — a homolog at a
+target identity, sequences with planted motifs, indel-divergent copies.
+These helpers generate them reproducibly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.alphabet import Alphabet
+from repro.sequence.frequencies import SWISSPROT_AA_FREQUENCIES
+from repro.sequence.sequence import Sequence
+
+__all__ = ["point_mutate", "indel_mutate", "evolve", "plant_motif"]
+
+
+def _background(alphabet: Alphabet) -> np.ndarray | None:
+    return SWISSPROT_AA_FREQUENCIES if alphabet.name == "protein" else None
+
+
+def point_mutate(
+    seq: Sequence,
+    rate: float,
+    rng: np.random.Generator,
+) -> Sequence:
+    """Substitute a ``rate`` fraction of positions with random residues.
+
+    Replacement residues are drawn from the background distribution and
+    may coincide with the original (so the realized identity is slightly
+    above ``1 - rate``).
+    """
+    if not 0 <= rate <= 1:
+        raise ValueError(f"mutation rate must be in [0, 1], got {rate}")
+    codes = seq.codes.copy()
+    n_mut = int(round(len(seq) * rate))
+    if n_mut:
+        pos = rng.choice(len(seq), size=n_mut, replace=False)
+        codes[pos] = seq.alphabet.random_codes(
+            n_mut, rng, frequencies=_background(seq.alphabet)
+        )
+    return Sequence(f"{seq.id}(pm{rate:g})", codes, seq.alphabet)
+
+
+def indel_mutate(
+    seq: Sequence,
+    rate: float,
+    rng: np.random.Generator,
+    *,
+    mean_length: float = 2.0,
+) -> Sequence:
+    """Apply insertions and deletions at a per-position event ``rate``.
+
+    Each event is a deletion or insertion (equal odds) whose length is
+    geometric with the given mean; insertions draw background residues.
+    """
+    if not 0 <= rate <= 1:
+        raise ValueError(f"indel rate must be in [0, 1], got {rate}")
+    if mean_length < 1:
+        raise ValueError("mean indel length must be >= 1")
+    p_stop = 1.0 / mean_length
+    out: list[np.ndarray] = []
+    i = 0
+    codes = seq.codes
+    while i < codes.size:
+        if rng.random() < rate:
+            length = int(rng.geometric(p_stop))
+            if rng.random() < 0.5:
+                i += length  # deletion
+                continue
+            out.append(
+                seq.alphabet.random_codes(
+                    length, rng, frequencies=_background(seq.alphabet)
+                )
+            )
+        out.append(codes[i : i + 1])
+        i += 1
+    if not out:
+        out.append(
+            seq.alphabet.random_codes(1, rng, frequencies=_background(seq.alphabet))
+        )
+    return Sequence(
+        f"{seq.id}(indel{rate:g})", np.concatenate(out), seq.alphabet
+    )
+
+
+def evolve(
+    seq: Sequence,
+    rng: np.random.Generator,
+    *,
+    substitution_rate: float = 0.1,
+    indel_rate: float = 0.01,
+) -> Sequence:
+    """A diverged copy: substitutions plus occasional indels."""
+    return indel_mutate(
+        point_mutate(seq, substitution_rate, rng), indel_rate, rng
+    )
+
+
+def plant_motif(
+    motif: Sequence,
+    total_length: int,
+    rng: np.random.Generator,
+    *,
+    id: str | None = None,
+) -> tuple[Sequence, int]:
+    """Embed ``motif`` at a random position inside background sequence.
+
+    Returns the sequence and the 0-based start offset of the motif.
+    """
+    if total_length < len(motif):
+        raise ValueError(
+            f"total length {total_length} shorter than the motif "
+            f"({len(motif)})"
+        )
+    flank = total_length - len(motif)
+    start = int(rng.integers(0, flank + 1))
+    background = motif.alphabet.random_codes(
+        flank, rng, frequencies=_background(motif.alphabet)
+    )
+    codes = np.concatenate(
+        [background[:start], motif.codes, background[start:]]
+    )
+    return (
+        Sequence(id or f"{motif.id}@host", codes, motif.alphabet),
+        start,
+    )

@@ -1,0 +1,98 @@
+"""Query profiles — the Rognes/Seeberg vectorized similarity lookup.
+
+A query profile re-indexes the substitution matrix by *database symbol* and
+*query position*: ``profile[d, i] == W[q[i], d]``.  During the DP sweep over
+a database sequence, the scores of a whole query chunk against the current
+database symbol are then one contiguous fetch instead of ``m`` scattered
+matrix lookups (Section II-A of the paper).
+
+Two layouts are provided:
+
+* :class:`QueryProfile` — one score per fetch (what the inter-task kernel
+  conceptually uses per cell);
+* :class:`PackedQueryProfile` — four consecutive query positions packed per
+  fetch, mirroring CUDASW++'s ``char4``/texture packing.  This is the layout
+  the improved intra-task kernel exploits: with tile height a multiple of 4,
+  one texture read serves four cell updates (Section III-B: "reducing these
+  memory operations by a factor of four").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.alphabet import SubstitutionMatrix
+
+__all__ = ["QueryProfile", "PackedQueryProfile"]
+
+
+class QueryProfile:
+    """Per-position similarity table ``profile[d, i] = W[q[i], d]``."""
+
+    def __init__(self, query_codes: np.ndarray, matrix: SubstitutionMatrix) -> None:
+        query_codes = np.asarray(query_codes, dtype=np.uint8)
+        if query_codes.ndim != 1 or query_codes.size == 0:
+            raise ValueError("query must be a non-empty 1-D code array")
+        if int(query_codes.max()) >= matrix.alphabet.size:
+            raise ValueError("query codes out of range for the matrix alphabet")
+        self.matrix = matrix
+        self.query_codes = query_codes
+        self.length = int(query_codes.size)
+        # scores[d, i] = W[q[i], d]; row-contiguous per database symbol so a
+        # fetch for symbol d streams the query dimension.
+        self.scores = np.ascontiguousarray(matrix.scores[:, query_codes])
+        self.scores.setflags(write=False)
+
+    def column(self, d_code: int) -> np.ndarray:
+        """All query-position scores against database symbol ``d_code``."""
+        return self.scores[d_code]
+
+    def score(self, i: int, d_code: int) -> int:
+        """Score of query position ``i`` against database symbol ``d_code``."""
+        return int(self.scores[d_code, i])
+
+
+class PackedQueryProfile:
+    """Query profile packed 4 query positions per fetch.
+
+    Attributes
+    ----------
+    packed:
+        ``(alphabet, n_packs, 4)`` score array; ``packed[d, p]`` is the
+        vector of scores of query positions ``4p .. 4p+3`` against database
+        symbol ``d``.  Positions past the query end are padded with
+        ``pad_score`` (the matrix minimum, so accidental use of padding can
+        never inflate an alignment score).
+    """
+
+    PACK = 4
+
+    def __init__(self, query_codes: np.ndarray, matrix: SubstitutionMatrix) -> None:
+        base = QueryProfile(query_codes, matrix)
+        self.matrix = matrix
+        self.query_codes = base.query_codes
+        self.length = base.length
+        self.pad_score = matrix.min_score
+        self.n_packs = -(-self.length // self.PACK)  # ceil division
+        padded_len = self.n_packs * self.PACK
+        padded = np.full(
+            (matrix.alphabet.size, padded_len), self.pad_score, dtype=np.int32
+        )
+        padded[:, : self.length] = base.scores
+        self.packed = np.ascontiguousarray(
+            padded.reshape(matrix.alphabet.size, self.n_packs, self.PACK)
+        )
+        self.packed.setflags(write=False)
+
+    def fetch(self, d_code: int, pack_index: int) -> np.ndarray:
+        """One texture fetch: 4 scores for query rows ``4*pack_index..+3``."""
+        if not 0 <= pack_index < self.n_packs:
+            raise IndexError(
+                f"pack index {pack_index} out of range [0, {self.n_packs})"
+            )
+        return self.packed[d_code, pack_index]
+
+    def fetches_per_column(self) -> int:
+        """Texture fetches needed to score one database symbol against the
+        whole query — ``ceil(m / 4)`` instead of ``m``."""
+        return self.n_packs

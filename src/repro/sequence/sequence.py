@@ -1,0 +1,99 @@
+"""Encoded biological sequences."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.alphabet import PROTEIN, Alphabet
+
+__all__ = ["Sequence"]
+
+
+@dataclass(frozen=True)
+class Sequence:
+    """A named, encoded sequence.
+
+    Residues are stored as ``uint8`` codes of ``alphabet``; the text form is
+    reconstructed on demand.  Instances are immutable (the code array is
+    marked read-only) so they can be shared freely between the kernels, the
+    reference aligners and the baselines.
+
+    Parameters
+    ----------
+    id:
+        Short identifier (FASTA accession).
+    codes:
+        Encoded residues.
+    alphabet:
+        The alphabet ``codes`` refers to.
+    description:
+        Free-text description (rest of the FASTA header).
+    """
+
+    id: str
+    codes: np.ndarray = field(repr=False)
+    alphabet: Alphabet = PROTEIN
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        arr = np.ascontiguousarray(np.asarray(self.codes, dtype=np.uint8))
+        if arr.ndim != 1:
+            raise ValueError(f"sequence codes must be 1-D, got shape {arr.shape}")
+        if arr.size and int(arr.max()) >= self.alphabet.size:
+            raise ValueError(
+                f"sequence {self.id!r}: code {int(arr.max())} out of range for "
+                f"alphabet {self.alphabet.name!r}"
+            )
+        arr.setflags(write=False)
+        object.__setattr__(self, "codes", arr)
+
+    @classmethod
+    def from_text(
+        cls,
+        id: str,
+        text: str,
+        alphabet: Alphabet = PROTEIN,
+        *,
+        description: str = "",
+        strict: bool = True,
+    ) -> "Sequence":
+        """Build a sequence by encoding ``text``."""
+        return cls(id, alphabet.encode(text, strict=strict), alphabet, description)
+
+    @classmethod
+    def random(
+        cls,
+        id: str,
+        length: int,
+        rng: np.random.Generator,
+        alphabet: Alphabet = PROTEIN,
+        frequencies: np.ndarray | None = None,
+    ) -> "Sequence":
+        """Draw a random sequence of ``length`` residues."""
+        return cls(id, alphabet.random_codes(length, rng, frequencies), alphabet)
+
+    def __len__(self) -> int:
+        return int(self.codes.size)
+
+    @property
+    def text(self) -> str:
+        """The decoded residue string."""
+        return self.alphabet.decode(self.codes)
+
+    def __str__(self) -> str:
+        return self.text
+
+    def slice(self, start: int, stop: int) -> "Sequence":
+        """Subsequence ``[start:stop)`` (shares no mutable state)."""
+        return Sequence(
+            f"{self.id}[{start}:{stop}]",
+            self.codes[start:stop].copy(),
+            self.alphabet,
+            self.description,
+        )
+
+    def reversed(self) -> "Sequence":
+        """The sequence with residue order reversed (used by Hirschberg)."""
+        return Sequence(f"{self.id}(rev)", self.codes[::-1].copy(), self.alphabet)

@@ -1,0 +1,63 @@
+"""Database serialization.
+
+Synthetic databases are cheap to regenerate, but experiment pipelines
+want byte-identical workloads across runs and machines; FASTA round-trips
+are slow and lose lengths-only databases entirely.  ``save_database`` /
+``load_database`` store the columnar representation (lengths, codes,
+offsets, ids, alphabet) in a single ``.npz``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.alphabet import DNA, PROTEIN, Alphabet
+from repro.sequence.database import Database
+
+__all__ = ["save_database", "load_database"]
+
+_FORMAT_VERSION = 1
+_ALPHABETS: dict[str, Alphabet] = {"protein": PROTEIN, "dna": DNA}
+
+
+def save_database(db: Database, path: str | os.PathLike) -> None:
+    """Write a database (materialized or lengths-only) to ``path``."""
+    payload: dict[str, np.ndarray] = {
+        "version": np.array([_FORMAT_VERSION]),
+        "name": np.array([db.name]),
+        "alphabet": np.array([db.alphabet.name]),
+        "lengths": db.lengths,
+        "has_residues": np.array([db.has_residues]),
+    }
+    if db.has_residues:
+        payload["codes"] = db._codes
+        payload["offsets"] = db._offsets
+    if db._ids is not None:
+        payload["ids"] = np.array(db._ids)
+    np.savez_compressed(os.fspath(path), **payload)
+
+
+def load_database(path: str | os.PathLike) -> Database:
+    """Load a database written by :func:`save_database`."""
+    with np.load(os.fspath(path), allow_pickle=False) as data:
+        version = int(data["version"][0])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported database format version {version} "
+                f"(this build reads {_FORMAT_VERSION})"
+            )
+        alphabet_name = str(data["alphabet"][0])
+        if alphabet_name not in _ALPHABETS:
+            raise ValueError(f"unknown alphabet {alphabet_name!r}")
+        alphabet = _ALPHABETS[alphabet_name]
+        lengths = data["lengths"]
+        codes = offsets = None
+        if bool(data["has_residues"][0]):
+            codes = data["codes"]
+            offsets = data["offsets"]
+        ids = [str(s) for s in data["ids"]] if "ids" in data else None
+        return Database(
+            lengths, codes, offsets, ids, alphabet, str(data["name"][0])
+        )

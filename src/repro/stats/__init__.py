@@ -1,0 +1,36 @@
+"""Alignment score statistics (Karlin-Altschul).
+
+Raw Smith-Waterman scores are not comparable across queries, databases or
+scoring systems; every serious search tool reports *bit scores* and
+*E-values* instead.  This package provides:
+
+* :func:`~repro.stats.karlin.karlin_lambda` — the scale parameter
+  ``lambda`` of the Karlin-Altschul score distribution, solved exactly
+  from the substitution matrix and background frequencies;
+* :func:`~repro.stats.karlin.karlin_parameters` — ``(lambda, K, H)``
+  with ``K`` calibrated empirically (documented in the module);
+* :class:`~repro.stats.evalue.ScoreStatistics` — bit scores, E-values
+  and P-values for search hits, and
+  :func:`~repro.stats.evalue.annotate_hits` to attach them to a
+  :class:`~repro.app.results.SearchResult`.
+"""
+
+from repro.stats.evalue import AnnotatedHit, ScoreStatistics, annotate_hits
+from repro.stats.karlin import (
+    KarlinParameters,
+    expected_score,
+    karlin_lambda,
+    karlin_parameters,
+    relative_entropy,
+)
+
+__all__ = [
+    "AnnotatedHit",
+    "KarlinParameters",
+    "ScoreStatistics",
+    "annotate_hits",
+    "expected_score",
+    "karlin_lambda",
+    "karlin_parameters",
+    "relative_entropy",
+]

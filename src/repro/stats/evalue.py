@@ -1,0 +1,103 @@
+"""Bit scores and E-values for search results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.alphabet import BLOSUM62, GapPenalty, SubstitutionMatrix
+from repro.app.results import Hit, SearchResult
+from repro.sequence.frequencies import SWISSPROT_AA_FREQUENCIES
+from repro.stats.karlin import KarlinParameters, karlin_parameters
+
+__all__ = ["ScoreStatistics", "AnnotatedHit", "annotate_hits"]
+
+
+@dataclass(frozen=True)
+class AnnotatedHit:
+    """A search hit with its statistical significance."""
+
+    hit: Hit
+    bit_score: float
+    evalue: float
+    pvalue: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.hit.id}: score={self.hit.score} "
+            f"bits={self.bit_score:.1f} E={self.evalue:.2g}"
+        )
+
+
+class ScoreStatistics:
+    """Significance calculator for one scoring system and search space."""
+
+    def __init__(
+        self,
+        matrix: SubstitutionMatrix = BLOSUM62,
+        gaps: GapPenalty | None = None,
+        frequencies: np.ndarray | None = None,
+        *,
+        parameters: KarlinParameters | None = None,
+    ) -> None:
+        self.matrix = matrix
+        self.gaps = gaps
+        freq = (
+            SWISSPROT_AA_FREQUENCIES
+            if frequencies is None and matrix.alphabet.name == "protein"
+            else frequencies
+        )
+        if freq is None:
+            raise ValueError(
+                "background frequencies are required for non-protein alphabets"
+            )
+        self.frequencies = freq
+        self.parameters = parameters or karlin_parameters(matrix, freq, gaps)
+
+    def bit_score(self, raw_score: int) -> float:
+        return self.parameters.bit_score(raw_score)
+
+    def evalue(self, raw_score: int, query_length: int, db_residues: int) -> float:
+        """E-value against a whole database (search space = m x total N)."""
+        return self.parameters.evalue(raw_score, query_length, db_residues)
+
+    def significance_threshold(
+        self, query_length: int, db_residues: int, evalue: float = 1e-3
+    ) -> int:
+        """Smallest raw score whose E-value is at most ``evalue``."""
+        if evalue <= 0:
+            raise ValueError("evalue cutoff must be positive")
+        import math
+
+        p = self.parameters
+        s = (math.log(p.k * query_length * db_residues) - math.log(evalue)) / p.lam
+        return int(math.ceil(s))
+
+
+def annotate_hits(
+    result: SearchResult,
+    statistics: ScoreStatistics,
+    query_length: int,
+    *,
+    k: int = 10,
+    max_evalue: float | None = None,
+) -> list[AnnotatedHit]:
+    """The top hits of a search with bit scores and E-values attached."""
+    if query_length <= 0:
+        raise ValueError("query length must be positive")
+    db_residues = int(np.sum(result.lengths))
+    annotated = []
+    for hit in result.top(k):
+        e = statistics.evalue(hit.score, query_length, db_residues)
+        if max_evalue is not None and e > max_evalue:
+            continue
+        annotated.append(
+            AnnotatedHit(
+                hit=hit,
+                bit_score=statistics.bit_score(hit.score),
+                evalue=e,
+                pvalue=statistics.parameters.pvalue_from_evalue(e),
+            )
+        )
+    return annotated

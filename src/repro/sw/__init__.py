@@ -1,0 +1,56 @@
+"""Reference Smith-Waterman implementations (the gold standard).
+
+Every GPU kernel and baseline in this repository must reproduce the scores
+computed here.  The package provides:
+
+* :func:`~repro.sw.scalar.sw_score_scalar` — the textbook O(mn) scalar
+  recurrence (eq. 1 of the paper), used as the ultimate arbiter in tests;
+* :func:`~repro.sw.antidiagonal.sw_score_antidiagonal` — a vectorized
+  wavefront implementation (the same traversal order as the original
+  intra-task kernel), the workhorse score routine;
+* :func:`~repro.sw.traceback.sw_align` — full-table alignment with affine
+  traceback, returning an :class:`~repro.sw.alignment.Alignment`;
+* :func:`~repro.sw.hirschberg.sw_align_linear_space` — reduced-memory local
+  alignment (locate the optimal region with linear-space passes, then
+  trace back only inside it);
+* :func:`~repro.sw.global_.nw_score` / :func:`~repro.sw.global_.nw_align` —
+  global (Needleman-Wunsch) and semi-global variants;
+* :func:`~repro.sw.myers_miller.nw_align_linear_space` — Myers-Miller
+  divide-and-conquer global alignment in O(m+n) memory;
+* :func:`~repro.sw.overlap.overlap_score` — overlap (dovetail) alignment;
+* :func:`~repro.sw.banded.sw_score_banded` — banded local alignment.
+"""
+
+from repro.sw.alignment import Alignment, alignment_score
+from repro.sw.antidiagonal import sw_score_antidiagonal
+from repro.sw.banded import sw_score_banded
+from repro.sw.global_ import nw_align, nw_score, semiglobal_score
+from repro.sw.hirschberg import sw_align_linear_space
+from repro.sw.myers_miller import nw_align_linear_space
+from repro.sw.overlap import overlap_align, overlap_score
+from repro.sw.scalar import sw_score_scalar, sw_tables_scalar
+from repro.sw.traceback import sw_align
+from repro.sw.utils import NEG_INF, as_codes
+
+#: Preferred score-only entry point.
+smith_waterman = sw_score_antidiagonal
+
+__all__ = [
+    "Alignment",
+    "alignment_score",
+    "as_codes",
+    "NEG_INF",
+    "nw_align",
+    "nw_align_linear_space",
+    "nw_score",
+    "overlap_align",
+    "overlap_score",
+    "semiglobal_score",
+    "smith_waterman",
+    "sw_align",
+    "sw_align_linear_space",
+    "sw_score_antidiagonal",
+    "sw_score_banded",
+    "sw_score_scalar",
+    "sw_tables_scalar",
+]

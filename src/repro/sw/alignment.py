@@ -1,0 +1,199 @@
+"""Alignment results and their verification.
+
+An :class:`Alignment` is the full witness of an alignment score: the two
+gapped strings plus coordinates.  :func:`alignment_score` re-scores a
+witness from scratch, which gives tests an independent check that a
+traceback is not just *a* path but one whose score matches the DP optimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.alphabet import GapPenalty, SubstitutionMatrix
+
+__all__ = ["Alignment", "alignment_score"]
+
+GAP = "-"
+
+
+@dataclass(frozen=True)
+class Alignment:
+    """A (local or global) pairwise alignment.
+
+    Coordinates are 0-based, end-exclusive over the *unaligned* sequences:
+    the alignment covers ``query[q_start:q_end]`` and
+    ``database[d_start:d_end]``.
+
+    ``q_aligned`` and ``d_aligned`` are equal-length strings over the
+    alphabet plus ``'-'``; ``cigar`` uses ``M`` (aligned pair), ``I``
+    (query residue against a gap) and ``D`` (database residue against a
+    gap).
+    """
+
+    score: int
+    q_start: int
+    q_end: int
+    d_start: int
+    d_end: int
+    q_aligned: str
+    d_aligned: str
+
+    def __post_init__(self) -> None:
+        if len(self.q_aligned) != len(self.d_aligned):
+            raise ValueError("aligned strings must have equal length")
+        q_res = sum(1 for c in self.q_aligned if c != GAP)
+        d_res = sum(1 for c in self.d_aligned if c != GAP)
+        if q_res != self.q_end - self.q_start:
+            raise ValueError(
+                f"query coordinates span {self.q_end - self.q_start} residues "
+                f"but the aligned string contains {q_res}"
+            )
+        if d_res != self.d_end - self.d_start:
+            raise ValueError(
+                f"database coordinates span {self.d_end - self.d_start} residues "
+                f"but the aligned string contains {d_res}"
+            )
+        for a, b in zip(self.q_aligned, self.d_aligned):
+            if a == GAP and b == GAP:
+                raise ValueError("alignment contains a gap-gap column")
+
+    @property
+    def length(self) -> int:
+        """Number of alignment columns."""
+        return len(self.q_aligned)
+
+    @property
+    def cigar(self) -> str:
+        """Run-length encoded operations, e.g. ``"5M2D9M"``."""
+        ops = []
+        for a, b in zip(self.q_aligned, self.d_aligned):
+            if a == GAP:
+                ops.append("D")
+            elif b == GAP:
+                ops.append("I")
+            else:
+                ops.append("M")
+        out = []
+        run = 0
+        prev = ""
+        for op in ops + [""]:
+            if op == prev:
+                run += 1
+            else:
+                if prev:
+                    out.append(f"{run}{prev}")
+                prev = op
+                run = 1
+        return "".join(out)
+
+    def identity(self) -> float:
+        """Fraction of columns that are exact matches."""
+        matches = sum(
+            1
+            for a, b in zip(self.q_aligned, self.d_aligned)
+            if a == b and a != GAP
+        )
+        return matches / self.length if self.length else 0.0
+
+    def positives(self, matrix: SubstitutionMatrix) -> float:
+        """Fraction of columns with a positive substitution score (BLAST's
+        'positives')."""
+        if not self.length:
+            return 0.0
+        hits = sum(
+            1
+            for a, b in zip(self.q_aligned, self.d_aligned)
+            if a != GAP and b != GAP and matrix.score(a, b) > 0
+        )
+        return hits / self.length
+
+    def gap_columns(self) -> int:
+        """Number of alignment columns containing a gap."""
+        return sum(
+            1
+            for a, b in zip(self.q_aligned, self.d_aligned)
+            if a == GAP or b == GAP
+        )
+
+    def gap_opens(self) -> int:
+        """Number of distinct gap runs (what affine opens are charged for)."""
+        opens = 0
+        prev = "M"
+        for a, b in zip(self.q_aligned, self.d_aligned):
+            state = "D" if a == GAP else ("I" if b == GAP else "M")
+            if state != "M" and state != prev:
+                opens += 1
+            prev = state
+        return opens
+
+    def query_coverage(self, query_length: int) -> float:
+        """Fraction of the query the alignment spans."""
+        if query_length <= 0:
+            raise ValueError("query_length must be positive")
+        return (self.q_end - self.q_start) / query_length
+
+    def midline(self, matrix: SubstitutionMatrix) -> str:
+        """BLAST-style midline: letter for identity, ``+`` for a positive
+        substitution score, space otherwise."""
+        chars = []
+        for a, b in zip(self.q_aligned, self.d_aligned):
+            if a == GAP or b == GAP:
+                chars.append(" ")
+            elif a == b:
+                chars.append(a)
+            elif matrix.score(a, b) > 0:
+                chars.append("+")
+            else:
+                chars.append(" ")
+        return "".join(chars)
+
+    def pretty(self, matrix: SubstitutionMatrix, width: int = 60) -> str:
+        """Human-readable block rendering."""
+        mid = self.midline(matrix)
+        blocks = []
+        for start in range(0, self.length, width):
+            stop = min(start + width, self.length)
+            blocks.append(
+                "\n".join(
+                    (
+                        f"Query {self.q_aligned[start:stop]}",
+                        f"      {mid[start:stop]}",
+                        f"Sbjct {self.d_aligned[start:stop]}",
+                    )
+                )
+            )
+        header = (
+            f"score={self.score} q[{self.q_start}:{self.q_end}] "
+            f"d[{self.d_start}:{self.d_end}] identity={self.identity():.1%}"
+        )
+        return header + "\n" + "\n\n".join(blocks)
+
+
+def alignment_score(
+    alignment: Alignment,
+    matrix: SubstitutionMatrix,
+    gaps: GapPenalty,
+) -> int:
+    """Re-score an alignment from its gapped strings.
+
+    Substitution columns add ``W(a, b)``; a maximal run of ``k`` gap columns
+    (on either side) subtracts ``rho + (k-1) * sigma``.  For an optimal
+    local alignment this must equal ``alignment.score``.
+    """
+    total = 0
+    gap_run_q = 0  # run of '-' in q_aligned (database residues unpaired)
+    gap_run_d = 0
+    for a, b in zip(alignment.q_aligned, alignment.d_aligned):
+        if a == GAP:
+            gap_run_q += 1
+            gap_run_d = 0
+            total -= gaps.rho if gap_run_q == 1 else gaps.sigma
+        elif b == GAP:
+            gap_run_d += 1
+            gap_run_q = 0
+            total -= gaps.rho if gap_run_d == 1 else gaps.sigma
+        else:
+            gap_run_q = gap_run_d = 0
+            total += matrix.score(a, b)
+    return total

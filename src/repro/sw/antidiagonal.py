@@ -1,0 +1,110 @@
+"""Vectorized anti-diagonal (wavefront) Smith-Waterman.
+
+Cells on the same anti-diagonal ``i + j = k`` have no mutual dependencies,
+so a whole diagonal is computed with numpy vector operations — the same
+traversal order the original CUDASW++ intra-task kernel uses with one
+thread per wavefront cell.  Space is linear: three diagonals of H plus one
+each of E and F.
+
+This is the repository's workhorse exact-score routine: O(m + n) numpy
+steps instead of O(mn) Python iterations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.alphabet import GapPenalty, SubstitutionMatrix
+from repro.sw.utils import NEG_INF, as_codes, check_nonempty, validate_penalties
+
+__all__ = ["sw_score_antidiagonal", "sw_score_antidiagonal_ends"]
+
+
+def sw_score_antidiagonal(
+    query,
+    database,
+    matrix: SubstitutionMatrix,
+    gaps: GapPenalty,
+) -> int:
+    """Optimal local alignment score via wavefront sweeps."""
+    score, _, _ = sw_score_antidiagonal_ends(query, database, matrix, gaps)
+    return score
+
+
+def sw_score_antidiagonal_ends(
+    query,
+    database,
+    matrix: SubstitutionMatrix,
+    gaps: GapPenalty,
+) -> tuple[int, int, int]:
+    """Score plus the (i, j) end coordinates of an optimal local alignment.
+
+    Coordinates are 1-indexed table positions (``i`` rows into the query,
+    ``j`` columns into the database sequence); among equal-scoring cells the
+    one on the earliest anti-diagonal, then smallest ``i``, is reported.
+    Used by the linear-space aligner to bound the traceback region.
+    """
+    q = as_codes(query, matrix)
+    d = as_codes(database, matrix)
+    check_nonempty(q, d)
+    validate_penalties(gaps)
+    m, n = q.size, d.size
+    rho, sigma = gaps.rho, gaps.sigma
+    W = matrix.scores
+
+    # Diagonal buffers indexed by i in [0, m]; entry i of the "current"
+    # buffer holds the value at (i, k - i) for the diagonal being computed.
+    h_prev2 = np.zeros(m + 1, dtype=np.int32)  # diagonal k-2
+    h_prev = np.zeros(m + 1, dtype=np.int32)  # diagonal k-1
+    e_prev = np.full(m + 1, NEG_INF, dtype=np.int32)
+    f_prev = np.full(m + 1, NEG_INF, dtype=np.int32)
+
+    best = 0
+    best_i = 0
+    best_j = 0
+
+    for k in range(2, m + n + 1):
+        lo = max(1, k - n)
+        hi = min(m, k - 1)  # inclusive
+        if lo > hi:
+            continue
+        i_range = slice(lo, hi + 1)
+        i_minus1 = slice(lo - 1, hi)
+
+        # E[i,j] = max(E[i,j-1] - sigma, H[i,j-1] - rho); (i, j-1) sits on
+        # diagonal k-1 at the same index i.
+        e_cur_v = np.maximum(e_prev[i_range] - sigma, h_prev[i_range] - rho)
+        # F[i,j] = max(F[i-1,j] - sigma, H[i-1,j] - rho); (i-1, j) sits on
+        # diagonal k-1 at index i-1.
+        f_cur_v = np.maximum(f_prev[i_minus1] - sigma, h_prev[i_minus1] - rho)
+        # H[i,j] = max(0, E, F, H[i-1,j-1] + w); (i-1, j-1) on diagonal k-2.
+        # For i = lo..hi the database index j-1 = k-i-1 runs *down* from
+        # k-lo-1 to k-hi-1.
+        d_idx = (k - 1) - np.arange(lo, hi + 1)
+        subs = W[q[lo - 1 : hi], d[d_idx]]
+        h_cur_v = np.maximum(
+            np.maximum(e_cur_v, f_cur_v), h_prev2[i_minus1] + subs
+        )
+        np.maximum(h_cur_v, 0, out=h_cur_v)
+
+        step_best = int(h_cur_v.max())
+        if step_best > best:
+            best = step_best
+            off = int(np.argmax(h_cur_v))
+            best_i = lo + off
+            best_j = k - best_i
+
+        # Rotate buffers.  Boundary cells (i = 0 row and j = 0 column) keep
+        # H = 0 and E = F = -inf, which the fresh buffers encode below.
+        h_new = np.zeros(m + 1, dtype=np.int32)
+        e_new = np.full(m + 1, NEG_INF, dtype=np.int32)
+        f_new = np.full(m + 1, NEG_INF, dtype=np.int32)
+        h_new[i_range] = h_cur_v
+        e_new[i_range] = e_cur_v
+        f_new[i_range] = f_cur_v
+        h_prev2 = h_prev
+        h_prev = h_new
+        e_prev = e_new
+        f_prev = f_new
+
+    return best, best_i, best_j

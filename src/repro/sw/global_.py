@@ -1,0 +1,139 @@
+"""Global (Needleman-Wunsch) and semi-global affine-gap alignment.
+
+Included for library completeness (any credible sequence-search package
+offers them) and used by tests as independent cross-checks: a local score
+upper-bounds the global score of the same pair, and the semi-global score
+sits in between.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.alphabet import GapPenalty, SubstitutionMatrix
+from repro.sw.alignment import GAP, Alignment
+from repro.sw.utils import NEG_INF, as_codes, check_nonempty, validate_penalties
+
+__all__ = ["nw_score", "nw_align", "semiglobal_score"]
+
+
+def _nw_tables(
+    q: np.ndarray,
+    d: np.ndarray,
+    matrix: SubstitutionMatrix,
+    gaps: GapPenalty,
+    *,
+    free_top: bool,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Fill affine NW tables.
+
+    ``free_top=True`` makes gaps before the database sequence free (the
+    semi-global "query contained in database" convention).
+    """
+    m, n = q.size, d.size
+    rho, sigma = gaps.rho, gaps.sigma
+    W = matrix.scores
+
+    H = np.zeros((m + 1, n + 1), dtype=np.int32)
+    E = np.full((m + 1, n + 1), NEG_INF, dtype=np.int32)
+    F = np.full((m + 1, n + 1), NEG_INF, dtype=np.int32)
+
+    for j in range(1, n + 1):
+        if free_top:
+            H[0, j] = 0
+        else:
+            E[0, j] = -(rho + (j - 1) * sigma)
+            H[0, j] = E[0, j]
+    for i in range(1, m + 1):
+        F[i, 0] = -(rho + (i - 1) * sigma)
+        H[i, 0] = F[i, 0]
+
+    for i in range(1, m + 1):
+        qi = q[i - 1]
+        for j in range(1, n + 1):
+            e = max(E[i, j - 1] - sigma, H[i, j - 1] - rho)
+            f = max(F[i - 1, j] - sigma, H[i - 1, j] - rho)
+            h = max(e, f, H[i - 1, j - 1] + W[qi, d[j - 1]])
+            E[i, j] = e
+            F[i, j] = f
+            H[i, j] = h
+    return H, E, F
+
+
+def nw_score(query, database, matrix: SubstitutionMatrix, gaps: GapPenalty) -> int:
+    """Global alignment score (both sequences end to end)."""
+    q = as_codes(query, matrix)
+    d = as_codes(database, matrix)
+    check_nonempty(q, d)
+    validate_penalties(gaps)
+    H, _, _ = _nw_tables(q, d, matrix, gaps, free_top=False)
+    return int(H[q.size, d.size])
+
+
+def semiglobal_score(
+    query, database, matrix: SubstitutionMatrix, gaps: GapPenalty
+) -> int:
+    """Semi-global score: the whole query aligned somewhere inside the
+    database sequence (gaps before/after the database part are free)."""
+    q = as_codes(query, matrix)
+    d = as_codes(database, matrix)
+    check_nonempty(q, d)
+    validate_penalties(gaps)
+    H, _, _ = _nw_tables(q, d, matrix, gaps, free_top=True)
+    return int(H[q.size].max())
+
+
+def nw_align(
+    query, database, matrix: SubstitutionMatrix, gaps: GapPenalty
+) -> Alignment:
+    """Global alignment with affine traceback."""
+    q = as_codes(query, matrix)
+    d = as_codes(database, matrix)
+    check_nonempty(q, d)
+    validate_penalties(gaps)
+    H, E, F = _nw_tables(q, d, matrix, gaps, free_top=False)
+    alphabet = matrix.alphabet
+    rho, sigma = gaps.rho, gaps.sigma
+    W = matrix.scores
+
+    i, j = q.size, d.size
+    q_chars: list[str] = []
+    d_chars: list[str] = []
+    state = "M"
+    while i > 0 or j > 0:
+        if state == "M":
+            if i > 0 and j > 0 and int(H[i, j]) == int(H[i - 1, j - 1]) + int(
+                W[q[i - 1], d[j - 1]]
+            ):
+                q_chars.append(alphabet.symbol_of(int(q[i - 1])))
+                d_chars.append(alphabet.symbol_of(int(d[j - 1])))
+                i -= 1
+                j -= 1
+            elif j > 0 and int(H[i, j]) == int(E[i, j]):
+                state = "E"
+            elif i > 0 and int(H[i, j]) == int(F[i, j]):
+                state = "F"
+            else:  # pragma: no cover
+                raise AssertionError(f"broken NW traceback at ({i}, {j})")
+        elif state == "E":
+            q_chars.append(GAP)
+            d_chars.append(alphabet.symbol_of(int(d[j - 1])))
+            closes = int(E[i, j]) == int(H[i, j - 1]) - rho
+            j -= 1
+            state = "M" if closes else "E"
+        else:
+            q_chars.append(alphabet.symbol_of(int(q[i - 1])))
+            d_chars.append(GAP)
+            closes = int(F[i, j]) == int(H[i - 1, j]) - rho
+            i -= 1
+            state = "M" if closes else "F"
+
+    return Alignment(
+        score=int(H[q.size, d.size]),
+        q_start=0,
+        q_end=q.size,
+        d_start=0,
+        d_end=d.size,
+        q_aligned="".join(reversed(q_chars)),
+        d_aligned="".join(reversed(d_chars)),
+    )

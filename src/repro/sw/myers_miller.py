@@ -1,0 +1,240 @@
+"""Myers-Miller linear-space global alignment (CABIOS 1988).
+
+Hirschberg's divide-and-conquer adapted to affine gaps: a forward
+cost pass over the top half and a backward pass over the bottom half meet
+on the middle row; the optimal crossing column (and whether the crossing
+happens *inside* a vertical gap, whose open cost must not be paid twice)
+splits the problem into two halves solved recursively.  Memory is O(m+n)
+throughout; time stays O(mn).
+
+Internally this follows the original's cost-minimization formulation with
+``gap(k) = g + h*k`` (``g = rho - sigma``, ``h = sigma``; substitution
+cost is the negated matrix score), translated to numpy inner loops.  The
+result is converted back into a score-maximizing
+:class:`~repro.sw.alignment.Alignment` and must match
+:func:`~repro.sw.global_.nw_score` exactly — tests enforce it.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.alphabet import GapPenalty, SubstitutionMatrix
+from repro.sw.alignment import GAP, Alignment
+from repro.sw.utils import as_codes, check_nonempty, validate_penalties
+
+__all__ = ["nw_align_linear_space"]
+
+_BIG = 1 << 40
+
+
+class _MyersMiller:
+    """One alignment run: recursion state plus the emitted edit script."""
+
+    def __init__(
+        self, a: np.ndarray, b: np.ndarray, matrix: SubstitutionMatrix,
+        gaps: GapPenalty,
+    ) -> None:
+        self.a = a
+        self.b = b
+        self.costs = (-matrix.scores).astype(np.int64)  # minimize
+        self.g = gaps.rho - gaps.sigma  # gap open (beyond the first h)
+        self.h = gaps.sigma  # per-residue gap cost
+        # Edit script: +k = insert k B residues, -k = delete k A residues,
+        # 0 = one substitution column.  (The classic encoding.)
+        self.ops: list[int] = []
+
+    def gap(self, k: int) -> int:
+        return self.g + self.h * k if k > 0 else 0
+
+    # ------------------------------------------------------------------
+    def _ins(self, k: int) -> None:
+        if k <= 0:
+            return
+        if self.ops and self.ops[-1] > 0:
+            self.ops[-1] += k
+        else:
+            self.ops.append(k)
+
+    def _del(self, k: int) -> None:
+        if k <= 0:
+            return
+        if self.ops and self.ops[-1] < 0:
+            self.ops[-1] -= k
+        else:
+            self.ops.append(-k)
+
+    def _rep(self) -> None:
+        self.ops.append(0)
+
+    # ------------------------------------------------------------------
+    def diff(self, ai: int, bj: int, m: int, n: int, tb: int, te: int) -> int:
+        """Align A[ai:ai+m] with B[bj:bj+n]; gap-open costs at the top and
+        bottom boundaries are ``tb``/``te`` (``0`` when a vertical gap is
+        already open there).  Returns the minimum cost and emits ops."""
+        a, b = self.a, self.b
+        g, h = self.g, self.h
+
+        if n == 0:
+            if m > 0:
+                self._del(m)
+            return self.gap(m)
+        if m == 0:
+            self._ins(n)
+            return self.gap(n)
+        if m == 1:
+            tb = min(tb, te)
+            # Either delete A[ai] (possibly continuing a boundary gap) and
+            # insert all of B ...
+            best = (tb + h) + self.gap(n)
+            best_j = 0
+            row = self.costs[a[ai]]
+            # ... or align A[ai] to some B[bj + j - 1].
+            for j in range(1, n + 1):
+                c = self.gap(j - 1) + int(row[b[bj + j - 1]]) + self.gap(n - j)
+                if c < best:
+                    best = c
+                    best_j = j
+            if best_j == 0:
+                self._del(1)
+                self._ins(n)
+            else:
+                self._ins(best_j - 1)
+                self._rep()
+                self._ins(n - best_j)
+            return best
+
+        mid = m // 2
+
+        # Forward pass over A[ai : ai+mid].
+        cc = np.empty(n + 1, dtype=np.int64)
+        dd = np.empty(n + 1, dtype=np.int64)
+        cc[0] = 0
+        for j in range(1, n + 1):
+            cc[j] = self.gap(j)
+            dd[j] = cc[j] + g
+        t = tb
+        for i in range(mid):
+            s = int(cc[0])
+            t += h
+            c0 = t
+            cc[0] = c0
+            e = t + g
+            row = self.costs[a[ai + i]]
+            c_prev = c0
+            for j in range(1, n + 1):
+                e = min(e + h, c_prev + g + h)  # horizontal gap
+                d = min(int(dd[j]) + h, int(cc[j]) + g + h)  # vertical gap
+                c = min(d, e, s + int(row[b[bj + j - 1]]))
+                s = int(cc[j])
+                cc[j] = c
+                dd[j] = d
+                c_prev = c
+        dd[0] = cc[0]
+
+        # Backward pass over A[ai+mid : ai+m], reversed.
+        rr = np.empty(n + 1, dtype=np.int64)
+        ss = np.empty(n + 1, dtype=np.int64)
+        rr[n] = 0
+        for j in range(n - 1, -1, -1):
+            rr[j] = self.gap(n - j)
+            ss[j] = rr[j] + g
+        t = te
+        for i in range(m - mid):
+            s = int(rr[n])
+            t += h
+            c0 = t
+            rr[n] = c0
+            e = t + g
+            row = self.costs[a[ai + m - 1 - i]]
+            c_prev = c0
+            for j in range(n - 1, -1, -1):
+                e = min(e + h, c_prev + g + h)
+                d = min(int(ss[j]) + h, int(rr[j]) + g + h)
+                c = min(d, e, s + int(row[b[bj + j]]))
+                s = int(rr[j])
+                rr[j] = c
+                ss[j] = d
+                c_prev = c
+        ss[n] = rr[n]
+
+        # Optimal crossing point on row mid: plain (type 1) or inside a
+        # vertical gap (type 2, saving one gap-open).
+        plain = cc + rr
+        in_gap = dd + ss - g
+        j1 = int(np.argmin(plain))
+        j2 = int(np.argmin(in_gap))
+        if int(plain[j1]) <= int(in_gap[j2]):
+            best, best_j, kind = int(plain[j1]), j1, 1
+        else:
+            best, best_j, kind = int(in_gap[j2]), j2, 2
+
+        if kind == 1:
+            self.diff(ai, bj, mid, best_j, tb, g)
+            self.diff(ai + mid, bj + best_j, m - mid, n - best_j, g, te)
+        else:
+            # Rows mid-1 and mid both sit in one vertical gap: emit them
+            # here and tell the halves the gap is already open (cost 0).
+            self.diff(ai, bj, mid - 1, best_j, tb, 0)
+            self._del(2)
+            self.diff(ai + mid + 1, bj + best_j, m - mid - 1, n - best_j, 0, te)
+        return best
+
+
+def nw_align_linear_space(
+    query,
+    database,
+    matrix: SubstitutionMatrix,
+    gaps: GapPenalty,
+) -> Alignment:
+    """Global alignment in O(m + n) memory via Myers-Miller.
+
+    Score-equivalent to :func:`repro.sw.global_.nw_align`; the witness is
+    reconstructed from the divide-and-conquer edit script.
+    """
+    q = as_codes(query, matrix)
+    d = as_codes(database, matrix)
+    check_nonempty(q, d)
+    validate_penalties(gaps)
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 64 + 2 * (q.size.bit_length() + 1) * 64))
+    try:
+        runner = _MyersMiller(q, d, matrix, gaps)
+        cost = runner.diff(0, 0, q.size, d.size, runner.g, runner.g)
+    finally:
+        sys.setrecursionlimit(old_limit)
+
+    # Rebuild the gapped strings from the edit script.
+    alphabet = matrix.alphabet
+    q_chars: list[str] = []
+    d_chars: list[str] = []
+    i = j = 0
+    for op in runner.ops:
+        if op == 0:
+            q_chars.append(alphabet.symbol_of(int(q[i])))
+            d_chars.append(alphabet.symbol_of(int(d[j])))
+            i += 1
+            j += 1
+        elif op > 0:  # insert B residues
+            d_chars.extend(alphabet.symbol_of(int(d[j + k])) for k in range(op))
+            q_chars.extend(GAP * op)
+            j += op
+        else:  # delete A residues
+            q_chars.extend(alphabet.symbol_of(int(q[i + k])) for k in range(-op))
+            d_chars.extend(GAP * -op)
+            i += -op
+    if i != q.size or j != d.size:  # pragma: no cover - invariant guard
+        raise AssertionError("edit script does not cover both sequences")
+
+    return Alignment(
+        score=-cost,
+        q_start=0,
+        q_end=q.size,
+        d_start=0,
+        d_end=d.size,
+        q_aligned="".join(q_chars),
+        d_aligned="".join(d_chars),
+    )

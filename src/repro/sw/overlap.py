@@ -1,0 +1,119 @@
+"""Overlap (dovetail) alignment.
+
+The fourth classical alignment mode, completing the family: gaps are free
+at *all four* sequence ends, but the alignment must still cross the table
+from one sequence's prefix to the other's suffix — the scoring used for
+read overlap detection in assembly.  Affine gaps, score-only (O(min)
+memory) plus a full-table variant returning the witness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.alphabet import GapPenalty, SubstitutionMatrix
+from repro.sw.alignment import GAP, Alignment
+from repro.sw.utils import NEG_INF, as_codes, check_nonempty, validate_penalties
+
+__all__ = ["overlap_score", "overlap_align"]
+
+
+def _tables(q, d, matrix, gaps):
+    m, n = q.size, d.size
+    rho, sigma = gaps.rho, gaps.sigma
+    W = matrix.scores
+    H = np.zeros((m + 1, n + 1), dtype=np.int32)  # free leading gaps
+    E = np.full((m + 1, n + 1), NEG_INF, dtype=np.int32)
+    F = np.full((m + 1, n + 1), NEG_INF, dtype=np.int32)
+    for i in range(1, m + 1):
+        qi = q[i - 1]
+        for j in range(1, n + 1):
+            e = max(E[i, j - 1] - sigma, H[i, j - 1] - rho)
+            f = max(F[i - 1, j] - sigma, H[i - 1, j] - rho)
+            h = max(e, f, H[i - 1, j - 1] + W[qi, d[j - 1]])
+            E[i, j] = e
+            F[i, j] = f
+            H[i, j] = h
+    return H, E, F
+
+
+def overlap_score(
+    query, database, matrix: SubstitutionMatrix, gaps: GapPenalty
+) -> int:
+    """Best overlap score: maximum of H over the last row and column
+    (free trailing gaps on both sequences)."""
+    q = as_codes(query, matrix)
+    d = as_codes(database, matrix)
+    check_nonempty(q, d)
+    validate_penalties(gaps)
+    H, _, _ = _tables(q, d, matrix, gaps)
+    return int(max(H[q.size].max(), H[:, d.size].max()))
+
+
+def overlap_align(
+    query, database, matrix: SubstitutionMatrix, gaps: GapPenalty
+) -> Alignment:
+    """Overlap alignment with traceback.
+
+    The witness spans a suffix of one sequence and a prefix of the other
+    (or is contained entirely within one of them); the free end gaps do
+    not appear in the gapped strings.
+    """
+    q = as_codes(query, matrix)
+    d = as_codes(database, matrix)
+    check_nonempty(q, d)
+    validate_penalties(gaps)
+    H, E, F = _tables(q, d, matrix, gaps)
+    alphabet = matrix.alphabet
+    m, n = q.size, d.size
+
+    # End cell: best of last row / last column.
+    j_best = int(np.argmax(H[m]))
+    i_best = int(np.argmax(H[:, n]))
+    if H[m, j_best] >= H[i_best, n]:
+        i, j = m, j_best
+    else:
+        i, j = i_best, n
+    score = int(H[i, j])
+    end_i, end_j = i, j
+
+    rho, sigma = gaps.rho, gaps.sigma
+    W = matrix.scores
+    q_chars: list[str] = []
+    d_chars: list[str] = []
+    state = "M"
+    while i > 0 and j > 0:
+        if state == "M":
+            if int(H[i, j]) == int(H[i - 1, j - 1]) + int(W[q[i - 1], d[j - 1]]):
+                q_chars.append(alphabet.symbol_of(int(q[i - 1])))
+                d_chars.append(alphabet.symbol_of(int(d[j - 1])))
+                i -= 1
+                j -= 1
+            elif int(H[i, j]) == int(E[i, j]):
+                state = "E"
+            elif int(H[i, j]) == int(F[i, j]):
+                state = "F"
+            else:  # pragma: no cover - interior cells always have a move
+                raise AssertionError(f"broken overlap traceback at ({i}, {j})")
+        elif state == "E":
+            q_chars.append(GAP)
+            d_chars.append(alphabet.symbol_of(int(d[j - 1])))
+            closes = int(E[i, j]) == int(H[i, j - 1]) - rho
+            j -= 1
+            state = "M" if closes else "E"
+        else:
+            q_chars.append(alphabet.symbol_of(int(q[i - 1])))
+            d_chars.append(GAP)
+            closes = int(F[i, j]) == int(H[i - 1, j]) - rho
+            i -= 1
+            state = "M" if closes else "F"
+
+    return Alignment(
+        score=score,
+        q_start=i,
+        q_end=end_i,
+        d_start=j,
+        d_end=end_j,
+        q_aligned="".join(reversed(q_chars)),
+        d_aligned="".join(reversed(d_chars)),
+    )

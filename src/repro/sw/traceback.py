@@ -1,0 +1,107 @@
+"""Full-table Smith-Waterman with affine traceback.
+
+O(mn) memory — meant for inspecting individual alignments (examples, the
+linear-space aligner's bounded region), not for database scans.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.alphabet import GapPenalty, SubstitutionMatrix
+from repro.sw.alignment import GAP, Alignment
+from repro.sw.scalar import sw_tables_scalar
+from repro.sw.utils import as_codes
+
+__all__ = ["sw_align"]
+
+
+def sw_align(
+    query,
+    database,
+    matrix: SubstitutionMatrix,
+    gaps: GapPenalty,
+) -> Alignment:
+    """Optimal local alignment with full traceback.
+
+    Ties are broken deterministically: at the end cell the smallest
+    ``(i + j, i)`` wins; along the path, diagonal moves are preferred over
+    ``E`` (database gap consuming database symbols) over ``F``.
+    """
+    q = as_codes(query, matrix)
+    d = as_codes(database, matrix)
+    H, E, F = sw_tables_scalar(q, d, matrix, gaps)
+    alphabet = matrix.alphabet
+
+    score = int(H.max())
+    if score == 0:
+        # The empty alignment is optimal (all-negative scores).
+        return Alignment(0, 0, 0, 0, 0, "", "")
+
+    # End cell: earliest anti-diagonal, then smallest i — matches the
+    # tie-break of sw_score_antidiagonal_ends so the two agree in tests.
+    cells = np.argwhere(H == score)
+    keys = cells.sum(axis=1) * (H.shape[0] + H.shape[1]) + cells[:, 0]
+    i, j = map(int, cells[int(np.argmin(keys))])
+
+    rho, sigma = gaps.rho, gaps.sigma
+    W = matrix.scores
+    q_chars: list[str] = []
+    d_chars: list[str] = []
+    state = "M"
+    end_i, end_j = i, j
+
+    while True:
+        if state == "M":
+            h = int(H[i, j])
+            if h == 0:
+                break
+            if h == int(H[i - 1, j - 1]) + int(W[q[i - 1], d[j - 1]]):
+                q_chars.append(alphabet.symbol_of(int(q[i - 1])))
+                d_chars.append(alphabet.symbol_of(int(d[j - 1])))
+                i -= 1
+                j -= 1
+            elif h == int(E[i, j]):
+                state = "E"
+            elif h == int(F[i, j]):
+                state = "F"
+            else:  # pragma: no cover - would indicate a DP bug
+                raise AssertionError(f"broken traceback at ({i}, {j})")
+        elif state == "E":
+            # Gap in the query row: consume a database symbol.
+            q_chars.append(GAP)
+            d_chars.append(alphabet.symbol_of(int(d[j - 1])))
+            came_from_h = int(E[i, j]) == int(H[i, j - 1]) - rho
+            came_from_e = int(E[i, j]) == int(E[i, j - 1]) - sigma
+            j -= 1
+            if came_from_h and not came_from_e:
+                state = "M"
+            elif came_from_h and came_from_e:
+                # Prefer closing the gap (shorter gaps, matches scoring).
+                state = "M"
+            elif came_from_e:
+                state = "E"
+            else:  # pragma: no cover
+                raise AssertionError(f"broken E traceback at ({i}, {j + 1})")
+        else:  # state == "F"
+            q_chars.append(alphabet.symbol_of(int(q[i - 1])))
+            d_chars.append(GAP)
+            came_from_h = int(F[i, j]) == int(H[i - 1, j]) - rho
+            came_from_f = int(F[i, j]) == int(F[i - 1, j]) - sigma
+            i -= 1
+            if came_from_h:
+                state = "M"
+            elif came_from_f:
+                state = "F"
+            else:  # pragma: no cover
+                raise AssertionError(f"broken F traceback at ({i + 1}, {j})")
+
+    return Alignment(
+        score=score,
+        q_start=i,
+        q_end=end_i,
+        d_start=j,
+        d_end=end_j,
+        q_aligned="".join(reversed(q_chars)),
+        d_aligned="".join(reversed(d_chars)),
+    )

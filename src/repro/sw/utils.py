@@ -1,0 +1,50 @@
+"""Shared helpers for the alignment implementations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.alphabet import GapPenalty, SubstitutionMatrix
+from repro.sequence.sequence import Sequence
+
+__all__ = ["NEG_INF", "as_codes", "check_nonempty"]
+
+#: "Minus infinity" for int32 DP tables, chosen so that subtracting any
+#: realistic gap penalty can never wrap around.
+NEG_INF = np.int32(np.iinfo(np.int32).min // 4)
+
+
+def as_codes(seq, matrix: SubstitutionMatrix) -> np.ndarray:
+    """Coerce a :class:`Sequence`, code array or string to a code array.
+
+    Strings are encoded with the matrix's alphabet; code arrays are
+    validated against its size.
+    """
+    if isinstance(seq, Sequence):
+        if seq.alphabet != matrix.alphabet:
+            raise ValueError(
+                f"sequence alphabet {seq.alphabet.name!r} does not match "
+                f"matrix alphabet {matrix.alphabet.name!r}"
+            )
+        return seq.codes
+    if isinstance(seq, str):
+        return matrix.alphabet.encode(seq)
+    codes = np.asarray(seq, dtype=np.uint8)
+    if codes.ndim != 1:
+        raise ValueError(f"sequence codes must be 1-D, got shape {codes.shape}")
+    if codes.size and int(codes.max()) >= matrix.alphabet.size:
+        raise ValueError("sequence codes out of range for the matrix alphabet")
+    return codes
+
+
+def check_nonempty(q: np.ndarray, d: np.ndarray) -> None:
+    """Alignment of an empty sequence is defined (score 0) but almost always
+    a caller bug; the library rejects it uniformly."""
+    if q.size == 0 or d.size == 0:
+        raise ValueError("cannot align empty sequences")
+
+
+def validate_penalties(gaps: GapPenalty) -> None:
+    """Guard against penalty magnitudes that could overflow int32 tables."""
+    if max(gaps.rho, gaps.sigma) > 2**20:
+        raise ValueError("gap penalties too large for int32 DP tables")

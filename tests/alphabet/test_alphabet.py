@@ -1,0 +1,135 @@
+"""Unit tests for repro.alphabet.alphabet."""
+
+import numpy as np
+import pytest
+
+from repro.alphabet import DNA, PROTEIN, Alphabet, AlphabetError
+
+
+class TestConstruction:
+    def test_protein_size(self):
+        assert PROTEIN.size == 24
+        assert len(PROTEIN) == 24
+
+    def test_dna_size(self):
+        assert DNA.size == 5
+
+    def test_duplicate_symbols_rejected(self):
+        with pytest.raises(AlphabetError, match="duplicate"):
+            Alphabet("bad", "AAB")
+
+    def test_empty_rejected(self):
+        with pytest.raises(AlphabetError):
+            Alphabet("empty", "")
+
+    def test_wildcard_must_be_member(self):
+        with pytest.raises(AlphabetError, match="wildcard"):
+            Alphabet("bad", "ACGT", wildcard="N")
+
+    def test_protein_wildcard(self):
+        assert PROTEIN.wildcard == "X"
+        assert PROTEIN.wildcard_code == PROTEIN.code_of("X")
+
+    def test_no_wildcard_code_is_none(self):
+        alpha = Alphabet("plain", "AB")
+        assert alpha.wildcard_code is None
+
+
+class TestCodes:
+    def test_code_order_matches_symbol_order(self):
+        for i, sym in enumerate(PROTEIN.symbols):
+            assert PROTEIN.code_of(sym) == i
+            assert PROTEIN.symbol_of(i) == sym
+
+    def test_case_insensitive(self):
+        assert PROTEIN.code_of("a") == PROTEIN.code_of("A")
+
+    def test_contains(self):
+        assert "A" in PROTEIN
+        assert "J" not in PROTEIN
+        assert "AB" not in PROTEIN
+
+    def test_unknown_symbol_raises(self):
+        with pytest.raises(AlphabetError):
+            PROTEIN.code_of("J")
+
+    def test_multichar_raises(self):
+        with pytest.raises(AlphabetError):
+            PROTEIN.code_of("AB")
+
+    def test_code_out_of_range(self):
+        with pytest.raises(AlphabetError):
+            PROTEIN.symbol_of(24)
+        with pytest.raises(AlphabetError):
+            PROTEIN.symbol_of(-1)
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self):
+        text = "MKVLAARNDWW"
+        assert PROTEIN.decode(PROTEIN.encode(text)) == text
+
+    def test_lowercase_encodes(self):
+        assert np.array_equal(PROTEIN.encode("acd"), PROTEIN.encode("ACD"))
+
+    def test_strict_rejects_unknown(self):
+        with pytest.raises(AlphabetError, match="'J'"):
+            PROTEIN.encode("AJC")
+
+    def test_lenient_maps_to_wildcard(self):
+        codes = PROTEIN.encode("AJC", strict=False)
+        assert codes[1] == PROTEIN.wildcard_code
+
+    def test_lenient_without_wildcard_raises(self):
+        alpha = Alphabet("plain", "AB")
+        with pytest.raises(AlphabetError, match="wildcard"):
+            alpha.encode("AZB", strict=False)
+
+    def test_empty_string(self):
+        codes = PROTEIN.encode("")
+        assert codes.shape == (0,)
+        assert PROTEIN.decode(codes) == ""
+
+    def test_decode_rejects_bad_code(self):
+        with pytest.raises(AlphabetError):
+            PROTEIN.decode(np.array([200], dtype=np.uint8))
+
+    def test_encode_dtype(self):
+        assert PROTEIN.encode("ACD").dtype == np.uint8
+
+
+class TestRandomCodes:
+    def test_uniform_draw_in_range(self):
+        rng = np.random.default_rng(0)
+        codes = DNA.random_codes(1000, rng)
+        assert codes.dtype == np.uint8
+        assert codes.min() >= 0 and codes.max() < DNA.size
+
+    def test_frequencies_respected(self):
+        rng = np.random.default_rng(1)
+        freq = np.zeros(DNA.size)
+        freq[DNA.code_of("A")] = 1.0
+        codes = DNA.random_codes(50, rng, frequencies=freq)
+        assert np.all(codes == DNA.code_of("A"))
+
+    def test_frequencies_normalized(self):
+        rng = np.random.default_rng(2)
+        freq = np.full(DNA.size, 10.0)  # un-normalized on purpose
+        codes = DNA.random_codes(200, rng, frequencies=freq)
+        assert set(np.unique(codes)) <= set(range(DNA.size))
+
+    def test_bad_frequency_shape(self):
+        rng = np.random.default_rng(3)
+        with pytest.raises(AlphabetError):
+            DNA.random_codes(10, rng, frequencies=np.ones(3))
+
+    def test_negative_frequencies(self):
+        rng = np.random.default_rng(4)
+        freq = np.ones(DNA.size)
+        freq[0] = -1
+        with pytest.raises(AlphabetError):
+            DNA.random_codes(10, rng, frequencies=freq)
+
+    def test_zero_length(self):
+        rng = np.random.default_rng(5)
+        assert DNA.random_codes(0, rng).shape == (0,)

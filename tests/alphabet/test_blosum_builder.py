@@ -1,0 +1,142 @@
+"""Tests for the BLOSUM construction algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.alphabet import BLOSUM62, PROTEIN
+from repro.alphabet.blosum_builder import (
+    build_blosum,
+    cluster_sequences,
+    pair_frequencies,
+)
+
+
+class TestClustering:
+    def test_identical_sequences_cluster(self):
+        block = np.array([[1, 2, 3], [1, 2, 3], [4, 5, 6]], dtype=np.uint8)
+        clusters = cluster_sequences(block, 0.9)
+        sizes = sorted(len(c) for c in clusters)
+        assert sizes == [1, 2]
+
+    def test_low_threshold_merges_all(self):
+        block = np.array([[1, 2, 3], [1, 2, 9], [1, 8, 9]], dtype=np.uint8)
+        # 1/3 identity between rows 0 and 2; single linkage via row 1.
+        clusters = cluster_sequences(block, 0.3)
+        assert len(clusters) == 1
+
+    def test_threshold_one_requires_identity(self):
+        block = np.array([[1, 2], [1, 3]], dtype=np.uint8)
+        assert len(cluster_sequences(block, 1.0)) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cluster_sequences(np.zeros((0, 3), dtype=np.uint8), 0.5)
+        with pytest.raises(ValueError):
+            cluster_sequences(np.zeros((2, 3), dtype=np.uint8), 0.0)
+
+
+class TestPairFrequencies:
+    def test_simple_column_counts(self):
+        # One column, two distant sequences: one AB pair.
+        a = PROTEIN.code_of("A")
+        r = PROTEIN.code_of("R")
+        block = np.array([[a], [r]], dtype=np.uint8)
+        counts = pair_frequencies([block], PROTEIN, 0.99)
+        assert counts[a, r] == pytest.approx(1.0)
+        assert counts[r, a] == pytest.approx(1.0)
+
+    def test_cluster_members_do_not_pair(self):
+        a = PROTEIN.code_of("A")
+        block = np.array([[a], [a]], dtype=np.uint8)  # identical -> 1 cluster
+        counts = pair_frequencies([block], PROTEIN, 0.5)
+        assert counts.sum() == 0.0
+
+    def test_cluster_weighting(self):
+        # Two identical sequences (one cluster, weight 1/2 each) plus one
+        # distant sequence: each cross pair weighs 1/2.
+        a, r, n = (PROTEIN.code_of(c) for c in "ARN")
+        block = np.array([[a, a], [a, a], [r, n]], dtype=np.uint8)
+        counts = pair_frequencies([block], PROTEIN, 0.9)
+        assert counts[a, r] == pytest.approx(2 * 0.5)  # two members x cols? no:
+        # column 0: pairs (seq0,a - seq2,r) w=0.5 and (seq1,a - seq2,r) w=0.5
+        assert counts[a, r] == pytest.approx(1.0)
+        assert counts[a, n] == pytest.approx(1.0)
+
+
+class TestBuildBlosum:
+    def sample_blocks_from_blosum62(self, rng, n_blocks=400, depth=6, width=40):
+        """Blocks drawn from BLOSUM62's implied pair distribution: each
+        column picks a residue pair (a, b) with probability proportional
+        to p_a p_b exp(lambda s_ab) (lambda = ln2/2 for a half-bit matrix)
+        and splits the block's rows between them; the two row groups are
+        then distinct clusters at a high identity threshold, so each
+        column contributes exactly one weighted (a, b) pair."""
+        from repro.sequence.frequencies import SWISSPROT_AA_FREQUENCIES
+
+        p = SWISSPROT_AA_FREQUENCIES.copy()
+        target = np.outer(p, p) * np.exp(
+            0.3466 * BLOSUM62.scores.astype(float)
+        )
+        target /= target.sum()
+        size = BLOSUM62.alphabet.size
+        pairs = rng.choice(size * size, p=target.ravel(), size=(n_blocks, width))
+        blocks = []
+        half = depth // 2
+        for bi in range(n_blocks):
+            a, b = np.divmod(pairs[bi], size)
+            block = np.empty((depth, width), dtype=np.uint8)
+            block[:half, :] = a
+            block[half:, :] = b
+            blocks.append(block)
+        return blocks
+
+    def test_reconstructs_blosum62(self):
+        """A matrix rebuilt from blocks sampled under BLOSUM62's target
+        distribution must correlate strongly with BLOSUM62 over the 20
+        standard residues."""
+        rng = np.random.default_rng(0)
+        blocks = self.sample_blocks_from_blosum62(rng)
+        rebuilt = build_blosum(blocks, threshold=0.99, name="rebuilt")
+        common = [PROTEIN.code_of(c) for c in "ARNDCQEGHILKMFPSTWYV"]
+        ours = rebuilt.scores[np.ix_(common, common)].astype(float)
+        ref = BLOSUM62.scores[np.ix_(common, common)].astype(float)
+        corr = np.corrcoef(ours.ravel(), ref.ravel())[0, 1]
+        assert corr > 0.9
+        # Diagonal positive, like the original.
+        assert np.all(np.diagonal(ours) > 0)
+
+    def test_output_is_symmetric_integer_matrix(self):
+        rng = np.random.default_rng(1)
+        blocks = self.sample_blocks_from_blosum62(rng, n_blocks=10)
+        m = build_blosum(blocks, threshold=0.9)
+        assert m.is_symmetric
+        assert m.scores.dtype == np.int32
+
+    def test_unobserved_symbols_get_floor(self):
+        a, r = PROTEIN.code_of("A"), PROTEIN.code_of("R")
+        block = np.array([[a, a, r], [r, a, a]], dtype=np.uint8)
+        m = build_blosum([block], threshold=0.99)
+        w = PROTEIN.code_of("W")
+        assert m.scores[w, w] == m.scores[np.ix_([a, r], [a, r])].min()
+
+    def test_usable_by_aligners(self):
+        """A derived matrix must plug straight into the SW substrate."""
+        rng = np.random.default_rng(2)
+        blocks = self.sample_blocks_from_blosum62(rng, n_blocks=20)
+        m = build_blosum(blocks, threshold=0.99)
+        from repro.alphabet import GapPenalty
+        from repro.sequence import random_protein
+        from repro.sw import sw_score_antidiagonal, sw_score_scalar
+
+        q, d = random_protein(40, rng), random_protein(40, rng)
+        gp = GapPenalty(12, 2)
+        assert sw_score_antidiagonal(q, d, m, gp) == sw_score_scalar(q, d, m, gp)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_blosum([])
+        a = PROTEIN.code_of("A")
+        # Only one cluster -> no pairs.
+        block = np.array([[a], [a]], dtype=np.uint8)
+        with pytest.raises(ValueError, match="no residue pairs"):
+            build_blosum([block], threshold=0.5)

@@ -1,0 +1,204 @@
+"""Unit tests for substitution matrices and the NCBI parser."""
+
+import numpy as np
+import pytest
+
+from repro.alphabet import (
+    BLOSUM62,
+    DNA,
+    PROTEIN,
+    AlphabetError,
+    SubstitutionMatrix,
+    dna_matrix,
+    format_ncbi_matrix,
+    identity_matrix,
+    load_ncbi_matrix,
+    parse_ncbi_matrix,
+    random_matrix,
+)
+
+
+class TestBlosum62:
+    """Spot-checks against the canonical NCBI BLOSUM62 values."""
+
+    def test_symmetric(self):
+        assert BLOSUM62.is_symmetric
+
+    def test_known_values(self):
+        assert BLOSUM62.score("A", "A") == 4
+        assert BLOSUM62.score("W", "W") == 11
+        assert BLOSUM62.score("C", "C") == 9
+        assert BLOSUM62.score("A", "R") == -1
+        assert BLOSUM62.score("W", "C") == -2
+        assert BLOSUM62.score("I", "L") == 2
+        assert BLOSUM62.score("D", "E") == 2
+        assert BLOSUM62.score("*", "*") == 1
+        assert BLOSUM62.score("A", "*") == -4
+
+    def test_extremes(self):
+        assert BLOSUM62.max_score == 11  # W-W
+        assert BLOSUM62.min_score == -4
+
+    def test_diagonal_positive_for_standard_residues(self):
+        for sym in "ARNDCQEGHILKMFPSTWYV":
+            assert BLOSUM62.score(sym, sym) > 0, sym
+
+    def test_pair_scores_gather(self):
+        q = PROTEIN.encode("AWC")
+        d = PROTEIN.encode("WA")
+        table = BLOSUM62.pair_scores(q, d)
+        assert table.shape == (3, 2)
+        assert table[0, 1] == 4  # A vs A
+        assert table[1, 0] == 11  # W vs W
+
+    def test_row(self):
+        a = PROTEIN.code_of("A")
+        assert BLOSUM62.row(a)[a] == 4
+
+    def test_scores_read_only(self):
+        with pytest.raises(ValueError):
+            BLOSUM62.scores[0, 0] = 99
+
+
+class TestConstruction:
+    def test_shape_check(self):
+        with pytest.raises(AlphabetError, match="shape"):
+            SubstitutionMatrix("bad", DNA, np.zeros((3, 3), dtype=np.int32))
+
+    def test_with_name(self):
+        renamed = BLOSUM62.with_name("copy")
+        assert renamed.name == "copy"
+        assert np.array_equal(renamed.scores, BLOSUM62.scores)
+
+    def test_identity_matrix(self):
+        m = identity_matrix(DNA, match=3, mismatch=-1)
+        assert m.score("A", "A") == 3
+        assert m.score("A", "C") == -1
+
+    def test_dna_matrix_defaults(self):
+        m = dna_matrix()
+        assert m.score("A", "A") == 2
+        assert m.score("A", "G") == -3
+        # N never rewards, even against itself.
+        assert m.score("N", "N") == -3
+        assert m.score("N", "A") == -3
+
+    def test_dna_matrix_validation(self):
+        with pytest.raises(ValueError):
+            dna_matrix(match=0)
+        with pytest.raises(ValueError):
+            dna_matrix(mismatch=1)
+
+    def test_random_matrix_symmetric_positive_diag(self):
+        rng = np.random.default_rng(42)
+        m = random_matrix(PROTEIN, rng)
+        assert m.is_symmetric
+        assert np.all(np.diagonal(m.scores) >= 1)
+
+    def test_random_matrix_bounds_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            random_matrix(PROTEIN, rng, low=5, high=5)
+
+
+class TestParser:
+    def test_roundtrip_blosum62(self):
+        text = format_ncbi_matrix(BLOSUM62)
+        again = parse_ncbi_matrix(text, name="BLOSUM62", alphabet=PROTEIN)
+        assert np.array_equal(again.scores, BLOSUM62.scores)
+
+    def test_load_from_disk(self, tmp_path):
+        path = tmp_path / "mat.txt"
+        path.write_text(format_ncbi_matrix(BLOSUM62))
+        loaded = load_ncbi_matrix(path, alphabet=PROTEIN)
+        assert loaded.name == "mat"
+        assert np.array_equal(loaded.scores, BLOSUM62.scores)
+
+    def test_rows_any_order(self):
+        # Shuffle data rows; parse must align by symbol, not position.
+        text = format_ncbi_matrix(BLOSUM62)
+        lines = text.splitlines()
+        header, rows = lines[:2], lines[2:]
+        shuffled = "\n".join(header + rows[::-1])
+        again = parse_ncbi_matrix(shuffled, name="x", alphabet=PROTEIN)
+        assert np.array_equal(again.scores, BLOSUM62.scores)
+
+    def test_empty_raises(self):
+        with pytest.raises(AlphabetError, match="no data"):
+            parse_ncbi_matrix("# only comments\n", name="x")
+
+    def test_missing_row_raises(self):
+        text = format_ncbi_matrix(BLOSUM62)
+        lines = [ln for ln in text.splitlines() if not ln.startswith("W")]
+        with pytest.raises(AlphabetError, match="missing"):
+            parse_ncbi_matrix("\n".join(lines), name="x", alphabet=PROTEIN)
+
+    def test_unknown_symbol_raises(self):
+        bad = "   A  J\nA  1  0\nJ  0  1\n"
+        with pytest.raises(AlphabetError, match="not in alphabet"):
+            parse_ncbi_matrix(bad, name="x", alphabet=PROTEIN)
+
+    def test_ragged_row_raises(self):
+        bad = "   A  C\nA  1  0  7\nC  0  1\n"
+        with pytest.raises(AlphabetError, match="values"):
+            parse_ncbi_matrix(bad, name="x", alphabet=DNA)
+
+    def test_non_integer_raises(self):
+        bad = "   A  C\nA  1  z\nC  0  1\n"
+        with pytest.raises(AlphabetError, match="non-integer"):
+            parse_ncbi_matrix(bad, name="x", alphabet=DNA)
+
+    def test_duplicate_row_raises(self):
+        bad = "   A  C\nA  1  0\nA  0  1\n"
+        with pytest.raises(AlphabetError, match="duplicate"):
+            parse_ncbi_matrix(bad, name="x", alphabet=DNA)
+
+    def test_small_custom_alphabet(self):
+        alpha = __import__("repro.alphabet", fromlist=["Alphabet"]).Alphabet(
+            "toy", "AC"
+        )
+        text = "   A  C\nA  5 -2\nC -2  5\n"
+        m = parse_ncbi_matrix(text, name="toy", alphabet=alpha)
+        assert m.score("A", "C") == -2
+
+
+class TestGapPenalty:
+    def test_paper_convention(self):
+        from repro.alphabet import GapPenalty
+
+        gp = GapPenalty(rho=12, sigma=2)
+        assert gp.gap_cost(0) == 0
+        assert gp.gap_cost(1) == 12
+        assert gp.gap_cost(3) == 16
+
+    def test_open_extend_conversion(self):
+        from repro.alphabet import GapPenalty
+
+        gp = GapPenalty.from_open_extend(10, 2)
+        assert gp.rho == 12 and gp.sigma == 2
+        assert gp.open_extend == (10, 2)
+        # gap of length k costs open + k*extend in that convention
+        assert gp.gap_cost(4) == 10 + 4 * 2
+
+    def test_cudasw_default(self):
+        from repro.alphabet import GapPenalty
+
+        assert GapPenalty.cudasw_default() == GapPenalty(12, 2)
+
+    def test_validation(self):
+        from repro.alphabet import GapPenalty
+
+        with pytest.raises(ValueError):
+            GapPenalty(rho=0, sigma=1)
+        with pytest.raises(ValueError):
+            GapPenalty(rho=5, sigma=0)
+        with pytest.raises(ValueError):
+            GapPenalty(rho=2, sigma=5)  # extension pricier than open
+        with pytest.raises(ValueError):
+            GapPenalty(rho=5, sigma=-1)
+
+    def test_negative_gap_length(self):
+        from repro.alphabet import GapPenalty
+
+        with pytest.raises(ValueError):
+            GapPenalty(5, 2).gap_cost(-1)

@@ -1,0 +1,133 @@
+"""Unit tests for the claim-checking logic itself.
+
+The checklist is the reproduction's verdict mechanism; its FAIL branches
+must actually fire on counterfactual data, or a regression could sail
+through as 25/25.  These tests feed hand-built ExperimentResults with
+deliberately broken shapes and assert the checks catch them.
+"""
+
+from repro.analysis.compare import (
+    ClaimCheck,
+    _fig2_checks,
+    _fig3_checks,
+    _fig6_checks,
+    _table1_checks,
+    _table2_checks,
+)
+from repro.analysis.result import ExperimentResult
+
+
+def fig2_result(inter, intra, crossover):
+    return ExperimentResult(
+        name="figure2",
+        title="t",
+        headers=("stddev", "mean_len", "inter_gcups", "intra_gcups"),
+        rows=tuple(
+            (100 * (i + 1), 1000.0, a, b)
+            for i, (a, b) in enumerate(zip(inter, intra))
+        ),
+        extra={"crossover_std": crossover},
+    )
+
+
+class TestFig2Checks:
+    def test_healthy_shape_passes(self):
+        r = fig2_result([12.0, 6.0, 2.0, 1.0], [1.9, 1.9, 1.9, 1.9], 300)
+        assert all(c.holds for c in _fig2_checks(r))
+
+    def test_flat_inter_task_fails(self):
+        r = fig2_result([12.0, 11.0, 10.0, 9.5], [1.9] * 4, None)
+        checks = _fig2_checks(r)
+        assert not checks[0].holds  # no collapse
+        assert not checks[2].holds  # no crossover
+
+    def test_wobbly_intra_task_fails(self):
+        r = fig2_result([12.0, 6.0, 2.0, 1.0], [1.0, 1.5, 2.5, 3.0], 300)
+        assert not _fig2_checks(r)[1].holds
+
+
+def fig3_result(gcups, time_pct):
+    seq_pct = [0.1 * (i + 1) for i in range(len(gcups))]
+    seq_pct[-1] = 2.0  # ensure a near-2% point exists
+    return ExperimentResult(
+        name="figure3",
+        title="t",
+        headers=("threshold", "pct_seqs_intra", "gcups", "pct_time_intra"),
+        rows=tuple(
+            (3072 - 100 * i, s, g, t)
+            for i, (s, g, t) in enumerate(zip(seq_pct, gcups, time_pct))
+        ),
+        extra={"drop_factor": gcups[0] / gcups[-1]},
+    )
+
+
+class TestFig3Checks:
+    def test_healthy(self):
+        r = fig3_result([15.0, 12.0, 9.0, 7.0], [10.0, 25.0, 40.0, 55.0])
+        assert all(c.holds for c in _fig3_checks(r))
+
+    def test_non_monotone_fails(self):
+        r = fig3_result([15.0, 16.0, 9.0, 7.0], [10.0, 25.0, 40.0, 55.0])
+        assert not _fig3_checks(r)[0].holds
+
+    def test_small_time_share_fails(self):
+        r = fig3_result([15.0, 12.0, 9.0, 7.0], [5.0, 10.0, 15.0, 20.0])
+        assert not _fig3_checks(r)[1].holds
+
+
+class TestFig6Checks:
+    def make(self, on, off):
+        return ExperimentResult(
+            name="figure6",
+            title="t",
+            headers=("device", "kernel", "threshold", "pct_seqs_intra",
+                     "gcups", "pct_time_intra"),
+            rows=(("C2050", "original", 1200, 2.0, off, 50.0),),
+            extra={"c2050_orig_cache_on": on, "c2050_orig_cache_off": off},
+        )
+
+    def test_collapse_passes(self):
+        assert _fig6_checks(self.make(15.0, 10.0))[0].holds
+
+    def test_no_collapse_fails(self):
+        assert not _fig6_checks(self.make(15.0, 14.5))[0].holds
+
+
+class TestTableChecks:
+    def test_table1_low_ratio_fails(self):
+        r = ExperimentResult(
+            name="table1", title="t",
+            headers=("kernel", "query_len", "global_transactions"),
+            rows=(("Improved Kernel", 567, 100), ("Original Kernel", 567, 900)),
+            extra={"ratios": {567: 9.0}},
+        )
+        assert not _table1_checks(r)[0].holds
+
+    def test_table2_negative_gain_fails(self):
+        gains = {
+            ("TAIR Arabidopsis Proteins", "C1060"): -0.01,
+            ("UniProtKB/Swiss-Prot", "C1060"): 0.2,
+            ("TAIR Arabidopsis Proteins", "C2050"): 0.01,
+            ("UniProtKB/Swiss-Prot", "C2050"): 0.1,
+        }
+        r = ExperimentResult(
+            name="table2", title="t",
+            headers=("database", "pct_over", "gpu", "kernel", "q567"),
+            rows=(("x", "0.1%", "C1060", "Original", 10.0),),
+            extra={"gains": gains},
+        )
+        checks = _table2_checks(r)
+        assert not checks[0].holds  # a database regressed
+
+
+class TestClaimCheckRendering:
+    def test_render_marks_failures(self):
+        from repro.analysis.compare import render_checks
+
+        text = render_checks(
+            [
+                ClaimCheck("A", "claim a", "p", "m", True),
+                ClaimCheck("B", "claim b", "p", "m", False),
+            ]
+        )
+        assert "1/2 claims hold" in text

@@ -1,0 +1,198 @@
+"""Integration tests: each experiment driver reproduces its paper shape.
+
+These run the real drivers (full-scale lengths-only databases — cheap)
+with reduced sweep grids where the default would be slow.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ablation_variants,
+    figure2,
+    figure3,
+    figure5,
+    figure6,
+    figure7,
+    future_work,
+    param_exploration,
+    table1,
+    table2,
+    threshold_tuning,
+)
+from repro.analysis.compare import (
+    _ablation_checks,
+    _fig2_checks,
+    _fig3_checks,
+    _table1_checks,
+    _threshold_checks,
+    render_checks,
+    run_all_checks,
+)
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure2(stds=(100, 700, 1500, 2300, 2700))
+
+    def test_inter_task_declines(self, result):
+        inter = result.column("inter_gcups")
+        assert inter[0] > 4 * min(inter)
+
+    def test_intra_task_flat(self, result):
+        intra = result.column("intra_gcups")
+        assert max(intra) / min(intra) < 1.15
+
+    def test_crossover_found(self, result):
+        assert result.extra["crossover_std"] is not None
+
+    def test_claims(self, result):
+        assert all(c.holds for c in _fig2_checks(result))
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure3(n_points=10, step=200)
+
+    def test_monotone_decline(self, result):
+        g = result.column("gcups")
+        assert all(a >= b for a, b in zip(g, g[1:]))
+        assert g[0] > 1.5 * g[-1]
+
+    def test_intra_time_share_grows(self, result):
+        t = result.column("pct_time_intra")
+        assert all(a <= b for a, b in zip(t, t[1:]))
+        assert t[-1] > 45.0
+
+    def test_claims(self, result):
+        assert all(c.holds for c in _fig3_checks(result))
+
+
+class TestFigure5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure5(thresholds=(3072, 2200, 1600, 1200))
+
+    def test_improved_always_wins(self, result):
+        by = {}
+        for dev, kernel, t, _, g, _ in result.rows:
+            by[(dev, kernel, t)] = g
+        for (dev, kernel, t), g in by.items():
+            if kernel == "improved":
+                assert g >= by[(dev, "original", t)]
+
+    def test_gain_ranges_match_paper_shape(self, result):
+        gains = result.extra["gains"]
+        # C1060 gains larger than C2050 gains at both endpoints, and both
+        # grow toward the sweep bottom.
+        assert gains["C1060"][0] > gains["C2050"][0]
+        assert gains["C1060"][1] > gains["C1060"][0]
+        assert gains["C2050"][1] > gains["C2050"][0]
+
+    def test_improved_flattens_time_share(self, result):
+        shares = {
+            (dev, kernel): []
+            for dev in ("C1060", "C2050")
+            for kernel in ("original", "improved")
+        }
+        for dev, kernel, _, _, _, tf in result.rows:
+            shares[(dev, kernel)].append(tf)
+        assert max(shares[("C1060", "improved")]) < 0.6 * max(
+            shares[("C1060", "original")]
+        )
+
+
+class TestFigure6:
+    def test_cache_off_collapses_fermi_advantage(self):
+        r = figure6(thresholds=(3072, 1200))
+        assert r.extra["c2050_orig_cache_off"] < 0.85 * r.extra[
+            "c2050_orig_cache_on"
+        ]
+
+
+class TestFigure7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure7(
+            query_lengths=(144, 567, 2005, 5478), swps3_sample_rows=15_000
+        )
+
+    def test_cudasw_beats_swps3_everywhere(self, result):
+        for row in result.rows:
+            assert min(row[1:5]) > row[5]
+
+    def test_improved_above_original(self, result):
+        for row in result.rows:
+            assert row[1] > row[2]  # C2050
+            assert row[3] > row[4]  # C1060
+
+
+class TestTables:
+    def test_table1_ratio(self):
+        r = table1()
+        assert all(c.holds for c in _table1_checks(r))
+        # Structure: 2 kernels x 2 queries.
+        assert len(r.rows) == 4
+
+    def test_table2_structure_and_gains(self):
+        r = table2(query_lengths=(567, 5478), scale=0.5)
+        # 6 databases x 2 devices x 2 kernels.
+        assert len(r.rows) == 24
+        assert all(g > 0 for g in r.extra["gains"].values())
+
+
+class TestExtras:
+    def test_param_exploration_flat_strip_surface(self):
+        r = param_exploration(threads=(64, 128, 256), tile_heights=(4, 8))
+        by_strip = {}
+        for dev, n_th, t_h, strip, g in r.rows:
+            by_strip.setdefault((dev, strip), []).append(g)
+        for values in by_strip.values():
+            if len(values) > 1:
+                assert max(values) / min(values) < 1.15
+
+    def test_ablation_ladder(self):
+        r = ablation_variants()
+        assert all(c.holds for c in _ablation_checks(r))
+
+    def test_threshold_tuning(self):
+        r = threshold_tuning()
+        assert all(c.holds for c in _threshold_checks(r))
+        # The paper's headline: >21 GCUPs on the C2050 after tuning.
+        tuned = [row for row in r.rows if row[0] == "paper-tuned"][0]
+        assert tuned[3] > r.rows[0][3]
+
+    @pytest.fixture(scope="class")
+    def fw(self):
+        # Full scale: multi-GPU shards need enough occupancy-sized groups.
+        return future_work()
+
+    def test_future_work_features_do_not_hurt_much(self, fw):
+        # Coalescing and the persistent pipeline must not lose; the
+        # shared-memory-only mode is *allowed* to lose — the model exposes
+        # its occupancy cost (a finding EXPERIMENTS.md documents) — but
+        # not catastrophically.
+        for label, value, pct in fw.rows[1:5]:
+            if "shared-memory-only" in label or "combined" in label:
+                assert pct >= -12.0, (label, pct)
+            else:
+                assert pct >= -0.5, (label, pct)
+
+    def test_future_work_multigpu_scaling(self, fw):
+        speedups = {row[0]: row[1] for row in fw.rows if "GPUs" in row[0]}
+        assert 1.6 < speedups["2 GPUs (speedup, not GCUPs)"] < 2.1
+        assert 3.0 < speedups["4 GPUs (speedup, not GCUPs)"] < 4.3
+
+
+class TestRenderChecks:
+    def test_render_shape(self):
+        from repro.analysis.compare import ClaimCheck
+
+        checks = [
+            ClaimCheck("X", "c", "p", "m", True),
+            ClaimCheck("Y", "c2", "p2", "m2", False),
+        ]
+        text = render_checks(checks)
+        assert "PASS" in text and "FAIL" in text and "1/2" in text

@@ -1,0 +1,69 @@
+"""Tests for the ASCII plotting helpers."""
+
+import pytest
+
+from repro.analysis.plot import ascii_chart, bar_chart
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        text = ascii_chart(
+            [0, 1, 2, 3], {"up": [0, 1, 2, 3], "down": [3, 2, 1, 0]},
+            width=20, height=8, x_label="x",
+        )
+        assert "o up" in text and "+ down" in text
+        assert "(x)" in text
+        # Axis annotations present.
+        assert "0" in text and "3" in text
+
+    def test_markers_land_at_extremes(self):
+        text = ascii_chart([0, 10], {"s": [0.0, 5.0]}, width=10, height=5)
+        rows = [ln for ln in text.splitlines() if "|" in ln]
+        # Max value in the top row, min in the bottom row.
+        assert "o" in rows[0]
+        assert "o" in rows[-1]
+
+    def test_flat_series_ok(self):
+        text = ascii_chart([0, 1, 2], {"flat": [2.0, 2.0, 2.0]})
+        assert "o" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_chart([0, 1], {})
+        with pytest.raises(ValueError):
+            ascii_chart([0, 1], {"s": [1.0]})
+        with pytest.raises(ValueError):
+            ascii_chart([1], {"s": [1.0]})
+        with pytest.raises(ValueError):
+            ascii_chart([1, 1], {"s": [1.0, 2.0]})
+        with pytest.raises(ValueError):
+            ascii_chart([0, 1], {"s": [0.0, 1.0]}, width=2)
+
+    def test_crossover_visible(self):
+        """The Figure 2 use case: two crossing curves both render."""
+        x = list(range(8))
+        inter = [12, 8, 5, 3, 2, 1.5, 1.2, 1.0]
+        intra = [1.8] * 8
+        text = ascii_chart(x, {"inter": inter, "intra": intra})
+        assert text.count("o") >= 5 and text.count("+") >= 1
+
+
+class TestBarChart:
+    def test_render(self):
+        text = bar_chart(["a", "bb"], [1.0, 2.0], unit=" GCUPs")
+        lines = text.splitlines()
+        assert lines[0].strip().startswith("a")
+        assert lines[1].count("#") > lines[0].count("#")
+        assert "GCUPs" in text
+
+    def test_zero_value_bar(self):
+        text = bar_chart(["x", "y"], [0.0, 1.0])
+        assert "0" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            bar_chart([], [])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [-1.0])

@@ -1,0 +1,49 @@
+"""Tests for the experiment-result container and rendering."""
+
+import pytest
+
+from repro.analysis.result import ExperimentResult, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(("a", "long_header"), [(1, 2.5), (333, 4.125)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "long_header" in lines[0]
+        assert lines[1].startswith("-")
+        # Right-aligned columns: the last data cell ends each line.
+        assert lines[2].endswith("2.50")
+        assert lines[3].endswith("4.12")
+
+    def test_float_digits(self):
+        text = format_table(("x",), [(1.23456,)], float_digits=4)
+        assert "1.2346" in text
+
+    def test_empty_rows(self):
+        text = format_table(("x", "y"), [])
+        assert "x" in text
+
+
+class TestExperimentResult:
+    def make(self):
+        return ExperimentResult(
+            name="demo",
+            title="a demo",
+            headers=("x", "y"),
+            rows=((1, 2.0), (3, 4.0)),
+            notes="note here",
+        )
+
+    def test_render(self):
+        text = self.make().render()
+        assert "demo" in text and "note here" in text and "4.00" in text
+
+    def test_column(self):
+        assert self.make().column("y") == [2.0, 4.0]
+        with pytest.raises(ValueError):
+            self.make().column("z")
+
+    def test_row_width_validated(self):
+        with pytest.raises(ValueError, match="row width"):
+            ExperimentResult("bad", "t", ("a", "b"), ((1,),))

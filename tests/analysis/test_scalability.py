@@ -1,0 +1,32 @@
+"""Tests for the Section IV-B scalability comparison."""
+
+import pytest
+
+from repro.analysis import scalability_comparison
+
+
+@pytest.fixture(scope="module")
+def result():
+    # Full scale: the GPU side needs fine-grained inter-task groups (the
+    # SWPS3 side is scale-invariant).
+    return scalability_comparison(swps3_sample_rows=15_000)
+
+
+class TestScalability:
+    def test_paper_quoted_doublings(self, result):
+        assert 1.7 < result.extra["swps3_doubling"] < 2.1
+        assert 1.7 < result.extra["gpu_doubling"] < 2.1
+
+    def test_gpu_beats_eight_cores(self, result):
+        assert result.extra["gpu_vs_8core"] > 1.0
+
+    def test_rows_cover_both_systems(self, result):
+        systems = {row[0] for row in result.rows}
+        assert systems == {"SWPS3", "CUDASW++ improved"}
+        assert len(result.rows) == 7
+
+    def test_swps3_scaling_near_linear(self, result):
+        swps3 = [row[2] for row in result.rows if row[0] == "SWPS3"]
+        # 1 -> 2 -> 4 cores each roughly double.
+        assert 1.8 < swps3[1] / swps3[0] < 2.1
+        assert 1.8 < swps3[2] / swps3[1] < 2.1

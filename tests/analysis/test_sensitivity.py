@@ -1,0 +1,61 @@
+"""Tests for the calibration-sensitivity analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sensitivity import (
+    calibration_grid,
+    claim_survival,
+    sensitivity_analysis,
+)
+from repro.cuda.calibration import DEFAULT_CALIBRATION
+from repro.sequence import SWISSPROT_PROFILE
+
+
+class TestCalibrationGrid:
+    def test_grid_covers_all_fields(self):
+        fields = {f for f, _, _ in calibration_grid()}
+        assert "bandwidth_efficiency" in fields
+        assert "sync_cycles" in fields
+        assert len(fields) == 9
+
+    def test_perturbations_valid(self):
+        for field, factor, calib in calibration_grid():
+            # Every yielded calibration passed its own validation.
+            assert calib is not None
+            assert calib != DEFAULT_CALIBRATION or factor == 1.0
+
+    def test_out_of_domain_factors_skipped(self):
+        # bandwidth_efficiency x2 would exceed 1.0 -> must be skipped.
+        factors = [
+            f for field, f, _ in calibration_grid()
+            if field == "bandwidth_efficiency"
+        ]
+        assert 2.0 not in factors
+        assert 0.5 in factors
+
+
+class TestClaimSurvival:
+    @pytest.fixture(scope="class")
+    def db(self):
+        rng = np.random.default_rng(0)
+        return SWISSPROT_PROFILE.build(rng, scale=0.3)
+
+    def test_default_calibration_passes_all(self, db):
+        claims = claim_survival(DEFAULT_CALIBRATION, db)
+        assert all(claims.values()), claims
+
+    def test_extreme_perturbations_pass(self, db):
+        import dataclasses
+
+        rough = dataclasses.replace(
+            DEFAULT_CALIBRATION, bandwidth_efficiency=0.3, sync_cycles=100
+        )
+        claims = claim_survival(rough, db)
+        assert all(claims.values()), claims
+
+
+def test_sensitivity_analysis_full():
+    result = sensitivity_analysis(scale=0.3)
+    assert result.extra["survived"] == result.extra["total"]
+    assert result.extra["total"] >= 30

@@ -1,0 +1,65 @@
+"""Tests for CudaSW's threshold='auto' mode (Section VI, in the main API)."""
+
+import numpy as np
+import pytest
+
+from repro.app import CudaSW
+from repro.cuda import TESLA_C2050
+from repro.sequence import PAPER_DATABASES
+
+
+@pytest.fixture(scope="module")
+def tair():
+    rng = np.random.default_rng(0)
+    profile = next(p for p in PAPER_DATABASES if "TAIR" in p.name)
+    return profile.build(rng, scale=0.5)
+
+
+class TestAutoThreshold:
+    def test_auto_never_worse_than_default(self, tair):
+        fixed = CudaSW(TESLA_C2050, intra_kernel="improved").predict(567, tair)
+        auto = CudaSW(
+            TESLA_C2050, intra_kernel="improved", threshold="auto"
+        ).predict(567, tair)
+        assert auto.gcups >= fixed.gcups
+        assert auto.threshold != 3072 or auto.gcups == fixed.gcups
+
+    def test_report_carries_resolved_threshold(self, tair):
+        app = CudaSW(TESLA_C2050, intra_kernel="improved", threshold="auto")
+        r = app.predict(567, tair)
+        assert isinstance(r.threshold, int)
+        assert r.fraction_over_threshold == tair.fraction_over(r.threshold)
+
+    def test_detection_cached_per_database(self, tair):
+        app = CudaSW(TESLA_C2050, intra_kernel="improved", threshold="auto")
+        app.predict(567, tair)
+        cached = dict(app._auto_cache)
+        app.predict(567, tair)
+        assert app._auto_cache == cached  # no re-detection
+
+    def test_recomputed_for_different_database(self, tair):
+        rng = np.random.default_rng(1)
+        other = PAPER_DATABASES[0].build(rng, scale=0.5)
+        app = CudaSW(TESLA_C2050, intra_kernel="improved", threshold="auto")
+        app.predict(567, tair)
+        first = app._auto_cache["fingerprint"]
+        app.predict(567, other)
+        assert app._auto_cache["fingerprint"] != first
+
+    def test_functional_search_uses_auto(self):
+        from repro.sequence import Database, Sequence, random_protein
+
+        rng = np.random.default_rng(2)
+        seqs = [Sequence.random(f"s{i}", int(n), rng)
+                for i, n in enumerate([60, 150, 400, 900])]
+        db = Database.from_sequences(seqs)
+        app = CudaSW(TESLA_C2050, threshold="auto")
+        result, report = app.search(random_protein(50, rng), db)
+        assert len(result) == 4
+        assert isinstance(report.threshold, int)
+
+    def test_invalid_threshold_strings_rejected(self):
+        with pytest.raises(ValueError):
+            CudaSW(TESLA_C2050, threshold="automatic")
+        with pytest.raises(ValueError):
+            CudaSW(TESLA_C2050, threshold=-5)

@@ -1,0 +1,91 @@
+"""Tests for the oversubscription extension model."""
+
+import numpy as np
+import pytest
+
+from repro.app.oversubscription import (
+    block_padded_group_counts,
+    oversubscribed_inter_time,
+    oversubscription_analysis,
+)
+from repro.cuda import CostModel, TESLA_C1060
+from repro.kernels import InterTaskKernel
+
+
+class TestBlockPaddedCounts:
+    def test_matches_group_counts_for_uniform_block(self):
+        """With identical lengths there is no padding anywhere, so both
+        accountings agree exactly."""
+        kernel = InterTaskKernel()
+        lengths = np.full(512, 360, dtype=np.int64)
+        a = block_padded_group_counts(kernel, 567, lengths)
+        b = kernel.group_counts(567, lengths)
+        assert a == b
+
+    def test_blockwise_padding_is_tighter(self):
+        """Sorted mixed lengths: per-block padding wastes less issue than
+        launch-level padding."""
+        kernel = InterTaskKernel()
+        rng = np.random.default_rng(0)
+        lengths = np.sort(rng.integers(50, 3000, size=1024).astype(np.int64))
+        blockwise = block_padded_group_counts(kernel, 567, lengths)
+        launchwise = kernel.group_counts(567, lengths)
+        assert blockwise.idle_thread_steps < launchwise.idle_thread_steps
+        assert blockwise.cells == launchwise.cells
+        # Memory traffic is identical (it follows actual work).
+        assert blockwise.global_bytes == launchwise.global_bytes
+
+    def test_validation(self):
+        kernel = InterTaskKernel()
+        with pytest.raises(ValueError):
+            block_padded_group_counts(kernel, 0, np.array([10]))
+        with pytest.raises(ValueError):
+            block_padded_group_counts(kernel, 10, np.array([], dtype=np.int64))
+
+
+class TestOversubscribedTime:
+    @pytest.fixture(scope="class")
+    def skewed_lengths(self):
+        rng = np.random.default_rng(1)
+        return np.maximum(
+            rng.lognormal(np.log(1200), 0.9, 60_000).astype(np.int64), 10
+        )
+
+    def test_k1_matches_wave_model(self, skewed_lengths):
+        """Factor 1 reproduces the paper's launch-per-wave accounting."""
+        kernel = InterTaskKernel()
+        model = CostModel(TESLA_C1060)
+        t1 = oversubscribed_inter_time(model, kernel, 567, skewed_lengths, 1)
+        assert t1 > 0
+
+    def test_oversubscription_helps_skewed_workloads(self, skewed_lengths):
+        kernel = InterTaskKernel()
+        model = CostModel(TESLA_C1060)
+        t1 = oversubscribed_inter_time(model, kernel, 567, skewed_lengths, 1)
+        t8 = oversubscribed_inter_time(model, kernel, 567, skewed_lengths, 8)
+        assert t8 < t1
+
+    def test_uniform_workload_indifferent(self):
+        """No variance, nothing to recover: factors agree closely."""
+        kernel = InterTaskKernel()
+        model = CostModel(TESLA_C1060)
+        lengths = np.full(40_000, 400, dtype=np.int64)
+        t1 = oversubscribed_inter_time(model, kernel, 567, lengths, 1)
+        t8 = oversubscribed_inter_time(model, kernel, 567, lengths, 8)
+        assert t8 == pytest.approx(t1, rel=0.15)
+
+    def test_validation(self, skewed_lengths):
+        kernel = InterTaskKernel()
+        model = CostModel(TESLA_C1060)
+        with pytest.raises(ValueError):
+            oversubscribed_inter_time(model, kernel, 567, skewed_lengths, 0)
+
+
+def test_analysis_shape():
+    r = oversubscription_analysis(stds=(100, 1300, 2500), factors=(1, 8))
+    assert len(r.rows) == 3
+    k1 = [row[1] for row in r.rows]
+    k8 = [row[2] for row in r.rows]
+    # The one-wave model collapses; the oversubscribed one holds.
+    assert min(k8) > min(k1)
+    assert min(k8) > 0.6 * max(k8)

@@ -1,0 +1,152 @@
+"""Tests for the scheduler, transfer model and threshold autotuning."""
+
+import numpy as np
+import pytest
+
+from repro.app import (
+    CudaSW,
+    TransferModel,
+    optimal_threshold,
+    schedule_inter_task,
+    threshold_sweep,
+)
+from repro.cuda import TESLA_C1060, TESLA_C2050
+from repro.kernels import InterTaskKernel
+from repro.sequence import Database, DatabaseProfile, lognormal_database
+
+
+class TestScheduler:
+    def make_db(self, lengths):
+        return Database.from_lengths(np.asarray(lengths))
+
+    def test_group_size_from_occupancy(self):
+        db = self.make_db([100] * 1000)
+        sched = schedule_inter_task(100, db, InterTaskKernel(), TESLA_C1060)
+        # 32 regs/thread, 256 threads -> 2 blocks/SM on the C1060.
+        assert sched.group_size == 2 * 256 * 30
+
+    def test_launch_count(self):
+        db = self.make_db([100] * 40_000)
+        sched = schedule_inter_task(100, db, InterTaskKernel(), TESLA_C1060)
+        expected = -(-40_000 // sched.group_size)
+        assert sched.n_launches == expected
+
+    def test_uniform_lengths_high_efficiency(self):
+        db = self.make_db([360] * 20_000)
+        sched = schedule_inter_task(567, db, InterTaskKernel(), TESLA_C1060)
+        assert sched.load_balance_efficiency > 0.95
+
+    def test_variance_destroys_efficiency(self):
+        """Figure 2's mechanism: within an unsorted group, one long
+        sequence stalls every thread."""
+        rng = np.random.default_rng(0)
+        lengths = np.maximum(
+            rng.lognormal(np.log(1500), 1.0, 15360).astype(np.int64), 10
+        )
+        uniform = self.make_db(np.full(15360, int(lengths.mean())))
+        skewed = self.make_db(lengths)
+        e_uniform = schedule_inter_task(
+            567, uniform, InterTaskKernel(), TESLA_C1060
+        ).load_balance_efficiency
+        e_skewed = schedule_inter_task(
+            567, skewed, InterTaskKernel(), TESLA_C1060
+        ).load_balance_efficiency
+        assert e_skewed < 0.6 * e_uniform
+
+    def test_sorting_restores_efficiency(self):
+        """CUDASW++'s sort: grouping sorted lengths keeps groups uniform."""
+        rng = np.random.default_rng(1)
+        lengths = np.maximum(
+            rng.lognormal(np.log(400), 0.7, 40_000).astype(np.int64), 10
+        )
+        db = self.make_db(lengths)
+        sorted_eff = schedule_inter_task(
+            567, db, InterTaskKernel(), TESLA_C1060
+        ).load_balance_efficiency
+        shuffled_eff = schedule_inter_task(
+            567, db, InterTaskKernel(), TESLA_C1060, presorted=True
+        ).load_balance_efficiency  # presorted=True trusts the (unsorted) order
+        assert sorted_eff > shuffled_eff
+
+    def test_validation(self):
+        db = self.make_db([100])
+        with pytest.raises(ValueError):
+            schedule_inter_task(0, db, InterTaskKernel(), TESLA_C1060)
+
+
+class TestTransferModel:
+    def test_full_copy_time(self):
+        t = TransferModel(TESLA_C1060)
+        residues = 192_000_000
+        expected = residues * 1.05 / 5.2e9
+        assert t.visible_copy_time(residues, 10.0) == pytest.approx(expected)
+
+    def test_streaming_hides_behind_compute(self):
+        t = TransferModel(TESLA_C1060, streaming=True)
+        residues = 192_000_000
+        full = TransferModel(TESLA_C1060).visible_copy_time(residues, 10.0)
+        visible = t.visible_copy_time(residues, 10.0)
+        assert visible == pytest.approx(0.05 * full)
+
+    def test_streaming_exposes_excess(self):
+        t = TransferModel(TESLA_C1060, streaming=True)
+        residues = 192_000_000
+        full = TransferModel(TESLA_C1060).visible_copy_time(residues, 0.0)
+        # No compute to hide behind: everything is visible again.
+        assert t.visible_copy_time(residues, 0.0) == pytest.approx(full)
+
+    def test_fits_in_device_memory(self):
+        t = TransferModel(TESLA_C1060)
+        assert t.fits_in_device_memory(192_000_000)  # Swiss-Prot: yes
+        assert not t.fits_in_device_memory(5 * 1024**3)  # NR/TrEMBL: no
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TransferModel(TESLA_C1060, first_chunk_fraction=0.0)
+        t = TransferModel(TESLA_C1060)
+        with pytest.raises(ValueError):
+            t.visible_copy_time(-1, 1.0)
+        with pytest.raises(ValueError):
+            t.visible_copy_time(1, -1.0)
+
+
+class TestThresholdAutotuning:
+    @pytest.fixture(scope="class")
+    def tair_like(self):
+        rng = np.random.default_rng(9)
+        profile = DatabaseProfile("TAIR-like", 35_386, 250.0, 0.0006)
+        return profile.build(rng, scale=0.2)
+
+    def test_sweep_returns_points(self, tair_like):
+        app = CudaSW(TESLA_C2050, intra_kernel="improved")
+        points = threshold_sweep(app, 567, tair_like, max_candidates=8)
+        assert len(points) >= 2
+        assert all(p.gcups > 0 for p in points)
+        ths = [p.threshold for p in points]
+        assert ths == sorted(ths)
+
+    def test_improved_kernel_prefers_lower_threshold(self, tair_like):
+        """Section IV/VI: with the improved kernel the optimum threshold
+        drops below the default 3072 (the TAIR experiment)."""
+        app = CudaSW(TESLA_C2050, intra_kernel="improved")
+        best = optimal_threshold(app, 567, tair_like)
+        default = CudaSW(
+            TESLA_C2050, intra_kernel="improved", threshold=3072
+        ).predict(567, tair_like)
+        assert best.threshold < 3072
+        assert best.gcups >= default.gcups
+
+    def test_original_kernel_prefers_higher_threshold_than_improved(
+        self, tair_like
+    ):
+        imp = CudaSW(TESLA_C2050, intra_kernel="improved")
+        orig = CudaSW(TESLA_C2050, intra_kernel="original")
+        best_imp = optimal_threshold(imp, 567, tair_like)
+        best_orig = optimal_threshold(orig, 567, tair_like)
+        assert best_imp.threshold <= best_orig.threshold
+
+    def test_fraction_over_monotone(self, tair_like):
+        app = CudaSW(TESLA_C1060)
+        points = threshold_sweep(app, 567, tair_like, max_candidates=6)
+        fracs = [p.fraction_over for p in points]
+        assert fracs == sorted(fracs, reverse=True)

@@ -1,0 +1,123 @@
+"""Tests for SWPS3's adaptive 8-bit/16-bit precision scheme."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alphabet import BLOSUM62, GapPenalty
+from repro.baselines import (
+    SATURATION_LIMIT,
+    striped_smith_waterman,
+    striped_smith_waterman_adaptive,
+)
+from repro.sequence import Sequence, random_protein
+from repro.sw import sw_score_scalar
+
+GP = GapPenalty.cudasw_default()
+
+
+class TestSaturatedPass:
+    def test_scores_below_clamp_are_exact(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            q = random_protein(int(rng.integers(1, 80)), rng)
+            d = random_protein(int(rng.integers(1, 80)), rng)
+            exact = sw_score_scalar(q, d, BLOSUM62, GP)
+            s, _ = striped_smith_waterman(
+                q, d, BLOSUM62, GP, lanes=16, clamp=SATURATION_LIMIT
+            )
+            if exact < SATURATION_LIMIT:
+                assert s == exact
+            else:
+                assert s == SATURATION_LIMIT
+
+    def test_clamp_caps_high_scores(self):
+        rng = np.random.default_rng(1)
+        q = random_protein(150, rng)
+        s, _ = striped_smith_waterman(
+            q, q, BLOSUM62, GP, lanes=16, clamp=SATURATION_LIMIT
+        )
+        assert s == SATURATION_LIMIT
+        assert sw_score_scalar(q, q, BLOSUM62, GP) > SATURATION_LIMIT
+
+    def test_clamp_validation(self):
+        rng = np.random.default_rng(2)
+        q = random_protein(10, rng)
+        with pytest.raises(ValueError):
+            striped_smith_waterman(q, q, BLOSUM62, GP, clamp=0)
+
+
+class TestAdaptive:
+    def test_always_exact(self):
+        rng = np.random.default_rng(3)
+        for _ in range(15):
+            q = random_protein(int(rng.integers(1, 90)), rng)
+            d = random_protein(int(rng.integers(1, 90)), rng)
+            s, _ = striped_smith_waterman_adaptive(q, d, BLOSUM62, GP)
+            assert s == sw_score_scalar(q, d, BLOSUM62, GP)
+
+    def test_random_pairs_stay_in_byte_pass(self):
+        """Unrelated sequences score far below 255: no rerun needed —
+        the scheme's whole economy."""
+        rng = np.random.default_rng(4)
+        reruns = 0
+        for _ in range(15):
+            q = random_protein(120, rng)
+            d = random_protein(120, rng)
+            _, counts = striped_smith_waterman_adaptive(q, d, BLOSUM62, GP)
+            reruns += counts.overflowed
+        assert reruns == 0
+
+    def test_homologs_trigger_rerun(self):
+        rng = np.random.default_rng(5)
+        q = random_protein(120, rng)
+        s, counts = striped_smith_waterman_adaptive(q, q, BLOSUM62, GP)
+        assert counts.overflowed
+        assert s == sw_score_scalar(q, q, BLOSUM62, GP)
+        assert s > SATURATION_LIMIT
+
+    def test_overflow_costs_both_passes(self):
+        rng = np.random.default_rng(6)
+        q = random_protein(100, rng)
+        d = random_protein(100, rng)
+        _, cheap = striped_smith_waterman_adaptive(q, d, BLOSUM62, GP)
+        _, expensive = striped_smith_waterman_adaptive(q, q, BLOSUM62, GP)
+        assert expensive.vector_ops > cheap.vector_ops
+        assert expensive.word_pass is not None
+        assert cheap.word_pass is None
+
+    def test_byte_pass_halves_segment_work(self):
+        """16 lanes halve the segment length, so the byte pass costs about
+        half the word pass's main-loop rows."""
+        rng = np.random.default_rng(7)
+        q = random_protein(160, rng)
+        d = random_protein(100, rng)
+        _, counts = striped_smith_waterman_adaptive(q, d, BLOSUM62, GP)
+        _, word = striped_smith_waterman(q, d, BLOSUM62, GP, lanes=8)
+        assert counts.byte_pass.main_rows == pytest.approx(
+            word.main_rows / 2, rel=0.1
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        q=st.text(alphabet="ARNDCQEGHILKMFPSTWYV", min_size=1, max_size=30),
+        d=st.text(alphabet="ARNDCQEGHILKMFPSTWYV", min_size=1, max_size=30),
+    )
+    def test_property_exactness(self, q, d):
+        s, _ = striped_smith_waterman_adaptive(q, d, BLOSUM62, GP)
+        assert s == sw_score_scalar(q, d, BLOSUM62, GP)
+
+    def test_boundary_score_at_limit(self):
+        """A pair whose exact score is exactly 255 must rerun (the byte
+        pass cannot distinguish 255 from saturation) and still be exact."""
+        # W-W scores 11; 23 W's score 253, add a final D-D (6) -> 259;
+        # build a score of exactly 255 instead: 23 W (253) + one S-S (4)
+        # = 257... use 22 W (242) + one M-M (5) + two A-A (4+4) = 255.
+        text = "W" * 22 + "M" + "AA"
+        q = Sequence.from_text("q", text)
+        exact = sw_score_scalar(q, q, BLOSUM62, GP)
+        assert exact == 255
+        s, counts = striped_smith_waterman_adaptive(q, q, BLOSUM62, GP)
+        assert s == 255
+        assert counts.overflowed

@@ -1,0 +1,136 @@
+"""Tests for the BLAST-like seed-and-extend heuristic."""
+
+import numpy as np
+import pytest
+
+from repro.alphabet import BLOSUM62, GapPenalty
+from repro.baselines import BlastLikeSearcher, BlastParams
+from repro.sequence import Database, Sequence, random_protein
+from repro.sw import sw_score_scalar
+
+GP = GapPenalty.cudasw_default()
+
+
+def planted_pair(rng, core_len=60, q_flank=20, d_flank=50, mutate=0):
+    """A query and subject sharing a (possibly mutated) core."""
+    core = random_protein(core_len, rng, id="core")
+    core_mut = core.codes.copy()
+    if mutate:
+        pos = rng.choice(core_len, size=mutate, replace=False)
+        core_mut[pos] = rng.integers(0, 20, size=mutate)
+    q = Sequence(
+        "q",
+        np.concatenate(
+            [random_protein(q_flank, rng).codes, core.codes,
+             random_protein(q_flank, rng).codes]
+        ),
+    )
+    d = Sequence(
+        "d",
+        np.concatenate(
+            [random_protein(d_flank, rng).codes, core_mut,
+             random_protein(d_flank, rng).codes]
+        ),
+    )
+    return q, d
+
+
+class TestHeuristicQuality:
+    def test_finds_exact_homolog(self):
+        rng = np.random.default_rng(0)
+        q, d = planted_pair(rng)
+        searcher = BlastLikeSearcher(q)
+        score = searcher.score_sequence(d.codes)
+        exact = sw_score_scalar(q, d, BLOSUM62, GP)
+        assert score > 0
+        assert score <= exact  # heuristic never overestimates
+        assert score >= 0.8 * exact
+
+    def test_finds_mutated_homolog(self):
+        rng = np.random.default_rng(1)
+        q, d = planted_pair(rng, core_len=80, mutate=8)
+        score = BlastLikeSearcher(q).score_sequence(d.codes)
+        exact = sw_score_scalar(q, d, BLOSUM62, GP)
+        assert score > 0.5 * exact
+
+    def test_unrelated_scores_low(self):
+        rng = np.random.default_rng(2)
+        q = random_protein(100, rng, id="q")
+        scores = [
+            BlastLikeSearcher(q).score_sequence(random_protein(150, rng).codes)
+            for _ in range(5)
+        ]
+        # Random sequences rarely trigger two-hit extensions at all.
+        assert max(scores) < 40
+
+    def test_never_exceeds_exact(self):
+        """The heuristic only explores genuine alignments, so it is a
+        lower bound on the optimum — the 'no optimality guarantee' trade
+        of the paper's introduction, from the safe side."""
+        rng = np.random.default_rng(3)
+        q = random_protein(80, rng, id="q")
+        searcher = BlastLikeSearcher(q)
+        for _ in range(10):
+            d = random_protein(int(rng.integers(10, 200)), rng)
+            assert searcher.score_sequence(d.codes) <= sw_score_scalar(
+                q, d, BLOSUM62, GP
+            )
+
+    def test_can_miss_weak_similarity(self):
+        """And the bound is not tight: some positive-scoring pairs get 0."""
+        rng = np.random.default_rng(4)
+        q = random_protein(60, rng, id="q")
+        searcher = BlastLikeSearcher(q)
+        missed = 0
+        for _ in range(10):
+            d = random_protein(60, rng)
+            exact = sw_score_scalar(q, d, BLOSUM62, GP)
+            if exact > 0 and searcher.score_sequence(d.codes) == 0:
+                missed += 1
+        assert missed > 0  # heuristics miss; that's the point
+
+    def test_search_over_database(self):
+        rng = np.random.default_rng(5)
+        q, hom = planted_pair(rng)
+        decoys = [random_protein(150, rng, id=f"x{i}") for i in range(4)]
+        db = Database.from_sequences([hom] + decoys)
+        scores = BlastLikeSearcher(q).search(db)
+        assert int(np.argmax(scores)) == 0  # the homolog wins
+
+    def test_short_subject(self):
+        rng = np.random.default_rng(6)
+        q = random_protein(50, rng, id="q")
+        assert BlastLikeSearcher(q).score_sequence(
+            random_protein(2, rng).codes
+        ) == 0
+
+
+class TestParamsAndValidation:
+    def test_query_shorter_than_word(self):
+        rng = np.random.default_rng(7)
+        with pytest.raises(ValueError, match="word size"):
+            BlastLikeSearcher(random_protein(2, rng, id="q"))
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            BlastParams(word_size=0)
+        with pytest.raises(ValueError):
+            BlastParams(xdrop=-1)
+
+    def test_lengths_only_db_rejected(self):
+        rng = np.random.default_rng(8)
+        q = random_protein(50, rng, id="q")
+        db = Database.from_lengths([100, 200])
+        with pytest.raises(ValueError):
+            BlastLikeSearcher(q).search(db)
+
+    def test_wider_band_never_hurts(self):
+        rng = np.random.default_rng(9)
+        q, d = planted_pair(rng, core_len=50, mutate=5)
+        narrow = BlastLikeSearcher(q, params=BlastParams(band=4)).score_sequence(
+            d.codes
+        )
+        wide = BlastLikeSearcher(q, params=BlastParams(band=32)).score_sequence(
+            d.codes
+        )
+        assert wide >= narrow

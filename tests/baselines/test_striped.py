@@ -1,0 +1,152 @@
+"""Tests for the Farrar striped SIMD implementation and the SWPS3 model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alphabet import BLOSUM62, GapPenalty
+from repro.baselines import (
+    StripedProfile,
+    Swps3Model,
+    XEON_E5345,
+    striped_smith_waterman,
+    swps3_time_seconds,
+)
+from repro.baselines.sse import StripedCounts
+from repro.sequence import Database, SWISSPROT_PROFILE, random_protein
+from repro.sw import sw_score_scalar
+
+GP = GapPenalty.cudasw_default()
+
+
+class TestStripedCorrectness:
+    def test_exact_on_random_pairs(self):
+        rng = np.random.default_rng(0)
+        for _ in range(25):
+            m, n = int(rng.integers(1, 120)), int(rng.integers(1, 120))
+            q, d = random_protein(m, rng), random_protein(n, rng)
+            s, _ = striped_smith_waterman(q, d, BLOSUM62, GP)
+            assert s == sw_score_scalar(q, d, BLOSUM62, GP), (m, n)
+
+    def test_exact_under_cheap_gaps(self):
+        """Cheap gap models maximize lazy-F pressure (gaps cross lanes)."""
+        rng = np.random.default_rng(1)
+        gp = GapPenalty(3, 1)
+        for _ in range(20):
+            m, n = int(rng.integers(1, 100)), int(rng.integers(1, 100))
+            q, d = random_protein(m, rng), random_protein(n, rng)
+            s, _ = striped_smith_waterman(q, d, BLOSUM62, gp, lanes=4)
+            assert s == sw_score_scalar(q, d, BLOSUM62, gp), (m, n)
+
+    @pytest.mark.parametrize("lanes", [1, 2, 4, 8, 16])
+    def test_lane_count_never_changes_scores(self, lanes):
+        rng = np.random.default_rng(lanes)
+        q, d = random_protein(90, rng), random_protein(70, rng)
+        s, _ = striped_smith_waterman(q, d, BLOSUM62, GP, lanes=lanes)
+        assert s == sw_score_scalar(q, d, BLOSUM62, GP)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        q=st.text(alphabet="ARNDCQEGHILKMFPSTWYV", min_size=1, max_size=40),
+        d=st.text(alphabet="ARNDCQEGHILKMFPSTWYV", min_size=1, max_size=40),
+    )
+    def test_property_agreement(self, q, d):
+        s, _ = striped_smith_waterman(q, d, BLOSUM62, GP)
+        assert s == sw_score_scalar(q, d, BLOSUM62, GP)
+
+    def test_profile_reuse(self):
+        rng = np.random.default_rng(2)
+        q = random_protein(50, rng)
+        prof = StripedProfile(q.codes, BLOSUM62)
+        d = random_protein(40, rng)
+        s1, _ = striped_smith_waterman(q, d, BLOSUM62, GP, profile=prof)
+        s2, _ = striped_smith_waterman(q, d, BLOSUM62, GP)
+        assert s1 == s2
+
+    def test_profile_mismatch_rejected(self):
+        rng = np.random.default_rng(3)
+        prof = StripedProfile(random_protein(50, rng).codes, BLOSUM62)
+        with pytest.raises(ValueError, match="profile"):
+            striped_smith_waterman(
+                random_protein(60, rng), random_protein(40, rng),
+                BLOSUM62, GP, profile=prof,
+            )
+
+    def test_counts_structure(self):
+        rng = np.random.default_rng(4)
+        q, d = random_protein(40, rng), random_protein(30, rng)
+        _, c = striped_smith_waterman(q, d, BLOSUM62, GP)
+        assert c.cells == 40 * 30
+        assert c.columns == 30
+        assert c.segment_length == 5  # ceil(40/8)
+        assert c.main_rows == 5 * 30
+        assert c.lazy_rows >= 0
+        assert 0 <= c.lazy_fraction < 1
+        assert c.vector_ops > 0
+
+    def test_bad_lanes(self):
+        with pytest.raises(ValueError):
+            StripedProfile(np.zeros(3, np.uint8), BLOSUM62, lanes=0)
+
+
+class TestCpuCostModel:
+    def test_time_positive_and_scales(self):
+        c = StripedCounts(cells=10_000, columns=100, segment_length=10,
+                          main_rows=1000, lazy_rows=50)
+        t4 = swps3_time_seconds(c, XEON_E5345)
+        t1 = swps3_time_seconds(c, XEON_E5345, threads=1)
+        assert t1 == pytest.approx(4 * t4, rel=0.05)
+
+    def test_lazy_rows_cost_extra(self):
+        base = StripedCounts(10_000, 100, 10, 1000, 0)
+        lazy = StripedCounts(10_000, 100, 10, 1000, 500)
+        assert swps3_time_seconds(lazy) > swps3_time_seconds(base)
+
+    def test_validation(self):
+        c = StripedCounts(1, 1, 1, 1, 0)
+        with pytest.raises(ValueError):
+            swps3_time_seconds([], XEON_E5345)
+        with pytest.raises(ValueError):
+            swps3_time_seconds(c, XEON_E5345, threads=5)
+        with pytest.raises(ValueError):
+            swps3_time_seconds(c, XEON_E5345, n_sequences=0)
+
+
+class TestSwps3Model:
+    @pytest.fixture(scope="class")
+    def swissprot(self):
+        rng = np.random.default_rng(6)
+        return SWISSPROT_PROFILE.build(rng, scale=0.02)
+
+    def test_report_magnitude(self, swissprot):
+        """Figure 7: SWPS3 on 4 Xeon cores sits well below CUDASW++."""
+        rng = np.random.default_rng(7)
+        rep = Swps3Model().report(567, swissprot, rng, sample_rows=20_000)
+        assert 3.0 < rep.gcups < 12.0
+        assert rep.total_cells == 567 * swissprot.total_residues
+        assert 0 <= rep.lazy_fraction < 0.2
+
+    def test_search_exact_scores(self):
+        rng = np.random.default_rng(8)
+        from repro.sequence import Sequence
+
+        seqs = [Sequence.random(f"s{i}", 30 + 11 * i, rng) for i in range(5)]
+        db = Database.from_sequences(seqs)
+        q = random_protein(45, rng)
+        scores, counts = Swps3Model().search(q, db)
+        assert len(counts) == 5
+        for i, s in enumerate(seqs):
+            assert scores[i] == sw_score_scalar(q, s, BLOSUM62, GP)
+
+    def test_report_validation(self, swissprot):
+        rng = np.random.default_rng(9)
+        with pytest.raises(ValueError):
+            Swps3Model().report(0, swissprot, rng)
+        with pytest.raises(ValueError):
+            Swps3Model().report(100, swissprot, rng, sample_rows=0)
+
+    def test_search_requires_residues(self, swissprot):
+        rng = np.random.default_rng(10)
+        with pytest.raises(ValueError):
+            Swps3Model().search(random_protein(30, rng), swissprot)

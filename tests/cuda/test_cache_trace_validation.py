@@ -1,0 +1,149 @@
+"""Trace-driven validation of the analytic cache model.
+
+The cost model's Fermi story rests on
+:class:`repro.cuda.cache.CacheHierarchyModel`'s regimes: wavefront
+traffic (original kernel) caches well when the live diagonals fit, while
+strip-boundary traffic (improved kernel) is touch-once streaming.  These
+tests *derive* those regimes by feeding the kernels' actual address
+patterns into the exact set-associative LRU simulator — the analytic
+model's assumptions, checked against a mechanism-level ground truth.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cuda import (
+    CacheConfig,
+    CacheHierarchyModel,
+    SetAssociativeCache,
+    TESLA_C2050,
+)
+
+WORD = 4
+
+
+def original_kernel_trace(m: int, n: int, cache: SetAssociativeCache) -> None:
+    """Replay the original intra-task kernel's global traffic for one
+    pair: per anti-diagonal, load the two previous H diagonals plus the E
+    and F diagonals, store the new H/E/F.
+
+    Five same-sized circular buffers in global memory (3 x H, E, F),
+    touched wavefront-by-wavefront — exactly the layout the kernel's
+    cache profile (`5 * min(m, n)` words, reuse ~3) abstracts.
+    """
+    size = min(m, n) * WORD
+    base = {name: i * size for i, name in enumerate("hABC ef")}
+    h_bufs = [base["h"], base["A"], base["B"]]
+    e_buf, f_buf = base["e"], base["f"]
+    for k in range(2, m + n + 1):
+        lo = max(1, k - n)
+        hi = min(m, k - 1)
+        if lo > hi:
+            continue
+        length = (hi - lo + 1) * WORD
+        cur, prev, prev2 = h_bufs[k % 3], h_bufs[(k - 1) % 3], h_bufs[(k - 2) % 3]
+        # Loads: H(k-1) twice (i and i-1 neighbours share lines), H(k-2),
+        # E(k-1), F(k-1).
+        for buf in (prev, prev, prev2, e_buf, f_buf):
+            cache.access_range(buf, length)
+        # Stores: H, E, F of the new diagonal.
+        for buf in (cur, e_buf, f_buf):
+            cache.access_range(buf, length)
+
+
+def improved_kernel_trace(m: int, n: int, strip: int, cache: SetAssociativeCache) -> None:
+    """Replay the improved kernel's global traffic: the boundary row (H
+    and F per column) written once per strip and read once a whole strip
+    later — touch-once at cache time scales."""
+    buf_h, buf_f = 0, n * WORD
+    passes = -(-m // strip)
+    for p in range(passes):
+        for j in range(n):
+            if p > 0:
+                cache.access(buf_h + j * WORD)
+                cache.access(buf_f + j * WORD)
+            if p < passes - 1:
+                cache.access(buf_h + j * WORD)
+                cache.access(buf_f + j * WORD)
+
+
+class TestOriginalKernelTrace:
+    def test_fitting_wavefronts_hit_hard(self):
+        """min(m, n) small: five live diagonals fit L1 -> high hit rate,
+        matching the analytic model's reuse-limit regime."""
+        cache = SetAssociativeCache(TESLA_C2050.l1_bytes_per_sm, 128, 8)
+        original_kernel_trace(400, 700, cache)
+        assert cache.hit_rate > 0.6
+
+        model = CacheHierarchyModel(TESLA_C2050)
+        analytic = model.hit_rate(
+            CacheConfig(working_set_bytes=5 * 400 * WORD, reuse_factor=3.0),
+            blocks_per_sm=1,
+            concurrent_blocks=1,
+        )
+        # Same regime: both well above half.
+        assert analytic > 0.6
+
+    def test_oversized_wavefronts_degrade(self):
+        """A wavefront working set far beyond the cache thrashes it."""
+        small = SetAssociativeCache(4 * 1024, 128, 8)
+        original_kernel_trace(400, 700, small)
+        big = SetAssociativeCache(64 * 1024, 128, 8)
+        original_kernel_trace(400, 700, big)
+        assert small.hit_rate < big.hit_rate
+
+    def test_hit_rate_grows_with_cache_like_model_coverage(self):
+        """Trace hit rate and the analytic coverage move together as the
+        cache grows."""
+        model_points = []
+        trace_points = []
+        ws = 5 * 600 * WORD
+        for size_kb in (2, 8, 32, 128):
+            cache = SetAssociativeCache(size_kb * 1024, 128, 8)
+            original_kernel_trace(600, 900, cache)
+            trace_points.append(cache.hit_rate)
+            coverage = min(1.0, size_kb * 1024 / ws)
+            model_points.append((1 - 1 / 3.0) * coverage)
+        assert trace_points == sorted(trace_points)
+        assert model_points == sorted(model_points)
+
+
+class TestImprovedKernelTrace:
+    def test_boundary_traffic_is_streaming(self):
+        """The boundary row returns a whole strip later: at realistic
+        boundary sizes it has left even a generous cache, so the analytic
+        model's `streaming=True` (zero benefit) is the right call."""
+        cache = SetAssociativeCache(TESLA_C2050.l1_bytes_per_sm, 128, 8)
+        improved_kernel_trace(4096, 20_000, 1024, cache)
+        # Only spatial locality within a 128-byte line survives (the
+        # paired H/F touches); no temporal reuse across strips.
+        spatial_only = cache.hit_rate
+        tiny = SetAssociativeCache(1024, 128, 8)
+        improved_kernel_trace(4096, 20_000, 1024, tiny)
+        assert spatial_only == pytest.approx(tiny.hit_rate, abs=0.02)
+
+    def test_small_boundary_rows_would_cache(self):
+        """Sanity check of the mechanism: when the boundary row *does* fit
+        (short database sequence), the trace shows reuse — the improved
+        kernel just never benefits because such pairs also finish in one
+        strip."""
+        cache = SetAssociativeCache(TESLA_C2050.l1_bytes_per_sm, 128, 8)
+        improved_kernel_trace(4096, 500, 1024, cache)
+        assert cache.hit_rate > 0.5
+
+
+def test_cache_model_cross_validation_summary():
+    """End to end: on the same (m, n), the exact traces reproduce the
+    analytic model's central inequality — the original kernel gains a lot
+    from Fermi's caches, the improved kernel essentially nothing."""
+    m, n = 567, 4000
+    orig = SetAssociativeCache(TESLA_C2050.l1_bytes_per_sm, 128, 8)
+    original_kernel_trace(m, n, orig)
+    imp = SetAssociativeCache(TESLA_C2050.l1_bytes_per_sm, 128, 8)
+    improved_kernel_trace(m, n, 1024, imp)
+    # Temporal reuse difference: the improved kernel's single-strip case
+    # has *no* boundary traffic at all; force multiple strips for a trace.
+    imp2 = SetAssociativeCache(TESLA_C2050.l1_bytes_per_sm, 128, 8)
+    improved_kernel_trace(5478, n, 1024, imp2)
+    assert orig.hit_rate > 0.6
+    assert imp2.hit_rate < orig.hit_rate

@@ -1,0 +1,130 @@
+"""Tests for the nvcc resource model (Section III-A quirks)."""
+
+import pytest
+
+from repro.cuda import (
+    KernelSource,
+    Loop,
+    RegisterArray,
+    TESLA_C1060,
+    TESLA_C2050,
+    compile_kernel,
+)
+
+
+def simple_source(**kwargs):
+    defaults = dict(
+        name="k",
+        scalar_registers=20,
+        arrays=(RegisterArray("h", 4),),
+        loops=(),
+    )
+    defaults.update(kwargs)
+    return KernelSource(**defaults)
+
+
+class TestShallowSwapQuirk:
+    def test_pointer_swapped_array_goes_local(self):
+        src = simple_source(
+            arrays=(
+                RegisterArray("buf_a", 4, pointer_swapped=True),
+                RegisterArray("buf_b", 4, pointer_swapped=True),
+            )
+        )
+        compiled = compile_kernel(src, TESLA_C1060)
+        assert set(compiled.local_memory_arrays) == {"buf_a", "buf_b"}
+        assert "shallow pointer swap" in compiled.demotion_reasons["buf_a"]
+        assert compiled.local_memory_words == 8
+
+    def test_deep_swap_fix_maps_to_registers(self):
+        src = simple_source(
+            arrays=(
+                RegisterArray("buf_a", 4, pointer_swapped=False),
+                RegisterArray("buf_b", 4, pointer_swapped=False),
+            )
+        )
+        compiled = compile_kernel(src, TESLA_C1060)
+        assert compiled.local_memory_arrays == ()
+        assert set(compiled.register_arrays) == {"buf_a", "buf_b"}
+        assert compiled.registers_per_thread == 20 + 8
+
+
+class TestTextureUnrollQuirk:
+    def test_texture_loop_blocks_unroll_and_demotes(self):
+        src = simple_source(
+            arrays=(RegisterArray("tile", 4, indexed_by="rows"),),
+            loops=(Loop("rows", 4, contains_texture_fetch=True),),
+        )
+        compiled = compile_kernel(src, TESLA_C1060)
+        assert "rows" not in compiled.unrolled_loops
+        assert compiled.local_memory_arrays == ("tile",)
+        assert "not unrolled" in compiled.demotion_reasons["tile"]
+
+    def test_hand_unroll_fixes_it(self):
+        src = simple_source(
+            arrays=(RegisterArray("tile", 4, indexed_by="rows"),),
+            loops=(
+                Loop("rows", 4, contains_texture_fetch=True, hand_unrolled=True),
+            ),
+        )
+        compiled = compile_kernel(src, TESLA_C1060)
+        assert "rows" in compiled.unrolled_loops
+        assert compiled.local_memory_arrays == ()
+
+    def test_plain_loop_unrolls(self):
+        src = simple_source(
+            arrays=(RegisterArray("tile", 4, indexed_by="rows"),),
+            loops=(Loop("rows", 4),),
+        )
+        compiled = compile_kernel(src, TESLA_C1060)
+        assert "rows" in compiled.unrolled_loops
+        assert compiled.local_memory_arrays == ()
+
+
+class TestRegisterPressure:
+    def test_spill_largest_first(self):
+        src = simple_source(
+            scalar_registers=50,
+            arrays=(
+                RegisterArray("small", 8),
+                RegisterArray("big", 80),
+            ),
+        )
+        compiled = compile_kernel(src, TESLA_C2050)  # 63 regs/thread limit
+        assert "big" in compiled.local_memory_arrays
+        assert "small" in compiled.register_arrays
+        assert compiled.registers_per_thread == 58
+        assert "register pressure" in compiled.demotion_reasons["big"]
+
+    def test_scalars_over_limit_raise(self):
+        src = simple_source(scalar_registers=200, arrays=())
+        with pytest.raises(ValueError, match="more"):
+            compile_kernel(src, TESLA_C2050)
+
+    def test_no_spill_when_fits(self):
+        src = simple_source(scalar_registers=10, arrays=(RegisterArray("a", 20),))
+        compiled = compile_kernel(src, TESLA_C1060)
+        assert not compiled.uses_local_memory
+        assert compiled.registers_per_thread == 30
+
+
+class TestSourceValidation:
+    def test_unknown_loop_reference(self):
+        with pytest.raises(ValueError, match="unknown loop"):
+            simple_source(
+                arrays=(RegisterArray("a", 4, indexed_by="nope"),),
+            )
+
+    def test_duplicate_arrays(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            simple_source(arrays=(RegisterArray("a", 4), RegisterArray("a", 2)))
+
+    def test_duplicate_loops(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            simple_source(loops=(Loop("l", 2), Loop("l", 3)))
+
+    def test_bad_lengths(self):
+        with pytest.raises(ValueError):
+            RegisterArray("a", 0)
+        with pytest.raises(ValueError):
+            Loop("l", 0)

@@ -1,0 +1,137 @@
+"""Property tests of the cost model: physical sanity under perturbation.
+
+A cost model that can be gamed (more work costing less time, caches
+hurting, idle devices outrunning busy ones) silently corrupts every
+experiment built on it; these tests pin the model's monotonicities.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cuda import (
+    CacheConfig,
+    CostModel,
+    KernelCounts,
+    LaunchConfig,
+    TESLA_C1060,
+    TESLA_C2050,
+)
+
+work_units = st.integers(min_value=1, max_value=10**9)
+seeds = st.integers(min_value=0, max_value=2**31)
+
+
+def random_counts(rng) -> KernelCounts:
+    cells = int(rng.integers(1, 10**8))
+    return KernelCounts(
+        cells=cells,
+        alu_ops=cells * int(rng.integers(1, 40)),
+        global_load_transactions=int(rng.integers(0, cells)),
+        global_store_transactions=int(rng.integers(0, cells)),
+        global_bytes_loaded=int(rng.integers(0, 32 * cells)),
+        global_bytes_stored=int(rng.integers(0, 32 * cells)),
+        shared_loads=int(rng.integers(0, 4 * cells)),
+        shared_stores=int(rng.integers(0, 4 * cells)),
+        texture_fetches=int(rng.integers(0, cells)),
+        syncs=int(rng.integers(0, cells // 64 + 1)),
+        wavefront_steps=int(rng.integers(0, cells // 64 + 1)),
+        passes=int(rng.integers(0, 10)),
+    )
+
+
+def random_launch(rng) -> LaunchConfig:
+    return LaunchConfig(
+        grid_blocks=int(rng.integers(1, 2000)),
+        threads_per_block=int(rng.choice([64, 128, 256])),
+        registers_per_thread=int(rng.integers(8, 48)),
+        shared_mem_per_block=int(rng.integers(0, 8192)),
+        step_memory=str(rng.choice(["none", "shared", "global"])),
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=seeds)
+def test_time_positive_and_finite(seed):
+    rng = np.random.default_rng(seed)
+    counts, launch = random_counts(rng), random_launch(rng)
+    for device in (TESLA_C1060, TESLA_C2050):
+        t = CostModel(device).kernel_time(counts, launch)
+        assert 0 < t.total < 1e6
+        assert t.total >= max(t.t_alu, t.t_dram, t.t_texture, t.t_shared)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds, factor=st.integers(min_value=2, max_value=8))
+def test_more_work_never_faster(seed, factor):
+    rng = np.random.default_rng(seed)
+    counts, launch = random_counts(rng), random_launch(rng)
+    model = CostModel(TESLA_C1060)
+    base = model.kernel_time(counts, launch).total
+    scaled = model.kernel_time(counts.scaled(factor), launch).total
+    assert scaled >= base
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds)
+def test_cache_never_hurts(seed):
+    rng = np.random.default_rng(seed)
+    counts, launch = random_counts(rng), random_launch(rng)
+    profile = CacheConfig(
+        working_set_bytes=int(rng.integers(1, 10**6)),
+        reuse_factor=float(rng.uniform(1.0, 8.0)),
+        streaming=bool(rng.integers(0, 2)),
+    )
+    on = CostModel(TESLA_C2050).kernel_time(counts, launch, profile).total
+    off = CostModel(TESLA_C2050, cache_enabled=False).kernel_time(
+        counts, launch, profile
+    ).total
+    assert on <= off * (1 + 1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds)
+def test_more_bandwidth_never_slower(seed):
+    rng = np.random.default_rng(seed)
+    counts, launch = random_counts(rng), random_launch(rng)
+    slow = TESLA_C1060
+    fast = dataclasses.replace(slow, global_bandwidth_gbps=2 * slow.global_bandwidth_gbps)
+    t_slow = CostModel(slow).kernel_time(counts, launch).total
+    t_fast = CostModel(fast).kernel_time(counts, launch).total
+    assert t_fast <= t_slow * (1 + 1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds)
+def test_bigger_grid_never_slower_for_same_work(seed):
+    """Spreading fixed total work over more blocks cannot hurt."""
+    rng = np.random.default_rng(seed)
+    counts = random_counts(rng)
+    launch_small = LaunchConfig(4, 256, 30, 2048)
+    launch_big = LaunchConfig(400, 256, 30, 2048)
+    model = CostModel(TESLA_C1060)
+    t_small = model.kernel_time(counts, launch_small).total
+    t_big = model.kernel_time(counts, launch_big).total
+    assert t_big <= t_small * (1 + 1e-12)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=seeds, launches=st.integers(min_value=1, max_value=50))
+def test_launch_overhead_additive(seed, launches):
+    rng = np.random.default_rng(seed)
+    counts, launch = random_counts(rng), random_launch(rng)
+    model = CostModel(TESLA_C1060)
+    one = model.kernel_time(counts, launch, launches=1)
+    many = model.kernel_time(counts, launch, launches=launches)
+    assert many.total - one.total == pytest.approx(
+        (launches - 1) * model.calibration.launch_overhead_us * 1e-6
+    )
+
+
+def test_zero_work_costs_only_launch():
+    model = CostModel(TESLA_C1060)
+    t = model.kernel_time(KernelCounts(), LaunchConfig(1, 32, 8, 0))
+    assert t.total == pytest.approx(model.calibration.launch_overhead_us * 1e-6)

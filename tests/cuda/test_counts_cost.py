@@ -1,0 +1,243 @@
+"""Tests for KernelCounts, the profiler and the cost model."""
+
+import pytest
+
+from repro.cuda import (
+    CacheConfig,
+    CostCalibration,
+    CostModel,
+    CudaProfiler,
+    KernelCounts,
+    LaunchConfig,
+    LaunchRecord,
+    TESLA_C1060,
+    TESLA_C2050,
+)
+
+
+class TestKernelCounts:
+    def test_addition(self):
+        a = KernelCounts(cells=10, alu_ops=100)
+        b = KernelCounts(cells=5, alu_ops=50, syncs=2)
+        c = a + b
+        assert c.cells == 15 and c.alu_ops == 150 and c.syncs == 2
+
+    def test_iadd(self):
+        a = KernelCounts(cells=1)
+        a += KernelCounts(cells=2)
+        assert a.cells == 3
+
+    def test_scaled(self):
+        a = KernelCounts(cells=3, passes=1).scaled(4)
+        assert a.cells == 12 and a.passes == 4
+
+    def test_derived(self):
+        a = KernelCounts(
+            cells=100,
+            global_load_transactions=30,
+            global_store_transactions=20,
+            global_bytes_loaded=960,
+            global_bytes_stored=640,
+            shared_loads=5,
+            shared_stores=7,
+        )
+        assert a.global_transactions == 50
+        assert a.global_bytes == 1600
+        assert a.shared_accesses == 12
+        assert a.global_transactions_per_cell() == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KernelCounts(cells=-1)
+        with pytest.raises(TypeError):
+            KernelCounts(cells=1.5)
+        with pytest.raises(ValueError):
+            KernelCounts().global_transactions_per_cell()
+        with pytest.raises(ValueError):
+            KernelCounts(cells=1).scaled(-1)
+
+
+class TestCostModelRegimes:
+    """The cost model must land on the paper's anchor numbers."""
+
+    CELLS = 200_000_000
+
+    def compute_bound(self):
+        return (
+            KernelCounts(cells=self.CELLS, alu_ops=self.CELLS * 18),
+            LaunchConfig(5000, 256, 30, 4096),
+        )
+
+    def memory_bound(self):
+        counts = KernelCounts(
+            cells=self.CELLS,
+            alu_ops=self.CELLS * 20,
+            global_load_transactions=self.CELLS * 6,
+            global_store_transactions=self.CELLS * 3,
+            global_bytes_loaded=self.CELLS * 24,
+            global_bytes_stored=self.CELLS * 16,
+        )
+        launch = LaunchConfig(600, 256, 30, 2048, step_memory="global")
+        return counts, launch
+
+    def test_compute_bound_c1060_near_17_gcups(self):
+        counts, launch = self.compute_bound()
+        t = CostModel(TESLA_C1060).kernel_time(counts, launch)
+        assert t.bound_by == "alu"
+        assert 14.0 < t.gcups(counts.cells) < 18.0
+
+    def test_memory_bound_c1060_near_1_5_gcups(self):
+        counts, launch = self.memory_bound()
+        t = CostModel(TESLA_C1060).kernel_time(counts, launch)
+        assert t.bound_by == "dram"
+        assert 1.0 < t.gcups(counts.cells) < 2.2
+
+    def test_fermi_cache_rescues_memory_bound(self):
+        """The Section IV-A finding: caching helps the traffic-heavy kernel
+        a lot, and disabling it (Figure 6) takes the benefit away."""
+        counts, launch = self.memory_bound()
+        profile = CacheConfig(working_set_bytes=9_000, reuse_factor=3.5)
+        on = CostModel(TESLA_C2050).kernel_time(counts, launch, profile)
+        off = CostModel(TESLA_C2050, cache_enabled=False).kernel_time(
+            counts, launch, profile
+        )
+        assert on.cache_hit_rate > 0.5
+        assert off.cache_hit_rate == 0.0
+        assert on.total < 0.6 * off.total
+
+    def test_cache_does_not_help_compute_bound(self):
+        counts, launch = self.compute_bound()
+        profile = CacheConfig(working_set_bytes=9_000, reuse_factor=3.5)
+        on = CostModel(TESLA_C2050).kernel_time(counts, launch, profile)
+        off = CostModel(TESLA_C2050, cache_enabled=False).kernel_time(
+            counts, launch, profile
+        )
+        assert on.total == pytest.approx(off.total, rel=0.02)
+
+    def test_small_grid_limits_throughput(self):
+        counts, _ = self.compute_bound()
+        big = CostModel(TESLA_C1060).kernel_time(
+            counts, LaunchConfig(5000, 256, 30, 4096)
+        )
+        tiny = CostModel(TESLA_C1060).kernel_time(
+            counts, LaunchConfig(3, 256, 30, 4096)
+        )
+        assert tiny.total > 5 * big.total  # only 3 of 30 SMs active
+
+    def test_sync_overhead_appears_on_critical_path(self):
+        counts = KernelCounts(cells=1000, alu_ops=1000, syncs=100_000)
+        launch = LaunchConfig(1, 256, 30, 4096, step_memory="shared")
+        t = CostModel(TESLA_C1060).kernel_time(counts, launch)
+        assert t.t_steps > 0
+        assert t.total > t.t_alu
+
+    def test_latency_term_only_for_dependent_global_steps(self):
+        shared = KernelCounts(cells=1000, alu_ops=1000, wavefront_steps=10_000)
+        glob = KernelCounts(
+            cells=1000, alu_ops=1000, wavefront_steps=10_000,
+            dependent_global_steps=10_000,
+        )
+        launch = LaunchConfig(1, 256, 30, 0, step_memory="global")
+        t_shared = CostModel(TESLA_C1060).kernel_time(shared, launch)
+        t_glob = CostModel(TESLA_C1060).kernel_time(glob, launch)
+        assert t_shared.t_latency == 0.0
+        assert t_glob.t_latency > 0.0
+
+    def test_launch_overhead_scales(self):
+        counts = KernelCounts(cells=1, alu_ops=1)
+        launch = LaunchConfig(1, 32, 8, 0)
+        model = CostModel(TESLA_C1060)
+        one = model.kernel_time(counts, launch, launches=1)
+        ten = model.kernel_time(counts, launch, launches=10)
+        assert ten.t_launch == pytest.approx(10 * one.t_launch)
+
+    def test_transfer_time(self):
+        model = CostModel(TESLA_C1060)
+        t = model.transfer_time(5_200_000_000 // 10)
+        assert t == pytest.approx(0.1)
+        with pytest.raises(ValueError):
+            model.transfer_time(-1)
+
+    def test_gcups_requires_positive_time(self):
+        counts, launch = self.compute_bound()
+        t = CostModel(TESLA_C1060).kernel_time(counts, launch)
+        assert t.gcups(10**9) > 0
+
+    def test_render_breakdown(self):
+        counts, launch = self.compute_bound()
+        t = CostModel(TESLA_C1060).kernel_time(counts, launch)
+        text = t.render()
+        assert "bound by: alu" in text
+        assert "roofline" in text
+        assert "total" in text
+
+    def test_launches_validation(self):
+        counts, launch = self.compute_bound()
+        with pytest.raises(ValueError):
+            CostModel(TESLA_C1060).kernel_time(counts, launch, launches=0)
+
+    def test_launch_config_validation(self):
+        with pytest.raises(ValueError):
+            LaunchConfig(0, 256, 30, 0)
+        with pytest.raises(ValueError):
+            LaunchConfig(1, 256, 30, 0, step_memory="weird")
+
+
+class TestCalibration:
+    def test_default_values_validated(self):
+        c = CostCalibration()
+        assert c.issue_efficiency_for("Tesla C1060") == pytest.approx(0.95)
+        assert c.issue_efficiency_for("unknown") == 1.0
+
+    def test_invalid_values(self):
+        with pytest.raises(ValueError):
+            CostCalibration(bandwidth_efficiency=0.0)
+        with pytest.raises(ValueError):
+            CostCalibration(issue_efficiency={"x": 1.5})
+        with pytest.raises(ValueError):
+            CostCalibration(store_cache_benefit=2.0)
+        with pytest.raises(ValueError):
+            CostCalibration(warps_to_hide_alu=0)
+
+
+class TestProfiler:
+    def test_record_and_aggregate(self):
+        prof = CudaProfiler()
+        prof.record(
+            LaunchRecord("inter", KernelCounts(cells=10), 4, 256, time_seconds=0.5)
+        )
+        prof.record(
+            LaunchRecord("intra", KernelCounts(cells=5, global_load_transactions=7),
+                         1, 256, time_seconds=0.5)
+        )
+        prof.record(
+            LaunchRecord("inter", KernelCounts(cells=20), 4, 256, time_seconds=1.0)
+        )
+        assert prof.kernel_names() == ["inter", "intra"]
+        assert prof.total_counts("inter").cells == 30
+        assert prof.total_counts().cells == 35
+        assert prof.global_memory_transactions("intra") == 7
+        assert prof.total_time() == pytest.approx(2.0)
+        assert prof.time_fraction("intra") == pytest.approx(0.25)
+
+    def test_report_renders(self):
+        prof = CudaProfiler()
+        prof.record(LaunchRecord("k", KernelCounts(cells=1), 1, 32))
+        text = prof.report()
+        assert "k" in text and "launches" in text
+
+    def test_time_fraction_requires_time(self):
+        prof = CudaProfiler()
+        prof.record(LaunchRecord("k", KernelCounts(), 1, 32))
+        with pytest.raises(ValueError):
+            prof.time_fraction("k")
+
+    def test_reset(self):
+        prof = CudaProfiler()
+        prof.record(LaunchRecord("k", KernelCounts(), 1, 32))
+        prof.reset()
+        assert prof.records == []
+
+    def test_launch_record_validation(self):
+        with pytest.raises(ValueError):
+            LaunchRecord("k", KernelCounts(), 0, 32)

@@ -1,0 +1,111 @@
+"""Tests for device specs and the occupancy calculator."""
+
+import pytest
+
+from repro.cuda import TESLA_C1060, TESLA_C2050, DEVICES, DeviceSpec, occupancy
+
+
+class TestDeviceSpecs:
+    def test_c1060_geometry(self):
+        d = TESLA_C1060
+        assert d.num_sms == 30
+        assert d.cores_per_sm == 8
+        assert d.total_cores == 240
+        assert not d.has_l1_l2
+        assert not d.is_fermi
+
+    def test_c2050_geometry(self):
+        d = TESLA_C2050
+        assert d.num_sms == 14
+        assert d.total_cores == 448
+        assert d.has_l1_l2
+        assert d.is_fermi
+        assert d.l2_bytes == 768 * 1024
+
+    def test_peak_throughputs(self):
+        # 240 cores x 1.296 GHz = 311 Gops/s.
+        assert TESLA_C1060.instruction_throughput_per_second == pytest.approx(
+            311.04e9
+        )
+        assert TESLA_C2050.instruction_throughput_per_second == pytest.approx(
+            515.2e9
+        )
+
+    def test_bandwidths(self):
+        assert TESLA_C1060.global_bandwidth_bytes_per_second == 102e9
+        assert TESLA_C2050.global_bandwidth_bytes_per_second == 144e9
+
+    def test_cycles_to_seconds(self):
+        assert TESLA_C1060.cycles_to_seconds(1.296e9) == pytest.approx(1.0)
+
+    def test_devices_registry(self):
+        assert DEVICES["C1060"] is TESLA_C1060
+        assert DEVICES["C2050"] is TESLA_C2050
+
+    def test_validation(self):
+        import dataclasses
+
+        with pytest.raises(ValueError):
+            dataclasses.replace(TESLA_C1060, num_sms=0)
+        with pytest.raises(ValueError):
+            dataclasses.replace(TESLA_C1060, max_threads_per_block=100)
+        with pytest.raises(ValueError):
+            dataclasses.replace(TESLA_C2050, l2_bytes=0)
+
+
+class TestOccupancy:
+    def test_register_limited(self):
+        # 256 threads x 30 regs = 7680 regs/block; C1060 has 16384/SM -> 2.
+        occ = occupancy(TESLA_C1060, 256, 30, 0)
+        assert occ.blocks_per_sm == 2
+        assert occ.limited_by == "registers"
+        assert occ.resident_threads_per_sm == 512
+        assert occ.occupancy == 0.5
+
+    def test_thread_slot_limited(self):
+        occ = occupancy(TESLA_C1060, 512, 8, 0)
+        # 16384/(8*512) = 4 register limit, 1024/512 = 2 thread limit.
+        assert occ.blocks_per_sm == 2
+        assert occ.limited_by == "thread slots"
+
+    def test_shared_limited(self):
+        occ = occupancy(TESLA_C1060, 64, 8, 9 * 1024)
+        assert occ.limited_by == "shared memory"
+        assert occ.blocks_per_sm == 1
+
+    def test_block_slot_limited(self):
+        occ = occupancy(TESLA_C2050, 32, 8, 0)
+        assert occ.blocks_per_sm == TESLA_C2050.max_blocks_per_sm
+        assert occ.limited_by == "block slots"
+
+    def test_concurrent_threads_device(self):
+        occ = occupancy(TESLA_C1060, 256, 16, 0)
+        assert (
+            occ.concurrent_threads_device
+            == occ.blocks_per_sm * 256 * TESLA_C1060.num_sms
+        )
+
+    def test_warp_multiple_required(self):
+        with pytest.raises(ValueError, match="warp"):
+            occupancy(TESLA_C1060, 100, 16, 0)
+
+    def test_too_many_threads(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            occupancy(TESLA_C1060, 1024, 16, 0)
+
+    def test_too_many_registers(self):
+        with pytest.raises(ValueError, match="registers"):
+            occupancy(TESLA_C2050, 256, 200, 0)
+
+    def test_too_much_shared(self):
+        with pytest.raises(ValueError, match="shared"):
+            occupancy(TESLA_C1060, 256, 16, 20 * 1024)
+
+    def test_does_not_fit(self):
+        # Fits individually but one block demands more registers than an SM.
+        with pytest.raises(ValueError, match="does not fit"):
+            occupancy(TESLA_C1060, 512, 64, 0)
+
+    def test_zero_resource_usage_ok(self):
+        occ = occupancy(TESLA_C2050, 256, 0, 0)
+        assert occ.blocks_per_sm >= 1

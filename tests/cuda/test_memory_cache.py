@@ -1,0 +1,197 @@
+"""Tests for coalescing rules and the cache models."""
+
+import pytest
+
+from repro.cuda import (
+    AccessPattern,
+    CacheConfig,
+    CacheHierarchyModel,
+    SetAssociativeCache,
+    TESLA_C1060,
+    TESLA_C2050,
+    shared_memory_fits,
+    transactions_per_warp_access,
+)
+
+
+class TestCoalescing:
+    def test_coalesced_full_warp(self):
+        # 32 threads x 4 B = 128 B: four 32-B segments on either device
+        # model (same min transaction size).
+        assert transactions_per_warp_access(TESLA_C1060, AccessPattern.COALESCED) == 4
+        assert transactions_per_warp_access(TESLA_C2050, AccessPattern.COALESCED) == 4
+
+    def test_coalesced_partial_warp(self):
+        assert (
+            transactions_per_warp_access(
+                TESLA_C1060, AccessPattern.COALESCED, active_threads=8
+            )
+            == 1
+        )
+
+    def test_single_thread_access(self):
+        # One thread writing one word still costs a full transaction —
+        # the Section VI observation about strip-boundary writes.
+        assert (
+            transactions_per_warp_access(
+                TESLA_C1060, AccessPattern.SINGLE_THREAD, active_threads=1
+            )
+            == 1
+        )
+
+    def test_strided_pays_per_thread(self):
+        assert (
+            transactions_per_warp_access(TESLA_C1060, AccessPattern.STRIDED) == 32
+        )
+
+    def test_broadcast(self):
+        assert transactions_per_warp_access(TESLA_C1060, AccessPattern.BROADCAST) == 1
+
+    def test_wide_elements(self):
+        # 16-byte elements: 32 x 16 = 512 B = 16 segments.
+        assert (
+            transactions_per_warp_access(
+                TESLA_C1060, AccessPattern.COALESCED, element_bytes=16
+            )
+            == 16
+        )
+
+    def test_zero_active_threads(self):
+        assert (
+            transactions_per_warp_access(
+                TESLA_C1060, AccessPattern.COALESCED, active_threads=0
+            )
+            == 0
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            transactions_per_warp_access(
+                TESLA_C1060, AccessPattern.COALESCED, element_bytes=0
+            )
+        with pytest.raises(ValueError):
+            transactions_per_warp_access(
+                TESLA_C1060, AccessPattern.COALESCED, active_threads=33
+            )
+
+    def test_shared_memory_fits(self):
+        assert shared_memory_fits(TESLA_C1060, 8 * 1024, 2)
+        assert not shared_memory_fits(TESLA_C1060, 9 * 1024, 2)
+        with pytest.raises(ValueError):
+            shared_memory_fits(TESLA_C1060, -1)
+
+
+class TestSetAssociativeCache:
+    def test_geometry(self):
+        c = SetAssociativeCache(16 * 1024, 128, 4)
+        assert c.num_sets == 32
+
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(1000, 128, 4)  # not a multiple
+        with pytest.raises(ValueError):
+            SetAssociativeCache(0, 128, 4)
+
+    def test_miss_then_hit(self):
+        c = SetAssociativeCache(1024, 32, 2)
+        assert not c.access(0)
+        assert c.access(0)
+        assert c.access(31)  # same line
+        assert not c.access(32)  # next line
+        assert c.hit_rate == pytest.approx(0.5)
+
+    def test_lru_eviction(self):
+        # Direct-ish: 2 ways, force 3 conflicting lines into one set.
+        c = SetAssociativeCache(256, 32, 2)  # 4 sets
+        conflict = [0, 4 * 32, 8 * 32]  # all map to set 0
+        for a in conflict:
+            c.access(a)
+        # Line 0 was LRU -> evicted.
+        assert not c.access(0)
+
+    def test_lru_refresh_on_hit(self):
+        c = SetAssociativeCache(256, 32, 2)
+        c.access(0)
+        c.access(4 * 32)
+        c.access(0)  # refresh line 0
+        c.access(8 * 32)  # evicts 4*32, not 0
+        assert c.access(0)
+        assert not c.access(4 * 32)
+
+    def test_streaming_never_hits(self):
+        c = SetAssociativeCache(4 * 1024, 128, 4)
+        for addr in range(0, 1024 * 1024, 128):
+            c.access(addr)
+        assert c.hits == 0
+
+    def test_wavefront_reuse_hits(self):
+        """The regime behind the paper's Fermi finding: a wavefront
+        working set that fits in cache gets high hit rates."""
+        c = SetAssociativeCache(16 * 1024, 128, 8)
+        ws = 8 * 1024  # 8 KiB wavefront buffers
+        for _sweep in range(4):
+            for addr in range(0, ws, 4):
+                c.access(addr)
+        # First sweep misses (compulsory), later sweeps hit.
+        assert c.hit_rate > 0.7
+
+    def test_access_range(self):
+        c = SetAssociativeCache(1024, 32, 2)
+        hits = c.access_range(0, 64)  # two lines, both cold
+        assert hits == 0
+        assert c.access_range(0, 64) == 2
+
+    def test_reset(self):
+        c = SetAssociativeCache(1024, 32, 2)
+        c.access(0)
+        c.reset_counters()
+        assert c.accesses == 0
+
+    def test_negative_address(self):
+        c = SetAssociativeCache(1024, 32, 2)
+        with pytest.raises(ValueError):
+            c.access(-1)
+
+
+class TestCacheHierarchyModel:
+    def small_ws(self):
+        return CacheConfig(working_set_bytes=9_000, reuse_factor=3.5)
+
+    def test_no_cache_on_c1060(self):
+        model = CacheHierarchyModel(TESLA_C1060)
+        assert model.hit_rate(self.small_ws(), blocks_per_sm=2, concurrent_blocks=60) == 0.0
+
+    def test_disabled_cache_is_zero(self):
+        model = CacheHierarchyModel(TESLA_C2050, enabled=False)
+        assert model.hit_rate(self.small_ws(), blocks_per_sm=2, concurrent_blocks=28) == 0.0
+
+    def test_fitting_working_set_reaches_reuse_limit(self):
+        model = CacheHierarchyModel(TESLA_C2050)
+        h = model.hit_rate(self.small_ws(), blocks_per_sm=2, concurrent_blocks=28)
+        assert h == pytest.approx(1 - 1 / 3.5)
+
+    def test_oversized_working_set_scales_down(self):
+        model = CacheHierarchyModel(TESLA_C2050)
+        big = CacheConfig(working_set_bytes=10_000_000, reuse_factor=3.5)
+        h = model.hit_rate(big, blocks_per_sm=2, concurrent_blocks=28)
+        assert 0 < h < 0.05
+
+    def test_streaming_never_cached(self):
+        model = CacheHierarchyModel(TESLA_C2050)
+        stream = CacheConfig(working_set_bytes=1024, reuse_factor=8.0, streaming=True)
+        assert model.hit_rate(stream, blocks_per_sm=2, concurrent_blocks=28) == 0.0
+
+    def test_none_profile(self):
+        model = CacheHierarchyModel(TESLA_C2050)
+        assert model.hit_rate(None, blocks_per_sm=2, concurrent_blocks=28) == 0.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CacheConfig(working_set_bytes=-1, reuse_factor=2.0)
+        with pytest.raises(ValueError):
+            CacheConfig(working_set_bytes=10, reuse_factor=0.5)
+
+    def test_concurrency_validation(self):
+        model = CacheHierarchyModel(TESLA_C2050)
+        with pytest.raises(ValueError):
+            model.hit_rate(self.small_ws(), blocks_per_sm=0, concurrent_blocks=1)

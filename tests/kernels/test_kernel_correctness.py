@@ -1,0 +1,130 @@
+"""Every kernel must compute exact Smith-Waterman scores and its
+closed-form counts must equal its functional simulation's counts."""
+
+import numpy as np
+import pytest
+
+from repro.alphabet import BLOSUM62, GapPenalty
+from repro.kernels import (
+    ImprovedIntraTaskKernel,
+    ImprovedKernelConfig,
+    InterTaskKernel,
+    OriginalIntraTaskKernel,
+    variant_kernel,
+)
+from repro.sequence import random_protein
+from repro.sw import sw_score_scalar
+
+GP = GapPenalty.cudasw_default()
+
+# Small block sizes so multiple strips/chunks are exercised at test scale.
+KERNELS = [
+    InterTaskKernel(),
+    OriginalIntraTaskKernel(threads_per_block=32),
+    OriginalIntraTaskKernel(threads_per_block=256),
+    ImprovedIntraTaskKernel(ImprovedKernelConfig(threads_per_block=32, tile_height=4)),
+    ImprovedIntraTaskKernel(ImprovedKernelConfig(threads_per_block=32, tile_height=8)),
+    ImprovedIntraTaskKernel(),  # paper defaults (256, 4)
+    ImprovedIntraTaskKernel(
+        ImprovedKernelConfig(
+            threads_per_block=32, tile_height=4, coalesced_boundary=True
+        )
+    ),
+    ImprovedIntraTaskKernel(
+        ImprovedKernelConfig(
+            threads_per_block=32, tile_height=4, shared_memory_only=True
+        )
+    ),
+    ImprovedIntraTaskKernel(
+        ImprovedKernelConfig(
+            threads_per_block=32, tile_height=4, persistent_pipeline=True
+        )
+    ),
+]
+KERNEL_IDS = [
+    "inter",
+    "orig32",
+    "orig256",
+    "imp32x4",
+    "imp32x8",
+    "imp256x4",
+    "imp-coalesced",
+    "imp-shared-only",
+    "imp-persistent",
+]
+
+
+@pytest.fixture(scope="module")
+def pairs():
+    rng = np.random.default_rng(99)
+    out = []
+    for _ in range(6):
+        m = int(rng.integers(1, 300))
+        n = int(rng.integers(1, 120))
+        out.append((random_protein(m, rng, id="q"), random_protein(n, rng, id="d")))
+    # Degenerate shapes that exercise boundaries.
+    out.append((random_protein(1, rng), random_protein(1, rng)))
+    out.append((random_protein(257, rng), random_protein(1, rng)))
+    out.append((random_protein(1, rng), random_protein(97, rng)))
+    return out
+
+
+@pytest.mark.parametrize("kernel", KERNELS, ids=KERNEL_IDS)
+class TestKernelFidelity:
+    def test_scores_match_reference(self, kernel, pairs):
+        for q, d in pairs:
+            run = kernel.run_pair(q.codes, d.codes, BLOSUM62, GP)
+            assert run.score == sw_score_scalar(q, d, BLOSUM62, GP), (
+                kernel.name,
+                len(q),
+                len(d),
+            )
+
+    def test_counts_formula_equals_simulation(self, kernel, pairs):
+        for q, d in pairs:
+            run = kernel.run_pair(q.codes, d.codes, BLOSUM62, GP)
+            assert run.counts == kernel.pair_counts(len(q), len(d)), (
+                kernel.name,
+                len(q),
+                len(d),
+            )
+
+    def test_counts_cells_exact(self, kernel, pairs):
+        for q, d in pairs:
+            assert kernel.pair_counts(len(q), len(d)).cells == len(q) * len(d)
+
+    def test_empty_rejected(self, kernel):
+        with pytest.raises(ValueError):
+            kernel.run_pair(np.array([], dtype=np.uint8), np.zeros(3, np.uint8),
+                            BLOSUM62, GP)
+        with pytest.raises(ValueError):
+            kernel.pair_counts(0, 5)
+
+
+@pytest.mark.parametrize("name", ["v0-naive", "v1-deep-swap", "v2-hand-unroll",
+                                  "v3-query-profile"])
+def test_variant_scores_and_counts(name):
+    """Broken register mapping must never change the *result*, only the
+    memory traffic (that is the whole point of Section III-A)."""
+    rng = np.random.default_rng(5)
+    kernel = variant_kernel(name)
+    q, d = random_protein(150, rng), random_protein(90, rng)
+    run = kernel.run_pair(q.codes, d.codes, BLOSUM62, GP)
+    assert run.score == sw_score_scalar(q, d, BLOSUM62, GP)
+    assert run.counts == kernel.pair_counts(150, 90)
+
+
+def test_alternative_gap_models_and_matrices():
+    from repro.alphabet import PROTEIN, random_matrix
+
+    rng = np.random.default_rng(11)
+    mat = random_matrix(PROTEIN, rng)
+    gaps = GapPenalty(7, 3)
+    q, d = random_protein(120, rng), random_protein(70, rng)
+    for kernel in (
+        InterTaskKernel(),
+        OriginalIntraTaskKernel(threads_per_block=32),
+        ImprovedIntraTaskKernel(ImprovedKernelConfig(threads_per_block=32)),
+    ):
+        run = kernel.run_pair(q.codes, d.codes, mat, gaps)
+        assert run.score == sw_score_scalar(q, d, mat, gaps), kernel.name

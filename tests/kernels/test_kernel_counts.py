@@ -1,0 +1,260 @@
+"""Structural properties of the kernels' counts — the quantities behind
+the paper's Figures 2/5/6 and Table I."""
+
+import numpy as np
+import pytest
+
+from repro.cuda import CostModel, KernelCounts, TESLA_C1060, TESLA_C2050
+from repro.kernels import (
+    ImprovedIntraTaskKernel,
+    ImprovedKernelConfig,
+    InterTaskKernel,
+    OriginalIntraTaskKernel,
+    variant_kernel,
+)
+
+
+class TestMemoryTrafficStructure:
+    """The paper's central claim: the improved kernel's global traffic is
+    per-strip-boundary, the original's is per-cell."""
+
+    def test_original_traffic_scales_with_cells(self):
+        k = OriginalIntraTaskKernel()
+        a = k.pair_counts(500, 1000)
+        b = k.pair_counts(500, 2000)
+        assert b.global_bytes == pytest.approx(2 * a.global_bytes, rel=0.01)
+        assert a.global_bytes / a.cells == pytest.approx(32.0)
+
+    def test_improved_traffic_scales_with_boundaries(self):
+        k = ImprovedIntraTaskKernel()  # strip height 1024
+        overhead = (16 + 6) * 4  # fixed per-pair bookkeeping bytes
+        one_strip = k.pair_counts(1024, 1000)
+        three_strips = k.pair_counts(3 * 1024, 1000)
+        # One strip: no interior boundary -> bookkeeping only.
+        assert one_strip.global_bytes == overhead
+        # Three strips: two boundary rows, 2 words each way per column.
+        assert three_strips.global_bytes == (2 * 2 * 1000 * 4) * 2 + overhead
+
+    def test_transaction_reduction_is_orders_of_magnitude(self):
+        """Table I's headline: a huge reduction in global transactions."""
+        orig = OriginalIntraTaskKernel()
+        imp = ImprovedIntraTaskKernel()
+        for m in (567, 5478):
+            ratio = (
+                orig.pair_counts(m, 4424).global_transactions
+                / imp.pair_counts(m, 4424).global_transactions
+            )
+            assert ratio > 50, (m, ratio)
+
+    def test_improved_shared_traffic_replaces_global(self):
+        k = ImprovedIntraTaskKernel()
+        c = k.pair_counts(1024, 1000)
+        assert c.shared_accesses > 100 * c.global_transactions
+
+    def test_inter_task_traffic_is_small(self):
+        c = InterTaskKernel().pair_counts(567, 360)
+        assert c.global_bytes / c.cells < 3.0  # ~2 B/cell row buffer
+
+
+class TestImprovedKernelGeometry:
+    def test_passes(self):
+        k = ImprovedIntraTaskKernel()  # strip = 1024 rows
+        assert k.passes(1) == 1
+        assert k.passes(1024) == 1
+        assert k.passes(1025) == 2
+        assert k.passes(5478) == 6  # the paper: "five full passes" + rest
+
+    def test_strip_geometry_warp_rounding(self):
+        k = ImprovedIntraTaskKernel()
+        (u, a), = k.strip_geometry(567)
+        assert u == 142  # ceil(567/4)
+        assert a == 160  # rounded to warps
+
+    def test_full_strip_uses_all_threads(self):
+        k = ImprovedIntraTaskKernel()
+        geometry = k.strip_geometry(2048)
+        assert geometry == [(256, 256), (256, 256)]
+
+    def test_strip_height_param(self):
+        cfg = ImprovedKernelConfig(threads_per_block=128, tile_height=8)
+        assert cfg.strip_height == 1024
+        assert ImprovedKernelConfig().strip_height == 1024
+
+    def test_profile_requires_multiple_of_four(self):
+        with pytest.raises(ValueError, match="multiple of 4"):
+            ImprovedKernelConfig(tile_height=3)
+        # Fine without the profile.
+        ImprovedKernelConfig(tile_height=3, use_query_profile=False)
+
+    def test_persistent_pipeline_single_pass(self):
+        base = ImprovedIntraTaskKernel()
+        pers = ImprovedIntraTaskKernel(
+            ImprovedKernelConfig(persistent_pipeline=True)
+        )
+        m, n = 5000, 2000
+        assert base.pair_counts(m, n).passes == 5
+        assert pers.pair_counts(m, n).passes == 1
+
+    def test_shared_only_eliminates_global(self):
+        # Section VI: "the increased amount of shared memory on the Fermi"
+        # can hold the boundary rows entirely for shorter sequences.
+        so = ImprovedIntraTaskKernel(
+            ImprovedKernelConfig(shared_memory_only=True), TESLA_C2050
+        )
+        c = so.pair_counts(5000, 2000)
+        assert c.global_bytes == (16 + 6) * 4  # bookkeeping only
+        assert so.shared_only_fits(5000)
+        assert not so.shared_only_fits(11_000)  # beyond Fermi's 48 KiB
+        # On the C1060's 16 KiB the mode fits only much shorter sequences.
+        c1060 = ImprovedIntraTaskKernel(
+            ImprovedKernelConfig(shared_memory_only=True)
+        )
+        assert c1060.shared_only_fits(1000)
+        assert not c1060.shared_only_fits(2000)
+
+    def test_coalesced_boundary_cuts_transactions(self):
+        base = ImprovedIntraTaskKernel()
+        coal = ImprovedIntraTaskKernel(
+            ImprovedKernelConfig(coalesced_boundary=True)
+        )
+        m, n = 5000, 2000
+        b, c = base.pair_counts(m, n), coal.pair_counts(m, n)
+        assert c.global_transactions < b.global_transactions / 6
+        assert c.global_bytes == b.global_bytes  # same words, fewer segments
+
+
+class TestVariantLadder:
+    def test_v0_v1_use_local_memory(self):
+        assert variant_kernel("v0-naive").compiled.uses_local_memory
+        assert variant_kernel("v1-deep-swap").compiled.uses_local_memory
+        assert not variant_kernel("v2-hand-unroll").compiled.uses_local_memory
+        assert not variant_kernel("v3-query-profile").compiled.uses_local_memory
+
+    def test_query_profile_cuts_texture_fetches_4x(self):
+        """Section III-B: one read for every four cells."""
+        v2 = variant_kernel("v2-hand-unroll")
+        v3 = variant_kernel("v3-query-profile")
+        m, n = 1024, 1000
+        # v2 pays one global lookup word per cell instead of profile fetches.
+        assert v2.pair_counts(m, n).global_bytes_loaded >= 4 * m * n
+        # v3's texture fetches: (1 profile + 1 symbol) per 4-row tile.
+        assert v3.pair_counts(m, n).texture_fetches == 2 * (m // 4) * n
+
+    def test_unknown_variant(self):
+        with pytest.raises(KeyError):
+            variant_kernel("v9")
+
+    def test_ladder_is_monotone_in_modeled_speed(self):
+        """Each development stage must not be slower than the previous
+        (the paper's incremental-improvement narrative)."""
+        m, n = 2048, 3000
+        model = CostModel(TESLA_C1060)
+        gcups = []
+        for name in ("v0-naive", "v1-deep-swap", "v2-hand-unroll",
+                     "v3-query-profile"):
+            k = variant_kernel(name)
+            counts = k.pair_counts(m, n).scaled(64)
+            t = model.kernel_time(counts, k.launch_config(64), k.cache_profile(m, n))
+            gcups.append(counts.cells / t.total / 1e9)
+        assert gcups == sorted(gcups)
+        # And the overall ladder spans a large factor.
+        assert gcups[-1] > 4 * gcups[0]
+
+
+class TestKernelLevelGcups:
+    """Kernel-level throughput anchors (Section II-C of the paper:
+    inter-task ~17 GCUPs, original intra-task ~1.5 GCUPs on the C1060;
+    Section I: improved intra-task >11x the original)."""
+
+    M = 567
+
+    @pytest.fixture(scope="class")
+    def long_lengths(self):
+        rng = np.random.default_rng(3)
+        return np.maximum(
+            rng.lognormal(np.log(4000), 0.35, 619).astype(np.int64), 3072
+        )
+
+    def aggregate(self, kernel, lengths):
+        counts = KernelCounts()
+        for n in lengths:
+            counts += kernel.pair_counts(self.M, int(n))
+        return counts
+
+    def gcups(self, kernel, lengths, device, cache=True):
+        counts = self.aggregate(kernel, lengths)
+        model = CostModel(device, cache_enabled=cache)
+        t = model.kernel_time(
+            counts,
+            kernel.launch_config(len(lengths)),
+            kernel.cache_profile(self.M, int(np.mean(lengths))),
+        )
+        return counts.cells / t.total / 1e9
+
+    def test_original_intra_near_paper_anchor(self, long_lengths):
+        g = self.gcups(OriginalIntraTaskKernel(), long_lengths, TESLA_C1060)
+        assert 1.0 < g < 2.5
+
+    def test_improved_intra_large_speedup(self, long_lengths):
+        orig = self.gcups(OriginalIntraTaskKernel(), long_lengths, TESLA_C1060)
+        imp = self.gcups(ImprovedIntraTaskKernel(), long_lengths, TESLA_C1060)
+        assert imp / orig > 6.0  # paper: "over 11 times"
+
+    def test_fermi_cache_boosts_original_only(self, long_lengths):
+        orig_on = self.gcups(OriginalIntraTaskKernel(), long_lengths, TESLA_C2050)
+        orig_off = self.gcups(
+            OriginalIntraTaskKernel(), long_lengths, TESLA_C2050, cache=False
+        )
+        imp_on = self.gcups(ImprovedIntraTaskKernel(), long_lengths, TESLA_C2050)
+        imp_off = self.gcups(
+            ImprovedIntraTaskKernel(), long_lengths, TESLA_C2050, cache=False
+        )
+        assert orig_on > 1.8 * orig_off  # cache is the original's lifeline
+        assert imp_on == pytest.approx(imp_off, rel=0.02)  # and a no-op here
+
+    def test_inter_task_compute_bound_near_anchor(self):
+        inter = InterTaskKernel()
+        lengths = np.full(15360, 360, dtype=np.int64)
+        counts = inter.group_counts(self.M, lengths)
+        model = CostModel(TESLA_C1060)
+        t = model.kernel_time(
+            counts,
+            inter.launch_config(15360 // 256),
+            inter.cache_profile(self.M, 360),
+        )
+        g = counts.cells / t.total / 1e9
+        assert 14.0 < g < 20.0
+
+
+class TestInterTaskGroups:
+    def test_group_counts_match_pair_counts_for_singleton(self):
+        inter = InterTaskKernel()
+        single = inter.group_counts(100, np.array([77]))
+        pair = inter.pair_counts(100, 77)
+        assert single == pair
+
+    def test_group_charges_by_longest(self):
+        """The load-imbalance asymmetry behind Figure 2."""
+        inter = InterTaskKernel()
+        uniform = inter.group_counts(100, np.array([400, 400, 400, 400]))
+        skewed = inter.group_counts(100, np.array([100, 100, 100, 400]))
+        # Same ALU slots (the longest member dictates the launch)...
+        assert skewed.alu_ops == uniform.alu_ops
+        # ...but fewer useful cells.
+        assert skewed.cells < uniform.cells
+        assert skewed.idle_thread_steps > uniform.idle_thread_steps
+
+    def test_group_memory_follows_actual_work(self):
+        inter = InterTaskKernel()
+        a = inter.group_counts(100, np.array([100, 400]))
+        b = inter.group_counts(100, np.array([400, 400]))
+        assert a.global_bytes < b.global_bytes
+
+    def test_group_validation(self):
+        inter = InterTaskKernel()
+        with pytest.raises(ValueError):
+            inter.group_counts(0, np.array([10]))
+        with pytest.raises(ValueError):
+            inter.group_counts(10, np.array([], dtype=np.int64))
+        with pytest.raises(ValueError):
+            inter.group_counts(10, np.array([0]))

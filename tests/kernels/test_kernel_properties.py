@@ -1,0 +1,160 @@
+"""Hypothesis property tests over the kernel models.
+
+Random shapes, random thread-block geometries, random sequences: the
+closed-form counts must equal the functional simulation's counts, and the
+functional simulation's score must equal the scalar reference — for every
+kernel, everywhere in the configuration space.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alphabet import BLOSUM62, GapPenalty
+from repro.kernels import (
+    ImprovedIntraTaskKernel,
+    ImprovedKernelConfig,
+    InterTaskKernel,
+    OriginalIntraTaskKernel,
+)
+from repro.sequence import random_protein
+from repro.sw import sw_score_scalar
+
+GP = GapPenalty.cudasw_default()
+
+shapes = st.tuples(
+    st.integers(min_value=1, max_value=140),
+    st.integers(min_value=1, max_value=90),
+)
+seeds = st.integers(min_value=0, max_value=2**31)
+
+
+def make_pair(m, n, seed):
+    rng = np.random.default_rng(seed)
+    return random_protein(m, rng), random_protein(n, rng)
+
+
+@settings(max_examples=25, deadline=None)
+@given(shape=shapes, seed=seeds)
+def test_inter_task_fidelity(shape, seed):
+    m, n = shape
+    q, d = make_pair(m, n, seed)
+    kernel = InterTaskKernel()
+    run = kernel.run_pair(q.codes, d.codes, BLOSUM62, GP)
+    assert run.score == sw_score_scalar(q, d, BLOSUM62, GP)
+    assert run.counts == kernel.pair_counts(m, n)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    shape=shapes,
+    seed=seeds,
+    threads=st.sampled_from([32, 64, 128, 256]),
+)
+def test_original_intra_fidelity(shape, seed, threads):
+    m, n = shape
+    q, d = make_pair(m, n, seed)
+    kernel = OriginalIntraTaskKernel(threads_per_block=threads)
+    run = kernel.run_pair(q.codes, d.codes, BLOSUM62, GP)
+    assert run.score == sw_score_scalar(q, d, BLOSUM62, GP)
+    assert run.counts == kernel.pair_counts(m, n)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    shape=shapes,
+    seed=seeds,
+    threads=st.sampled_from([32, 64]),
+    tile_height=st.sampled_from([4, 8]),
+    profile=st.booleans(),
+)
+def test_improved_intra_fidelity(shape, seed, threads, tile_height, profile):
+    m, n = shape
+    q, d = make_pair(m, n, seed)
+    kernel = ImprovedIntraTaskKernel(
+        ImprovedKernelConfig(
+            threads_per_block=threads,
+            tile_height=tile_height,
+            use_query_profile=profile,
+        )
+    )
+    run = kernel.run_pair(q.codes, d.codes, BLOSUM62, GP)
+    assert run.score == sw_score_scalar(q, d, BLOSUM62, GP)
+    assert run.counts == kernel.pair_counts(m, n)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    m=st.integers(min_value=1, max_value=2000),
+    seed=seeds,
+    count=st.integers(min_value=1, max_value=20),
+)
+def test_bulk_counts_equal_sum_of_pairs(m, seed, count):
+    """The vectorized closed form never drifts from the per-pair one."""
+    rng = np.random.default_rng(seed)
+    lengths = rng.integers(1, 3000, size=count).astype(np.int64)
+    for kernel in (
+        OriginalIntraTaskKernel(),
+        ImprovedIntraTaskKernel(),
+        InterTaskKernel(),
+    ):
+        bulk = kernel.bulk_pair_counts(m, lengths)
+        total = kernel.pair_counts(m, int(lengths[0]))
+        for n in lengths[1:]:
+            total += kernel.pair_counts(m, int(n))
+        assert bulk == total, kernel.name
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    m=st.integers(min_value=1, max_value=4000),
+    n=st.integers(min_value=1, max_value=4000),
+)
+def test_count_invariants(m, n):
+    """Structural invariants of the closed forms at arbitrary shapes."""
+    for kernel in (
+        InterTaskKernel(),
+        OriginalIntraTaskKernel(),
+        ImprovedIntraTaskKernel(),
+    ):
+        c = kernel.pair_counts(m, n)
+        assert c.cells == m * n
+        assert c.alu_ops >= c.cells  # several instructions per cell
+        assert c.idle_thread_steps >= 0
+        assert c.global_bytes <= 64 * c.alu_ops  # sanity ceiling
+        assert c.dependent_global_steps <= c.wavefront_steps
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    m=st.integers(min_value=1, max_value=3000),
+    n=st.integers(min_value=64, max_value=4000),
+)
+def test_improved_traffic_independent_of_n_within_strip(m, n):
+    """For a single-strip query the improved kernel's global traffic is a
+    constant (bookkeeping), independent of the database length — the
+    structural heart of the paper."""
+    kernel = ImprovedIntraTaskKernel()  # strip 1024
+    if kernel.passes(m) == 1:
+        a = kernel.pair_counts(m, n)
+        b = kernel.pair_counts(m, n + 500)
+        assert a.global_transactions == b.global_transactions
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=seeds,
+    size=st.integers(min_value=2, max_value=64),
+)
+def test_group_alu_charged_by_max(seed, size):
+    """Inter-task groups: ALU slots depend only on the longest member."""
+    rng = np.random.default_rng(seed)
+    lengths = rng.integers(1, 1000, size=size).astype(np.int64)
+    inter = InterTaskKernel()
+    grp = inter.group_counts(200, lengths)
+    uniform = inter.group_counts(
+        200, np.full(size, int(lengths.max()), dtype=np.int64)
+    )
+    assert grp.alu_ops == uniform.alu_ops
+    assert grp.cells <= uniform.cells

@@ -1,0 +1,162 @@
+"""Tests for translation and the six-frame translated search."""
+
+import numpy as np
+import pytest
+
+from repro.alphabet import DNA, PROTEIN
+from repro.sequence import Database, Sequence, random_protein
+from repro.sequence.codon import (
+    GENETIC_CODE,
+    FrameHit,
+    reverse_complement,
+    six_frame_translations,
+    translate,
+    translated_search,
+)
+
+#: Reverse-translation table (one representative codon per residue).
+_CODON_OF = {}
+for codon, aa in GENETIC_CODE.items():
+    _CODON_OF.setdefault(aa, codon)
+
+
+def encode_protein_as_dna(protein_text: str, id: str = "gene") -> Sequence:
+    dna = "".join(_CODON_OF[aa] for aa in protein_text)
+    return Sequence.from_text(id, dna, DNA)
+
+
+class TestGeneticCode:
+    def test_table_complete(self):
+        assert len(GENETIC_CODE) == 64
+        assert set(GENETIC_CODE.values()) <= set(PROTEIN.symbols)
+
+    def test_canonical_codons(self):
+        assert GENETIC_CODE["ATG"] == "M"  # start
+        assert GENETIC_CODE["TGG"] == "W"
+        assert GENETIC_CODE["TAA"] == "*"
+        assert GENETIC_CODE["TAG"] == "*"
+        assert GENETIC_CODE["TGA"] == "*"
+        assert GENETIC_CODE["AAA"] == "K"
+        assert GENETIC_CODE["GGC"] == "G"
+
+    def test_degeneracy(self):
+        # Leucine has six codons.
+        assert sum(1 for aa in GENETIC_CODE.values() if aa == "L") == 6
+
+
+class TestReverseComplement:
+    def test_basic(self):
+        s = Sequence.from_text("x", "ACGTN", DNA)
+        assert reverse_complement(s).text == "NACGT"
+
+    def test_involution(self):
+        rng = np.random.default_rng(0)
+        s = Sequence.random("x", 30, rng, DNA)
+        assert reverse_complement(reverse_complement(s)).text == s.text
+
+    def test_protein_rejected(self):
+        rng = np.random.default_rng(1)
+        with pytest.raises(ValueError):
+            reverse_complement(random_protein(10, rng))
+
+
+class TestTranslate:
+    def test_known_translation(self):
+        s = Sequence.from_text("x", "ATGAAAGGC", DNA)  # M K G
+        assert translate(s).text == "MKG"
+
+    def test_frames_shift(self):
+        s = Sequence.from_text("x", "AATGAAAGGC", DNA)
+        assert translate(s, 1).text == "MKG"
+
+    def test_partial_codon_dropped(self):
+        s = Sequence.from_text("x", "ATGAA", DNA)
+        assert translate(s).text == "M"
+
+    def test_n_translates_to_x(self):
+        s = Sequence.from_text("x", "ATNAAA", DNA)
+        assert translate(s).text == "XK"
+
+    def test_frame_validation(self):
+        s = Sequence.from_text("x", "ATGATG", DNA)
+        with pytest.raises(ValueError):
+            translate(s, 3)
+
+    def test_roundtrip_protein(self):
+        rng = np.random.default_rng(2)
+        protein = random_protein(60, rng).text.replace("*", "A")
+        dna = encode_protein_as_dna(protein)
+        assert translate(dna).text == protein
+
+
+class TestSixFrames:
+    def test_six_frames_for_long_sequence(self):
+        rng = np.random.default_rng(3)
+        s = Sequence.random("x", 60, rng, DNA)
+        frames = six_frame_translations(s)
+        assert len(frames) == 6
+        labels = {f.id.rsplit("|", 1)[-1] for f in frames}
+        assert labels == {"frame+1", "frame+2", "frame+3",
+                          "frame-1", "frame-2", "frame-3"}
+
+    def test_short_sequence_fewer_frames(self):
+        s = Sequence.from_text("x", "ATGG", DNA)  # frames of length 4,3,2
+        frames = six_frame_translations(s)
+        assert 2 <= len(frames) < 6
+
+    def test_frames_contain_encoded_protein(self):
+        rng = np.random.default_rng(4)
+        protein = random_protein(40, rng).text.replace("*", "A")
+        dna = encode_protein_as_dna(protein)
+        frames = six_frame_translations(dna)
+        assert any(protein in f.text for f in frames)
+
+
+class TestTranslatedSearch:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        rng = np.random.default_rng(5)
+        target = random_protein(80, rng, id="target").text.replace("*", "A")
+        target_seq = Sequence.from_text("target", target, PROTEIN)
+        decoys = [random_protein(150, rng, id=f"d{i}") for i in range(5)]
+        db = Database.from_sequences([target_seq, *decoys])
+        # DNA query encodes the target protein, on the reverse strand with
+        # an offset so a non-trivial frame must win.
+        dna = encode_protein_as_dna(target, id="dna_query")
+        from repro.sequence.codon import reverse_complement
+
+        shifted = Sequence(
+            "dna_query",
+            np.concatenate(
+                [DNA.encode("GG"), reverse_complement(dna).codes,
+                 DNA.encode("A")]
+            ),
+            DNA,
+        )
+        return shifted, db
+
+    def test_finds_target_in_reverse_frame(self, setup):
+        query, db = setup
+        hits = translated_search(query, db, top=3)
+        assert hits[0].id == "target"
+        assert hits[0].frame.startswith("frame-")
+        assert hits[0].score > 3 * hits[1].score
+
+    def test_hit_order(self, setup):
+        query, db = setup
+        hits = translated_search(query, db, top=6)
+        scores = [h.score for h in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_validation(self, setup):
+        query, db = setup
+        with pytest.raises(ValueError, match="materialized"):
+            translated_search(query, Database.from_lengths([10, 20]))
+        with pytest.raises(ValueError):
+            FrameHit(0, "x", -1, "frame+1")
+
+    def test_protein_query_rejected(self, setup):
+        _, db = setup
+        rng = np.random.default_rng(6)
+        with pytest.raises(ValueError):
+            translated_search(random_protein(30, rng), db)

@@ -1,0 +1,164 @@
+"""Unit tests for the Database container and CUDASW++ preprocessing."""
+
+import numpy as np
+import pytest
+
+from repro.alphabet import DNA, PROTEIN
+from repro.sequence import Database, Sequence
+
+
+def make_db(lengths, seed=0):
+    rng = np.random.default_rng(seed)
+    seqs = [Sequence.random(f"s{i}", n, rng) for i, n in enumerate(lengths)]
+    return Database.from_sequences(seqs)
+
+
+class TestConstruction:
+    def test_from_sequences(self):
+        db = make_db([5, 10, 3])
+        assert len(db) == 3
+        assert db.total_residues == 18
+        assert db.has_residues
+        assert [len(db[i]) for i in range(3)] == [5, 10, 3]
+
+    def test_roundtrip_sequences(self):
+        rng = np.random.default_rng(3)
+        seqs = [Sequence.random(f"s{i}", 20, rng) for i in range(4)]
+        db = Database.from_sequences(seqs)
+        for i, s in enumerate(seqs):
+            assert db[i].text == s.text
+            assert db[i].id == s.id
+
+    def test_negative_index(self):
+        db = make_db([5, 6, 7])
+        assert len(db[-1]) == 7
+
+    def test_out_of_range_index(self):
+        db = make_db([5])
+        with pytest.raises(IndexError):
+            db[1]
+
+    def test_iter(self):
+        db = make_db([4, 4])
+        assert len(list(db)) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Database.from_sequences([])
+
+    def test_mixed_alphabets_rejected(self):
+        rng = np.random.default_rng(0)
+        a = Sequence.random("a", 5, rng, PROTEIN)
+        b = Sequence.random("b", 5, rng, DNA)
+        with pytest.raises(ValueError, match="mixed"):
+            Database.from_sequences([a, b])
+
+    def test_from_lengths(self):
+        db = Database.from_lengths([10, 20, 30])
+        assert not db.has_residues
+        assert db.total_residues == 60
+        with pytest.raises(ValueError, match="lengths-only"):
+            db.codes_of(0)
+        with pytest.raises(ValueError, match="lengths-only"):
+            db[0]
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            Database.from_lengths([10, 0, 5])
+
+    def test_inconsistent_offsets_rejected(self):
+        with pytest.raises(ValueError):
+            Database(
+                np.array([3]),
+                np.zeros(5, dtype=np.uint8),
+                np.array([0, 5]),
+                None,
+            )
+
+    def test_codes_without_offsets_rejected(self):
+        with pytest.raises(ValueError, match="together"):
+            Database(np.array([3]), np.zeros(3, dtype=np.uint8), None, None)
+
+
+class TestStats:
+    def test_stats_values(self):
+        db = Database.from_lengths([10, 20, 30, 40])
+        st = db.stats()
+        assert st.count == 4
+        assert st.total_residues == 100
+        assert st.min_length == 10
+        assert st.max_length == 40
+        assert st.mean_length == 25.0
+        assert st.median_length == 25.0
+
+    def test_fraction_over(self):
+        db = Database.from_lengths([10, 20, 30, 40])
+        assert db.fraction_over(30) == 0.5  # >= threshold counts
+        assert db.fraction_over(41) == 0.0
+        assert db.fraction_over(1) == 1.0
+
+
+class TestPreprocessing:
+    def test_sorted_by_length(self):
+        db = make_db([30, 10, 20])
+        s = db.sorted_by_length()
+        assert list(s.lengths) == [10, 20, 30]
+        # Residues follow their sequences.
+        assert s[0].text == db[1].text
+
+    def test_sort_is_stable(self):
+        db = make_db([5, 5, 5])  # named s0, s1, s2 with equal lengths
+        s = db.sorted_by_length()
+        assert [s.id_of(i) for i in range(3)] == ["s0", "s1", "s2"]
+
+    def test_split_by_threshold(self):
+        db = Database.from_lengths([10, 3072, 100, 5000])
+        below, above = db.split_by_threshold(3072)
+        assert list(below.lengths) == [10, 100]
+        assert list(above.lengths) == [3072, 5000]  # >= goes to intra-task
+
+    def test_split_all_below(self):
+        db = Database.from_lengths([10, 20])
+        below, above = db.split_by_threshold(3072)
+        assert above is None
+        assert len(below) == 2
+
+    def test_split_all_above(self):
+        db = Database.from_lengths([4000, 5000])
+        below, above = db.split_by_threshold(3072)
+        assert below is None
+        assert len(above) == 2
+
+    def test_split_bad_threshold(self):
+        db = Database.from_lengths([10])
+        with pytest.raises(ValueError):
+            db.split_by_threshold(0)
+
+    def test_partition_groups(self):
+        db = Database.from_lengths(np.arange(1, 11)).sorted_by_length()
+        groups = db.partition_groups(4)
+        assert [g.size for g in groups] == [4, 4, 2]
+        assert groups[0].max_length == 4
+        assert groups[2].max_length == 10
+        assert groups[1].total_residues == 5 + 6 + 7 + 8
+
+    def test_partition_bad_size(self):
+        db = Database.from_lengths([10])
+        with pytest.raises(ValueError):
+            db.partition_groups(0)
+
+    def test_group_load_balance_efficiency(self):
+        db = Database.from_lengths([10, 10, 10, 40]).sorted_by_length()
+        (g,) = db.partition_groups(4)
+        assert g.load_balance_efficiency == pytest.approx(70 / (4 * 40))
+
+    def test_select_preserves_residues(self):
+        db = make_db([5, 6, 7])
+        sub = db.select(np.array([2, 0]))
+        assert sub[0].text == db[2].text
+        assert sub[1].text == db[0].text
+
+    def test_select_empty_rejected(self):
+        db = make_db([5])
+        with pytest.raises(ValueError):
+            db.select(np.array([], dtype=np.int64))

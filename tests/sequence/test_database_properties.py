@@ -1,0 +1,84 @@
+"""Hypothesis property tests for Database preprocessing operations."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sequence import Database
+
+lengths_arrays = st.lists(
+    st.integers(min_value=1, max_value=5000), min_size=1, max_size=200
+).map(lambda xs: np.array(xs, dtype=np.int64))
+
+
+@settings(max_examples=40, deadline=None)
+@given(lengths=lengths_arrays)
+def test_sort_preserves_multiset(lengths):
+    db = Database.from_lengths(lengths)
+    s = db.sorted_by_length()
+    assert sorted(lengths.tolist()) == s.lengths.tolist()
+    assert s.total_residues == db.total_residues
+
+
+@settings(max_examples=40, deadline=None)
+@given(lengths=lengths_arrays, threshold=st.integers(min_value=1, max_value=6000))
+def test_split_partitions_exactly(lengths, threshold):
+    db = Database.from_lengths(lengths)
+    below, above = db.split_by_threshold(threshold)
+    n_below = 0 if below is None else len(below)
+    n_above = 0 if above is None else len(above)
+    assert n_below + n_above == len(db)
+    if below is not None:
+        assert int(below.lengths.max()) < threshold
+    if above is not None:
+        assert int(above.lengths.min()) >= threshold
+    # Residues conserved.
+    total = (below.total_residues if below else 0) + (
+        above.total_residues if above else 0
+    )
+    assert total == db.total_residues
+
+
+@settings(max_examples=40, deadline=None)
+@given(lengths=lengths_arrays, group=st.integers(min_value=1, max_value=64))
+def test_groups_cover_without_overlap(lengths, group):
+    db = Database.from_lengths(lengths).sorted_by_length()
+    groups = db.partition_groups(group)
+    seen = np.concatenate([g.indices for g in groups])
+    assert np.array_equal(np.sort(seen), np.arange(len(db)))
+    assert sum(g.total_residues for g in groups) == db.total_residues
+    # All groups full except possibly the last.
+    assert all(g.size == group for g in groups[:-1])
+
+
+@settings(max_examples=40, deadline=None)
+@given(lengths=lengths_arrays, group=st.integers(min_value=1, max_value=64))
+def test_sorted_group_efficiency_at_least_unsorted(lengths, group):
+    """Sorting never worsens aggregate load balance."""
+
+    def efficiency(db):
+        groups = db.partition_groups(group)
+        useful = sum(g.total_residues for g in groups)
+        padded = sum(g.size * g.max_length for g in groups)
+        return useful / padded
+
+    db = Database.from_lengths(lengths)
+    assert efficiency(db.sorted_by_length()) >= efficiency(db) - 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(lengths=lengths_arrays, frac_seed=st.integers(0, 2**31))
+def test_select_roundtrip(lengths, frac_seed):
+    rng = np.random.default_rng(frac_seed)
+    db = Database.from_lengths(lengths)
+    idx = rng.permutation(len(db))
+    sub = db.select(idx)
+    assert np.array_equal(sub.lengths, db.lengths[idx])
+
+
+@settings(max_examples=30, deadline=None)
+@given(lengths=lengths_arrays, threshold=st.integers(min_value=1, max_value=6000))
+def test_fraction_over_consistency(lengths, threshold):
+    db = Database.from_lengths(lengths)
+    frac = db.fraction_over(threshold)
+    assert frac == np.mean(lengths >= threshold)

@@ -1,0 +1,68 @@
+"""Property/fuzz tests for the FASTA reader and writer."""
+
+import io
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alphabet import PROTEIN
+from repro.sequence import Sequence, read_fasta, write_fasta
+
+protein_text = st.text(alphabet="ARNDCQEGHILKMFPSTWYVBZX", min_size=1,
+                       max_size=200)
+seq_ids = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_.|-",
+    min_size=1,
+    max_size=30,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    records=st.lists(st.tuples(seq_ids, protein_text), min_size=1, max_size=8),
+    width=st.integers(min_value=1, max_value=120),
+)
+def test_roundtrip_arbitrary_records(records, width):
+    """write -> read is the identity for any id/sequence/wrap width."""
+    seqs = [Sequence.from_text(i, t) for i, t in records]
+    buf = io.StringIO()
+    write_fasta(seqs, buf, width=width)
+    back = list(read_fasta(buf.getvalue()))
+    assert len(back) == len(seqs)
+    for a, b in zip(seqs, back):
+        assert a.id == b.id
+        assert a.text == b.text
+
+
+@settings(max_examples=40, deadline=None)
+@given(text=protein_text, noise=st.sampled_from(["", "\n", "\n\n", "  \n"]))
+def test_blank_line_noise_tolerated(text, noise):
+    fasta = f">id1{noise}\n{text[:50]}\n{noise}{text[50:]}\n{noise}"
+    records = list(read_fasta(fasta))
+    assert len(records) == 1
+    assert records[0].text == text.upper()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    desc=st.text(
+        alphabet="abcdefghij XYZ0123456789[]()=,;:", min_size=0, max_size=60
+    ),
+    text=protein_text,
+)
+def test_description_preserved(desc, text):
+    desc = desc.strip()
+    header = f">acc {desc}" if desc else ">acc"
+    records = list(read_fasta(f"{header}\n{text}\n"))
+    assert records[0].id == "acc"
+    # Internal whitespace runs normalize through split/join; compare that way.
+    assert records[0].description.split() == desc.split()
+
+
+@settings(max_examples=30, deadline=None)
+@given(junk=st.text(alphabet="JOU!@#$%", min_size=1, max_size=20))
+def test_lenient_mode_never_crashes_on_junk_residues(junk):
+    records = list(read_fasta(f">x\n{junk}\n"))
+    assert len(records) == 1
+    # Everything unknown became the wildcard.
+    assert set(records[0].text) <= set(PROTEIN.symbols)

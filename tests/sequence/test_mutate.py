@@ -1,0 +1,111 @@
+"""Tests for the sequence-evolution utilities."""
+
+import numpy as np
+import pytest
+
+from repro.alphabet import BLOSUM62, GapPenalty
+from repro.sequence import (
+    evolve,
+    indel_mutate,
+    plant_motif,
+    point_mutate,
+    random_protein,
+)
+from repro.sw import smith_waterman
+
+GP = GapPenalty.cudasw_default()
+
+
+class TestPointMutate:
+    def test_identity_tracks_rate(self):
+        rng = np.random.default_rng(0)
+        seq = random_protein(2000, rng, id="s")
+        mutated = point_mutate(seq, 0.2, rng)
+        identity = np.mean(seq.codes == mutated.codes)
+        # Replacements may coincide with the original (~5% background).
+        assert 0.78 < identity < 0.88
+        assert len(mutated) == len(seq)
+
+    def test_rate_zero_is_identity(self):
+        rng = np.random.default_rng(1)
+        seq = random_protein(50, rng)
+        assert np.array_equal(point_mutate(seq, 0.0, rng).codes, seq.codes)
+
+    def test_rate_validation(self):
+        rng = np.random.default_rng(2)
+        seq = random_protein(10, rng)
+        with pytest.raises(ValueError):
+            point_mutate(seq, 1.5, rng)
+
+    def test_homolog_still_found_by_sw(self):
+        rng = np.random.default_rng(3)
+        seq = random_protein(120, rng)
+        mutated = point_mutate(seq, 0.25, rng)
+        related = smith_waterman(seq, mutated, BLOSUM62, GP)
+        unrelated = smith_waterman(seq, random_protein(120, rng), BLOSUM62, GP)
+        assert related > 3 * unrelated
+
+
+class TestIndelMutate:
+    def test_length_changes_modestly(self):
+        rng = np.random.default_rng(4)
+        seq = random_protein(1000, rng)
+        mutated = indel_mutate(seq, 0.02, rng)
+        assert 0.85 * len(seq) < len(mutated) < 1.15 * len(seq)
+
+    def test_rate_zero_identity(self):
+        rng = np.random.default_rng(5)
+        seq = random_protein(100, rng)
+        assert np.array_equal(indel_mutate(seq, 0.0, rng).codes, seq.codes)
+
+    def test_validation(self):
+        rng = np.random.default_rng(6)
+        seq = random_protein(10, rng)
+        with pytest.raises(ValueError):
+            indel_mutate(seq, -0.1, rng)
+        with pytest.raises(ValueError):
+            indel_mutate(seq, 0.1, rng, mean_length=0.5)
+
+    def test_never_empty(self):
+        rng = np.random.default_rng(7)
+        seq = random_protein(2, rng)
+        for _ in range(20):
+            assert len(indel_mutate(seq, 0.9, rng)) >= 1
+
+
+class TestEvolveAndPlant:
+    def test_evolved_copy_is_strong_hit(self):
+        rng = np.random.default_rng(8)
+        seq = random_protein(200, rng)
+        copy = evolve(seq, rng, substitution_rate=0.15, indel_rate=0.02)
+        assert smith_waterman(seq, copy, BLOSUM62, GP) > 300
+
+    def test_plant_motif_offsets(self):
+        rng = np.random.default_rng(9)
+        motif = random_protein(40, rng, id="motif")
+        host, start = plant_motif(motif, 200, rng)
+        assert len(host) == 200
+        assert np.array_equal(host.codes[start : start + 40], motif.codes)
+
+    def test_plant_motif_exact_fit(self):
+        rng = np.random.default_rng(10)
+        motif = random_protein(30, rng)
+        host, start = plant_motif(motif, 30, rng)
+        assert start == 0
+        assert np.array_equal(host.codes, motif.codes)
+
+    def test_plant_validation(self):
+        rng = np.random.default_rng(11)
+        motif = random_protein(30, rng)
+        with pytest.raises(ValueError):
+            plant_motif(motif, 20, rng)
+
+    def test_planted_motif_found_by_alignment(self):
+        rng = np.random.default_rng(12)
+        motif = random_protein(50, rng, id="motif")
+        host, start = plant_motif(motif, 300, rng)
+        from repro.sw import sw_align
+
+        aln = sw_align(motif, host, BLOSUM62, GP)
+        assert aln.d_start == start
+        assert aln.d_end == start + 50

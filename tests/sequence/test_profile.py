@@ -1,0 +1,84 @@
+"""Tests for query profiles (plain and packed-4 layouts)."""
+
+import numpy as np
+import pytest
+
+from repro.alphabet import BLOSUM62, PROTEIN
+from repro.sequence import PackedQueryProfile, QueryProfile
+
+
+@pytest.fixture
+def query():
+    return PROTEIN.encode("MKVLAWCRNDE")
+
+
+class TestQueryProfile:
+    def test_matches_matrix(self, query):
+        prof = QueryProfile(query, BLOSUM62)
+        for i, q in enumerate(query):
+            for d in range(PROTEIN.size):
+                assert prof.score(i, d) == BLOSUM62.scores[q, d]
+
+    def test_column_is_contiguous(self, query):
+        prof = QueryProfile(query, BLOSUM62)
+        col = prof.column(PROTEIN.code_of("W"))
+        assert col.flags["C_CONTIGUOUS"]
+        assert col.shape == (len(query),)
+        assert col[5] == BLOSUM62.score("W", "W")
+
+    def test_read_only(self, query):
+        prof = QueryProfile(query, BLOSUM62)
+        with pytest.raises(ValueError):
+            prof.scores[0, 0] = 99
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(ValueError):
+            QueryProfile(np.array([], dtype=np.uint8), BLOSUM62)
+
+    def test_out_of_range_codes_rejected(self):
+        with pytest.raises(ValueError):
+            QueryProfile(np.array([250], dtype=np.uint8), BLOSUM62)
+
+
+class TestPackedQueryProfile:
+    def test_pack_count(self, query):
+        prof = PackedQueryProfile(query, BLOSUM62)  # len 11 -> 3 packs
+        assert prof.n_packs == 3
+        assert prof.fetches_per_column() == 3
+
+    def test_exact_multiple(self):
+        q = PROTEIN.encode("MKVLAWCR")  # len 8 -> 2 packs
+        prof = PackedQueryProfile(q, BLOSUM62)
+        assert prof.n_packs == 2
+
+    def test_fetch_values_match_plain_profile(self, query):
+        plain = QueryProfile(query, BLOSUM62)
+        packed = PackedQueryProfile(query, BLOSUM62)
+        for d in range(PROTEIN.size):
+            for p in range(packed.n_packs):
+                vec = packed.fetch(d, p)
+                for k in range(4):
+                    i = 4 * p + k
+                    if i < len(query):
+                        assert vec[k] == plain.score(i, d)
+
+    def test_padding_uses_min_score(self, query):
+        packed = PackedQueryProfile(query, BLOSUM62)
+        # len 11: last pack has one padded lane.
+        last = packed.fetch(0, packed.n_packs - 1)
+        assert last[3] == BLOSUM62.min_score
+        assert packed.pad_score == BLOSUM62.min_score
+
+    def test_fetch_bounds(self, query):
+        packed = PackedQueryProfile(query, BLOSUM62)
+        with pytest.raises(IndexError):
+            packed.fetch(0, packed.n_packs)
+        with pytest.raises(IndexError):
+            packed.fetch(0, -1)
+
+    def test_fetch_reduction_factor(self):
+        """One packed fetch serves 4 query rows: the paper's 4x reduction."""
+        q = PROTEIN.encode("A" * 1024)
+        plain = QueryProfile(q, BLOSUM62)
+        packed = PackedQueryProfile(q, BLOSUM62)
+        assert plain.length == 4 * packed.fetches_per_column()

@@ -1,0 +1,118 @@
+"""Unit tests for Sequence and FASTA I/O."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.alphabet import DNA, PROTEIN
+from repro.sequence import Sequence, read_fasta, read_fasta_file, write_fasta
+
+
+class TestSequence:
+    def test_from_text_roundtrip(self):
+        s = Sequence.from_text("q1", "MKVLAW")
+        assert s.text == "MKVLAW"
+        assert len(s) == 6
+        assert str(s) == "MKVLAW"
+
+    def test_codes_read_only(self):
+        s = Sequence.from_text("q1", "MKVL")
+        with pytest.raises(ValueError):
+            s.codes[0] = 3
+
+    def test_code_range_validated(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Sequence("bad", np.array([200], dtype=np.uint8), DNA)
+
+    def test_ndim_validated(self):
+        with pytest.raises(ValueError, match="1-D"):
+            Sequence("bad", np.zeros((2, 2), dtype=np.uint8))
+
+    def test_random_length_and_alphabet(self):
+        rng = np.random.default_rng(0)
+        s = Sequence.random("r", 100, rng, DNA)
+        assert len(s) == 100
+        assert set(s.text) <= set(DNA.symbols)
+
+    def test_slice(self):
+        s = Sequence.from_text("q", "MKVLAW")
+        sub = s.slice(1, 4)
+        assert sub.text == "KVL"
+        assert "1:4" in sub.id
+
+    def test_reversed(self):
+        s = Sequence.from_text("q", "MKV")
+        assert s.reversed().text == "VKM"
+        assert s.reversed().reversed().text == "MKV"
+
+    def test_empty_sequence_allowed(self):
+        s = Sequence.from_text("e", "")
+        assert len(s) == 0
+
+
+FASTA = """\
+>sp|P1|FIRST first protein
+MKVLAW
+QQ
+>sp|P2|SECOND
+ACDEF
+
+>third
+ghikl
+"""
+
+
+class TestFasta:
+    def test_read_from_string(self):
+        records = list(read_fasta(FASTA))
+        assert [r.id for r in records] == ["sp|P1|FIRST", "sp|P2|SECOND", "third"]
+        assert records[0].description == "first protein"
+        assert records[0].text == "MKVLAWQQ"  # multi-line body joined
+        assert records[1].description == ""
+        assert records[2].text == "GHIKL"  # lower-case input upper-cased
+
+    def test_read_from_handle(self):
+        records = list(read_fasta(io.StringIO(FASTA)))
+        assert len(records) == 3
+
+    def test_missing_header_raises(self):
+        with pytest.raises(ValueError, match="header"):
+            list(read_fasta("MKVLAW\n"))
+
+    def test_lenient_by_default(self):
+        # 'J' is not a protein symbol; lenient read maps it to X.
+        records = list(read_fasta(">q\nMJK\n"))
+        assert records[0].text == "MXK"
+
+    def test_strict_read_raises(self):
+        with pytest.raises(Exception):
+            list(read_fasta(">q\nMJK\n", strict=True))
+
+    def test_roundtrip_via_file(self, tmp_path):
+        rng = np.random.default_rng(1)
+        seqs = [Sequence.random(f"s{i}", 30 + 17 * i, rng) for i in range(5)]
+        path = tmp_path / "db.fasta"
+        write_fasta(seqs, path)
+        back = read_fasta_file(path)
+        assert [s.id for s in back] == [s.id for s in seqs]
+        for a, b in zip(seqs, back):
+            assert a.text == b.text
+
+    def test_write_wraps_lines(self):
+        s = Sequence.from_text("q", "A" * 130)
+        buf = io.StringIO()
+        write_fasta([s], buf, width=60)
+        lines = buf.getvalue().splitlines()
+        assert lines[0] == ">q"
+        assert [len(x) for x in lines[1:]] == [60, 60, 10]
+
+    def test_write_includes_description(self):
+        s = Sequence.from_text("q", "ACD", description="hello world")
+        buf = io.StringIO()
+        write_fasta([s], buf)
+        assert buf.getvalue().startswith(">q hello world\n")
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            write_fasta([], io.StringIO(), width=0)

@@ -1,0 +1,87 @@
+"""Tests for database serialization."""
+
+import numpy as np
+import pytest
+
+from repro.alphabet import DNA
+from repro.sequence import Database, Sequence, SWISSPROT_PROFILE
+from repro.sequence.serialize import load_database, save_database
+
+
+class TestRoundTrip:
+    def test_materialized_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(0)
+        seqs = [Sequence.random(f"s{i}", 20 + 7 * i, rng) for i in range(5)]
+        db = Database.from_sequences(seqs, name="round")
+        path = tmp_path / "db.npz"
+        save_database(db, path)
+        back = load_database(path)
+        assert back.name == "round"
+        assert back.has_residues
+        assert np.array_equal(back.lengths, db.lengths)
+        for i in range(len(db)):
+            assert back[i].text == db[i].text
+            assert back.id_of(i) == db.id_of(i)
+
+    def test_lengths_only_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(1)
+        db = SWISSPROT_PROFILE.build(rng, scale=0.01)
+        path = tmp_path / "lens.npz"
+        save_database(db, path)
+        back = load_database(path)
+        assert not back.has_residues
+        assert np.array_equal(back.lengths, db.lengths)
+        assert back.alphabet.name == "protein"
+
+    def test_dna_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(2)
+        seqs = [Sequence.random(f"g{i}", 30, rng, DNA) for i in range(3)]
+        db = Database.from_sequences(seqs)
+        path = tmp_path / "dna.npz"
+        save_database(db, path)
+        back = load_database(path)
+        assert back.alphabet is DNA
+        assert back[1].text == db[1].text
+
+    def test_loaded_database_searches_identically(self, tmp_path):
+        from repro.app import CudaSW
+        from repro.cuda import TESLA_C1060
+        from repro.sequence import random_protein
+
+        rng = np.random.default_rng(3)
+        seqs = [Sequence.random(f"s{i}", 60, rng) for i in range(4)]
+        db = Database.from_sequences(seqs)
+        path = tmp_path / "db.npz"
+        save_database(db, path)
+        back = load_database(path)
+        q = random_protein(40, rng)
+        app = CudaSW(TESLA_C1060)
+        r1, _ = app.search(q, db)
+        r2, _ = app.search(q, back)
+        assert np.array_equal(r1.scores, r2.scores)
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez_compressed(
+            path,
+            version=np.array([99]),
+            name=np.array(["x"]),
+            alphabet=np.array(["protein"]),
+            lengths=np.array([5]),
+            has_residues=np.array([False]),
+        )
+        with pytest.raises(ValueError, match="version"):
+            load_database(path)
+
+    def test_unknown_alphabet(self, tmp_path):
+        path = tmp_path / "bad2.npz"
+        np.savez_compressed(
+            path,
+            version=np.array([1]),
+            name=np.array(["x"]),
+            alphabet=np.array(["klingon"]),
+            lengths=np.array([5]),
+            has_residues=np.array([False]),
+        )
+        with pytest.raises(ValueError, match="alphabet"):
+            load_database(path)

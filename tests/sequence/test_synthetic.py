@@ -1,0 +1,158 @@
+"""Tests for synthetic database generation and the paper database profiles."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sequence import (
+    PAPER_DATABASES,
+    SWISSPROT_PROFILE,
+    DatabaseProfile,
+    fit_lognormal_sigma,
+    lognormal_database,
+    lognormal_lengths,
+    random_protein,
+)
+from repro.sequence.synthetic import CUDASW_QUERY_LENGTHS
+
+
+class TestLognormalLengths:
+    def test_mean_std_match(self):
+        rng = np.random.default_rng(0)
+        lens = lognormal_lengths(200_000, mean=1000.0, std=500.0, rng=rng)
+        assert lens.mean() == pytest.approx(1000.0, rel=0.02)
+        assert lens.std() == pytest.approx(500.0, rel=0.05)
+
+    def test_min_length_floor(self):
+        rng = np.random.default_rng(1)
+        lens = lognormal_lengths(10_000, mean=15.0, std=40.0, rng=rng)
+        assert lens.min() >= 10
+
+    def test_stratified_is_deterministic_distribution(self):
+        rng1 = np.random.default_rng(2)
+        rng2 = np.random.default_rng(99)
+        a = np.sort(lognormal_lengths(1000, 500.0, 300.0, rng1, stratified=True))
+        b = np.sort(lognormal_lengths(1000, 500.0, 300.0, rng2, stratified=True))
+        assert np.array_equal(a, b)  # same quantiles regardless of rng
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            lognormal_lengths(0, 100.0, 10.0, rng)
+        with pytest.raises(ValueError):
+            lognormal_lengths(10, -1.0, 10.0, rng)
+        with pytest.raises(ValueError):
+            lognormal_lengths(10, 100.0, 0.0, rng)
+
+
+class TestLognormalDatabase:
+    def test_materialized(self):
+        rng = np.random.default_rng(3)
+        db = lognormal_database(50, 200.0, 100.0, rng)
+        assert db.has_residues
+        assert len(db) == 50
+
+    def test_lengths_only(self):
+        rng = np.random.default_rng(4)
+        db = lognormal_database(50, 200.0, 100.0, rng, materialize=False)
+        assert not db.has_residues
+
+
+class TestFitLognormalSigma:
+    def test_tail_constraint_satisfied(self):
+        sigma = fit_lognormal_sigma(270.0, 3072, 0.0012)
+        # P(L >= 3072) for lognormal(ln 270, sigma) must equal 0.0012.
+        from scipy import stats
+
+        z = (math.log(3072) - math.log(270)) / sigma
+        assert stats.norm.sf(z) == pytest.approx(0.0012, rel=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_lognormal_sigma(-1.0, 3072, 0.01)
+        with pytest.raises(ValueError):
+            fit_lognormal_sigma(270.0, 100, 0.01)  # threshold below median
+        with pytest.raises(ValueError):
+            fit_lognormal_sigma(270.0, 3072, 0.7)
+
+
+class TestDatabaseProfiles:
+    def test_paper_profiles_cover_table2(self):
+        names = [p.name for p in PAPER_DATABASES]
+        assert len(PAPER_DATABASES) == 6
+        assert any("Swiss-Prot" in n for n in names)
+        assert any("TAIR" in n for n in names)
+
+    def test_swissprot_tail_fraction(self):
+        # The paper: 0.12% of Swiss-Prot sequences over threshold 3072.
+        assert SWISSPROT_PROFILE.frac_over_threshold == 0.0012
+        assert SWISSPROT_PROFILE.expected_fraction_over(3072) == pytest.approx(
+            0.0012, rel=1e-9
+        )
+
+    @pytest.mark.parametrize("profile", PAPER_DATABASES, ids=lambda p: p.name)
+    def test_stratified_sampling_hits_tail(self, profile):
+        rng = np.random.default_rng(5)
+        lens = profile.sample_lengths(rng, scale=0.5)
+        got = np.count_nonzero(lens >= 3072) / lens.size
+        # Stratified sampling pins the empirical tail to the target within
+        # discretization error of one sequence.
+        assert got == pytest.approx(profile.frac_over_threshold, abs=2 / lens.size)
+
+    def test_expected_fraction_monotone_in_threshold(self):
+        p = SWISSPROT_PROFILE
+        fracs = [p.expected_fraction_over(t) for t in (500, 1500, 3072, 10_000)]
+        assert fracs == sorted(fracs, reverse=True)
+
+    def test_build_scaled(self):
+        rng = np.random.default_rng(6)
+        db = SWISSPROT_PROFILE.build(rng, scale=0.001)
+        assert len(db) == round(516_081 * 0.001)
+        assert not db.has_residues
+
+    def test_build_materialized(self):
+        rng = np.random.default_rng(7)
+        db = PAPER_DATABASES[0].build(rng, scale=0.002, materialize=True)
+        assert db.has_residues
+
+    def test_mean_length_formula(self):
+        p = SWISSPROT_PROFILE
+        assert p.mean_length == pytest.approx(
+            math.exp(p.mu + p.sigma**2 / 2), rel=1e-12
+        )
+        assert p.mean_length > p.median_length  # log-normal is right-skewed
+
+    def test_bad_profile_rejected(self):
+        with pytest.raises(ValueError):
+            DatabaseProfile("bad", 0, 300.0, 0.01)
+        with pytest.raises(ValueError):
+            DatabaseProfile("bad", 10, 5000.0, 0.01)  # median above threshold
+
+    def test_scale_validation(self):
+        rng = np.random.default_rng(8)
+        with pytest.raises(ValueError):
+            SWISSPROT_PROFILE.sample_lengths(rng, scale=0.0)
+
+
+class TestRandomProtein:
+    def test_length_and_id(self):
+        rng = np.random.default_rng(9)
+        q = random_protein(567, rng, id="q567")
+        assert len(q) == 567
+        assert q.id == "q567"
+
+    def test_residues_follow_background(self):
+        rng = np.random.default_rng(10)
+        q = random_protein(200_000, rng)
+        text = q.text
+        # Leucine is the most common residue in Swiss-Prot (~9.7%).
+        assert 0.08 < text.count("L") / len(text) < 0.11
+        # Ambiguity codes never occur.
+        assert text.count("X") == 0 and text.count("*") == 0
+
+
+def test_query_ladder_matches_paper_range():
+    assert CUDASW_QUERY_LENGTHS[0] == 144
+    assert CUDASW_QUERY_LENGTHS[-1] == 5478
+    assert list(CUDASW_QUERY_LENGTHS) == sorted(CUDASW_QUERY_LENGTHS)

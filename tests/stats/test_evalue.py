@@ -1,0 +1,91 @@
+"""Tests for hit annotation with bit scores and E-values."""
+
+import numpy as np
+import pytest
+
+from repro.alphabet import BLOSUM62, GapPenalty
+from repro.app import CudaSW
+from repro.cuda import TESLA_C1060
+from repro.sequence import Database, Sequence, random_protein
+from repro.stats import ScoreStatistics, annotate_hits
+
+
+@pytest.fixture(scope="module")
+def search_setup():
+    rng = np.random.default_rng(0)
+    query = random_protein(120, rng, id="query")
+    homolog = Sequence(
+        "homolog",
+        np.concatenate(
+            [random_protein(40, rng).codes, query.codes,
+             random_protein(40, rng).codes]
+        ),
+    )
+    decoys = [random_protein(200, rng, id=f"d{i}") for i in range(6)]
+    db = Database.from_sequences([homolog, *decoys])
+    result, _ = CudaSW(TESLA_C1060).search(query, db)
+    return query, db, result
+
+
+class TestScoreStatistics:
+    def test_default_protein_frequencies(self):
+        stats = ScoreStatistics(BLOSUM62, GapPenalty.cudasw_default())
+        assert stats.parameters.lam > 0
+
+    def test_non_protein_requires_frequencies(self):
+        from repro.alphabet import dna_matrix
+
+        with pytest.raises(ValueError, match="frequencies"):
+            ScoreStatistics(dna_matrix())
+        freq = np.array([0.25, 0.25, 0.25, 0.25, 0.0])
+        stats = ScoreStatistics(dna_matrix(), frequencies=freq)
+        assert stats.parameters.lam > 0
+
+    def test_significance_threshold(self):
+        stats = ScoreStatistics(BLOSUM62, GapPenalty.cudasw_default())
+        t3 = stats.significance_threshold(500, 10**8, evalue=1e-3)
+        t6 = stats.significance_threshold(500, 10**8, evalue=1e-6)
+        assert t6 > t3 > 0
+        # The threshold actually achieves the requested E-value.
+        assert stats.evalue(t3, 500, 10**8) <= 1e-3
+        assert stats.evalue(t3 - 1, 500, 10**8) > 1e-3
+        with pytest.raises(ValueError):
+            stats.significance_threshold(500, 10**8, evalue=0.0)
+
+
+class TestAnnotateHits:
+    def test_homolog_is_significant_decoys_are_not(self, search_setup):
+        query, db, result = search_setup
+        stats = ScoreStatistics(BLOSUM62, GapPenalty.cudasw_default())
+        annotated = annotate_hits(result, stats, len(query), k=7)
+        assert annotated[0].hit.id == "homolog"
+        assert annotated[0].evalue < 1e-10
+        # Decoys: E-values orders of magnitude worse than the homolog.
+        assert all(a.evalue > 1e-4 for a in annotated[1:])
+
+    def test_evalues_sorted_with_scores(self, search_setup):
+        query, _, result = search_setup
+        stats = ScoreStatistics(BLOSUM62, GapPenalty.cudasw_default())
+        annotated = annotate_hits(result, stats, len(query), k=7)
+        evalues = [a.evalue for a in annotated]
+        assert evalues == sorted(evalues)
+
+    def test_max_evalue_filter(self, search_setup):
+        query, _, result = search_setup
+        stats = ScoreStatistics(BLOSUM62, GapPenalty.cudasw_default())
+        significant = annotate_hits(
+            result, stats, len(query), k=7, max_evalue=1e-5
+        )
+        assert [a.hit.id for a in significant] == ["homolog"]
+
+    def test_bit_scores_positive_for_real_hits(self, search_setup):
+        query, _, result = search_setup
+        stats = ScoreStatistics(BLOSUM62, GapPenalty.cudasw_default())
+        annotated = annotate_hits(result, stats, len(query), k=1)
+        assert annotated[0].bit_score > 50
+
+    def test_query_length_validation(self, search_setup):
+        _, _, result = search_setup
+        stats = ScoreStatistics(BLOSUM62, GapPenalty.cudasw_default())
+        with pytest.raises(ValueError):
+            annotate_hits(result, stats, 0)

@@ -1,0 +1,70 @@
+"""Tests for the Alignment record's derived statistics."""
+
+import pytest
+
+from repro.alphabet import BLOSUM62, GapPenalty
+from repro.sw import Alignment, alignment_score, sw_align
+
+GP = GapPenalty.cudasw_default()
+
+
+def make(q_aligned, d_aligned, score=0):
+    q_res = sum(1 for c in q_aligned if c != "-")
+    d_res = sum(1 for c in d_aligned if c != "-")
+    return Alignment(score, 0, q_res, 0, d_res, q_aligned, d_aligned)
+
+
+class TestDerivedStats:
+    def test_positives_counts_conservative_substitutions(self):
+        # I-L scores +2 in BLOSUM62 (positive, not identical).
+        aln = make("MIL", "MLL")
+        assert aln.identity() == pytest.approx(2 / 3)
+        assert aln.positives(BLOSUM62) == pytest.approx(1.0)
+
+    def test_gap_columns_and_opens(self):
+        aln = make("MK--VLA-W", "MKAA-LAAW")
+        # columns: gaps at 2,3 (q), 4 (d), 7 (q) -> 4 gap columns, 3 runs.
+        assert aln.gap_columns() == 4
+        assert aln.gap_opens() == 3
+
+    def test_no_gaps(self):
+        aln = make("MKV", "MKV")
+        assert aln.gap_columns() == 0
+        assert aln.gap_opens() == 0
+
+    def test_query_coverage(self):
+        aln = Alignment(10, 5, 25, 0, 20, "A" * 20, "A" * 20)
+        assert aln.query_coverage(100) == pytest.approx(0.20)
+        with pytest.raises(ValueError):
+            aln.query_coverage(0)
+
+    def test_empty_alignment(self):
+        aln = Alignment(0, 0, 0, 0, 0, "", "")
+        assert aln.positives(BLOSUM62) == 0.0
+        assert aln.gap_columns() == 0
+        assert aln.gap_opens() == 0
+
+    def test_gap_opens_matches_affine_charges(self):
+        """Re-scoring via alignment_score charges rho exactly gap_opens
+        times (plus sigma extensions) — the two views must agree."""
+        import numpy as np
+
+        from repro.sequence import random_protein
+
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            q = random_protein(int(rng.integers(10, 60)), rng)
+            d = random_protein(int(rng.integers(10, 60)), rng)
+            aln = sw_align(q, d, BLOSUM62, GP)
+            if aln.length == 0:
+                continue
+            subs = sum(
+                BLOSUM62.score(a, b)
+                for a, b in zip(aln.q_aligned, aln.d_aligned)
+                if a != "-" and b != "-"
+            )
+            gap_cost = (
+                aln.gap_opens() * GP.rho
+                + (aln.gap_columns() - aln.gap_opens()) * GP.sigma
+            )
+            assert subs - gap_cost == alignment_score(aln, BLOSUM62, GP)

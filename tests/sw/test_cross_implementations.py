@@ -1,0 +1,171 @@
+"""Cross-implementation agreement and alignment-witness verification.
+
+Every aligner in ``repro.sw`` must agree with the scalar reference; every
+traceback must produce a witness whose re-computed score equals the DP
+optimum.
+"""
+
+import numpy as np
+import pytest
+
+from repro.alphabet import BLOSUM62, GapPenalty, dna_matrix
+from repro.sequence import random_protein
+from repro.sw import (
+    alignment_score,
+    nw_align,
+    nw_score,
+    semiglobal_score,
+    sw_align,
+    sw_align_linear_space,
+    sw_score_antidiagonal,
+    sw_score_banded,
+    sw_score_scalar,
+)
+
+GP = GapPenalty.cudasw_default()
+
+
+def random_pair(rng, max_len=70):
+    m = int(rng.integers(1, max_len))
+    n = int(rng.integers(1, max_len))
+    return random_protein(m, rng, id="q"), random_protein(n, rng, id="d")
+
+
+@pytest.fixture(scope="module")
+def pairs():
+    rng = np.random.default_rng(1234)
+    return [random_pair(rng) for _ in range(25)]
+
+
+class TestScoreAgreement:
+    def test_antidiagonal_matches_scalar(self, pairs):
+        for q, d in pairs:
+            assert sw_score_antidiagonal(q, d, BLOSUM62, GP) == sw_score_scalar(
+                q, d, BLOSUM62, GP
+            )
+
+    def test_full_band_matches_scalar(self, pairs):
+        for q, d in pairs:
+            band = max(len(q), len(d))
+            assert sw_score_banded(q, d, BLOSUM62, GP, band) == sw_score_scalar(
+                q, d, BLOSUM62, GP
+            )
+
+    def test_banded_is_lower_bound_and_monotone(self, pairs):
+        for q, d in pairs[:10]:
+            exact = sw_score_scalar(q, d, BLOSUM62, GP)
+            prev = 0
+            for band in (0, 2, 5, 10, max(len(q), len(d))):
+                s = sw_score_banded(q, d, BLOSUM62, GP, band)
+                assert prev <= s <= exact
+                prev = s
+
+    def test_alternative_gap_models(self, pairs):
+        for gaps in (GapPenalty(5, 1), GapPenalty(20, 1), GapPenalty(3, 3)):
+            for q, d in pairs[:8]:
+                assert sw_score_antidiagonal(
+                    q, d, BLOSUM62, gaps
+                ) == sw_score_scalar(q, d, BLOSUM62, gaps)
+
+    def test_dna_matrix_agreement(self):
+        from repro.alphabet import DNA
+        from repro.sequence import Sequence
+
+        rng = np.random.default_rng(7)
+        mat = dna_matrix()
+        gp = GapPenalty.from_open_extend(5, 2)
+        for _ in range(10):
+            q = Sequence.random("q", int(rng.integers(1, 50)), rng, DNA)
+            d = Sequence.random("d", int(rng.integers(1, 50)), rng, DNA)
+            assert sw_score_antidiagonal(q, d, mat, gp) == sw_score_scalar(
+                q, d, mat, gp
+            )
+
+
+class TestAlignmentWitnesses:
+    def test_traceback_score_is_optimal_and_verified(self, pairs):
+        for q, d in pairs:
+            opt = sw_score_scalar(q, d, BLOSUM62, GP)
+            aln = sw_align(q, d, BLOSUM62, GP)
+            assert aln.score == opt
+            assert alignment_score(aln, BLOSUM62, GP) == opt
+
+    def test_linear_space_matches_full(self, pairs):
+        for q, d in pairs:
+            full = sw_align(q, d, BLOSUM62, GP)
+            lin = sw_align_linear_space(q, d, BLOSUM62, GP)
+            assert lin.score == full.score
+            assert alignment_score(lin, BLOSUM62, GP) == full.score
+
+    def test_alignment_coordinates_consistent(self, pairs):
+        for q, d in pairs:
+            aln = sw_align(q, d, BLOSUM62, GP)
+            # Gapped strings reproduce the claimed residue spans.
+            assert aln.q_aligned.replace("-", "") == q.text[aln.q_start : aln.q_end]
+            assert aln.d_aligned.replace("-", "") == d.text[aln.d_start : aln.d_end]
+
+    def test_zero_score_alignment_is_empty(self):
+        aln = sw_align("WWW", "PPP", BLOSUM62, GP)
+        assert aln.score == 0
+        assert aln.length == 0
+        assert aln.cigar == ""
+
+    def test_cigar_roundtrip(self):
+        aln = sw_align("MKVLAW", "MKVW", BLOSUM62, GP)
+        # Cigar column count equals alignment length.
+        total = sum(
+            int(run[:-1]) for run in _cigar_runs(aln.cigar)
+        )
+        assert total == aln.length
+
+    def test_identity_of_self_alignment(self):
+        aln = sw_align("MKVLAW", "MKVLAW", BLOSUM62, GP)
+        assert aln.identity() == 1.0
+        assert aln.cigar == "6M"
+
+    def test_pretty_renders(self):
+        aln = sw_align("MKVLAWCRND", "MKVAWCRND", BLOSUM62, GP)
+        text = aln.pretty(BLOSUM62, width=5)
+        assert "score=" in text and "Query" in text and "Sbjct" in text
+
+
+def _cigar_runs(cigar):
+    import re
+
+    return re.findall(r"\d+[MID]", cigar)
+
+
+class TestGlobalAndSemiGlobal:
+    def test_ordering_invariant(self, pairs):
+        # global <= semiglobal <= local, always.
+        for q, d in pairs:
+            g = nw_score(q, d, BLOSUM62, GP)
+            sg = semiglobal_score(q, d, BLOSUM62, GP)
+            loc = sw_score_scalar(q, d, BLOSUM62, GP)
+            assert g <= sg <= loc
+
+    def test_nw_align_witness(self, pairs):
+        for q, d in pairs[:10]:
+            aln = nw_align(q, d, BLOSUM62, GP)
+            assert aln.score == nw_score(q, d, BLOSUM62, GP)
+            assert alignment_score(aln, BLOSUM62, GP) == aln.score
+            # Global alignment spans both sequences entirely.
+            assert (aln.q_start, aln.q_end) == (0, len(q))
+            assert (aln.d_start, aln.d_end) == (0, len(d))
+
+    def test_identical_sequences_global_equals_local(self):
+        q = "MKVLAWCRNDE"
+        assert nw_score(q, q, BLOSUM62, GP) == sw_score_scalar(q, q, BLOSUM62, GP)
+
+    def test_semiglobal_contained_query(self):
+        # Query embedded verbatim in a longer subject: semiglobal equals
+        # the perfect-match score (flanks are free).
+        q = "MKVLAW"
+        d = "GGGG" + q + "PPPP"
+        perfect = sum(BLOSUM62.score(c, c) for c in q)
+        assert semiglobal_score(q, d, BLOSUM62, GP) == perfect
+
+    def test_global_pays_for_flanks(self):
+        q = "MKVLAW"
+        d = "GGGG" + q + "PPPP"
+        assert nw_score(q, d, BLOSUM62, GP) < semiglobal_score(q, d, BLOSUM62, GP)

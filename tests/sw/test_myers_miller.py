@@ -1,0 +1,92 @@
+"""Tests for the Myers-Miller linear-space global aligner."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alphabet import BLOSUM62, GapPenalty
+from repro.sequence import random_protein
+from repro.sw import alignment_score, nw_align, nw_align_linear_space, nw_score
+
+GP = GapPenalty.cudasw_default()
+residues = st.text(alphabet="ARNDCQEGHILKMFPSTWYV", min_size=1, max_size=30)
+
+
+class TestCorrectness:
+    def test_matches_full_table_scores(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            q = random_protein(int(rng.integers(1, 120)), rng)
+            d = random_protein(int(rng.integers(1, 120)), rng)
+            aln = nw_align_linear_space(q, d, BLOSUM62, GP)
+            assert aln.score == nw_score(q, d, BLOSUM62, GP)
+            assert alignment_score(aln, BLOSUM62, GP) == aln.score
+
+    @pytest.mark.parametrize(
+        "gaps", [GapPenalty(3, 1), GapPenalty(20, 1), GapPenalty(5, 5),
+                 GapPenalty(12, 2)]
+    )
+    def test_gap_models(self, gaps):
+        rng = np.random.default_rng(hash((gaps.rho, gaps.sigma)) % 2**31)
+        for _ in range(8):
+            q = random_protein(int(rng.integers(1, 80)), rng)
+            d = random_protein(int(rng.integers(1, 80)), rng)
+            aln = nw_align_linear_space(q, d, BLOSUM62, gaps)
+            assert aln.score == nw_score(q, d, BLOSUM62, gaps)
+            assert alignment_score(aln, BLOSUM62, gaps) == aln.score
+
+    def test_spans_both_sequences(self):
+        rng = np.random.default_rng(1)
+        q, d = random_protein(40, rng), random_protein(55, rng)
+        aln = nw_align_linear_space(q, d, BLOSUM62, GP)
+        assert (aln.q_start, aln.q_end) == (0, 40)
+        assert (aln.d_start, aln.d_end) == (0, 55)
+        assert aln.q_aligned.replace("-", "") == q.text
+        assert aln.d_aligned.replace("-", "") == d.text
+
+    def test_degenerate_shapes(self):
+        rng = np.random.default_rng(2)
+        for m, n in ((1, 1), (1, 50), (50, 1), (2, 2), (2, 60)):
+            q, d = random_protein(m, rng), random_protein(n, rng)
+            aln = nw_align_linear_space(q, d, BLOSUM62, GP)
+            assert aln.score == nw_score(q, d, BLOSUM62, GP)
+
+    def test_identical_sequences(self):
+        q = "MKVLAWCRNDE" * 4
+        aln = nw_align_linear_space(q, q, BLOSUM62, GP)
+        assert aln.identity() == 1.0
+        assert aln.cigar == f"{len(q)}M"
+
+    def test_agrees_with_full_table_witness_score(self):
+        rng = np.random.default_rng(3)
+        q, d = random_protein(70, rng), random_protein(90, rng)
+        full = nw_align(q, d, BLOSUM62, GP)
+        lin = nw_align_linear_space(q, d, BLOSUM62, GP)
+        assert lin.score == full.score
+
+    def test_long_sequences_no_recursion_blowup(self):
+        rng = np.random.default_rng(4)
+        q, d = random_protein(600, rng), random_protein(500, rng)
+        aln = nw_align_linear_space(q, d, BLOSUM62, GP)
+        assert alignment_score(aln, BLOSUM62, GP) == aln.score
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            nw_align_linear_space("", "MK", BLOSUM62, GP)
+
+
+@settings(max_examples=50, deadline=None)
+@given(q=residues, d=residues)
+def test_property_matches_reference(q, d):
+    aln = nw_align_linear_space(q, d, BLOSUM62, GP)
+    assert aln.score == nw_score(q, d, BLOSUM62, GP)
+    assert alignment_score(aln, BLOSUM62, GP) == aln.score
+
+
+@settings(max_examples=30, deadline=None)
+@given(q=residues, d=residues)
+def test_property_cheap_gaps(q, d):
+    gaps = GapPenalty(2, 1)
+    aln = nw_align_linear_space(q, d, BLOSUM62, gaps)
+    assert aln.score == nw_score(q, d, BLOSUM62, gaps)

@@ -1,0 +1,104 @@
+"""Tests for overlap (dovetail) alignment and the wavefront end-locator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alphabet import BLOSUM62, GapPenalty
+from repro.sequence import Sequence, random_protein
+from repro.sw import (
+    alignment_score,
+    nw_score,
+    overlap_align,
+    overlap_score,
+    sw_score_scalar,
+)
+from repro.sw.antidiagonal import sw_score_antidiagonal_ends
+from repro.sw.scalar import sw_tables_scalar
+
+GP = GapPenalty.cudasw_default()
+residues = st.text(alphabet="ARNDCQEGHILKMFPSTWYV", min_size=1, max_size=25)
+
+
+class TestOverlap:
+    def test_planted_overlap_scores_perfectly(self):
+        rng = np.random.default_rng(0)
+        core = random_protein(30, rng, id="core")
+        a = Sequence("A", np.concatenate(
+            [random_protein(40, rng).codes, core.codes]))
+        b = Sequence("B", np.concatenate(
+            [core.codes, random_protein(40, rng).codes]))
+        perfect = sum(int(BLOSUM62.scores[c, c]) for c in core.codes)
+        assert overlap_score(a, b, BLOSUM62, GP) == perfect
+        aln = overlap_align(a, b, BLOSUM62, GP)
+        assert aln.q_start == 40 and aln.q_end == 70
+        assert aln.d_start == 0 and aln.d_end == 30
+
+    def test_witness_verifies(self):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            q = random_protein(int(rng.integers(1, 60)), rng)
+            d = random_protein(int(rng.integers(1, 60)), rng)
+            aln = overlap_align(q, d, BLOSUM62, GP)
+            assert aln.score == overlap_score(q, d, BLOSUM62, GP)
+            assert alignment_score(aln, BLOSUM62, GP) == aln.score
+
+    def test_witness_touches_boundaries(self):
+        rng = np.random.default_rng(2)
+        for _ in range(10):
+            q = random_protein(int(rng.integers(2, 50)), rng)
+            d = random_protein(int(rng.integers(2, 50)), rng)
+            aln = overlap_align(q, d, BLOSUM62, GP)
+            assert aln.q_start == 0 or aln.d_start == 0
+            assert aln.q_end == len(q) or aln.d_end == len(d)
+
+    @settings(max_examples=40, deadline=None)
+    @given(q=residues, d=residues)
+    def test_mode_ordering(self, q, d):
+        """global <= overlap <= local, always."""
+        g = nw_score(q, d, BLOSUM62, GP)
+        o = overlap_score(q, d, BLOSUM62, GP)
+        loc = sw_score_scalar(q, d, BLOSUM62, GP)
+        assert g <= o <= loc
+
+    def test_identical_sequences(self):
+        q = "MKVLAWCRND"
+        perfect = sum(BLOSUM62.score(c, c) for c in q)
+        assert overlap_score(q, q, BLOSUM62, GP) == perfect
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            overlap_score("", "MK", BLOSUM62, GP)
+
+
+class TestAntidiagonalEnds:
+    def test_end_cell_achieves_the_score(self):
+        rng = np.random.default_rng(3)
+        for _ in range(15):
+            q = random_protein(int(rng.integers(1, 60)), rng)
+            d = random_protein(int(rng.integers(1, 60)), rng)
+            score, i, j = sw_score_antidiagonal_ends(
+                q.codes, d.codes, BLOSUM62, GP
+            )
+            H, _, _ = sw_tables_scalar(q, d, BLOSUM62, GP)
+            assert score == int(H.max())
+            assert int(H[i, j]) == score
+
+    def test_tie_break_earliest_diagonal(self):
+        # Two identical motifs: the earlier occurrence must be reported.
+        q = Sequence.from_text("q", "WWWW")
+        d = Sequence.from_text("d", "WWWWPPPPWWWW")
+        score, i, j = sw_score_antidiagonal_ends(q.codes, d.codes, BLOSUM62, GP)
+        assert score == 4 * 11
+        assert (i, j) == (4, 4)  # ends at the first motif
+
+    def test_zero_score_coordinates(self):
+        score, i, j = sw_score_antidiagonal_ends(
+            BLOSUM62.alphabet.encode("WW"),
+            BLOSUM62.alphabet.encode("PP"),
+            BLOSUM62,
+            GP,
+        )
+        assert score == 0
+        assert (i, j) == (0, 0)

@@ -1,0 +1,108 @@
+"""Hypothesis property tests for the Smith-Waterman substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alphabet import BLOSUM62, GapPenalty, PROTEIN, random_matrix
+from repro.sw import (
+    alignment_score,
+    sw_align,
+    sw_score_antidiagonal,
+    sw_score_scalar,
+)
+
+GP = GapPenalty.cudasw_default()
+
+# Strategy: short protein texts over the 20 standard residues (ambiguity
+# codes would be fine too, but standard residues keep shrunk examples
+# readable).
+residues = st.text(alphabet="ARNDCQEGHILKMFPSTWYV", min_size=1, max_size=25)
+gap_penalties = st.tuples(
+    st.integers(min_value=1, max_value=30), st.integers(min_value=1, max_value=8)
+).filter(lambda t: t[1] <= t[0]).map(lambda t: GapPenalty(*t))
+
+
+@settings(max_examples=60, deadline=None)
+@given(q=residues, d=residues)
+def test_antidiagonal_equals_scalar(q, d):
+    assert sw_score_antidiagonal(q, d, BLOSUM62, GP) == sw_score_scalar(
+        q, d, BLOSUM62, GP
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(q=residues, d=residues, gaps=gap_penalties)
+def test_agreement_over_gap_models(q, d, gaps):
+    assert sw_score_antidiagonal(q, d, BLOSUM62, gaps) == sw_score_scalar(
+        q, d, BLOSUM62, gaps
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(q=residues, d=residues)
+def test_score_symmetry(q, d):
+    """score(q, d) == score(d, q) for a symmetric matrix."""
+    assert sw_score_antidiagonal(q, d, BLOSUM62, GP) == sw_score_antidiagonal(
+        d, q, BLOSUM62, GP
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(q=residues, d=residues)
+def test_score_bounds(q, d):
+    """0 <= score <= min(m, n) * max matrix entry."""
+    s = sw_score_antidiagonal(q, d, BLOSUM62, GP)
+    assert 0 <= s <= min(len(q), len(d)) * BLOSUM62.max_score
+
+
+@settings(max_examples=40, deadline=None)
+@given(q=residues)
+def test_self_alignment_is_diagonal_sum(q):
+    """Aligning a sequence with itself scores at least the full diagonal."""
+    diag = sum(BLOSUM62.score(c, c) for c in q)
+    assert sw_score_antidiagonal(q, q, BLOSUM62, GP) >= diag
+
+
+@settings(max_examples=40, deadline=None)
+@given(q=residues, d=residues, extra=residues)
+def test_monotone_under_database_extension(q, d, extra):
+    """Appending residues to the subject can only help a local alignment."""
+    base = sw_score_antidiagonal(q, d, BLOSUM62, GP)
+    extended = sw_score_antidiagonal(q, d + extra, BLOSUM62, GP)
+    assert extended >= base
+
+
+@settings(max_examples=40, deadline=None)
+@given(q=residues, d=residues)
+def test_substring_scores_no_better(q, d):
+    """A local alignment of substrings never beats the full pair."""
+    s_full = sw_score_antidiagonal(q, d, BLOSUM62, GP)
+    half_q = q[: max(1, len(q) // 2)]
+    assert sw_score_antidiagonal(half_q, d, BLOSUM62, GP) <= s_full
+
+
+@settings(max_examples=40, deadline=None)
+@given(q=residues, d=residues)
+def test_traceback_witness_verifies(q, d):
+    aln = sw_align(q, d, BLOSUM62, GP)
+    assert alignment_score(aln, BLOSUM62, GP) == aln.score
+    assert aln.score == sw_score_scalar(q, d, BLOSUM62, GP)
+
+
+@settings(max_examples=25, deadline=None)
+@given(q=residues, d=residues, seed=st.integers(min_value=0, max_value=2**31))
+def test_agreement_on_random_matrices(q, d, seed):
+    """Implementations agree for arbitrary symmetric scoring schemes."""
+    rng = np.random.default_rng(seed)
+    mat = random_matrix(PROTEIN, rng)
+    assert sw_score_antidiagonal(q, d, mat, GP) == sw_score_scalar(q, d, mat, GP)
+
+
+@settings(max_examples=30, deadline=None)
+@given(q=residues, d=residues)
+def test_gap_penalty_monotonicity(q, d):
+    """Raising gap penalties can never raise the score."""
+    cheap = sw_score_antidiagonal(q, d, BLOSUM62, GapPenalty(3, 1))
+    pricey = sw_score_antidiagonal(q, d, BLOSUM62, GapPenalty(30, 8))
+    assert pricey <= cheap

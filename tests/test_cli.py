@@ -1,0 +1,167 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.sequence import plant_motif, random_protein, write_fasta
+
+
+@pytest.fixture(scope="module")
+def fasta_files(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("cli")
+    rng = np.random.default_rng(0)
+    query = random_protein(80, rng, id="Q1")
+    host, _ = plant_motif(query, 300, rng, id="HIT1")
+    db = [host] + [random_protein(200, rng, id=f"D{i}") for i in range(4)]
+    paths = {
+        "query": tmp / "query.fasta",
+        "db": tmp / "db.fasta",
+        "subject": tmp / "subject.fasta",
+    }
+    write_fasta([query], paths["query"])
+    write_fasta(db, paths["db"])
+    write_fasta([db[1]], paths["subject"])
+    return {k: str(v) for k, v in paths.items()}
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestAlign:
+    def test_local(self, fasta_files):
+        code, text = run_cli(
+            ["align", fasta_files["query"], fasta_files["query"]]
+        )
+        assert code == 0
+        assert "identity=100.0%" in text
+        assert "80M" in text
+
+    def test_global_mode(self, fasta_files):
+        code, text = run_cli(
+            ["align", fasta_files["query"], fasta_files["subject"],
+             "--mode", "global"]
+        )
+        assert code == 0
+        assert "global alignment" in text
+
+    def test_custom_gap_model(self, fasta_files):
+        code, text = run_cli(
+            ["align", fasta_files["query"], fasta_files["query"],
+             "--gap-open", "5", "--gap-extend", "1"]
+        )
+        assert code == 0
+
+    def test_custom_matrix_file(self, fasta_files, tmp_path):
+        from repro.alphabet import BLOSUM62, format_ncbi_matrix
+
+        path = tmp_path / "custom.txt"
+        path.write_text(format_ncbi_matrix(BLOSUM62))
+        code, text = run_cli(
+            ["align", fasta_files["query"], fasta_files["query"],
+             "--matrix", str(path)]
+        )
+        assert code == 0
+        assert "identity=100.0%" in text
+
+
+class TestSearch:
+    def test_planted_hit_ranks_first(self, fasta_files):
+        code, text = run_cli(
+            ["search", fasta_files["query"], fasta_files["db"], "--top", "3"]
+        )
+        assert code == 0
+        lines = [ln for ln in text.splitlines() if not ln.startswith("#")]
+        assert lines[1].startswith("HIT1")
+        assert "GCUPs" in text
+
+    def test_evalue_filter(self, fasta_files):
+        code, text = run_cli(
+            ["search", fasta_files["query"], fasta_files["db"],
+             "--max-evalue", "1e-10"]
+        )
+        assert code == 0
+        assert "HIT1" in text
+        assert "D1" not in text
+
+    def test_device_and_kernel_options(self, fasta_files):
+        code, text = run_cli(
+            ["search", fasta_files["query"], fasta_files["db"],
+             "--device", "C2050", "--kernel", "original"]
+        )
+        assert code == 0
+        assert "Tesla C2050" in text
+
+
+class TestPredict:
+    def test_profile(self):
+        code, text = run_cli(
+            ["predict", "--profile", "swissprot", "--scale", "0.05",
+             "--query-length", "567"]
+        )
+        assert code == 0
+        assert "modeled GCUPs" in text
+        assert "inter-task" in text
+
+    def test_fasta_database(self, fasta_files):
+        code, text = run_cli(["predict", "--database", fasta_files["db"]])
+        assert code == 0
+        assert "modeled GCUPs" in text
+
+    def test_explain_breakdown(self):
+        code, text = run_cli(
+            ["predict", "--profile", "swissprot", "--scale", "0.05",
+             "--explain"]
+        )
+        assert code == 0
+        assert "inter-task kernel breakdown" in text
+        assert "intra-task kernel breakdown" in text
+        assert "bound by:" in text and "roofline" in text
+
+    def test_auto_threshold_flag(self):
+        code, text = run_cli(
+            ["predict", "--profile", "tair", "--scale", "0.2",
+             "--threshold", "auto", "--device", "C2050"]
+        )
+        assert code == 0
+        assert "(auto-detected)" in text
+
+    def test_bad_threshold_string(self):
+        import pytest as _pytest
+
+        with _pytest.raises(SystemExit):
+            run_cli(["predict", "--profile", "tair", "--threshold", "soon"])
+
+    def test_profile_aliases_cover_all_six(self):
+        from repro.cli import _PROFILE_ALIASES
+        from repro.sequence.synthetic import PAPER_DATABASES
+
+        assert set(_PROFILE_ALIASES.values()) == {
+            p.name for p in PAPER_DATABASES
+        }
+
+
+class TestExhibit:
+    def test_figure2(self):
+        code, text = run_cli(["exhibit", "figure2"])
+        assert code == 0
+        assert "inter_gcups" in text
+
+    def test_unknown_exhibit_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli(["exhibit", "nonsense"])
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_help_builds(self):
+        parser = build_parser()
+        assert "align" in parser.format_help()

@@ -1,0 +1,64 @@
+"""Smoke tests for the example scripts.
+
+Only the fast examples run in the suite (the Swiss-Prot-scale ones are
+exercised by `make examples`); what matters here is that the scripts stay
+importable and their entry points execute against the public API.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_examples_directory_complete():
+    scripts = sorted(p.name for p in EXAMPLES.glob("*.py"))
+    assert scripts == [
+        "database_search.py",
+        "kernel_evolution.py",
+        "multi_gpu_scaling.py",
+        "quickstart.py",
+        "significance_statistics.py",
+        "swps3_comparison.py",
+        "threshold_tuning.py",
+    ]
+    assert (EXAMPLES / "README.md").exists()
+
+
+def test_quickstart_runs():
+    out = run_example("quickstart.py")
+    assert "Smith-Waterman score" in out
+    assert "top hits" in out
+    assert "Tesla C1060" in out and "Tesla C2050" in out
+
+
+def test_significance_statistics_runs():
+    out = run_example("significance_statistics.py")
+    assert "lambda" in out
+    assert "significant" in out and "chance-level" in out
+
+
+@pytest.mark.parametrize(
+    "name,marker",
+    [
+        ("database_search.py", "intra-task share"),
+        ("multi_gpu_scaling.py", "speedup"),
+    ],
+)
+def test_swissprot_scale_examples_run(name, marker):
+    out = run_example(name, timeout=300)
+    assert marker in out

@@ -1,0 +1,115 @@
+"""Golden-value regression guards for the calibrated model.
+
+The model's headline numbers are the contract EXPERIMENTS.md documents.
+These tests freeze them (with generous tolerances) so an accidental
+change to a kernel count formula, a device spec or the calibration cannot
+silently shift every reproduced exhibit.  An *intentional* recalibration
+should update both these goldens and EXPERIMENTS.md.
+"""
+
+import numpy as np
+import pytest
+
+from repro.app import CudaSW
+from repro.cuda import CostModel, KernelCounts, TESLA_C1060, TESLA_C2050
+from repro.kernels import ImprovedIntraTaskKernel, OriginalIntraTaskKernel
+from repro.sequence import SWISSPROT_PROFILE
+
+
+@pytest.fixture(scope="module")
+def swissprot():
+    rng = np.random.default_rng(42)
+    return SWISSPROT_PROFILE.build(rng)
+
+
+@pytest.fixture(scope="module")
+def intra_lengths(swissprot):
+    _, above = swissprot.split_by_threshold(3072)
+    return above.lengths
+
+
+def kernel_gcups(kernel, lengths, device, m=567):
+    counts = kernel.bulk_pair_counts(m, lengths)
+    t = CostModel(device).kernel_time(
+        counts,
+        kernel.launch_config(int(lengths.size)),
+        kernel.cache_profile(m, int(lengths.mean())),
+    )
+    return counts.cells / t.total / 1e9
+
+
+class TestKernelAnchors:
+    """The four calibration anchors (Section II-C of the paper)."""
+
+    def test_original_intra_c1060(self, intra_lengths):
+        g = kernel_gcups(OriginalIntraTaskKernel(), intra_lengths, TESLA_C1060)
+        assert g == pytest.approx(1.9, abs=0.5)  # paper: ~1.5
+
+    def test_improved_intra_c1060(self, intra_lengths):
+        g = kernel_gcups(ImprovedIntraTaskKernel(), intra_lengths, TESLA_C1060)
+        assert g == pytest.approx(15.5, abs=2.5)
+
+    def test_improvement_factor(self, intra_lengths):
+        ratio = kernel_gcups(
+            ImprovedIntraTaskKernel(), intra_lengths, TESLA_C1060
+        ) / kernel_gcups(OriginalIntraTaskKernel(), intra_lengths, TESLA_C1060)
+        assert 6.0 < ratio < 14.0  # paper: "over 11 times"
+
+    def test_original_intra_c2050_cached(self, intra_lengths):
+        g = kernel_gcups(OriginalIntraTaskKernel(), intra_lengths, TESLA_C2050)
+        assert g == pytest.approx(5.8, abs=1.5)
+
+
+class TestApplicationGoldens:
+    """End-to-end Swiss-Prot numbers at the default threshold."""
+
+    EXPECTED = {
+        ("C1060", "original"): 14.8,
+        ("C1060", "improved"): 17.3,
+        ("C2050", "original"): 19.5,
+        ("C2050", "improved"): 20.5,
+    }
+
+    @pytest.mark.parametrize("key", sorted(EXPECTED))
+    def test_overall_gcups(self, swissprot, key):
+        dev_name, kernel = key
+        device = TESLA_C1060 if dev_name == "C1060" else TESLA_C2050
+        g = CudaSW(device, intra_kernel=kernel).predict(567, swissprot).gcups
+        assert g == pytest.approx(self.EXPECTED[key], rel=0.15), key
+
+    def test_intra_time_fraction_original(self, swissprot):
+        r = CudaSW(TESLA_C1060, intra_kernel="original").predict(567, swissprot)
+        assert r.intra_time_fraction == pytest.approx(0.16, abs=0.06)
+
+    def test_transfer_time_negligible(self, swissprot):
+        r = CudaSW(TESLA_C1060).predict(567, swissprot)
+        assert r.transfer_time < 0.02 * r.total_time
+
+
+class TestCountGoldens:
+    """Structural constants the docs quote."""
+
+    def test_original_bytes_per_cell(self):
+        c = OriginalIntraTaskKernel().pair_counts(567, 4424)
+        assert c.global_bytes / c.cells == pytest.approx(32.0)
+
+    def test_improved_boundary_bytes(self):
+        k = ImprovedIntraTaskKernel()
+        c = k.pair_counts(5 * 1024, 2000)
+        boundary_bytes = 2 * 2 * 2000 * 4 * (5 - 1)  # ld+st, H+F, per column
+        overhead = (16 + 6) * 4
+        assert c.global_bytes == boundary_bytes + overhead
+
+    def test_peak_issue_rates(self):
+        assert TESLA_C1060.instruction_throughput_per_second == pytest.approx(
+            311.04e9
+        )
+        assert TESLA_C2050.instruction_throughput_per_second == pytest.approx(
+            515.2e9
+        )
+
+    def test_zero_counts_time(self):
+        t = CostModel(TESLA_C1060).kernel_time(
+            KernelCounts(), OriginalIntraTaskKernel().launch_config(1)
+        )
+        assert t.total == pytest.approx(8e-6)  # launch overhead only

@@ -1,0 +1,99 @@
+"""Packaging and public-API hygiene."""
+
+import importlib
+import subprocess
+import sys
+
+import pytest
+
+
+PACKAGES = [
+    "repro",
+    "repro.alphabet",
+    "repro.sequence",
+    "repro.sw",
+    "repro.cuda",
+    "repro.kernels",
+    "repro.app",
+    "repro.baselines",
+    "repro.stats",
+    "repro.analysis",
+    "repro.cli",
+]
+
+
+class TestImports:
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_package_imports(self, name):
+        importlib.import_module(name)
+
+    @pytest.mark.parametrize(
+        "name",
+        [p for p in PACKAGES if p not in ("repro", "repro.cli")],
+    )
+    def test_all_exports_resolve(self, name):
+        module = importlib.import_module(name)
+        assert hasattr(module, "__all__")
+        for symbol in module.__all__:
+            assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_no_duplicate_exports(self):
+        for name in PACKAGES:
+            module = importlib.import_module(name)
+            exports = getattr(module, "__all__", [])
+            assert len(set(exports)) == len(exports), name
+
+
+class TestCliEntryPoint:
+    def test_module_help(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0
+        assert "align" in result.stdout
+        assert "exhibit" in result.stdout
+
+    def test_subcommand_help(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "predict", "--help"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0
+        assert "--profile" in result.stdout
+
+
+class TestDocumentation:
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_packages_have_docstrings(self, name):
+        module = importlib.import_module(name)
+        assert module.__doc__ and len(module.__doc__) > 60, name
+
+    def test_repo_documents_exist(self):
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[1]
+        for doc in ("README.md", "DESIGN.md", "EXPERIMENTS.md",
+                    "docs/cost-model.md", "docs/kernels.md"):
+            path = root / doc
+            assert path.exists(), doc
+            assert len(path.read_text()) > 500, doc
+
+    def test_public_classes_documented(self):
+        """Spot-check: every public symbol of the core packages carries a
+        docstring."""
+        for name in ("repro.sw", "repro.kernels", "repro.app"):
+            module = importlib.import_module(name)
+            for symbol in module.__all__:
+                obj = getattr(module, symbol)
+                if callable(obj) or isinstance(obj, type):
+                    assert obj.__doc__, f"{name}.{symbol} lacks a docstring"
