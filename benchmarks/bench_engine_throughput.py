@@ -1,0 +1,210 @@
+"""Throughput comparison of the functional scoring engines.
+
+Times the three selectable ``CudaSW.search`` backends on a 1,000-sequence
+Swiss-Prot-shaped database (log-normal body plus titin-class heavy tail,
+drawn from :data:`SWISSPROT_PROFILE`):
+
+* ``scalar``       — ``sw_score_scalar`` per pair, timed on a stratified
+  subset and extrapolated by residue count (the full run takes minutes);
+* ``antidiagonal`` — ``sw_score_antidiagonal`` per pair over the full
+  database;
+* ``batched``      — the inter-sequence engine, at one worker and at
+  ``cpu_count`` workers.
+
+Results are written to ``BENCH_engine.json`` at the repository root so the
+measured speedups travel with the code.  Run directly:
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py
+
+or through pytest (a reduced-size smoke variant):
+
+    pytest benchmarks/bench_engine_throughput.py -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+
+from repro.alphabet import BLOSUM62, GapPenalty
+from repro.engine import DEFAULT_GROUP_SIZE, BatchedEngine
+from repro.sequence import Database, SWISSPROT_PROFILE, random_protein
+from repro.sw import sw_score_antidiagonal, sw_score_scalar
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_engine.json"
+
+DB_SEQUENCES = 1_000
+QUERY_LENGTH = 200
+SCALAR_SUBSET = 25  # scalar reference is timed on a subset, then extrapolated
+SEED = 42
+
+
+def build_database(n_sequences: int, rng: np.random.Generator) -> Database:
+    """A materialized Swiss-Prot-shaped database of ``n_sequences``."""
+    scale = n_sequences / SWISSPROT_PROFILE.n_sequences
+    return SWISSPROT_PROFILE.build(rng, scale=scale, materialize=True)
+
+
+def _time(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def time_scalar_extrapolated(query, db: Database, gaps: GapPenalty) -> dict:
+    """Time the scalar reference on a stratified subset, scale by residues.
+
+    Every ``k``-th sequence of the length-diverse database is scored, so
+    the subset sees the same length mix as the whole; scalar cost is
+    proportional to scored cells, which makes residue-ratio extrapolation
+    faithful.
+    """
+    stride = max(len(db) // SCALAR_SUBSET, 1)
+    subset = np.arange(0, len(db), stride)[:SCALAR_SUBSET]
+    subset_residues = int(db.lengths[subset].sum())
+
+    def run():
+        for i in subset:
+            sw_score_scalar(query.codes, db.codes_of(int(i)), BLOSUM62, gaps)
+
+    measured = _time(run)
+    factor = db.total_residues / subset_residues
+    return {
+        "subset_sequences": int(len(subset)),
+        "subset_residues": subset_residues,
+        "subset_seconds": measured,
+        "extrapolation_factor": factor,
+        "seconds": measured * factor,
+    }
+
+
+def time_antidiagonal(query, db: Database, gaps: GapPenalty) -> float:
+    def run():
+        for i in range(len(db)):
+            sw_score_antidiagonal(query.codes, db.codes_of(i), BLOSUM62, gaps)
+
+    return _time(run)
+
+
+def time_batched(query, db: Database, gaps: GapPenalty, *,
+                 workers: int, group_size: int) -> tuple[float, object]:
+    engine = BatchedEngine(
+        BLOSUM62, gaps, group_size=group_size, workers=workers
+    )
+    holder = {}
+
+    def run():
+        holder["out"] = engine.search(query, db)
+
+    seconds = _time(run)
+    _, report = holder["out"]
+    return seconds, report
+
+
+def run_benchmark(
+    *,
+    n_sequences: int = DB_SEQUENCES,
+    query_length: int = QUERY_LENGTH,
+    group_size: int = DEFAULT_GROUP_SIZE,
+    seed: int = SEED,
+) -> dict:
+    rng = np.random.default_rng(seed)
+    db = build_database(n_sequences, rng)
+    query = random_protein(query_length, rng, id="bench-query")
+    gaps = GapPenalty.cudasw_default()
+    cells = query_length * db.total_residues
+    n_workers = max(os.cpu_count() or 1, 2)
+
+    scalar = time_scalar_extrapolated(query, db, gaps)
+    anti_seconds = time_antidiagonal(query, db, gaps)
+    batched_seconds, report = time_batched(
+        query, db, gaps, workers=1, group_size=group_size
+    )
+    fanned_seconds, _ = time_batched(
+        query, db, gaps, workers=n_workers, group_size=group_size
+    )
+
+    def gcups(seconds: float) -> float:
+        return cells / seconds / 1e9
+
+    result = {
+        "benchmark": "engine_throughput",
+        "database": {
+            "profile": SWISSPROT_PROFILE.name,
+            "sequences": len(db),
+            "residues": db.total_residues,
+            "min_length": int(db.lengths.min()),
+            "median_length": float(np.median(db.lengths)),
+            "max_length": int(db.lengths.max()),
+        },
+        "query_length": query_length,
+        "cells": cells,
+        "seed": seed,
+        "cpu_count": os.cpu_count(),
+        "group_size": group_size,
+        "packing": {
+            "n_groups": report.n_groups,
+            "padding_efficiency": report.padding_efficiency,
+        },
+        "engines": {
+            "scalar": {
+                "seconds": scalar["seconds"],
+                "gcups": gcups(scalar["seconds"]),
+                "extrapolated_from": {
+                    k: v for k, v in scalar.items() if k != "seconds"
+                },
+            },
+            "antidiagonal": {
+                "seconds": anti_seconds,
+                "gcups": gcups(anti_seconds),
+            },
+            "batched_1_worker": {
+                "seconds": batched_seconds,
+                "gcups": gcups(batched_seconds),
+            },
+            f"batched_{n_workers}_workers": {
+                "seconds": fanned_seconds,
+                "gcups": gcups(fanned_seconds),
+            },
+        },
+        "speedups": {
+            "batched_vs_antidiagonal": anti_seconds / batched_seconds,
+            "batched_vs_scalar": scalar["seconds"] / batched_seconds,
+            "antidiagonal_vs_scalar": scalar["seconds"] / anti_seconds,
+        },
+    }
+    return result
+
+
+def main() -> None:
+    result = run_benchmark()
+    OUTPUT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    engines = result["engines"]
+    print(f"database: {result['database']['sequences']} sequences, "
+          f"{result['database']['residues']:,} residues "
+          f"(lengths {result['database']['min_length']}.."
+          f"{result['database']['max_length']})")
+    print(f"query length: {result['query_length']}, "
+          f"cells: {result['cells']:,}")
+    for name, run in engines.items():
+        print(f"  {name:24s} {run['seconds']:8.2f} s   "
+              f"{run['gcups'] * 1000:8.3f} MCUPs")
+    sp = result["speedups"]
+    print(f"batched vs antidiagonal: {sp['batched_vs_antidiagonal']:.1f}x")
+    print(f"batched vs scalar:       {sp['batched_vs_scalar']:.1f}x")
+    print(f"wrote {OUTPUT_PATH}")
+
+
+def test_batched_beats_antidiagonal():
+    """Smoke-scale variant for pytest runs of the benchmarks directory."""
+    result = run_benchmark(n_sequences=120, query_length=60)
+    assert result["speedups"]["batched_vs_antidiagonal"] > 1.0
+
+
+if __name__ == "__main__":
+    main()

@@ -56,10 +56,15 @@ def main() -> None:
     db = Database.from_sequences([homolog, *decoys], name="demo-db")
 
     app = CudaSW(TESLA_C1060)  # improved intra-task kernel by default
-    result, report = app.search(query, db)
+    result, report = app.search(query, db)  # batched lanes engine by default
     print("top hits:")
     for hit in result.top(3):
         print(f"  {hit.id:<18} length={hit.length:<5} score={hit.score}")
+    er = app.last_engine_report
+    print(
+        f"(batched engine: {er.n_groups} group(s), "
+        f"padding efficiency {er.padding_efficiency:.2f})"
+    )
 
     # ------------------------------------------------------------------
     # 3. Modeled performance on the paper's GPUs

@@ -67,16 +67,27 @@ def predict_batch(
 
 
 def search_batch(
-    app: CudaSW, queries: list[Sequence], db: Database
+    app: CudaSW,
+    queries: list[Sequence],
+    db: Database,
+    *,
+    engine: str = "batched",
+    workers: int = 1,
 ) -> tuple[list[SearchResult], BatchReport]:
     """Functionally search every query; returns per-query results plus
-    the aggregated report."""
+    the aggregated report.
+
+    ``engine`` and ``workers`` select the functional score backend per
+    :meth:`CudaSW.search` — the batched default reuses CUDASW++'s
+    once-per-database preprocessing spirit by scoring whole packed
+    groups per NumPy sweep for every query of the campaign.
+    """
     if not queries:
         raise ValueError("a batch needs at least one query")
     results = []
     reports = []
     for query in queries:
-        result, report = app.search(query, db)
+        result, report = app.search(query, db, engine=engine, workers=workers)
         results.append(result)
         reports.append(report)
     return results, BatchReport(reports=tuple(reports))

@@ -33,14 +33,20 @@ from repro.kernels.intratask_original import OriginalIntraTaskKernel
 from repro.app.results import SearchResult
 from repro.app.scheduler import schedule_inter_task
 from repro.app.transfer import TransferModel
+from repro.engine import BatchedEngine, EngineReport
 from repro.sequence.database import Database
 from repro.sequence.sequence import Sequence
 from repro.sw.antidiagonal import sw_score_antidiagonal
+from repro.sw.scalar import sw_score_scalar
+from repro.sw.utils import as_codes
 
-__all__ = ["CudaSW", "SearchReport", "tuned_improved_config"]
+__all__ = ["CudaSW", "SearchReport", "tuned_improved_config", "SEARCH_ENGINES"]
 
 #: The paper's default dispatch threshold.
 DEFAULT_THRESHOLD = 3072
+
+#: Functional score backends selectable in :meth:`CudaSW.search`.
+SEARCH_ENGINES = ("scalar", "antidiagonal", "batched")
 
 
 def tuned_improved_config(device: DeviceSpec) -> ImprovedKernelConfig:
@@ -140,6 +146,9 @@ class CudaSW:
         self.cost = CostModel(device, calibration, cache_enabled=cache_enabled)
         self.transfer = TransferModel(device, streaming=streaming_copy)
         self._auto_cache: dict = {}
+        #: Packing/execution accounting of the last batched-engine search
+        #: (``None`` until a ``engine="batched"`` search runs).
+        self.last_engine_report: EngineReport | None = None
 
     def _resolve_threshold(self, query_length: int, db: Database) -> int:
         """The dispatch threshold for this database: the configured one,
@@ -238,40 +247,78 @@ class CudaSW:
         query: Sequence,
         db: Database,
         *,
+        engine: str = "batched",
+        workers: int = 1,
+        group_size: int | None = None,
         simulate_kernels: bool = False,
     ) -> tuple[SearchResult, SearchReport]:
         """Compute every database sequence's score, plus the timing report.
 
         Parameters
         ----------
+        engine:
+            Functional score backend: ``"batched"`` (default) packs
+            length-sorted groups and advances all lanes per NumPy step
+            (:class:`~repro.engine.BatchedEngine`; packing accounting
+            lands in :attr:`last_engine_report`), ``"antidiagonal"``
+            runs the per-pair wavefront aligner, ``"scalar"`` the
+            textbook reference.  All three are bit-identical, which
+            tests verify; they differ only in throughput.
+        workers:
+            Worker processes for the batched engine's group fan-out
+            (1 = serial; ignored by the other engines).
+        group_size:
+            Lanes per batched group (default
+            :data:`~repro.engine.DEFAULT_GROUP_SIZE`).
         simulate_kernels:
             When true, every pair runs through the dispatched kernel's
-            functional simulator (slow; small databases only).  When false
-            (default) scores come from the vectorized reference aligner —
-            bit-identical to the kernels, which tests verify — while
-            counts/timing still come from the kernel models.
+            functional simulator instead of ``engine`` (slow; small
+            databases only) while counts/timing still come from the
+            kernel models.
         """
         if not db.has_residues:
             raise ValueError("functional search needs a materialized database")
         if query.alphabet != db.alphabet:
             raise ValueError("query and database alphabets differ")
+        if engine not in SEARCH_ENGINES:
+            raise ValueError(
+                f"engine must be one of {SEARCH_ENGINES}, got {engine!r}"
+            )
 
         threshold = self._resolve_threshold(len(query), db)
-        scores = np.zeros(len(db), dtype=np.int64)
-        for i in range(len(db)):
-            d_codes = db.codes_of(i)
-            if simulate_kernels:
+        # Per-query work hoisted out of the pair loop: encode/validate the
+        # query once; the batched engine likewise builds its query profile
+        # once per search.
+        q_codes = as_codes(query, self.matrix)
+
+        if simulate_kernels:
+            scores = np.zeros(len(db), dtype=np.int64)
+            for i in range(len(db)):
+                d_codes = db.codes_of(i)
                 kernel: PairKernel = (
                     self.intra_kernel
                     if d_codes.size >= threshold
                     else self.inter_kernel
                 )
                 scores[i] = kernel.run_pair(
-                    query.codes, d_codes, self.matrix, self.gaps
+                    q_codes, d_codes, self.matrix, self.gaps
                 ).score
-            else:
-                scores[i] = sw_score_antidiagonal(
-                    query.codes, d_codes, self.matrix, self.gaps
+        elif engine == "batched":
+            batched = BatchedEngine(
+                self.matrix,
+                self.gaps,
+                workers=workers,
+                **({} if group_size is None else {"group_size": group_size}),
+            )
+            scores, self.last_engine_report = batched.search(q_codes, db)
+        else:
+            score_pair = (
+                sw_score_scalar if engine == "scalar" else sw_score_antidiagonal
+            )
+            scores = np.zeros(len(db), dtype=np.int64)
+            for i in range(len(db)):
+                scores[i] = score_pair(
+                    q_codes, db.codes_of(i), self.matrix, self.gaps
                 )
 
         result = SearchResult(

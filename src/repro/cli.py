@@ -101,6 +101,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="dispatch threshold (integer, or 'auto' for Section VI "
         "detection)",
     )
+    p_search.add_argument(
+        "--engine", choices=("scalar", "antidiagonal", "batched"),
+        default="batched",
+        help="functional score backend (all bit-identical): 'batched' "
+        "scores whole length-sorted groups per NumPy sweep (default), "
+        "'antidiagonal' is the per-pair wavefront aligner, 'scalar' the "
+        "slow textbook reference",
+    )
+    p_search.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the batched engine's group fan-out "
+        "(1 = serial)",
+    )
     add_scoring(p_search)
 
     p_predict = sub.add_parser(
@@ -184,7 +197,9 @@ def _cmd_search(args, out: IO[str]) -> int:
         matrix=matrix,
         gaps=gaps,
     )
-    result, report = app.search(query, db)
+    result, report = app.search(
+        query, db, engine=args.engine, workers=args.workers
+    )
     stats = ScoreStatistics(matrix, gaps)
     hits = annotate_hits(
         result, stats, len(query), k=args.top, max_evalue=args.max_evalue
@@ -209,6 +224,14 @@ def _cmd_search(args, out: IO[str]) -> int:
         f"{report.intra_time_fraction:.0%} of time in the intra-task kernel",
         file=out,
     )
+    if app.last_engine_report is not None:
+        er = app.last_engine_report
+        print(
+            f"# scored by {args.engine} engine: {er.n_groups} groups of "
+            f"<= {er.group_size} lanes, padding efficiency "
+            f"{er.padding_efficiency:.3f}",
+            file=out,
+        )
     return 0
 
 

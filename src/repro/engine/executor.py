@@ -1,0 +1,78 @@
+"""Fanning packed groups out across worker processes.
+
+Groups are embarrassingly parallel — each lane matrix is scored
+independently — so the only coordination is scattering per-group score
+vectors back to database order.  The executor ships the query codes,
+matrix and penalties once per worker (pool initializer) and then streams
+groups; each task moves one ``uint8`` lane matrix out and one small
+score vector back.
+
+Process pools are not available everywhere (restricted sandboxes,
+interpreters without ``fork``/``spawn`` support), and a NumPy sweep
+already saturates one core per group, so parallelism is strictly
+optional: ``workers <= 1`` never touches ``multiprocessing``, and any
+failure to bring up or run the pool falls back to the serial path with
+identical results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.alphabet import GapPenalty, SubstitutionMatrix
+from repro.engine.lanes import score_packed_group
+from repro.engine.pack import PackedGroup
+from repro.sequence.profile import QueryProfile
+
+__all__ = ["run_groups"]
+
+#: Per-process state installed by the pool initializer, so the profile is
+#: rebuilt once per worker instead of pickled once per group.
+_WORKER_STATE: dict = {}
+
+
+def _init_worker(
+    query_codes: np.ndarray, matrix: SubstitutionMatrix, gaps: GapPenalty
+) -> None:
+    _WORKER_STATE["profile"] = QueryProfile(query_codes, matrix)
+    _WORKER_STATE["gaps"] = gaps
+
+
+def _score_group_task(group: PackedGroup) -> np.ndarray:
+    return score_packed_group(
+        _WORKER_STATE["profile"], group, _WORKER_STATE["gaps"]
+    )
+
+
+def run_groups(
+    profile: QueryProfile,
+    groups: list[PackedGroup],
+    gaps: GapPenalty,
+    *,
+    workers: int = 1,
+) -> list[np.ndarray]:
+    """Score every group, serially or across ``workers`` processes.
+
+    Returns one score vector per group, in group order.  Results are
+    identical on every path; parallelism only changes wall time.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if workers == 1 or len(groups) <= 1:
+        return [score_packed_group(profile, g, gaps) for g in groups]
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
+
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(groups)),
+            initializer=_init_worker,
+            initargs=(profile.query_codes, profile.matrix, gaps),
+        ) as pool:
+            try:
+                return list(pool.map(_score_group_task, groups))
+            except BrokenProcessPool:
+                pass  # worker died (e.g. fork denied mid-run): go serial
+    except (ImportError, OSError, PermissionError, RuntimeError):
+        pass  # no usable multiprocessing in this environment: go serial
+    return [score_packed_group(profile, g, gaps) for g in groups]

@@ -1,0 +1,132 @@
+"""Group packing for the batched inter-sequence engine.
+
+CUDASW++'s inter-task kernel assigns one database sequence per SIMT
+*lane* and launches length-sorted groups so lanes finish together
+(Section II-C).  The functional analogue packs a group of sequences into
+a dense ``(group_size, max_length)`` code matrix — one row per lane,
+short rows padded with a sentinel symbol — so a NumPy operation over the
+matrix advances every lane at once.
+
+Padding is the load-balance story of the paper's Figure 2 translated to
+the functional engine: every padded cell is a lane-step of wasted work,
+and :attr:`PackedGroup.padding_efficiency` (useful residues over the
+padded rectangle) is exactly the ``sum(len) / (s * max_len)`` quantity
+of :class:`~repro.sequence.database.SequenceGroup`.  Length sorting
+before grouping is what keeps it near 1.0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sequence.database import Database
+
+__all__ = ["PackedGroup", "pack_group", "pack_database"]
+
+
+@dataclass(frozen=True)
+class PackedGroup:
+    """One length-sorted group of database sequences, packed lane-per-row.
+
+    Attributes
+    ----------
+    indices:
+        Positions of the member sequences in the *source* database's
+        original order, so per-lane scores scatter straight back.
+    lengths:
+        True (unpadded) length of each lane.
+    codes:
+        ``(size, max_length)`` ``uint8`` matrix; row ``k`` holds lane
+        ``k``'s residue codes, columns past ``lengths[k]`` hold
+        :attr:`pad_code`.
+    pad_code:
+        The padding sentinel — one past the largest valid alphabet code,
+        so a padded query profile can route it to an impossibly bad
+        similarity score and padded cells can never win an alignment.
+    """
+
+    indices: np.ndarray
+    lengths: np.ndarray
+    codes: np.ndarray
+    pad_code: int
+
+    def __post_init__(self) -> None:
+        if self.codes.ndim != 2:
+            raise ValueError("packed codes must be a 2-D lane matrix")
+        if self.indices.shape != self.lengths.shape or (
+            self.indices.size != self.codes.shape[0]
+        ):
+            raise ValueError("indices, lengths and code rows must agree")
+        if self.indices.size == 0:
+            raise ValueError("a packed group cannot be empty")
+        if self.codes.shape[1] != int(self.lengths.max()):
+            raise ValueError("code matrix width must equal the max length")
+
+    @property
+    def size(self) -> int:
+        """Number of lanes (sequences) in the group."""
+        return int(self.indices.size)
+
+    @property
+    def max_length(self) -> int:
+        return int(self.codes.shape[1])
+
+    @property
+    def residues(self) -> int:
+        """Useful cells per query row: the true residue count."""
+        return int(self.lengths.sum())
+
+    @property
+    def padded_cells(self) -> int:
+        """Occupied lane-steps per query row: the full rectangle."""
+        return self.size * self.max_length
+
+    @property
+    def padding_efficiency(self) -> float:
+        """Useful work over occupied lane-steps — Figure 2's load-balance
+        efficiency, for the NumPy lanes instead of SIMT threads."""
+        return self.residues / self.padded_cells
+
+
+def pack_group(db: Database, indices: np.ndarray) -> PackedGroup:
+    """Pack the database sequences at ``indices`` into one lane matrix.
+
+    ``indices`` refer to ``db``'s own ordering and are recorded verbatim
+    in the result, so callers can pack a sorted permutation of an
+    unsorted database and still scatter scores back trivially.
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    if indices.ndim != 1 or indices.size == 0:
+        raise ValueError("need a non-empty 1-D index array")
+    db._require_residues()
+    lengths = db.lengths[indices]
+    max_len = int(lengths.max())
+    pad_code = db.alphabet.size
+    codes = np.full((indices.size, max_len), pad_code, dtype=np.uint8)
+    for lane, src in enumerate(indices):
+        row = db.codes_of(int(src))
+        codes[lane, : row.size] = row
+    codes.setflags(write=False)
+    return PackedGroup(indices, lengths, codes, pad_code)
+
+
+def pack_database(db: Database, group_size: int) -> list[PackedGroup]:
+    """Sort ``db`` by length and pack it into groups of ``group_size``.
+
+    Mirrors CUDASW++'s preprocessing pipeline
+    (:meth:`Database.sorted_by_length` then
+    :meth:`Database.partition_groups`): a stable ascending length sort
+    keeps each group's lengths nearly uniform, so the padded rectangles
+    stay tight.  The last group may be smaller.  Group ``indices`` refer
+    to the *original* (unsorted) database order.
+    """
+    if group_size <= 0:
+        raise ValueError(f"group size must be positive, got {group_size}")
+    db._require_residues()
+    order = np.argsort(db.lengths, kind="stable")
+    return [
+        pack_group(db, order[start : start + group_size])
+        for start in range(0, order.size, group_size)
+    ]

@@ -79,3 +79,14 @@ class TestSearchBatch:
         app = CudaSW(TESLA_C1060)
         with pytest.raises(ValueError):
             search_batch(app, [], db_small)
+
+    def test_engine_selection_threads_through(self, db_small):
+        rng = np.random.default_rng(4)
+        app = CudaSW(TESLA_C1060)
+        queries = [random_protein(30, rng, id=f"q{i}") for i in range(2)]
+        batched, _ = search_batch(app, queries, db_small, engine="batched")
+        wavefront, _ = search_batch(
+            app, queries, db_small, engine="antidiagonal"
+        )
+        for a, b in zip(batched, wavefront):
+            assert np.array_equal(a.scores, b.scores)

@@ -194,6 +194,52 @@ class TestFunctionalSearch:
             result.score_of("nope")
 
 
+class TestSearchEngines:
+    """The selectable functional backends must be interchangeable."""
+
+    def test_all_engines_agree(self, tiny_db):
+        rng = np.random.default_rng(11)
+        app = CudaSW(TESLA_C1060)
+        q = random_protein(45, rng, id="q")
+        small = tiny_db.select(np.array([0, 1, 2, 3]))  # scalar is slow
+        results = {
+            engine: app.search(q, small, engine=engine)[0].scores
+            for engine in ("scalar", "antidiagonal", "batched")
+        }
+        assert np.array_equal(results["scalar"], results["antidiagonal"])
+        assert np.array_equal(results["scalar"], results["batched"])
+
+    def test_batched_is_the_default(self, tiny_db):
+        rng = np.random.default_rng(12)
+        app = CudaSW(TESLA_C1060)
+        assert app.last_engine_report is None
+        app.search(random_protein(30, rng), tiny_db)
+        assert app.last_engine_report is not None
+        assert sum(app.last_engine_report.group_sizes) == len(tiny_db)
+
+    def test_engine_report_not_touched_by_other_engines(self, tiny_db):
+        rng = np.random.default_rng(13)
+        app = CudaSW(TESLA_C1060)
+        app.search(random_protein(30, rng), tiny_db, engine="antidiagonal")
+        assert app.last_engine_report is None
+
+    def test_workers_and_group_size_thread_through(self, tiny_db):
+        rng = np.random.default_rng(14)
+        app = CudaSW(TESLA_C1060)
+        q = random_protein(30, rng, id="q")
+        serial, _ = app.search(q, tiny_db)
+        fanned, _ = app.search(q, tiny_db, workers=2, group_size=2)
+        assert np.array_equal(serial.scores, fanned.scores)
+        assert app.last_engine_report.workers == 2
+        assert app.last_engine_report.group_size == 2
+
+    def test_unknown_engine_rejected(self, tiny_db):
+        rng = np.random.default_rng(15)
+        app = CudaSW(TESLA_C1060)
+        with pytest.raises(ValueError, match="engine"):
+            app.search(random_protein(30, rng), tiny_db, engine="gpu")
+
+
 class TestMultiGpu:
     def test_round_robin_split(self, swissprot_full):
         shards = split_round_robin(swissprot_full, 4)

@@ -97,6 +97,48 @@ class TestSearch:
         assert code == 0
         assert "Tesla C2050" in text
 
+    def test_batched_engine_is_default_and_reports_packing(self, fasta_files):
+        code, text = run_cli(
+            ["search", fasta_files["query"], fasta_files["db"]]
+        )
+        assert code == 0
+        assert "scored by batched engine" in text
+        assert "padding efficiency" in text
+
+    def test_engine_choices_agree(self, fasta_files):
+        def hits(engine):
+            code, text = run_cli(
+                ["search", fasta_files["query"], fasta_files["db"],
+                 "--engine", engine, "--top", "3"]
+            )
+            assert code == 0
+            return [ln for ln in text.splitlines() if not ln.startswith("#")]
+
+        assert hits("antidiagonal") == hits("batched")
+
+    def test_explicit_non_batched_engine_has_no_packing_line(self, fasta_files):
+        code, text = run_cli(
+            ["search", fasta_files["query"], fasta_files["db"],
+             "--engine", "antidiagonal"]
+        )
+        assert code == 0
+        assert "padding efficiency" not in text
+
+    def test_workers_option(self, fasta_files):
+        code, text = run_cli(
+            ["search", fasta_files["query"], fasta_files["db"],
+             "--workers", "2"]
+        )
+        assert code == 0
+        assert "scored by batched engine" in text
+
+    def test_unknown_engine_rejected(self, fasta_files):
+        with pytest.raises(SystemExit):
+            run_cli(
+                ["search", fasta_files["query"], fasta_files["db"],
+                 "--engine", "warp"]
+            )
+
 
 class TestPredict:
     def test_profile(self):
