@@ -11,7 +11,12 @@ drawn from :data:`SWISSPROT_PROFILE`):
 * ``batched``      — the inter-sequence engine, at one worker and at
   ``cpu_count`` workers.
 
-Results are written to ``BENCH_engine.json`` at the repository root so the
+Results are emitted through the observability layer's
+:class:`~repro.obs.RunReport` writer: the single-worker batched run is
+traced with ``repro.obs.collect("full")``, so ``BENCH_engine.json`` is a
+versioned run-report document whose ``spans``/``counters`` sections carry
+the per-phase breakdown (pack vs. sweep vs. fan-out) alongside the
+benchmark numbers in ``meta``.  Written to the repository root so the
 measured speedups travel with the code.  Run directly:
 
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py
@@ -23,13 +28,13 @@ or through pytest (a reduced-size smoke variant):
 
 from __future__ import annotations
 
-import json
 import os
 import pathlib
 import time
 
 import numpy as np
 
+from repro import obs
 from repro.alphabet import BLOSUM62, GapPenalty
 from repro.engine import DEFAULT_GROUP_SIZE, BatchedEngine
 from repro.sequence import Database, SWISSPROT_PROFILE, random_protein
@@ -112,7 +117,7 @@ def run_benchmark(
     query_length: int = QUERY_LENGTH,
     group_size: int = DEFAULT_GROUP_SIZE,
     seed: int = SEED,
-) -> dict:
+) -> obs.RunReport:
     rng = np.random.default_rng(seed)
     db = build_database(n_sequences, rng)
     query = random_protein(query_length, rng, id="bench-query")
@@ -122,9 +127,12 @@ def run_benchmark(
 
     scalar = time_scalar_extrapolated(query, db, gaps)
     anti_seconds = time_antidiagonal(query, db, gaps)
-    batched_seconds, report = time_batched(
-        query, db, gaps, workers=1, group_size=group_size
-    )
+    # The reference single-worker batched run is traced, so the report
+    # attributes its time to pack vs. sweep vs. fan-out vs. scatter.
+    with obs.collect("full") as instr:
+        batched_seconds, report = time_batched(
+            query, db, gaps, workers=1, group_size=group_size
+        )
     fanned_seconds, _ = time_batched(
         query, db, gaps, workers=n_workers, group_size=group_size
     )
@@ -178,12 +186,15 @@ def run_benchmark(
             "antidiagonal_vs_scalar": scalar["seconds"] / anti_seconds,
         },
     }
-    return result
+    return obs.RunReport.from_instrumentation(
+        instr, engine_report=report, meta=result
+    )
 
 
 def main() -> None:
-    result = run_benchmark()
-    OUTPUT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    run_report = run_benchmark()
+    run_report.write(OUTPUT_PATH)
+    result = run_report.meta
     engines = result["engines"]
     print(f"database: {result['database']['sequences']} sequences, "
           f"{result['database']['residues']:,} residues "
@@ -197,13 +208,24 @@ def main() -> None:
     sp = result["speedups"]
     print(f"batched vs antidiagonal: {sp['batched_vs_antidiagonal']:.1f}x")
     print(f"batched vs scalar:       {sp['batched_vs_scalar']:.1f}x")
+    print("batched phase breakdown (1-worker run):")
+    for path, seconds in sorted(run_report.span_seconds().items()):
+        print(f"  {path:32s} {seconds * 1e3:10.3f} ms")
     print(f"wrote {OUTPUT_PATH}")
 
 
 def test_batched_beats_antidiagonal():
     """Smoke-scale variant for pytest runs of the benchmarks directory."""
-    result = run_benchmark(n_sequences=120, query_length=60)
-    assert result["speedups"]["batched_vs_antidiagonal"] > 1.0
+    run_report = run_benchmark(n_sequences=120, query_length=60)
+    assert run_report.meta["speedups"]["batched_vs_antidiagonal"] > 1.0
+    # The traced batched run must expose the pack/sweep phase breakdown
+    # and agree with the engine's packing accounting bit-exactly.
+    phases = {p.split("/")[-1] for p in run_report.span_seconds()}
+    assert {"pack", "fan_out", "sweep"} <= phases
+    assert (
+        run_report.counters["engine.pack.padded_cells"]
+        == run_report.engine["padded_cells"]
+    )
 
 
 if __name__ == "__main__":

@@ -6,7 +6,6 @@ import numpy as np
 
 from repro.analysis.result import ExperimentResult
 from repro.app.cudasw import CudaSW
-from repro.app.scheduler import schedule_inter_task
 from repro.baselines.swps3 import Swps3Model
 from repro.cuda.cost import CostModel
 from repro.cuda.device import TESLA_C1060, TESLA_C2050, DeviceSpec

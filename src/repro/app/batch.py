@@ -13,6 +13,12 @@ from dataclasses import dataclass
 
 from repro.app.cudasw import CudaSW, SearchReport
 from repro.app.results import SearchResult
+from repro.obs import (
+    COLLECT_MODES,
+    RunReport,
+    collect as obs_collect,
+    current as obs_current,
+)
 from repro.sequence.database import Database
 from repro.sequence.sequence import Sequence
 
@@ -73,6 +79,7 @@ def search_batch(
     *,
     engine: str = "batched",
     workers: int = 1,
+    collect: str = "off",
 ) -> tuple[list[SearchResult], BatchReport]:
     """Functionally search every query; returns per-query results plus
     the aggregated report.
@@ -81,13 +88,46 @@ def search_batch(
     :meth:`CudaSW.search` — the batched default reuses CUDASW++'s
     once-per-database preprocessing spirit by scoring whole packed
     groups per NumPy sweep for every query of the campaign.
+
+    ``collect`` (``"off"|"counters"|"full"``) opens one campaign-level
+    observability session spanning every query: per-query phase spans
+    and counters accumulate into a single :class:`~repro.obs.RunReport`
+    stored on ``app.last_run_report`` (spans/counters from all queries
+    merged; an already-active outer session is reused instead).
     """
     if not queries:
         raise ValueError("a batch needs at least one query")
-    results = []
-    reports = []
-    for query in queries:
-        result, report = app.search(query, db, engine=engine, workers=workers)
-        results.append(result)
-        reports.append(report)
-    return results, BatchReport(reports=tuple(reports))
+    if collect not in COLLECT_MODES:
+        raise ValueError(
+            f"collect must be one of {COLLECT_MODES}, got {collect!r}"
+        )
+
+    def run() -> tuple[list[SearchResult], BatchReport]:
+        results = []
+        reports = []
+        for query in queries:
+            result, report = app.search(
+                query, db, engine=engine, workers=workers
+            )
+            results.append(result)
+            reports.append(report)
+        return results, BatchReport(reports=tuple(reports))
+
+    if collect == "off" or obs_current().enabled:
+        return run()
+    with obs_collect(collect) as instr:
+        instr.count("batch.queries", len(queries))
+        out = run()
+    app.last_run_report = RunReport.from_instrumentation(
+        instr,
+        engine_report=app.last_engine_report,
+        meta={
+            "batch_queries": len(queries),
+            "database_sequences": len(db),
+            "database_residues": db.total_residues,
+            "engine": engine,
+            "workers": workers,
+            "campaign_gcups": out[1].gcups,
+        },
+    )
+    return out

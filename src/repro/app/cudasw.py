@@ -22,7 +22,7 @@ from repro.alphabet import BLOSUM62, GapPenalty, SubstitutionMatrix
 from repro.cuda.calibration import DEFAULT_CALIBRATION, CostCalibration
 from repro.cuda.cost import CostModel
 from repro.cuda.counts import KernelCounts
-from repro.cuda.device import TESLA_C1060, TESLA_C2050, DeviceSpec
+from repro.cuda.device import TESLA_C1060, DeviceSpec
 from repro.kernels.base import PairKernel
 from repro.kernels.intertask import InterTaskKernel
 from repro.kernels.intratask_improved import (
@@ -34,6 +34,12 @@ from repro.app.results import SearchResult
 from repro.app.scheduler import schedule_inter_task
 from repro.app.transfer import TransferModel
 from repro.engine import BatchedEngine, EngineReport
+from repro.obs import (
+    COLLECT_MODES,
+    RunReport,
+    collect as obs_collect,
+    current as obs_current,
+)
 from repro.sequence.database import Database
 from repro.sequence.sequence import Sequence
 from repro.sw.antidiagonal import sw_score_antidiagonal
@@ -147,8 +153,15 @@ class CudaSW:
         self.transfer = TransferModel(device, streaming=streaming_copy)
         self._auto_cache: dict = {}
         #: Packing/execution accounting of the last batched-engine search
-        #: (``None`` until a ``engine="batched"`` search runs).
+        #: (``None`` until a ``engine="batched"`` search runs; reset to
+        #: ``None`` by every :meth:`search` so other engines never show a
+        #: previous search's stats).
         self.last_engine_report: EngineReport | None = None
+        #: Merged observability document of the last
+        #: ``search(..., collect="counters"|"full")`` call (``None``
+        #: otherwise, or when an outer ``obs.collect`` session owns the
+        #: collection).
+        self.last_run_report: RunReport | None = None
 
     def _resolve_threshold(self, query_length: int, db: Database) -> int:
         """The dispatch threshold for this database: the configured one,
@@ -222,6 +235,26 @@ class CudaSW:
         transfer_time = self.transfer.visible_copy_time(
             db.total_residues, inter_time + intra_time
         )
+        instr = obs_current()
+        if instr.enabled:
+            # The modeled Table I quantities for this dispatch split.
+            instr.count("model.predict_calls", 1)
+            instr.count("model.cells", query_length * db.total_residues)
+            instr.count(
+                "model.inter.sequences", 0 if below is None else len(below)
+            )
+            instr.count("model.inter.launches", inter_launches)
+            instr.count(
+                "model.inter.global_transactions",
+                inter_counts.global_transactions,
+            )
+            instr.count(
+                "model.intra.sequences", 0 if above is None else len(above)
+            )
+            instr.count(
+                "model.intra.global_transactions",
+                intra_counts.global_transactions,
+            )
         return SearchReport(
             device=self.device.name,
             query_length=query_length,
@@ -251,6 +284,7 @@ class CudaSW:
         workers: int = 1,
         group_size: int | None = None,
         simulate_kernels: bool = False,
+        collect: str = "off",
     ) -> tuple[SearchResult, SearchReport]:
         """Compute every database sequence's score, plus the timing report.
 
@@ -275,7 +309,26 @@ class CudaSW:
             functional simulator instead of ``engine`` (slow; small
             databases only) while counts/timing still come from the
             kernel models.
+        collect:
+            Observability mode (:data:`repro.obs.COLLECT_MODES`):
+            ``"off"`` (default) records nothing, ``"counters"`` fills a
+            counter registry, ``"full"`` also traces timed spans per
+            phase.  When not off, the merged
+            :class:`~repro.obs.RunReport` lands in
+            :attr:`last_run_report` — unless an outer
+            :func:`repro.obs.collect` session is active, in which case
+            this search contributes to it and the outer owner builds
+            the report.
         """
+        if collect not in COLLECT_MODES:
+            raise ValueError(
+                f"collect must be one of {COLLECT_MODES}, got {collect!r}"
+            )
+        # Reset per-search accounting up front so a scalar/antidiagonal/
+        # simulate_kernels search never leaves a previous batched search's
+        # stats visible.
+        self.last_engine_report = None
+        self.last_run_report = None
         if not db.has_residues:
             raise ValueError("functional search needs a materialized database")
         if query.alphabet != db.alphabet:
@@ -285,47 +338,96 @@ class CudaSW:
                 f"engine must be one of {SEARCH_ENGINES}, got {engine!r}"
             )
 
-        threshold = self._resolve_threshold(len(query), db)
-        # Per-query work hoisted out of the pair loop: encode/validate the
-        # query once; the batched engine likewise builds its query profile
-        # once per search.
-        q_codes = as_codes(query, self.matrix)
-
-        if simulate_kernels:
-            scores = np.zeros(len(db), dtype=np.int64)
-            for i in range(len(db)):
-                d_codes = db.codes_of(i)
-                kernel: PairKernel = (
-                    self.intra_kernel
-                    if d_codes.size >= threshold
-                    else self.inter_kernel
-                )
-                scores[i] = kernel.run_pair(
-                    q_codes, d_codes, self.matrix, self.gaps
-                ).score
-        elif engine == "batched":
-            batched = BatchedEngine(
-                self.matrix,
-                self.gaps,
-                workers=workers,
-                **({} if group_size is None else {"group_size": group_size}),
+        if collect == "off" or obs_current().enabled:
+            return self._search_traced(
+                query, db, engine, workers, group_size, simulate_kernels
             )
-            scores, self.last_engine_report = batched.search(q_codes, db)
-        else:
-            score_pair = (
-                sw_score_scalar if engine == "scalar" else sw_score_antidiagonal
+        with obs_collect(collect) as instr:
+            result, report = self._search_traced(
+                query, db, engine, workers, group_size, simulate_kernels
             )
-            scores = np.zeros(len(db), dtype=np.int64)
-            for i in range(len(db)):
-                scores[i] = score_pair(
-                    q_codes, db.codes_of(i), self.matrix, self.gaps
-                )
-
-        result = SearchResult(
-            query_id=query.id,
-            scores=scores,
-            ids=tuple(db.id_of(i) for i in range(len(db))),
-            lengths=db.lengths.copy(),
+        self.last_run_report = RunReport.from_instrumentation(
+            instr,
+            engine_report=self.last_engine_report,
+            search_report=report,
+            meta={
+                "query_id": query.id,
+                "query_length": len(query),
+                "database_sequences": len(db),
+                "database_residues": db.total_residues,
+                "engine": "simulate_kernels" if simulate_kernels else engine,
+                "workers": workers,
+                "device": self.device.name,
+            },
         )
-        report = self.predict(len(query), db)
+        return result, report
+
+    def _search_traced(
+        self,
+        query: Sequence,
+        db: Database,
+        engine: str,
+        workers: int,
+        group_size: int | None,
+        simulate_kernels: bool,
+    ) -> tuple[SearchResult, SearchReport]:
+        """The search pipeline, phases wrapped in ambient-tracer spans."""
+        instr = obs_current()
+        with instr.span("search"):
+            with instr.span("threshold_resolve"):
+                threshold = self._resolve_threshold(len(query), db)
+            # Per-query work hoisted out of the pair loop: encode/validate
+            # the query once; the batched engine likewise builds its query
+            # profile once per search.
+            with instr.span("query_encode"):
+                q_codes = as_codes(query, self.matrix)
+
+            if simulate_kernels:
+                with instr.span("simulate_kernels"):
+                    scores = np.zeros(len(db), dtype=np.int64)
+                    for i in range(len(db)):
+                        d_codes = db.codes_of(i)
+                        kernel: PairKernel = (
+                            self.intra_kernel
+                            if d_codes.size >= threshold
+                            else self.inter_kernel
+                        )
+                        scores[i] = kernel.run_pair(
+                            q_codes, d_codes, self.matrix, self.gaps
+                        ).score
+            elif engine == "batched":
+                batched = BatchedEngine(
+                    self.matrix,
+                    self.gaps,
+                    workers=workers,
+                    **(
+                        {}
+                        if group_size is None
+                        else {"group_size": group_size}
+                    ),
+                )
+                scores, self.last_engine_report = batched.search(q_codes, db)
+            else:
+                score_pair = (
+                    sw_score_scalar
+                    if engine == "scalar"
+                    else sw_score_antidiagonal
+                )
+                with instr.span("pair_loop"):
+                    scores = np.zeros(len(db), dtype=np.int64)
+                    for i in range(len(db)):
+                        scores[i] = score_pair(
+                            q_codes, db.codes_of(i), self.matrix, self.gaps
+                        )
+                    instr.count("engine.pairs_scored", len(db))
+
+            with instr.span("collect_results"):
+                result = SearchResult(
+                    query_id=query.id,
+                    scores=scores,
+                    ids=tuple(db.id_of(i) for i in range(len(db))),
+                    lengths=db.lengths.copy(),
+                )
+            with instr.span("model"):
+                report = self.predict(len(query), db)
         return result, report

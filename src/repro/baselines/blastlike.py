@@ -106,7 +106,6 @@ class BlastLikeSearcher:
         )
         best = score
         # Extend right.
-        right = 0
         run = score
         i = q_pos + k
         j = d_pos + k

@@ -114,6 +114,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the batched engine's group fan-out "
         "(1 = serial)",
     )
+    p_search.add_argument(
+        "--profile", action="store_true",
+        help="trace the search and print a span tree (per-phase timings) "
+        "plus the counter table after the hits",
+    )
+    p_search.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write the run's merged observability report (spans + "
+        "counters + packing + timing model) as JSON to PATH",
+    )
     add_scoring(p_search)
 
     p_predict = sub.add_parser(
@@ -185,6 +195,7 @@ def _cmd_align(args, out: IO[str]) -> int:
 
 
 def _cmd_search(args, out: IO[str]) -> int:
+    from repro import obs
     from repro.stats import ScoreStatistics, annotate_hits
 
     matrix, gaps = _scoring(args)
@@ -197,13 +208,36 @@ def _cmd_search(args, out: IO[str]) -> int:
         matrix=matrix,
         gaps=gaps,
     )
-    result, report = app.search(
-        query, db, engine=args.engine, workers=args.workers
-    )
-    stats = ScoreStatistics(matrix, gaps)
-    hits = annotate_hits(
-        result, stats, len(query), k=args.top, max_evalue=args.max_evalue
-    )
+    # --profile/--metrics-out own the collection session at CLI level so
+    # the E-value ranking phase is traced alongside the search itself.
+    observing = args.profile or args.metrics_out is not None
+    with obs.collect("full" if observing else "off") as instr:
+        result, report = app.search(
+            query, db, engine=args.engine, workers=args.workers
+        )
+        stats = ScoreStatistics(matrix, gaps)
+        with instr.span("rank"):
+            hits = annotate_hits(
+                result, stats, len(query), k=args.top,
+                max_evalue=args.max_evalue,
+            )
+    run_report = None
+    if observing:
+        run_report = obs.RunReport.from_instrumentation(
+            instr,
+            engine_report=app.last_engine_report,
+            search_report=report,
+            meta={
+                "query_id": query.id,
+                "query_length": len(query),
+                "database": args.database,
+                "database_sequences": len(db),
+                "database_residues": db.total_residues,
+                "engine": args.engine,
+                "workers": args.workers,
+                "device": report.device,
+            },
+        )
     print(
         f"# query {query.id} ({len(query)} aa) vs {args.database} "
         f"({len(db)} sequences, {db.total_residues} residues)",
@@ -232,6 +266,14 @@ def _cmd_search(args, out: IO[str]) -> int:
             f"{er.padding_efficiency:.3f}",
             file=out,
         )
+    else:
+        print(f"# scored by {args.engine} engine", file=out)
+    if args.profile:
+        print(file=out)
+        print(run_report.render_profile(), file=out)
+    if args.metrics_out is not None:
+        path = run_report.write(args.metrics_out)
+        print(f"# metrics written to {path}", file=out)
     return 0
 
 

@@ -25,6 +25,7 @@ from repro.alphabet import GapPenalty, SubstitutionMatrix
 from repro.engine.executor import run_groups
 from repro.engine.lanes import padded_lane_profile, score_packed_group
 from repro.engine.pack import PackedGroup, pack_database, pack_group
+from repro.obs import current as obs_current
 from repro.sequence.database import Database
 from repro.sequence.profile import QueryProfile
 from repro.sw.utils import as_codes
@@ -72,7 +73,13 @@ class EngineReport:
 
     @property
     def padding_efficiency(self) -> float:
-        """Aggregate useful-work fraction over all groups."""
+        """Aggregate useful-work fraction over all groups.
+
+        An empty database packs zero groups and wastes zero work, so its
+        efficiency is 1.0 by convention (not a ZeroDivisionError).
+        """
+        if self.padded_cells == 0:
+            return 1.0
         return self.residues / self.padded_cells
 
 
@@ -116,15 +123,20 @@ class BatchedEngine:
         code array or a string.  Returns ``int64`` scores in the
         database's original order plus the packing report.
         """
-        q_codes = as_codes(query, self.matrix)
-        profile = QueryProfile(q_codes, self.matrix)  # once per search
-        groups = pack_database(db, self.group_size)
-        per_group = run_groups(
-            profile, groups, self.gaps, workers=self.workers
-        )
-        scores = np.zeros(len(db), dtype=np.int64)
-        for group, lane_scores in zip(groups, per_group):
-            scores[group.indices] = lane_scores
+        instr = obs_current()
+        with instr.span("profile_build"):
+            q_codes = as_codes(query, self.matrix)
+            profile = QueryProfile(q_codes, self.matrix)  # once per search
+        with instr.span("pack"):
+            groups = pack_database(db, self.group_size)
+        with instr.span("fan_out"):
+            per_group = run_groups(
+                profile, groups, self.gaps, workers=self.workers
+            )
+        with instr.span("score_scatter"):
+            scores = np.zeros(len(db), dtype=np.int64)
+            for group, lane_scores in zip(groups, per_group):
+                scores[group.indices] = lane_scores
         report = EngineReport(
             group_size=self.group_size,
             workers=self.workers,

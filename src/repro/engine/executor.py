@@ -20,8 +20,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.alphabet import GapPenalty, SubstitutionMatrix
-from repro.engine.lanes import score_packed_group
+from repro.engine.lanes import count_sweep_work, score_packed_group
 from repro.engine.pack import PackedGroup
+from repro.obs import current as obs_current
 from repro.sequence.profile import QueryProfile
 
 __all__ = ["run_groups"]
@@ -58,8 +59,11 @@ def run_groups(
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    instr = obs_current()
+    instr.count("engine.executor.groups_dispatched", len(groups))
     if workers == 1 or len(groups) <= 1:
-        return [score_packed_group(profile, g, gaps) for g in groups]
+        instr.count("engine.executor.serial_groups", len(groups))
+        return _run_serial(profile, groups, gaps, instr)
     try:
         from concurrent.futures import ProcessPoolExecutor
         from concurrent.futures.process import BrokenProcessPool
@@ -70,9 +74,35 @@ def run_groups(
             initargs=(profile.query_codes, profile.matrix, gaps),
         ) as pool:
             try:
-                return list(pool.map(_score_group_task, groups))
+                with instr.span("sweep_parallel"):
+                    out = list(pool.map(_score_group_task, groups))
+                # Worker-process registries are per-process copies whose
+                # updates never reach the parent; the sweep work is a
+                # deterministic function of geometry, so charge it here.
+                instr.count(
+                    "engine.executor.worker_round_trips", len(groups)
+                )
+                if instr.enabled:
+                    for g in groups:
+                        count_sweep_work(instr, profile.length, g)
+                return out
             except BrokenProcessPool:
                 pass  # worker died (e.g. fork denied mid-run): go serial
     except (ImportError, OSError, PermissionError, RuntimeError):
         pass  # no usable multiprocessing in this environment: go serial
-    return [score_packed_group(profile, g, gaps) for g in groups]
+    instr.count("engine.executor.pool_fallbacks", 1)
+    instr.count("engine.executor.serial_groups", len(groups))
+    return _run_serial(profile, groups, gaps, instr)
+
+
+def _run_serial(
+    profile: QueryProfile,
+    groups: list[PackedGroup],
+    gaps: GapPenalty,
+    instr,
+) -> list[np.ndarray]:
+    out = []
+    for g in groups:
+        with instr.span("sweep"):
+            out.append(score_packed_group(profile, g, gaps))
+    return out

@@ -37,10 +37,30 @@ import numpy as np
 
 from repro.alphabet import GapPenalty
 from repro.engine.pack import PackedGroup
+from repro.obs import current as obs_current
 from repro.sequence.profile import QueryProfile
 from repro.sw.utils import validate_penalties
 
-__all__ = ["score_packed_group", "padded_lane_profile"]
+__all__ = ["score_packed_group", "padded_lane_profile", "count_sweep_work"]
+
+
+def count_sweep_work(instr, m: int, group: PackedGroup) -> None:
+    """Record one group sweep's work in the ambient counter registry.
+
+    Useful vs. padded cells is the Figure 2 distinction: the sweep
+    *computes* the whole ``(size, max_len)`` rectangle ``m`` times, but
+    only ``m * residues`` of those cells are real DP cells.  The counts
+    are deterministic functions of the geometry, so the executor charges
+    them parent-side for groups scored in worker processes (whose own
+    registries are per-process copies) — totals are identical on the
+    serial and fanned-out paths.
+    """
+    s, L = group.codes.shape
+    instr.count("engine.sweep.groups", 1)
+    instr.count("engine.sweep.rows", m)
+    instr.count("engine.sweep.lane_steps", m * s)
+    instr.count("engine.sweep.useful_cells", m * group.residues)
+    instr.count("engine.sweep.padded_cells", m * s * L)
 
 
 def padded_lane_profile(profile: QueryProfile, pad_code: int) -> np.ndarray:
@@ -95,6 +115,9 @@ def score_packed_group(
     """
     validate_penalties(gaps)
     m = profile.length
+    instr = obs_current()
+    if instr.enabled:
+        count_sweep_work(instr, m, group)
     s, L = group.codes.shape
     rho, sigma = gaps.rho, gaps.sigma
     pp = padded_lane_profile(profile, group.pad_code)

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import current as obs_current
 from repro.sequence.database import Database
 
 __all__ = ["PackedGroup", "pack_group", "pack_database"]
@@ -126,7 +127,17 @@ def pack_database(db: Database, group_size: int) -> list[PackedGroup]:
         raise ValueError(f"group size must be positive, got {group_size}")
     db._require_residues()
     order = np.argsort(db.lengths, kind="stable")
-    return [
+    groups = [
         pack_group(db, order[start : start + group_size])
         for start in range(0, order.size, group_size)
     ]
+    instr = obs_current()
+    if instr.enabled:
+        residues = sum(g.residues for g in groups)
+        padded = sum(g.padded_cells for g in groups)
+        instr.count("engine.pack.groups", len(groups))
+        instr.count("engine.pack.sequences", len(db))
+        instr.count("engine.pack.residues", residues)
+        instr.count("engine.pack.padded_cells", padded)
+        instr.count("engine.pack.pad_waste_cells", padded - residues)
+    return groups

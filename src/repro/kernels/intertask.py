@@ -25,6 +25,7 @@ from repro.cuda.cache import CacheConfig
 from repro.cuda.cost import LaunchConfig, ceil_div
 from repro.cuda.counts import KernelCounts
 from repro.kernels.base import KernelRun, PairKernel
+from repro.obs import current as obs_current
 from repro.sw.utils import NEG_INF, validate_penalties
 
 __all__ = ["InterTaskKernel"]
@@ -102,7 +103,6 @@ class InterTaskKernel(PairKernel):
         tr = ceil_div(m, TILE_ROWS)
         tc = -(-lengths // TILE_COLS)  # ceil per pair
         tiles = tr * tc
-        padded_cells = tiles * (TILE_ROWS * TILE_COLS)
         store_words = ROWBUF_WORDS_PER_TILE * tiles
         load_words = ROWBUF_WORDS_PER_TILE * (tiles - tc)
 
@@ -207,6 +207,7 @@ class InterTaskKernel(PairKernel):
             texture_fetches=TEX_PER_TILE * tiles_done,
             idle_thread_steps=padded_cells - m * n,
         )
+        obs_current().count_kernel(self.name, counts)
         return KernelRun(score=best, counts=counts)
 
     # ------------------------------------------------------------------

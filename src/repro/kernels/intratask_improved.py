@@ -54,6 +54,7 @@ from repro.cuda.cost import LaunchConfig, ceil_div
 from repro.cuda.counts import KernelCounts
 from repro.cuda.device import TESLA_C1060, DeviceSpec
 from repro.kernels.base import KernelRun, PairKernel
+from repro.obs import current as obs_current
 from repro.sw.utils import NEG_INF, validate_penalties
 
 __all__ = ["ImprovedKernelConfig", "ImprovedIntraTaskKernel", "improved_kernel_source"]
@@ -491,6 +492,7 @@ class ImprovedIntraTaskKernel(PairKernel):
             "overhead_store_words": OVERHEAD_STORE_WORDS,
         }
         self._add_memory_words(counts, words)
+        obs_current().count_kernel(self.name, counts)
         return KernelRun(score=best, counts=counts)
 
     # ------------------------------------------------------------------

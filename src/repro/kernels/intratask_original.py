@@ -30,6 +30,7 @@ from repro.cuda.cache import CacheConfig
 from repro.cuda.cost import LaunchConfig, ceil_div
 from repro.cuda.counts import KernelCounts
 from repro.kernels.base import KernelRun, PairKernel
+from repro.obs import current as obs_current
 from repro.sw.utils import NEG_INF, validate_penalties
 
 __all__ = ["OriginalIntraTaskKernel"]
@@ -248,6 +249,7 @@ class OriginalIntraTaskKernel(PairKernel):
             f_new[i_range] = f_cur
             h_prev2, h_prev, e_prev, f_prev = h_prev, h_new, e_new, f_new
 
+        obs_current().count_kernel(self.name, counts)
         return KernelRun(score=best, counts=counts)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,63 @@
+"""Observability: tracing spans, counters, structured run reports.
+
+The reproduction's answer to the paper's measurement methodology —
+Table I counts global-memory transactions per kernel and Figure 2
+measures load-balance efficiency, and those numbers are what justified
+the improved intra-task kernel.  This package provides the equivalent
+layer for the functional engines and kernel models:
+
+* :mod:`~repro.obs.spans` — nested ``perf_counter`` timed regions (the
+  CUDA-event-timing analogue) around each search phase;
+* :mod:`~repro.obs.counters` — a dot-namespaced counter registry (the
+  Table I methodology) incremented by the engine, the executor and the
+  kernel models;
+* :mod:`~repro.obs.context` — the ambient activation
+  (:func:`collect` / :func:`current`) with a no-op ``off`` mode whose
+  overhead the test suite bounds at ≤2%;
+* :mod:`~repro.obs.report` — :class:`RunReport`, the versioned JSON
+  merge of spans + counters + :class:`~repro.engine.EngineReport` +
+  :class:`~repro.app.cudasw.SearchReport`, with a ``--profile`` text
+  rendering and a Prometheus exposition helper.
+
+Typical use::
+
+    from repro import obs
+
+    with obs.collect("full") as instr:
+        result, report = app.search(query, db)
+    run_report = obs.RunReport.from_instrumentation(
+        instr,
+        engine_report=app.last_engine_report,
+        search_report=report,
+    )
+    run_report.write("run.json")
+
+or, turnkey, ``app.search(query, db, collect="full")`` followed by
+``app.last_run_report``.  See ``docs/observability.md``.
+"""
+
+from repro.obs.context import (
+    COLLECT_MODES,
+    NO_OP,
+    Instrumentation,
+    collect,
+    current,
+)
+from repro.obs.counters import CounterRegistry
+from repro.obs.report import SCHEMA_VERSION, RunReport, sanitize_metric_name
+from repro.obs.spans import Span, Tracer, render_forest
+
+__all__ = [
+    "COLLECT_MODES",
+    "NO_OP",
+    "Instrumentation",
+    "collect",
+    "current",
+    "CounterRegistry",
+    "SCHEMA_VERSION",
+    "RunReport",
+    "sanitize_metric_name",
+    "Span",
+    "Tracer",
+    "render_forest",
+]

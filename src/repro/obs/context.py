@@ -1,0 +1,154 @@
+"""The active-instrumentation context.
+
+Instrumented code never threads a collector through its signatures: it
+asks :func:`current` for the ambient :class:`Instrumentation` and calls
+``span``/``count`` on it.  When nothing is collecting, :func:`current`
+returns the module-level :data:`NO_OP` singleton whose methods do
+nothing — one ``ContextVar`` read plus a no-op call per instrumentation
+site, which is why instrumentation sites sit at phase/group/launch
+granularity (never per DP cell) and the ``collect="off"`` overhead
+stays under the 2% budget the test suite enforces.
+
+``ContextVar`` makes the context async- and thread-correct (each thread
+or task sees its own activation), and ``fork``-started worker processes
+inherit a *copy* — their mutations stay in the child, so the parent's
+registry cannot be corrupted; deterministic worker-side counts are
+re-accounted parent-side by the executor.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator
+
+from repro.cuda.counts import KernelCounts
+from repro.obs.counters import CounterRegistry
+from repro.obs.spans import Tracer
+
+__all__ = [
+    "COLLECT_MODES",
+    "Instrumentation",
+    "NO_OP",
+    "collect",
+    "current",
+]
+
+#: Collection modes: ``off`` records nothing, ``counters`` records the
+#: counter registry only (no timing), ``full`` records counters + spans.
+COLLECT_MODES = ("off", "counters", "full")
+
+#: KernelCounts fields surfaced as per-kernel counters (the Table I
+#: metric plus the quantities Figures 2/5 are built from).
+_KERNEL_COUNTER_FIELDS = (
+    "cells",
+    "global_load_transactions",
+    "global_store_transactions",
+    "wavefront_steps",
+    "idle_thread_steps",
+)
+
+
+class _NullContext:
+    """Reusable do-nothing context manager (``span`` result when off)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class Instrumentation:
+    """One collection session: a counter registry plus (in ``full``
+    mode) a span tracer."""
+
+    __slots__ = ("mode", "counters", "tracer")
+
+    def __init__(self, mode: str = "full") -> None:
+        if mode not in COLLECT_MODES or mode == "off":
+            raise ValueError(
+                f"mode must be 'counters' or 'full', got {mode!r} "
+                f"(use NO_OP for 'off')"
+            )
+        self.mode = mode
+        self.counters = CounterRegistry()
+        self.tracer = Tracer() if mode == "full" else None
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def span(self, name: str):
+        """Timed region context manager (no-op in ``counters`` mode)."""
+        if self.tracer is None:
+            return _NULL_CONTEXT
+        return self.tracer.span(name)
+
+    def count(self, name: str, value: int = 1) -> None:
+        self.counters.add(name, value)
+
+    def count_kernel(self, kernel_name: str, counts: KernelCounts) -> None:
+        """Record one kernel execution's :class:`KernelCounts` under
+        ``kernel.<name>.*`` — the per-kernel Table I ledger."""
+        prefix = f"kernel.{kernel_name}"
+        add = self.counters.add
+        add(f"{prefix}.launches", 1)
+        for field in _KERNEL_COUNTER_FIELDS:
+            add(f"{prefix}.{field}", getattr(counts, field))
+        add(f"{prefix}.global_transactions", counts.global_transactions)
+
+
+class _NoOpInstrumentation:
+    """The ``off`` singleton: every operation is a cheap no-op."""
+
+    __slots__ = ()
+
+    mode = "off"
+    enabled = False
+    counters = None
+    tracer = None
+
+    def span(self, name: str):
+        return _NULL_CONTEXT
+
+    def count(self, name: str, value: int = 1) -> None:
+        return None
+
+    def count_kernel(self, kernel_name: str, counts: KernelCounts) -> None:
+        return None
+
+
+NO_OP = _NoOpInstrumentation()
+
+_ACTIVE: ContextVar = ContextVar("repro_obs_active", default=NO_OP)
+
+
+def current() -> Instrumentation | _NoOpInstrumentation:
+    """The ambient instrumentation (:data:`NO_OP` when none active)."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def collect(mode: str = "full") -> Iterator[Instrumentation]:
+    """Activate a fresh :class:`Instrumentation` for the enclosed block.
+
+    ``collect("off")`` yields :data:`NO_OP` (and deactivates any outer
+    collection for the block), so callers can pass a mode string
+    through unconditionally.
+    """
+    if mode not in COLLECT_MODES:
+        raise ValueError(
+            f"collect mode must be one of {COLLECT_MODES}, got {mode!r}"
+        )
+    instr = NO_OP if mode == "off" else Instrumentation(mode)
+    token = _ACTIVE.set(instr)
+    try:
+        yield instr
+    finally:
+        _ACTIVE.reset(token)

@@ -1,0 +1,84 @@
+"""Named counter registry — the reproduction's Table I methodology.
+
+The paper's central evidence is *counted work*: Table I totals
+global-memory transactions per kernel, and Figure 2 relates useful to
+padded work.  :class:`CounterRegistry` is the in-process accumulator for
+exactly those quantities: dot-namespaced integer counters
+(``engine.pack.padded_cells``, ``kernel.intra_original(T=256).cells``)
+that instrumented code increments as work happens and reports aggregate.
+
+Counters are deliberately dumb — monotonic non-negative integer adds
+under a lock — so they can sit on hot-ish paths (per packed group, per
+kernel launch; never per DP cell) without distorting what they measure.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator
+
+__all__ = ["CounterRegistry"]
+
+
+class CounterRegistry:
+    """Thread-safe map of dot-namespaced counter names to integer totals."""
+
+    __slots__ = ("_counters", "_lock")
+
+    def __init__(self) -> None:
+        self._counters: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def add(self, name: str, value: int = 1) -> None:
+        """Increment ``name`` by ``value`` (creating it at 0)."""
+        if not name:
+            raise ValueError("counter name cannot be empty")
+        value = int(value)
+        if value < 0:
+            raise ValueError(
+                f"counters are monotonic; cannot add {value} to {name!r}"
+            )
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def get(self, name: str, default: int = 0) -> int:
+        with self._lock:
+            return self._counters.get(name, default)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._counters
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._counters)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.as_dict())
+
+    def merge(self, other: "CounterRegistry") -> None:
+        """Fold another registry's totals into this one."""
+        for name, value in other.as_dict().items():
+            self.add(name, value)
+
+    def namespace(self, prefix: str) -> dict[str, int]:
+        """All counters under ``prefix.`` (or equal to ``prefix``)."""
+        dot = prefix + "."
+        return {
+            k: v
+            for k, v in self.as_dict().items()
+            if k == prefix or k.startswith(dot)
+        }
+
+    def as_dict(self) -> dict[str, int]:
+        """Snapshot of every counter, sorted by name."""
+        with self._lock:
+            return dict(sorted(self._counters.items()))
+
+    def render(self) -> str:
+        """Human-readable two-column table, sorted by name."""
+        items = self.as_dict()
+        if not items:
+            return "(no counters recorded)"
+        width = max(len(k) for k in items)
+        return "\n".join(f"{k:<{width}}  {v:>16,}" for k, v in items.items())

@@ -1,0 +1,216 @@
+"""Structured run reports: spans + counters + engine/model accounting.
+
+:class:`RunReport` is the single versioned JSON document a profiled run
+produces — the merge of the span forest (phase timings), the counter
+registry (Table I-style work totals), the batched engine's
+:class:`~repro.engine.EngineReport` (packing accounting) and the
+modeled :class:`~repro.app.cudasw.SearchReport` (device timing model).
+The CLI's ``--metrics-out`` writes it, ``--profile`` renders it, and
+benchmarks emit their results through the same writer so ``BENCH_*``
+artifacts carry phase breakdowns.
+
+``to_prometheus`` emits the counters and span totals in the Prometheus
+text exposition format, for a future service front end to scrape.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.obs.context import Instrumentation
+from repro.obs.spans import Span
+
+__all__ = ["RunReport", "SCHEMA_VERSION", "sanitize_metric_name"]
+
+#: Version of the JSON document layout.  Bump on breaking changes.
+SCHEMA_VERSION = 1
+
+_PROM_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _engine_report_dict(engine_report) -> dict[str, Any]:
+    return {
+        "group_size": engine_report.group_size,
+        "workers": engine_report.workers,
+        "n_groups": engine_report.n_groups,
+        "group_sizes": list(engine_report.group_sizes),
+        "group_max_lengths": list(engine_report.group_max_lengths),
+        "group_efficiencies": list(engine_report.group_efficiencies),
+        "residues": engine_report.residues,
+        "padded_cells": engine_report.padded_cells,
+        "padding_efficiency": engine_report.padding_efficiency,
+    }
+
+
+def _search_report_dict(search_report) -> dict[str, Any]:
+    return {
+        "device": search_report.device,
+        "query_length": search_report.query_length,
+        "threshold": search_report.threshold,
+        "n_inter_sequences": search_report.n_inter_sequences,
+        "n_intra_sequences": search_report.n_intra_sequences,
+        "inter_time": search_report.inter_time,
+        "intra_time": search_report.intra_time,
+        "transfer_time": search_report.transfer_time,
+        "total_time": search_report.total_time,
+        "gcups": search_report.gcups,
+        "load_balance_efficiency": search_report.load_balance_efficiency,
+        "total_cells": search_report.total_cells,
+        "inter_global_transactions":
+            search_report.inter_counts.global_transactions,
+        "intra_global_transactions":
+            search_report.intra_counts.global_transactions,
+    }
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """One run's merged observability document."""
+
+    collect: str
+    spans: tuple[Span, ...] = ()
+    counters: dict[str, int] = field(default_factory=dict)
+    engine: dict[str, Any] | None = None
+    model: dict[str, Any] | None = None
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def from_instrumentation(
+        cls,
+        instr: Instrumentation,
+        *,
+        engine_report=None,
+        search_report=None,
+        meta: dict[str, Any] | None = None,
+    ) -> "RunReport":
+        """Snapshot a finished collection session into a report.
+
+        ``engine_report``/``search_report`` are the existing
+        :class:`EngineReport` / :class:`SearchReport` objects to merge
+        (either may be ``None``).
+        """
+        spans = () if instr.tracer is None else instr.tracer.roots
+        counters = {} if instr.counters is None else instr.counters.as_dict()
+        return cls(
+            collect=instr.mode,
+            spans=spans,
+            counters=counters,
+            engine=(
+                None if engine_report is None
+                else _engine_report_dict(engine_report)
+            ),
+            model=(
+                None if search_report is None
+                else _search_report_dict(search_report)
+            ),
+            meta=dict(meta or {}),
+        )
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": "repro.run_report",
+            "schema_version": SCHEMA_VERSION,
+            "collect": self.collect,
+            "spans": [s.as_dict() for s in self.spans],
+            "counters": dict(self.counters),
+            "engine": self.engine,
+            "model": self.model,
+            "meta": dict(self.meta),
+        }
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent) + "\n"
+
+    def write(self, path: str | Path) -> Path:
+        """Write the JSON document to ``path`` and return it."""
+        path = Path(path)
+        path.write_text(self.to_json())
+        return path
+
+    # -- derived views --------------------------------------------------
+    def span_seconds(self) -> dict[str, float]:
+        """Summed duration per slash-joined span path."""
+        totals: dict[str, float] = {}
+        for root in self.spans:
+            for path, span in root.walk():
+                totals[path] = totals.get(path, 0.0) + span.seconds
+        return totals
+
+    def render_profile(self) -> str:
+        """The ``--profile`` view: span tree plus counter table."""
+        parts = ["== span tree =="]
+        if self.spans:
+            from repro.obs.spans import render_forest
+
+            parts.append(render_forest(self.spans))
+        else:
+            parts.append(
+                "(no spans recorded"
+                + (
+                    " — collect mode was 'counters')"
+                    if self.collect == "counters"
+                    else ")"
+                )
+            )
+        parts.append("")
+        parts.append("== counters ==")
+        if self.counters:
+            width = max(len(k) for k in self.counters)
+            parts.append(
+                "\n".join(
+                    f"{k:<{width}}  {v:>16,}"
+                    for k, v in sorted(self.counters.items())
+                )
+            )
+        else:
+            parts.append("(no counters recorded)")
+        if self.engine is not None:
+            parts.append("")
+            parts.append("== engine packing ==")
+            parts.append(
+                f"groups: {self.engine['n_groups']}  "
+                f"residues: {self.engine['residues']:,}  "
+                f"padded cells: {self.engine['padded_cells']:,}  "
+                f"padding efficiency: "
+                f"{self.engine['padding_efficiency']:.3f}"
+            )
+        return "\n".join(parts)
+
+    def to_prometheus(self, *, prefix: str = "repro") -> str:
+        """Prometheus text exposition of counters and span totals."""
+        lines = [
+            f"# HELP {prefix}_counter_total "
+            "Instrumentation counter totals for one run.",
+            f"# TYPE {prefix}_counter_total counter",
+        ]
+        for name, value in sorted(self.counters.items()):
+            lines.append(
+                f'{prefix}_counter_total{{name="{name}"}} {value}'
+            )
+        span_totals = self.span_seconds()
+        if span_totals:
+            lines.append(
+                f"# HELP {prefix}_span_seconds "
+                "Summed duration of each traced span path."
+            )
+            lines.append(f"# TYPE {prefix}_span_seconds gauge")
+            for path, seconds in sorted(span_totals.items()):
+                lines.append(
+                    f'{prefix}_span_seconds{{path="{path}"}} {seconds:.9f}'
+                )
+        return "\n".join(lines) + "\n"
+
+
+def sanitize_metric_name(name: str) -> str:
+    """A Prometheus-legal metric name fragment (used by exporters that
+    flatten counter names into metric names rather than labels)."""
+    out = _PROM_SANITIZE.sub("_", name)
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out

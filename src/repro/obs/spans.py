@@ -1,0 +1,162 @@
+"""Nested timed regions — the functional analogue of CUDA event timing.
+
+A :class:`Span` is one ``perf_counter``-timed region of a search
+(``pack``, ``fan_out``, ``rank`` …); spans nest, so a finished trace is
+a forest of phase trees.  :class:`Tracer` maintains the open-span stack
+*per thread* (``threading.local``) and appends finished root spans to a
+lock-guarded list, so concurrently traced threads interleave safely.
+Worker *processes* inherit a copy of the tracer under ``fork`` and
+cannot corrupt the parent; their work is accounted parent-side by the
+executor (see ``repro.engine.executor``), mirroring how CUDA events
+time a kernel from the host rather than inside it.
+
+Span starts are recorded relative to the tracer's epoch (its creation
+time), so a serialized trace shows phase ordering without wall-clock
+anchoring.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Span", "Tracer", "render_forest"]
+
+
+@dataclass
+class Span:
+    """One timed region.  ``start`` is seconds since the tracer epoch;
+    ``seconds`` is the region's duration (0.0 until closed)."""
+
+    name: str
+    start: float
+    seconds: float = 0.0
+    children: list["Span"] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("span name cannot be empty")
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "start": self.start,
+            "seconds": self.seconds,
+            "children": [c.as_dict() for c in self.children],
+        }
+
+    def walk(self, _path: str = "") -> list[tuple[str, "Span"]]:
+        """Flatten to ``(slash/joined/path, span)`` pairs, depth-first."""
+        path = f"{_path}/{self.name}" if _path else self.name
+        out = [(path, self)]
+        for child in self.children:
+            out.extend(child.walk(path))
+        return out
+
+
+class _SpanContext:
+    """Context manager produced by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "_span", "_is_root")
+
+    def __init__(self, tracer: "Tracer", name: str) -> None:
+        self._tracer = tracer
+        self._span = Span(
+            name=name, start=time.perf_counter() - tracer._epoch
+        )
+        self._is_root = False
+
+    def __enter__(self) -> Span:
+        stack = self._tracer._stack()
+        self._is_root = not stack
+        if stack:
+            stack[-1].children.append(self._span)
+        stack.append(self._span)
+        return self._span
+
+    def __exit__(self, *exc) -> None:
+        span = self._span
+        span.seconds = (
+            time.perf_counter() - self._tracer._epoch
+        ) - span.start
+        stack = self._tracer._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        if self._is_root:
+            self._tracer._add_root(span)
+
+
+class Tracer:
+    """Collects a forest of :class:`Span` trees."""
+
+    def __init__(self) -> None:
+        self._epoch = time.perf_counter()
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._roots: list[Span] = []
+
+    # -- recording ------------------------------------------------------
+    def span(self, name: str) -> _SpanContext:
+        """``with tracer.span("pack"): ...`` — open a timed child region
+        of the innermost open span on this thread (or a new root)."""
+        return _SpanContext(self, name)
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _add_root(self, span: Span) -> None:
+        with self._lock:
+            self._roots.append(span)
+
+    # -- reading --------------------------------------------------------
+    @property
+    def roots(self) -> tuple[Span, ...]:
+        """Finished top-level spans, in completion order."""
+        with self._lock:
+            return tuple(self._roots)
+
+    def total_seconds(self, name: str) -> float:
+        """Summed duration of every span named ``name``, anywhere."""
+        return sum(
+            s.seconds
+            for root in self.roots
+            for _, s in root.walk()
+            if s.name == name
+        )
+
+    def render(self) -> str:
+        return render_forest(self.roots)
+
+
+def render_forest(spans) -> str:
+    """Indented tree of a span forest; same-name siblings aggregate into
+    one line (``sweep x8``) so per-group spans stay readable."""
+    lines: list[str] = []
+    _render_level(list(spans), 0, lines)
+    return "\n".join(lines) if lines else "(no spans recorded)"
+
+
+def _render_level(spans: list[Span], depth: int, lines: list[str]) -> None:
+    # Aggregate same-name siblings, preserving first-appearance order.
+    order: list[str] = []
+    grouped: dict[str, list[Span]] = {}
+    for s in spans:
+        if s.name not in grouped:
+            grouped[s.name] = []
+            order.append(s.name)
+        grouped[s.name].append(s)
+    for name in order:
+        group = grouped[name]
+        seconds = sum(s.seconds for s in group)
+        label = name if len(group) == 1 else f"{name} x{len(group)}"
+        pad = max(44 - 2 * depth, 1)
+        lines.append(
+            f"{'  ' * depth}{label:<{pad}}{seconds * 1e3:>12.3f} ms"
+        )
+        children = [c for s in group for c in s.children]
+        if children:
+            _render_level(children, depth + 1, lines)

@@ -4,7 +4,6 @@ These run the real drivers (full-scale lengths-only databases — cheap)
 with reduced sweep grids where the default would be slow.
 """
 
-import numpy as np
 import pytest
 
 from repro.analysis import (
@@ -27,7 +26,6 @@ from repro.analysis.compare import (
     _table1_checks,
     _threshold_checks,
     render_checks,
-    run_all_checks,
 )
 
 

@@ -170,7 +170,6 @@ class TestFunctionalSearch:
         assert np.array_equal(ref.scores, sim.scores)
 
     def test_top_hits_ranked(self, tiny_db):
-        rng = np.random.default_rng(3)
         app = CudaSW(TESLA_C1060)
         # Query = a slice of sequence s2, so s2 must be the best hit.
         q = tiny_db[2].slice(20, 120)
@@ -238,6 +237,25 @@ class TestSearchEngines:
         app = CudaSW(TESLA_C1060)
         with pytest.raises(ValueError, match="engine"):
             app.search(random_protein(30, rng), tiny_db, engine="gpu")
+
+    def test_stale_engine_report_cleared_between_searches(self, tiny_db):
+        """Regression: a batched search's report must not survive a
+        following non-batched search as if it described it."""
+        rng = np.random.default_rng(16)
+        app = CudaSW(TESLA_C1060)
+        q = random_protein(30, rng, id="q")
+        app.search(q, tiny_db, engine="batched")
+        assert app.last_engine_report is not None
+        app.search(q, tiny_db, engine="antidiagonal")
+        assert app.last_engine_report is None
+        app.search(q, tiny_db, simulate_kernels=True)
+        assert app.last_engine_report is None
+
+    def test_invalid_collect_mode_rejected(self, tiny_db):
+        rng = np.random.default_rng(17)
+        app = CudaSW(TESLA_C1060)
+        with pytest.raises(ValueError, match="collect"):
+            app.search(random_protein(30, rng), tiny_db, collect="spans")
 
 
 class TestMultiGpu:

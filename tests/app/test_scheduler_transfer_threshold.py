@@ -12,7 +12,7 @@ from repro.app import (
 )
 from repro.cuda import TESLA_C1060, TESLA_C2050
 from repro.kernels import InterTaskKernel
-from repro.sequence import Database, DatabaseProfile, lognormal_database
+from repro.sequence import Database, DatabaseProfile
 
 
 class TestScheduler:

@@ -9,7 +9,6 @@ patterns into the exact set-associative LRU simulator — the analytic
 model's assumptions, checked against a mechanism-level ground truth.
 """
 
-import numpy as np
 import pytest
 
 from repro.cuda import (

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cuda import TESLA_C1060, TESLA_C2050, DEVICES, DeviceSpec, occupancy
+from repro.cuda import TESLA_C1060, TESLA_C2050, DEVICES, occupancy
 
 
 class TestDeviceSpecs:

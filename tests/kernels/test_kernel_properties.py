@@ -7,7 +7,6 @@ kernel, everywhere in the configuration space.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

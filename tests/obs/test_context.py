@@ -1,0 +1,97 @@
+"""Unit tests for the collect()/current() activation context."""
+
+import pytest
+
+from repro import obs
+from repro.cuda.counts import KernelCounts
+from repro.obs import NO_OP, Instrumentation, collect, current
+
+
+class TestCurrent:
+    def test_default_is_noop(self):
+        assert current() is NO_OP
+        assert not current().enabled
+
+    def test_noop_operations_are_inert(self):
+        NO_OP.count("anything", 5)
+        NO_OP.count_kernel("k", KernelCounts(cells=1))
+        with NO_OP.span("x") as span:
+            assert span is None
+        assert NO_OP.counters is None
+        assert NO_OP.tracer is None
+        assert NO_OP.mode == "off"
+
+
+class TestCollect:
+    def test_full_mode_activates_and_restores(self):
+        with collect("full") as instr:
+            assert current() is instr
+            assert instr.enabled
+            assert instr.tracer is not None
+        assert current() is NO_OP
+
+    def test_counters_mode_has_no_tracer(self):
+        with collect("counters") as instr:
+            assert instr.tracer is None
+            with instr.span("ignored") as s:
+                assert s is None
+            instr.count("c", 2)
+        assert instr.counters.get("c") == 2
+
+    def test_off_mode_yields_noop(self):
+        with collect("off") as instr:
+            assert instr is NO_OP
+            assert current() is NO_OP
+
+    def test_off_shadows_outer_session(self):
+        with collect("counters") as outer:
+            with collect("off"):
+                current().count("lost", 1)
+            current().count("kept", 1)
+        assert outer.counters.as_dict() == {"kept": 1}
+
+    def test_nested_sessions_restore_outer(self):
+        with collect("counters") as outer:
+            with collect("counters") as inner:
+                assert current() is inner
+            assert current() is outer
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            with collect("verbose"):
+                pass
+        with pytest.raises(ValueError):
+            Instrumentation("off")
+
+    def test_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with collect("full"):
+                raise RuntimeError("boom")
+        assert current() is NO_OP
+
+
+class TestCountKernel:
+    def test_records_table1_ledger(self):
+        counts = KernelCounts(
+            cells=100,
+            global_load_transactions=7,
+            global_store_transactions=5,
+            wavefront_steps=3,
+            idle_thread_steps=2,
+        )
+        with collect("counters") as instr:
+            instr.count_kernel("intra_original(T=256)", counts)
+            instr.count_kernel("intra_original(T=256)", counts)
+        c = instr.counters.as_dict()
+        prefix = "kernel.intra_original(T=256)"
+        assert c[f"{prefix}.launches"] == 2
+        assert c[f"{prefix}.cells"] == 200
+        assert c[f"{prefix}.global_load_transactions"] == 14
+        assert c[f"{prefix}.global_store_transactions"] == 10
+        assert c[f"{prefix}.global_transactions"] == 24
+        assert c[f"{prefix}.wavefront_steps"] == 6
+        assert c[f"{prefix}.idle_thread_steps"] == 4
+
+    def test_obs_namespace_exports(self):
+        for name in obs.__all__:
+            assert hasattr(obs, name)

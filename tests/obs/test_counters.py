@@ -1,0 +1,91 @@
+"""Unit tests for the counter registry."""
+
+import threading
+
+import pytest
+
+from repro.obs import CounterRegistry
+
+
+class TestCounterRegistry:
+    def test_add_and_get(self):
+        reg = CounterRegistry()
+        reg.add("a.b", 3)
+        reg.add("a.b", 4)
+        reg.add("a.c")
+        assert reg.get("a.b") == 7
+        assert reg.get("a.c") == 1
+        assert reg.get("missing") == 0
+        assert reg.get("missing", 42) == 42
+
+    def test_contains_len_iter(self):
+        reg = CounterRegistry()
+        reg.add("x", 1)
+        reg.add("y", 2)
+        assert "x" in reg and "z" not in reg
+        assert len(reg) == 2
+        assert sorted(reg) == ["x", "y"]
+
+    def test_rejects_negative_and_empty(self):
+        reg = CounterRegistry()
+        with pytest.raises(ValueError):
+            reg.add("x", -1)
+        with pytest.raises(ValueError):
+            reg.add("", 1)
+
+    def test_coerces_value_to_int(self):
+        import numpy as np
+
+        reg = CounterRegistry()
+        reg.add("np", np.int64(5))
+        assert reg.get("np") == 5
+        assert type(reg.as_dict()["np"]) is int
+
+    def test_merge(self):
+        a = CounterRegistry()
+        b = CounterRegistry()
+        a.add("shared", 1)
+        b.add("shared", 2)
+        b.add("only_b", 3)
+        a.merge(b)
+        assert a.as_dict() == {"shared": 3, "only_b": 3}
+
+    def test_namespace(self):
+        reg = CounterRegistry()
+        reg.add("engine.pack.groups", 2)
+        reg.add("engine.packing_other", 5)  # not under engine.pack.
+        reg.add("engine.pack", 1)
+        reg.add("kernel.x", 9)
+        assert reg.namespace("engine.pack") == {
+            "engine.pack": 1,
+            "engine.pack.groups": 2,
+        }
+
+    def test_as_dict_sorted_snapshot(self):
+        reg = CounterRegistry()
+        reg.add("b", 1)
+        reg.add("a", 1)
+        snap = reg.as_dict()
+        assert list(snap) == ["a", "b"]
+        reg.add("c", 1)
+        assert "c" not in snap  # snapshot, not a view
+
+    def test_render(self):
+        reg = CounterRegistry()
+        assert "no counters" in reg.render()
+        reg.add("cells", 1234567)
+        assert "1,234,567" in reg.render()
+
+    def test_thread_safety(self):
+        reg = CounterRegistry()
+
+        def worker():
+            for _ in range(1000):
+                reg.add("n", 1)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.get("n") == 8000

@@ -1,0 +1,266 @@
+"""Integration tests: instrumentation wired through the search pipeline.
+
+The acceptance bar for the observability subsystem:
+
+* counter totals agree **bit-exactly** with the engine's own
+  :class:`~repro.engine.EngineReport` accounting;
+* fanning groups out to worker processes changes no totals (the
+  executor charges deterministic sweep work parent-side);
+* the ``collect="off"`` path costs ≤ 2% of search time (measured by
+  counting instrumentation call sites and pricing them at the no-op
+  singleton's per-call cost).
+"""
+
+import contextlib
+import time
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.app import CudaSW, search_batch
+from repro.obs import NO_OP
+from repro.obs import context as obs_context
+from repro.sequence import Database, Sequence, random_protein
+
+
+@pytest.fixture(scope="module")
+def db():
+    rng = np.random.default_rng(11)
+    seqs = [
+        Sequence.random(f"s{i}", int(n), rng)
+        for i, n in enumerate([30, 45, 60, 61, 90, 120, 150, 200, 201, 400])
+    ]
+    return Database.from_sequences(seqs)
+
+
+@pytest.fixture(scope="module")
+def query():
+    rng = np.random.default_rng(12)
+    return random_protein(80, rng, id="q-obs")
+
+
+class TestBitExactCounters:
+    def test_pack_counters_match_engine_report(self, query, db):
+        app = CudaSW()
+        app.search(query, db, collect="counters")
+        run = app.last_run_report
+        er = app.last_engine_report
+        assert run is not None and er is not None
+        c = run.counters
+        assert c["engine.pack.residues"] == er.residues
+        assert c["engine.pack.padded_cells"] == er.padded_cells
+        assert c["engine.pack.groups"] == er.n_groups
+        assert c["engine.pack.sequences"] == len(db)
+        assert (
+            c["engine.pack.pad_waste_cells"]
+            == er.padded_cells - er.residues
+        )
+        # The run report's engine section is the same accounting.
+        assert run.engine["residues"] == c["engine.pack.residues"]
+        assert run.engine["padded_cells"] == c["engine.pack.padded_cells"]
+
+    def test_sweep_counters_match_cell_arithmetic(self, query, db):
+        app = CudaSW()
+        app.search(query, db, collect="counters")
+        c = app.last_run_report.counters
+        er = app.last_engine_report
+        m = len(query)
+        assert c["engine.sweep.useful_cells"] == m * er.residues
+        assert c["engine.sweep.padded_cells"] == m * er.padded_cells
+        assert c["engine.sweep.groups"] == er.n_groups
+        assert c["engine.sweep.rows"] == m * er.n_groups
+        assert c["engine.executor.groups_dispatched"] == er.n_groups
+
+    def test_full_mode_adds_span_tree(self, query, db):
+        app = CudaSW()
+        app.search(query, db, collect="full")
+        run = app.last_run_report
+        phases = {p.split("/")[-1] for p in run.span_seconds()}
+        assert {
+            "search",
+            "query_encode",
+            "profile_build",
+            "pack",
+            "fan_out",
+            "sweep",
+            "score_scatter",
+            "model",
+        } <= phases
+
+    def test_worker_fanout_totals_identical_to_serial(self, query, db):
+        serial = CudaSW()
+        serial.search(query, db, collect="counters", workers=1)
+        fanned = CudaSW()
+        fanned.search(query, db, collect="counters", workers=2)
+        a = dict(serial.last_run_report.counters)
+        b = dict(fanned.last_run_report.counters)
+        # The fan-out bookkeeping differs; the work accounting must not.
+        for extra in (
+            "engine.executor.worker_round_trips",
+            "engine.executor.pool_fallbacks",
+        ):
+            a.pop(extra, None)
+            b.pop(extra, None)
+        assert a == b
+
+    def test_scores_unaffected_by_collection(self, query, db):
+        app = CudaSW()
+        base, _ = app.search(query, db)
+        for mode in ("counters", "full"):
+            got, _ = app.search(query, db, collect=mode)
+            np.testing.assert_array_equal(got.scores, base.scores)
+
+
+class TestKernelCounters:
+    def test_simulate_kernels_fills_kernel_namespace(self, query, db):
+        app = CudaSW()
+        app.search(query, db, simulate_kernels=True, collect="counters")
+        c = app.last_run_report.counters
+        kernel_launches = {
+            name: value
+            for name, value in c.items()
+            if name.startswith("kernel.") and name.endswith(".launches")
+        }
+        assert sum(kernel_launches.values()) == len(db)
+        # Every launch ledger carries the Table I transaction split.
+        for name in kernel_launches:
+            prefix = name[: -len(".launches")]
+            assert c[f"{prefix}.cells"] > 0
+            assert c[f"{prefix}.global_transactions"] == (
+                c[f"{prefix}.global_load_transactions"]
+                + c[f"{prefix}.global_store_transactions"]
+            )
+
+    def test_model_counters_from_predict(self, query, db):
+        app = CudaSW()
+        _, report = app.search(query, db, collect="counters")
+        c = app.last_run_report.counters
+        assert c["model.predict_calls"] == 1
+        assert c["model.cells"] == report.total_cells
+        assert (
+            c["model.inter.sequences"] + c["model.intra.sequences"]
+            == len(db)
+        )
+
+
+class TestSessionOwnership:
+    def test_off_leaves_no_run_report(self, query, db):
+        app = CudaSW()
+        app.search(query, db, collect="off")
+        assert app.last_run_report is None
+        app.search(query, db, collect="counters")
+        assert app.last_run_report is not None
+        app.search(query, db)  # default off resets it again
+        assert app.last_run_report is None
+
+    def test_outer_session_owns_collection(self, query, db):
+        app = CudaSW()
+        with obs.collect("counters") as instr:
+            app.search(query, db, collect="counters")
+            # The ambient session owns the data; the app defers to it.
+            assert app.last_run_report is None
+        er = app.last_engine_report
+        assert instr.counters.get("engine.pack.residues") == er.residues
+
+    def test_run_report_meta_describes_search(self, query, db):
+        app = CudaSW()
+        app.search(query, db, collect="counters", workers=1)
+        meta = app.last_run_report.meta
+        assert meta["query_id"] == query.id
+        assert meta["query_length"] == len(query)
+        assert meta["database_sequences"] == len(db)
+        assert meta["engine"] == "batched"
+
+
+class TestSearchBatchCollect:
+    def test_campaign_level_report(self, db):
+        rng = np.random.default_rng(13)
+        queries = [random_protein(40, rng, id=f"q{i}") for i in range(3)]
+        app = CudaSW()
+        results, batch = search_batch(app, queries, db, collect="counters")
+        run = app.last_run_report
+        assert run is not None
+        assert run.counters["batch.queries"] == 3
+        # Three searches' pack counters accumulate in one session.
+        er = app.last_engine_report
+        assert run.counters["engine.pack.residues"] == 3 * er.residues
+        assert run.meta["batch_queries"] == 3
+        assert run.meta["campaign_gcups"] == pytest.approx(batch.gcups)
+
+    def test_invalid_collect_rejected(self, db):
+        rng = np.random.default_rng(14)
+        app = CudaSW()
+        q = random_protein(30, rng, id="q")
+        with pytest.raises(ValueError):
+            search_batch(app, [q], db, collect="everything")
+        with pytest.raises(ValueError):
+            app.search(q, db, collect="everything")
+
+
+class _SpyInstrumentation:
+    """Counts how many instrumentation calls one search emits.
+
+    Shaped like the no-op singleton (``enabled`` False keeps every
+    guarded block skipped), so the call count it records is exactly the
+    number of no-op method invocations a ``collect="off"`` search pays.
+    """
+
+    mode = "off"
+    enabled = False
+    counters = None
+    tracer = None
+
+    def __init__(self):
+        self.calls = 0
+
+    def span(self, name):
+        self.calls += 1
+        return contextlib.nullcontext()
+
+    def count(self, name, value=1):
+        self.calls += 1
+
+    def count_kernel(self, kernel_name, counts):
+        self.calls += 1
+
+
+class TestOffModeOverhead:
+    def test_off_mode_overhead_within_two_percent(self, query, db):
+        app = CudaSW()
+
+        # 1. How many instrumentation touch-points does one search emit?
+        spy = _SpyInstrumentation()
+        token = obs_context._ACTIVE.set(spy)
+        try:
+            app.search(query, db)
+        finally:
+            obs_context._ACTIVE.reset(token)
+        sites = spy.calls
+        assert sites > 0
+
+        # 2. Price one no-op touch-point (span enter/exit is the
+        #    costliest shape, so price every site at it).
+        reps = 20_000
+        start = time.perf_counter()
+        for _ in range(reps):
+            with NO_OP.span("x"):
+                pass
+        per_site = (time.perf_counter() - start) / reps
+
+        # 3. Compare against the real search time (best of 3 to shave
+        #    scheduler noise; overhead bound is what matters).
+        search_seconds = min(
+            _timed(lambda: app.search(query, db)) for _ in range(3)
+        )
+        overhead = sites * per_site
+        assert overhead <= 0.02 * search_seconds, (
+            f"off-mode instrumentation cost {overhead * 1e6:.1f}us over "
+            f"{sites} sites vs search {search_seconds * 1e3:.2f}ms"
+        )
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start

@@ -1,0 +1,136 @@
+"""Unit tests for the RunReport document."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    SCHEMA_VERSION,
+    RunReport,
+    collect,
+    sanitize_metric_name,
+)
+
+
+def _session():
+    with collect("full") as instr:
+        with instr.span("search"):
+            with instr.span("pack"):
+                instr.count("engine.pack.residues", 100)
+            with instr.span("sweep"):
+                instr.count("engine.sweep.useful_cells", 5000)
+        with instr.span("rank"):
+            pass
+    return instr
+
+
+class TestRunReport:
+    def test_schema_and_roundtrip(self, tmp_path):
+        report = RunReport.from_instrumentation(
+            _session(), meta={"query_id": "Q1"}
+        )
+        doc = report.to_dict()
+        assert doc["schema"] == "repro.run_report"
+        assert doc["schema_version"] == SCHEMA_VERSION
+        assert doc["collect"] == "full"
+        assert doc["counters"]["engine.pack.residues"] == 100
+        assert doc["meta"]["query_id"] == "Q1"
+        assert doc["engine"] is None and doc["model"] is None
+
+        path = report.write(tmp_path / "run.json")
+        loaded = json.loads(path.read_text())
+        assert loaded == doc
+
+    def test_span_seconds_paths(self):
+        report = RunReport.from_instrumentation(_session())
+        seconds = report.span_seconds()
+        assert set(seconds) == {
+            "search",
+            "search/pack",
+            "search/sweep",
+            "rank",
+        }
+        assert all(v >= 0.0 for v in seconds.values())
+
+    def test_counters_mode_has_empty_spans(self):
+        with collect("counters") as instr:
+            instr.count("x", 1)
+        report = RunReport.from_instrumentation(instr)
+        assert report.spans == ()
+        assert report.counters == {"x": 1}
+        assert "counters" in report.render_profile()
+
+    def test_render_profile_sections(self):
+        report = RunReport.from_instrumentation(_session())
+        text = report.render_profile()
+        assert "== span tree ==" in text
+        assert "== counters ==" in text
+        assert "search" in text and "rank" in text
+        assert "engine.pack.residues" in text
+
+    def test_render_profile_with_engine_section(self):
+        from repro.engine import EngineReport
+
+        er = EngineReport(
+            group_size=4,
+            workers=1,
+            group_sizes=(2,),
+            group_max_lengths=(10,),
+            group_efficiencies=(0.75,),
+            residues=15,
+            padded_cells=20,
+        )
+        report = RunReport.from_instrumentation(
+            _session(), engine_report=er
+        )
+        assert report.engine["padding_efficiency"] == pytest.approx(0.75)
+        assert "engine packing" in report.render_profile()
+
+    def test_model_section_from_search_report(self):
+        import numpy as np
+
+        from repro.app import CudaSW
+        from repro.sequence.database import Database
+
+        db = Database.from_lengths(
+            np.array([100, 200, 4000], dtype=np.int64), name="d"
+        )
+        app = CudaSW()
+        sr = app.predict(150, db)
+        report = RunReport.from_instrumentation(
+            _session(), search_report=sr
+        )
+        m = report.model
+        assert m["query_length"] == 150
+        assert m["n_intra_sequences"] == 1
+        assert m["total_cells"] == 150 * 4300
+        assert m["intra_global_transactions"] > 0
+        json.dumps(report.to_dict())  # fully serializable
+
+    def test_prometheus_exposition(self):
+        report = RunReport.from_instrumentation(_session())
+        text = report.to_prometheus()
+        assert "# TYPE repro_counter_total counter" in text
+        assert (
+            'repro_counter_total{name="engine.pack.residues"} 100' in text
+        )
+        assert "# TYPE repro_span_seconds gauge" in text
+        assert 'repro_span_seconds{path="search/pack"}' in text
+        assert text.endswith("\n")
+
+    def test_prometheus_custom_prefix(self):
+        report = RunReport.from_instrumentation(_session())
+        assert "cudasw_counter_total" in report.to_prometheus(
+            prefix="cudasw"
+        )
+
+
+class TestSanitizeMetricName:
+    def test_replaces_illegal_characters(self):
+        assert (
+            sanitize_metric_name("kernel.intra_improved(T=256,H=4).cells")
+            == "kernel_intra_improved_T_256_H_4__cells"
+        )
+
+    def test_leading_digit_prefixed(self):
+        assert sanitize_metric_name("9lives") == "_9lives"

@@ -1,0 +1,114 @@
+"""Unit tests for the span tracer."""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs import Span, Tracer, render_forest
+
+
+class TestSpan:
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Span(name="", start=0.0)
+
+    def test_as_dict_nests(self):
+        s = Span(name="a", start=0.0, seconds=1.0)
+        s.children.append(Span(name="b", start=0.1, seconds=0.5))
+        d = s.as_dict()
+        assert d["name"] == "a"
+        assert d["children"][0]["name"] == "b"
+
+    def test_walk_paths(self):
+        s = Span(name="a", start=0.0)
+        b = Span(name="b", start=0.0)
+        b.children.append(Span(name="c", start=0.0))
+        s.children.append(b)
+        assert [p for p, _ in s.walk()] == ["a", "a/b", "a/b/c"]
+
+
+class TestTracer:
+    def test_nesting_and_roots(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+            with tr.span("inner"):
+                pass
+        with tr.span("second_root"):
+            pass
+        roots = tr.roots
+        assert [r.name for r in roots] == ["outer", "second_root"]
+        assert [c.name for c in roots[0].children] == ["inner", "inner"]
+
+    def test_durations_measured(self):
+        tr = Tracer()
+        with tr.span("timed"):
+            time.sleep(0.01)
+        (root,) = tr.roots
+        assert root.seconds >= 0.009
+        assert root.start >= 0.0
+
+    def test_child_duration_within_parent(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            with tr.span("inner"):
+                time.sleep(0.005)
+        (root,) = tr.roots
+        assert root.children[0].seconds <= root.seconds
+
+    def test_exception_still_closes_span(self):
+        tr = Tracer()
+        with pytest.raises(RuntimeError):
+            with tr.span("outer"):
+                with tr.span("inner"):
+                    raise RuntimeError("boom")
+        (root,) = tr.roots
+        assert root.name == "outer"
+        assert root.seconds > 0
+        assert root.children[0].seconds > 0
+
+    def test_total_seconds_sums_same_name(self):
+        tr = Tracer()
+        with tr.span("root"):
+            for _ in range(3):
+                with tr.span("sweep"):
+                    pass
+        assert tr.total_seconds("sweep") == pytest.approx(
+            sum(c.seconds for c in tr.roots[0].children)
+        )
+
+    def test_threads_get_independent_stacks(self):
+        tr = Tracer()
+        done = threading.Event()
+
+        def other():
+            with tr.span("thread_root"):
+                time.sleep(0.005)
+            done.set()
+
+        with tr.span("main_root"):
+            t = threading.Thread(target=other)
+            t.start()
+            t.join()
+        done.wait()
+        names = sorted(r.name for r in tr.roots)
+        # The other thread's span must be a root of its own, not a child
+        # of the main thread's open span.
+        assert names == ["main_root", "thread_root"]
+
+    def test_render_aggregates_siblings(self):
+        tr = Tracer()
+        with tr.span("root"):
+            for _ in range(4):
+                with tr.span("sweep"):
+                    pass
+        text = tr.render()
+        assert "sweep x4" in text
+        assert "root" in text
+        assert "ms" in text
+
+    def test_render_empty(self):
+        assert "no spans" in Tracer().render()
+        assert "no spans" in render_forest([])

@@ -5,7 +5,7 @@ import io
 import numpy as np
 import pytest
 
-from repro.alphabet import DNA, PROTEIN
+from repro.alphabet import DNA
 from repro.sequence import Sequence, read_fasta, read_fasta_file, write_fasta
 
 

@@ -139,6 +139,75 @@ class TestSearch:
                  "--engine", "warp"]
             )
 
+    def test_engine_line_printed_for_every_engine(self, fasta_files):
+        for engine in ("scalar", "antidiagonal", "batched"):
+            code, text = run_cli(
+                ["search", fasta_files["query"], fasta_files["db"],
+                 "--engine", engine, "--top", "2"]
+            )
+            assert code == 0
+            assert f"scored by {engine} engine" in text
+
+
+class TestSearchObservability:
+    def test_profile_prints_span_tree_and_counters(self, fasta_files):
+        code, text = run_cli(
+            ["search", fasta_files["query"], fasta_files["db"], "--profile"]
+        )
+        assert code == 0
+        assert "== span tree ==" in text
+        assert "== counters ==" in text
+        # The phases the issue demands visible in the rendered tree.
+        for phase in ("pack", "sweep", "fan_out", "rank", "search"):
+            assert phase in text
+        assert "engine.pack.padded_cells" in text
+        # The hit table still leads the output.
+        assert text.index("HIT1") < text.index("== span tree ==")
+
+    def test_metrics_out_writes_run_report_json(self, fasta_files, tmp_path):
+        import json
+
+        path = tmp_path / "run.json"
+        code, text = run_cli(
+            ["search", fasta_files["query"], fasta_files["db"],
+             "--metrics-out", str(path)]
+        )
+        assert code == 0
+        assert f"# metrics written to {path}" in text
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == "repro.run_report"
+        assert doc["meta"]["query_id"] == "Q1"
+        assert doc["meta"]["database_sequences"] == 5
+        # Counter totals agree bit-exactly with the engine section.
+        assert (
+            doc["counters"]["engine.pack.padded_cells"]
+            == doc["engine"]["padded_cells"]
+        )
+        assert (
+            doc["counters"]["engine.pack.residues"]
+            == doc["engine"]["residues"]
+        )
+        assert doc["model"]["query_length"] == 80
+        paths = {s["name"] for s in doc["spans"]}
+        assert "search" in paths and "rank" in paths
+
+    def test_profile_with_non_batched_engine(self, fasta_files):
+        code, text = run_cli(
+            ["search", fasta_files["query"], fasta_files["db"],
+             "--engine", "antidiagonal", "--profile"]
+        )
+        assert code == 0
+        assert "pair_loop" in text
+        assert "engine.pairs_scored" in text
+
+    def test_no_observability_output_by_default(self, fasta_files):
+        code, text = run_cli(
+            ["search", fasta_files["query"], fasta_files["db"]]
+        )
+        assert code == 0
+        assert "span tree" not in text
+        assert "metrics written" not in text
+
 
 class TestPredict:
     def test_profile(self):

@@ -16,7 +16,6 @@ from repro.cuda import TESLA_C1060, TESLA_C2050
 from repro.kernels import ImprovedIntraTaskKernel, ImprovedKernelConfig
 from repro.sequence import (
     Database,
-    Sequence,
     evolve,
     plant_motif,
     random_protein,
