@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from repro.app.cudasw import CudaSW, SearchReport
 from repro.app.results import SearchResult
+from repro.engine import FaultPolicy
 from repro.obs import (
     COLLECT_MODES,
     RunReport,
@@ -79,6 +80,7 @@ def search_batch(
     *,
     engine: str = "batched",
     workers: int = 1,
+    fault_policy: FaultPolicy | None = None,
     collect: str = "off",
 ) -> tuple[list[SearchResult], BatchReport]:
     """Functionally search every query; returns per-query results plus
@@ -88,6 +90,12 @@ def search_batch(
     :meth:`CudaSW.search` — the batched default reuses CUDASW++'s
     once-per-database preprocessing spirit by scoring whole packed
     groups per NumPy sweep for every query of the campaign.
+
+    ``fault_policy`` is applied to every query's search (batched engine
+    only).  The policy's deadline is per query, not per campaign; a
+    query that exceeds it raises
+    :class:`~repro.engine.SearchDeadlineExceeded` with that query's
+    partial scores attached.
 
     ``collect`` (``"off"|"counters"|"full"``) opens one campaign-level
     observability session spanning every query: per-query phase spans
@@ -107,7 +115,8 @@ def search_batch(
         reports = []
         for query in queries:
             result, report = app.search(
-                query, db, engine=engine, workers=workers
+                query, db, engine=engine, workers=workers,
+                fault_policy=fault_policy,
             )
             results.append(result)
             reports.append(report)

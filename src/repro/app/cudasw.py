@@ -33,7 +33,7 @@ from repro.kernels.intratask_original import OriginalIntraTaskKernel
 from repro.app.results import SearchResult
 from repro.app.scheduler import schedule_inter_task
 from repro.app.transfer import TransferModel
-from repro.engine import BatchedEngine, EngineReport
+from repro.engine import BatchedEngine, EngineReport, FaultPolicy
 from repro.obs import (
     COLLECT_MODES,
     RunReport,
@@ -283,6 +283,7 @@ class CudaSW:
         engine: str = "batched",
         workers: int = 1,
         group_size: int | None = None,
+        fault_policy: FaultPolicy | None = None,
         simulate_kernels: bool = False,
         collect: str = "off",
     ) -> tuple[SearchResult, SearchReport]:
@@ -304,6 +305,14 @@ class CudaSW:
         group_size:
             Lanes per batched group (default
             :data:`~repro.engine.DEFAULT_GROUP_SIZE`).
+        fault_policy:
+            :class:`~repro.engine.FaultPolicy` for the batched
+            engine's fan-out: per-task timeout, bounded retries with
+            backoff, and a whole-search deadline (on expiry a
+            :class:`~repro.engine.SearchDeadlineExceeded` is raised
+            carrying partial scores).  Only the batched engine
+            dispatches work units, so combining a policy with another
+            engine or ``simulate_kernels`` is an error.
         simulate_kernels:
             When true, every pair runs through the dispatched kernel's
             functional simulator instead of ``engine`` (slow; small
@@ -337,14 +346,23 @@ class CudaSW:
             raise ValueError(
                 f"engine must be one of {SEARCH_ENGINES}, got {engine!r}"
             )
+        if fault_policy is not None and (
+            engine != "batched" or simulate_kernels
+        ):
+            raise ValueError(
+                "fault_policy applies to the batched engine only "
+                f"(got engine={engine!r}, simulate_kernels={simulate_kernels})"
+            )
 
         if collect == "off" or obs_current().enabled:
             return self._search_traced(
-                query, db, engine, workers, group_size, simulate_kernels
+                query, db, engine, workers, group_size, fault_policy,
+                simulate_kernels,
             )
         with obs_collect(collect) as instr:
             result, report = self._search_traced(
-                query, db, engine, workers, group_size, simulate_kernels
+                query, db, engine, workers, group_size, fault_policy,
+                simulate_kernels,
             )
         self.last_run_report = RunReport.from_instrumentation(
             instr,
@@ -369,6 +387,7 @@ class CudaSW:
         engine: str,
         workers: int,
         group_size: int | None,
+        fault_policy: FaultPolicy | None,
         simulate_kernels: bool,
     ) -> tuple[SearchResult, SearchReport]:
         """The search pipeline, phases wrapped in ambient-tracer spans."""
@@ -400,6 +419,7 @@ class CudaSW:
                     self.matrix,
                     self.gaps,
                     workers=workers,
+                    fault_policy=fault_policy,
                     **(
                         {}
                         if group_size is None

@@ -56,8 +56,23 @@ class SearchResult:
         ]
 
     def score_of(self, seq_id: str) -> int:
-        """Score of a database sequence by identifier."""
+        """Score of a database sequence by identifier.
+
+        Raises :class:`KeyError` for an unknown id and
+        :class:`ValueError` for an ambiguous one — databases *can*
+        carry duplicate ids (FASTA enforces nothing), and silently
+        returning the first match would hide that the caller may be
+        reading the wrong sequence's score.  Positional access
+        (``result.scores[i]``) is always unambiguous.
+        """
         try:
-            return int(self.scores[self.ids.index(seq_id)])
+            first = self.ids.index(seq_id)
         except ValueError:
             raise KeyError(f"no sequence {seq_id!r} in the result") from None
+        if seq_id in self.ids[first + 1 :]:
+            n = self.ids.count(seq_id)
+            raise ValueError(
+                f"sequence id {seq_id!r} is ambiguous: {n} database "
+                "sequences share it; look scores up by index instead"
+            )
+        return int(self.scores[first])

@@ -115,6 +115,22 @@ def build_parser() -> argparse.ArgumentParser:
         "(1 = serial)",
     )
     p_search.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="abandon and retry any dispatched work unit running longer "
+        "than this (batched engine with --workers > 1; default: never)",
+    )
+    p_search.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="pool retries per failed/timed-out work unit before it is "
+        "recomputed serially (batched engine; default: 2)",
+    )
+    p_search.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="whole-search wall-clock budget; on expiry the search "
+        "aborts with the partial completion summary (batched engine; "
+        "default: none)",
+    )
+    p_search.add_argument(
         "--profile", action="store_true",
         help="trace the search and print a span tree (per-phase timings) "
         "plus the counter table after the hits",
@@ -194,8 +210,21 @@ def _cmd_align(args, out: IO[str]) -> int:
     return 0
 
 
+def _fault_policy(args):
+    """A FaultPolicy from the search flags, or None when all defaulted."""
+    if args.timeout is None and args.retries is None and args.deadline is None:
+        return None
+    from repro.engine import FaultPolicy
+
+    kwargs = {"timeout": args.timeout, "deadline": args.deadline}
+    if args.retries is not None:
+        kwargs["retries"] = args.retries
+    return FaultPolicy(**kwargs)
+
+
 def _cmd_search(args, out: IO[str]) -> int:
     from repro import obs
+    from repro.engine import SearchDeadlineExceeded
     from repro.stats import ScoreStatistics, annotate_hits
 
     matrix, gaps = _scoring(args)
@@ -208,13 +237,34 @@ def _cmd_search(args, out: IO[str]) -> int:
         matrix=matrix,
         gaps=gaps,
     )
+    try:
+        fault_policy = _fault_policy(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
     # --profile/--metrics-out own the collection session at CLI level so
     # the E-value ranking phase is traced alongside the search itself.
     observing = args.profile or args.metrics_out is not None
     with obs.collect("full" if observing else "off") as instr:
-        result, report = app.search(
-            query, db, engine=args.engine, workers=args.workers
-        )
+        try:
+            result, report = app.search(
+                query, db, engine=args.engine, workers=args.workers,
+                fault_policy=fault_policy,
+            )
+        except SearchDeadlineExceeded as exc:
+            done = (
+                int(exc.completed_mask.sum())
+                if exc.completed_mask is not None
+                else 0
+            )
+            print(
+                f"error: {exc} ({done}/{len(db)} sequences scored)",
+                file=out,
+            )
+            return 3
+        except ValueError as exc:
+            print(f"error: {exc}", file=out)
+            return 2
         stats = ScoreStatistics(matrix, gaps)
         with instr.span("rank"):
             hits = annotate_hits(

@@ -23,6 +23,12 @@ import numpy as np
 
 from repro.alphabet import GapPenalty, SubstitutionMatrix
 from repro.engine.executor import run_groups
+from repro.engine.faults import (
+    DEFAULT_POLICY,
+    FaultPolicy,
+    InjectionPlan,
+    SearchDeadlineExceeded,
+)
 from repro.engine.lanes import padded_lane_profile, score_packed_group
 from repro.engine.pack import PackedGroup, pack_database, pack_group
 from repro.obs import current as obs_current
@@ -33,13 +39,17 @@ from repro.sw.utils import as_codes
 __all__ = [
     "BatchedEngine",
     "EngineReport",
+    "FaultPolicy",
+    "InjectionPlan",
     "PackedGroup",
+    "SearchDeadlineExceeded",
     "pack_database",
     "pack_group",
     "padded_lane_profile",
     "run_groups",
     "score_packed_group",
     "DEFAULT_GROUP_SIZE",
+    "DEFAULT_POLICY",
 ]
 
 #: Default lanes per group.  Large enough that vectorized work dwarfs the
@@ -95,6 +105,12 @@ class BatchedEngine:
     workers:
         Worker processes to fan groups out across; 1 (default) runs
         serially and never touches multiprocessing.
+    fault_policy:
+        :class:`~repro.engine.faults.FaultPolicy` governing per-task
+        timeout, retries with backoff, the whole-search deadline and
+        fault injection (default: :data:`~repro.engine.faults.
+        DEFAULT_POLICY` — no timeout, no deadline, pool failures
+        recovered serially).
     """
 
     def __init__(
@@ -104,6 +120,7 @@ class BatchedEngine:
         *,
         group_size: int = DEFAULT_GROUP_SIZE,
         workers: int = 1,
+        fault_policy: FaultPolicy | None = None,
     ) -> None:
         if group_size <= 0:
             raise ValueError(f"group size must be positive, got {group_size}")
@@ -113,6 +130,7 @@ class BatchedEngine:
         self.gaps = gaps
         self.group_size = group_size
         self.workers = workers
+        self.fault_policy = fault_policy or DEFAULT_POLICY
 
     def search(
         self, query, db: Database
@@ -122,6 +140,12 @@ class BatchedEngine:
         ``query`` may be a :class:`~repro.sequence.sequence.Sequence`, a
         code array or a string.  Returns ``int64`` scores in the
         database's original order plus the packing report.
+
+        When the fault policy's deadline fires,
+        :class:`~repro.engine.faults.SearchDeadlineExceeded` is raised
+        with ``partial_scores``/``completed_mask`` attached: scores in
+        database order for every group finished before the deadline
+        (``-1`` and ``False`` elsewhere).
         """
         instr = obs_current()
         with instr.span("profile_build"):
@@ -130,9 +154,23 @@ class BatchedEngine:
         with instr.span("pack"):
             groups = pack_database(db, self.group_size)
         with instr.span("fan_out"):
-            per_group = run_groups(
-                profile, groups, self.gaps, workers=self.workers
-            )
+            try:
+                per_group = run_groups(
+                    profile,
+                    groups,
+                    self.gaps,
+                    workers=self.workers,
+                    policy=self.fault_policy,
+                )
+            except SearchDeadlineExceeded as exc:
+                partial = np.full(len(db), -1, dtype=np.int64)
+                mask = np.zeros(len(db), dtype=bool)
+                for gi, lane_scores in exc.partial.items():
+                    partial[groups[gi].indices] = lane_scores
+                    mask[groups[gi].indices] = True
+                exc.partial_scores = partial
+                exc.completed_mask = mask
+                raise
         with instr.span("score_scatter"):
             scores = np.zeros(len(db), dtype=np.int64)
             for group, lane_scores in zip(groups, per_group):

@@ -1,11 +1,21 @@
-"""Fanning packed groups out across worker processes.
+"""Fanning packed groups out across worker processes, fault-tolerantly.
 
 Groups are embarrassingly parallel — each lane matrix is scored
 independently — so the only coordination is scattering per-group score
 vectors back to database order.  The executor ships the query codes,
 matrix and penalties once per worker (pool initializer) and then streams
-groups; each task moves one ``uint8`` lane matrix out and one small
-score vector back.
+*chunks* of groups as individually tracked futures; each task moves a
+few ``uint8`` lane matrices out and small score vectors back.
+
+Unlike the original ``pool.map`` dispatch, every task is managed by a
+:class:`~repro.engine.faults.FaultPolicy`: tasks that run past the
+policy timeout are abandoned and retried with exponential backoff +
+seeded jitter, a dead worker (``BrokenProcessPool``) costs only the
+tasks that had not finished — completed group scores are kept and the
+remainder is recomputed serially — and a whole-search deadline raises
+:class:`~repro.engine.faults.SearchDeadlineExceeded` carrying the
+partial results instead of hanging forever.  Results that do arrive are
+validated (shape and dtype) before being trusted.
 
 Process pools are not available everywhere (restricted sandboxes,
 interpreters without ``fork``/``spawn`` support), and a NumPy sweep
@@ -17,9 +27,20 @@ identical results.
 
 from __future__ import annotations
 
+import random
+import time
+
 import numpy as np
 
 from repro.alphabet import GapPenalty, SubstitutionMatrix
+from repro.engine.faults import (
+    DEFAULT_POLICY,
+    DeadlineClock,
+    FaultPolicy,
+    InjectionPlan,
+    SearchDeadlineExceeded,
+    auto_chunksize,
+)
 from repro.engine.lanes import count_sweep_work, score_packed_group
 from repro.engine.pack import PackedGroup
 from repro.obs import current as obs_current
@@ -33,16 +54,35 @@ _WORKER_STATE: dict = {}
 
 
 def _init_worker(
-    query_codes: np.ndarray, matrix: SubstitutionMatrix, gaps: GapPenalty
+    query_codes: np.ndarray,
+    matrix: SubstitutionMatrix,
+    gaps: GapPenalty,
+    inject: InjectionPlan | None,
 ) -> None:
     _WORKER_STATE["profile"] = QueryProfile(query_codes, matrix)
     _WORKER_STATE["gaps"] = gaps
+    _WORKER_STATE["inject"] = inject
+    _WORKER_STATE["tasks_done"] = 0
 
 
-def _score_group_task(group: PackedGroup) -> np.ndarray:
-    return score_packed_group(
-        _WORKER_STATE["profile"], group, _WORKER_STATE["gaps"]
-    )
+def _score_chunk_task(
+    payload: list[tuple[int, PackedGroup]],
+) -> list[np.ndarray]:
+    """Score one chunk of ``(group_index, group)`` pairs, worker-side."""
+    profile = _WORKER_STATE["profile"]
+    gaps = _WORKER_STATE["gaps"]
+    inject: InjectionPlan | None = _WORKER_STATE.get("inject")
+    out = []
+    for group_index, group in payload:
+        garbage = False
+        if inject is not None:
+            garbage = inject.apply(group_index, _WORKER_STATE["tasks_done"])
+        if garbage:
+            out.append(np.zeros(0, dtype=np.int64))
+        else:
+            out.append(score_packed_group(profile, group, gaps))
+        _WORKER_STATE["tasks_done"] += 1
+    return out
 
 
 def run_groups(
@@ -51,58 +91,282 @@ def run_groups(
     gaps: GapPenalty,
     *,
     workers: int = 1,
+    policy: FaultPolicy | None = None,
 ) -> list[np.ndarray]:
     """Score every group, serially or across ``workers`` processes.
 
     Returns one score vector per group, in group order.  Results are
-    identical on every path; parallelism only changes wall time.
+    identical on every path; parallelism and the fault ``policy`` only
+    change wall time and failure behavior.  The only exception raised
+    for fault reasons is
+    :class:`~repro.engine.faults.SearchDeadlineExceeded`, and only when
+    ``policy.deadline`` is set.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    policy = policy or DEFAULT_POLICY
     instr = obs_current()
+    clock = DeadlineClock(policy.deadline)
     instr.count("engine.executor.groups_dispatched", len(groups))
     if workers == 1 or len(groups) <= 1:
         instr.count("engine.executor.serial_groups", len(groups))
-        return _run_serial(profile, groups, gaps, instr)
-    try:
-        from concurrent.futures import ProcessPoolExecutor
-        from concurrent.futures.process import BrokenProcessPool
-
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(groups)),
-            initializer=_init_worker,
-            initargs=(profile.query_codes, profile.matrix, gaps),
-        ) as pool:
-            try:
-                with instr.span("sweep_parallel"):
-                    out = list(pool.map(_score_group_task, groups))
-                # Worker-process registries are per-process copies whose
-                # updates never reach the parent; the sweep work is a
-                # deterministic function of geometry, so charge it here.
-                instr.count(
-                    "engine.executor.worker_round_trips", len(groups)
-                )
-                if instr.enabled:
-                    for g in groups:
-                        count_sweep_work(instr, profile.length, g)
-                return out
-            except BrokenProcessPool:
-                pass  # worker died (e.g. fork denied mid-run): go serial
-    except (ImportError, OSError, PermissionError, RuntimeError):
-        pass  # no usable multiprocessing in this environment: go serial
-    instr.count("engine.executor.pool_fallbacks", 1)
-    instr.count("engine.executor.serial_groups", len(groups))
-    return _run_serial(profile, groups, gaps, instr)
+        results: dict[int, np.ndarray] = {}
+        _score_serial(profile, groups, gaps, instr, clock, results, "sweep")
+        return [results[i] for i in range(len(groups))]
+    return _run_pool(profile, groups, gaps, workers, policy, instr, clock)
 
 
-def _run_serial(
+def _score_serial(
     profile: QueryProfile,
     groups: list[PackedGroup],
     gaps: GapPenalty,
     instr,
+    clock: DeadlineClock,
+    results: dict[int, np.ndarray],
+    span_name: str,
+    indices: list[int] | None = None,
+) -> None:
+    """Score ``indices`` (default: all unscored) into ``results``,
+    checking the deadline between groups."""
+    todo = range(len(groups)) if indices is None else indices
+    for i in todo:
+        if i in results:
+            continue
+        if clock.expired():
+            _raise_deadline(instr, clock, results, len(groups))
+        with instr.span(span_name):
+            results[i] = score_packed_group(profile, groups[i], gaps)
+
+
+def _raise_deadline(
+    instr, clock: DeadlineClock, results: dict[int, np.ndarray], n_groups: int
+) -> None:
+    instr.count("engine.executor.deadline_exceeded", 1)
+    raise SearchDeadlineExceeded(
+        deadline=clock.deadline,
+        elapsed=clock.elapsed,
+        partial=dict(results),
+        pending=tuple(i for i in range(n_groups) if i not in results),
+    )
+
+
+def _valid_chunk(chunk_scores, group_indices, groups) -> bool:
+    """Trust a worker's chunk result only if every vector has the
+    expected shape and an integer dtype."""
+    if not isinstance(chunk_scores, list) or (
+        len(chunk_scores) != len(group_indices)
+    ):
+        return False
+    for gi, arr in zip(group_indices, chunk_scores):
+        if not isinstance(arr, np.ndarray):
+            return False
+        if arr.shape != (groups[gi].size,) or arr.dtype.kind not in "iu":
+            return False
+    return True
+
+
+def _abandon_pool(pool) -> None:
+    """Tear a pool down without waiting on hung or dead workers."""
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
+    # shutdown(wait=False) leaves stuck workers running (and their
+    # eventual join at interpreter exit hanging); terminate them.
+    procs = getattr(pool, "_processes", None) or {}
+    for proc in list(procs.values()):
+        try:
+            proc.terminate()
+        except Exception:
+            pass
+
+
+def _run_pool(
+    profile: QueryProfile,
+    groups: list[PackedGroup],
+    gaps: GapPenalty,
+    workers: int,
+    policy: FaultPolicy,
+    instr,
+    clock: DeadlineClock,
 ) -> list[np.ndarray]:
-    out = []
-    for g in groups:
-        with instr.span("sweep"):
-            out.append(score_packed_group(profile, g, gaps))
-    return out
+    n = len(groups)
+    results: dict[int, np.ndarray] = {}
+    serial_group_indices: set[int] = set()
+    pool = None
+    dirty = False  # abandoned futures / broken pool: cannot shut down cleanly
+    try:
+        from concurrent.futures import FIRST_COMPLETED, wait
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
+
+        chunk = policy.chunksize or auto_chunksize(n, workers)
+        tasks = [
+            tuple(range(start, min(start + chunk, n)))
+            for start in range(0, n, chunk)
+        ]
+        attempts = dict.fromkeys(range(len(tasks)), 0)
+        rng = random.Random(policy.seed)
+        pool = ProcessPoolExecutor(
+            max_workers=min(workers, len(tasks)),
+            initializer=_init_worker,
+            initargs=(profile.query_codes, profile.matrix, gaps, policy.inject),
+        )
+
+        in_flight: dict = {}  # future -> (task_id, submitted_at)
+        retry_queue: list[tuple[float, int]] = []  # (ready_at, task_id)
+        pool_alive = True
+
+        def submit(tid: int) -> None:
+            attempts[tid] += 1
+            payload = [(gi, groups[gi]) for gi in tasks[tid]]
+            in_flight[pool.submit(_score_chunk_task, payload)] = (
+                tid,
+                time.monotonic(),
+            )
+
+        def schedule_retry(tid: int) -> None:
+            if attempts[tid] > policy.retries:
+                instr.count("engine.executor.tasks_exhausted", 1)
+                serial_group_indices.update(tasks[tid])
+            else:
+                delay = policy.retry_delay(attempts[tid] + 1, rng)
+                retry_queue.append((time.monotonic() + delay, tid))
+
+        def pool_broke(extra_tids: list[int]) -> None:
+            nonlocal pool_alive
+            if pool_alive:
+                instr.count("engine.executor.worker_crashes", 1)
+            pool_alive = False
+            for tid in extra_tids:
+                serial_group_indices.update(tasks[tid])
+            for tid, _sub in in_flight.values():
+                serial_group_indices.update(tasks[tid])
+            in_flight.clear()
+            for _ready, tid in retry_queue:
+                serial_group_indices.update(tasks[tid])
+            retry_queue.clear()
+
+        with instr.span("sweep_parallel"):
+            instr.count("engine.executor.tasks_submitted", len(tasks))
+            for tid in range(len(tasks)):
+                submit(tid)
+            while in_flight or retry_queue:
+                now = time.monotonic()
+                if clock.expired():
+                    dirty = True
+                    _raise_deadline(instr, clock, results, n)
+                # Launch retries whose backoff has elapsed.
+                due = [t for t in retry_queue if t[0] <= now]
+                if due:
+                    retry_queue[:] = [t for t in retry_queue if t[0] > now]
+                    for _ready, tid in due:
+                        instr.count("engine.executor.retries", 1)
+                        submit(tid)
+                if not in_flight:
+                    # Only backoff waits remain: nap until the earliest.
+                    naps = [r - now for r, _ in retry_queue]
+                    rem = clock.remaining()
+                    if rem is not None:
+                        naps.append(rem)
+                    nap = max(0.0, min(naps)) if naps else 0.0
+                    if nap > 0:
+                        time.sleep(min(nap, 0.05))
+                    continue
+                waits = []
+                if policy.timeout is not None:
+                    waits.append(
+                        min(sub for _t, sub in in_flight.values())
+                        + policy.timeout
+                        - now
+                    )
+                if retry_queue:
+                    waits.append(min(r for r, _ in retry_queue) - now)
+                rem = clock.remaining()
+                if rem is not None:
+                    waits.append(rem)
+                wait_timeout = (
+                    max(0.0, min(waits)) + 0.005 if waits else None
+                )
+                done, _ = wait(
+                    set(in_flight),
+                    timeout=wait_timeout,
+                    return_when=FIRST_COMPLETED,
+                )
+                for fut in done:
+                    tid, _sub = in_flight.pop(fut)
+                    try:
+                        chunk_scores = fut.result()
+                    except BrokenProcessPool:
+                        dirty = True
+                        pool_broke([tid])
+                        break
+                    except Exception:
+                        instr.count("engine.executor.task_errors", 1)
+                        schedule_retry(tid)
+                        continue
+                    if not _valid_chunk(chunk_scores, tasks[tid], groups):
+                        instr.count("engine.executor.garbage_results", 1)
+                        schedule_retry(tid)
+                        continue
+                    for gi, arr in zip(tasks[tid], chunk_scores):
+                        results[gi] = arr.astype(np.int64, copy=False)
+                    instr.count("engine.executor.worker_round_trips", 1)
+                    instr.count(
+                        "engine.executor.pool_completed_groups",
+                        len(tasks[tid]),
+                    )
+                    # Worker-process registries are per-process copies
+                    # whose updates never reach the parent; the sweep
+                    # work is a deterministic function of geometry, so
+                    # charge accepted groups here.
+                    if instr.enabled:
+                        for gi in tasks[tid]:
+                            count_sweep_work(instr, profile.length, groups[gi])
+                # Abandon tasks that outran the per-task timeout.  A
+                # running task cannot be cancelled, so its worker stays
+                # busy until it finishes on its own or the pool is torn
+                # down — the retry (or eventual serial recompute)
+                # produces the score either way.
+                if pool_alive and policy.timeout is not None:
+                    now = time.monotonic()
+                    for fut in [
+                        f
+                        for f, (_t, sub) in in_flight.items()
+                        if now - sub >= policy.timeout
+                    ]:
+                        tid, _sub = in_flight.pop(fut)
+                        fut.cancel()
+                        dirty = True
+                        instr.count("engine.executor.timeouts", 1)
+                        schedule_retry(tid)
+    except SearchDeadlineExceeded:
+        # TimeoutError subclasses OSError; never mistake the deadline
+        # for an unusable-multiprocessing environment.
+        raise
+    except (ImportError, OSError, PermissionError, RuntimeError):
+        # No usable multiprocessing in this environment: everything
+        # not already scored goes serial.
+        instr.count("engine.executor.pool_fallbacks", 1)
+        serial_group_indices.update(
+            i for i in range(n) if i not in results
+        )
+        dirty = True
+    finally:
+        if pool is not None:
+            if dirty:
+                _abandon_pool(pool)
+            else:
+                pool.shutdown(wait=True)
+
+    missing = sorted(
+        set(serial_group_indices) | (set(range(n)) - results.keys())
+    )
+    missing = [i for i in missing if i not in results]
+    if missing:
+        instr.count("engine.executor.serial_retry_groups", len(missing))
+        _score_serial(
+            profile, groups, gaps, instr, clock, results, "serial_retry",
+            indices=missing,
+        )
+    return [results[i] for i in range(n)]

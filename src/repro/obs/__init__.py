@@ -9,8 +9,10 @@ layer for the functional engines and kernel models:
 * :mod:`~repro.obs.spans` — nested ``perf_counter`` timed regions (the
   CUDA-event-timing analogue) around each search phase;
 * :mod:`~repro.obs.counters` — a dot-namespaced counter registry (the
-  Table I methodology) incremented by the engine, the executor and the
-  kernel models;
+  Table I methodology) incremented by the engine, the executor (every
+  fault-policy retry/timeout/crash/serial-recovery lands in
+  ``engine.executor.*``, so a degraded search is fully accounted) and
+  the kernel models;
 * :mod:`~repro.obs.context` — the ambient activation
   (:func:`collect` / :func:`current`) with a no-op ``off`` mode whose
   overhead the test suite bounds at ≤2%;

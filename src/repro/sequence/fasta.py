@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import io
 import os
+import warnings
 from typing import Iterable, Iterator, TextIO
 
 from repro.alphabet import PROTEIN, Alphabet
@@ -35,6 +36,13 @@ def read_fasta(
         Passed to :meth:`Alphabet.encode`.  The default is lenient because
         real databases contain rare non-standard residue codes (U, O, J)
         that map to the wildcard.
+
+    Records with a header but no residues (``>id`` directly followed by
+    another header or end of file — they occur in hand-edited and
+    truncated databases) are *skipped* with a :class:`UserWarning`
+    naming the record, instead of yielding a zero-length sequence that
+    a downstream :meth:`Database.from_sequences` would reject with an
+    unrelated "all sequence lengths must be positive" error.
     """
     if isinstance(handle, str):
         handle = io.StringIO(handle)
@@ -42,12 +50,20 @@ def read_fasta(
     header: str | None = None
     chunks: list[str] = []
 
-    def flush() -> Sequence:
+    def flush() -> Sequence | None:
         text = "".join(chunks)
         assert header is not None
         parts = header.split(None, 1)
         seq_id = parts[0] if parts else ""
         description = parts[1] if len(parts) > 1 else ""
+        if not text:
+            warnings.warn(
+                f"skipping FASTA record {seq_id or '<unnamed>'!r}: "
+                "header with no sequence data",
+                UserWarning,
+                stacklevel=3,
+            )
+            return None
         return Sequence.from_text(
             seq_id, text, alphabet, description=description, strict=strict
         )
@@ -58,7 +74,9 @@ def read_fasta(
             continue
         if line.startswith(">"):
             if header is not None:
-                yield flush()
+                record = flush()
+                if record is not None:
+                    yield record
             header = line[1:].strip()
             chunks = []
         else:
@@ -66,7 +84,9 @@ def read_fasta(
                 raise ValueError("FASTA data does not start with a '>' header")
             chunks.append(line)
     if header is not None:
-        yield flush()
+        record = flush()
+        if record is not None:
+            yield record
 
 
 def read_fasta_file(

@@ -65,14 +65,21 @@ class ScoreStatistics:
     def significance_threshold(
         self, query_length: int, db_residues: int, evalue: float = 1e-3
     ) -> int:
-        """Smallest raw score whose E-value is at most ``evalue``."""
+        """Smallest raw score whose E-value is at most ``evalue``.
+
+        Clamped to >= 0: Smith-Waterman scores are non-negative, so a
+        cutoff lenient enough that the analytic solution goes negative
+        (e.g. ``evalue=1e6`` on a small search space) means *every*
+        score passes, i.e. a threshold of 0 — not a negative score no
+        hit could ever have.
+        """
         if evalue <= 0:
             raise ValueError("evalue cutoff must be positive")
         import math
 
         p = self.parameters
         s = (math.log(p.k * query_length * db_residues) - math.log(evalue)) / p.lam
-        return int(math.ceil(s))
+        return max(0, int(math.ceil(s)))
 
 
 def annotate_hits(

@@ -1,0 +1,39 @@
+"""Tests for SearchResult lookups, including the duplicate-id contract."""
+
+import numpy as np
+import pytest
+
+from repro.app.results import SearchResult
+
+
+def _result(ids, scores):
+    return SearchResult(
+        query_id="q",
+        scores=np.asarray(scores, dtype=np.int64),
+        ids=tuple(ids),
+        lengths=np.full(len(ids), 10, dtype=np.int64),
+    )
+
+
+class TestScoreOf:
+    def test_unique_id_lookup(self):
+        r = _result(["a", "b", "c"], [5, 7, 9])
+        assert r.score_of("b") == 7
+
+    def test_unknown_id_raises_keyerror(self):
+        r = _result(["a", "b"], [1, 2])
+        with pytest.raises(KeyError, match="nope"):
+            r.score_of("nope")
+
+    def test_duplicate_id_raises_instead_of_first_wins(self):
+        """FASTA enforces nothing about id uniqueness; a silent
+        first-match answer could be the wrong sequence's score."""
+        r = _result(["a", "dup", "b", "dup"], [1, 2, 3, 4])
+        with pytest.raises(ValueError, match="ambiguous.*2"):
+            r.score_of("dup")
+        # Unambiguous ids in the same result still resolve.
+        assert r.score_of("b") == 3
+
+    def test_positional_access_stays_unambiguous(self):
+        r = _result(["dup", "dup"], [11, 22])
+        assert int(r.scores[0]) == 11 and int(r.scores[1]) == 22

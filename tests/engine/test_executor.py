@@ -3,8 +3,10 @@
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.alphabet import BLOSUM62, GapPenalty
-from repro.engine import BatchedEngine, pack_database, run_groups
+from repro.engine import BatchedEngine, FaultPolicy, pack_database, run_groups
+from repro.engine.faults import auto_chunksize
 from repro.sequence import Database, QueryProfile, Sequence, random_protein
 
 GP = GapPenalty.cudasw_default()
@@ -44,6 +46,38 @@ class TestRunGroups:
         groups = pack_database(db, 6)
         with pytest.raises(ValueError):
             run_groups(profile, groups, GP, workers=0)
+
+    def test_chunked_dispatch_matches_serial(self, db, profile):
+        """Many tiny groups dispatch as chunks (not one round trip per
+        group, the old pool.map chunksize=1 behavior) with identical
+        scores."""
+        groups = pack_database(db, 1)  # 24 single-lane groups
+        serial = run_groups(profile, groups, GP, workers=1)
+        with obs.collect("counters") as instr:
+            chunked = run_groups(profile, groups, GP, workers=2)
+        for a, b in zip(serial, chunked):
+            assert np.array_equal(a, b)
+        c = instr.counters.as_dict()
+        expected_tasks = -(-len(groups) // auto_chunksize(len(groups), 2))
+        assert c["engine.executor.tasks_submitted"] == expected_tasks
+        assert expected_tasks < len(groups)
+
+    def test_auto_chunksize(self):
+        assert auto_chunksize(0, 2) == 1
+        assert auto_chunksize(5, 2) == 1
+        assert auto_chunksize(4000, 8) == 125
+        with pytest.raises(ValueError):
+            auto_chunksize(4, 0)
+
+    def test_explicit_chunksize_one_gives_per_group_tasks(self, db, profile):
+        groups = pack_database(db, 2)
+        with obs.collect("counters") as instr:
+            run_groups(
+                profile, groups, GP, workers=2,
+                policy=FaultPolicy(chunksize=1),
+            )
+        c = instr.counters.as_dict()
+        assert c["engine.executor.tasks_submitted"] == len(groups)
 
     def test_pool_failure_falls_back_to_serial(self, db, profile, monkeypatch):
         """An environment that cannot fork still gets correct results."""

@@ -1,0 +1,39 @@
+"""Regression tests for degenerate FASTA records (empty bodies)."""
+
+import io
+
+import pytest
+
+from repro.sequence import Database, read_fasta, write_fasta
+
+
+class TestEmptyRecords:
+    def test_empty_record_skipped_with_warning(self):
+        fasta = ">a\nMKV\n>empty no residues here\n>b\nACD\n"
+        with pytest.warns(UserWarning, match="'empty'"):
+            records = list(read_fasta(fasta))
+        assert [r.id for r in records] == ["a", "b"]
+
+    def test_trailing_empty_record_skipped(self):
+        with pytest.warns(UserWarning, match="'tail'"):
+            records = list(read_fasta(">a\nMKV\n>tail\n"))
+        assert [r.id for r in records] == ["a"]
+
+    def test_unnamed_empty_record_named_in_warning(self):
+        with pytest.warns(UserWarning, match="<unnamed>"):
+            records = list(read_fasta(">\n>b\nACD\n"))
+        assert [r.id for r in records] == ["b"]
+
+    def test_database_roundtrip_survives_empty_records(self):
+        """The original failure mode: an empty record used to surface as
+        Database.from_sequences' unrelated 'all sequence lengths must be
+        positive' error."""
+        fasta = ">a\nMKV\n>ghost\n>b\nACDEF\n"
+        with pytest.warns(UserWarning):
+            db = Database.from_sequences(list(read_fasta(fasta)))
+        assert len(db) == 2
+        buf = io.StringIO()
+        write_fasta(list(db), buf)
+        back = list(read_fasta(buf.getvalue()))
+        assert [r.id for r in back] == ["a", "b"]
+        assert [r.text for r in back] == ["MKV", "ACDEF"]

@@ -52,6 +52,23 @@ class TestScoreStatistics:
         with pytest.raises(ValueError):
             stats.significance_threshold(500, 10**8, evalue=0.0)
 
+    def test_lenient_cutoff_clamps_to_zero(self):
+        """SW scores are non-negative; a cutoff so lenient that the
+        analytic threshold is negative must clamp to 0, not return a
+        score no hit can have."""
+        stats = ScoreStatistics(BLOSUM62, GapPenalty.cudasw_default())
+        t = stats.significance_threshold(50, 10**4, evalue=1e6)
+        assert t == 0
+        # Monotonic through the boundary: tightening the cutoff can
+        # only raise the threshold.
+        cutoffs = [1e6, 1e3, 1.0, 1e-3, 1e-6]
+        thresholds = [
+            stats.significance_threshold(50, 10**4, evalue=e)
+            for e in cutoffs
+        ]
+        assert thresholds == sorted(thresholds)
+        assert all(t >= 0 for t in thresholds)
+
 
 class TestAnnotateHits:
     def test_homolog_is_significant_decoys_are_not(self, search_setup):

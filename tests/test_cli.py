@@ -149,6 +149,42 @@ class TestSearch:
             assert f"scored by {engine} engine" in text
 
 
+class TestSearchFaultFlags:
+    def test_fault_flags_accepted_and_results_unchanged(self, fasta_files):
+        code, text = run_cli(
+            ["search", fasta_files["query"], fasta_files["db"],
+             "--workers", "2", "--timeout", "30", "--retries", "1",
+             "--deadline", "60"]
+        )
+        assert code == 0
+        assert text.splitlines()[2].startswith("HIT1")
+
+    def test_deadline_exceeded_exit_code_and_message(self, fasta_files):
+        code, text = run_cli(
+            ["search", fasta_files["query"], fasta_files["db"],
+             "--deadline", "1e-9"]
+        )
+        assert code == 3
+        assert "deadline" in text
+        assert "/5 sequences scored" in text
+
+    def test_invalid_fault_flag_values_rejected(self, fasta_files):
+        code, text = run_cli(
+            ["search", fasta_files["query"], fasta_files["db"],
+             "--timeout", "-1"]
+        )
+        assert code == 2
+        assert "error:" in text
+
+    def test_fault_flags_with_non_batched_engine_rejected(self, fasta_files):
+        code, text = run_cli(
+            ["search", fasta_files["query"], fasta_files["db"],
+             "--engine", "scalar", "--retries", "3"]
+        )
+        assert code == 2
+        assert "batched" in text
+
+
 class TestSearchObservability:
     def test_profile_prints_span_tree_and_counters(self, fasta_files):
         code, text = run_cli(
