@@ -1,12 +1,19 @@
 # Convenience targets; the offline environment needs --no-build-isolation.
 
-.PHONY: install test bench experiments examples clean
+.PHONY: install test bench experiments examples lint typecheck clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	pytest tests/
+
+lint:
+	PYTHONPATH=src python -m repro.lint src/
+	PYTHONPATH=src python -m repro.lint --self
+
+typecheck:
+	mypy
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -46,6 +46,7 @@ class BatchReport:
 
     @property
     def total_cells(self) -> int:
+        """DP cells across every query in the campaign."""
         return sum(r.total_cells for r in self.reports)
 
     @property
@@ -55,6 +56,7 @@ class BatchReport:
 
     @property
     def per_query_gcups(self) -> tuple[float, ...]:
+        """Each query's own modeled GCUPs, in campaign order."""
         return tuple(r.gcups for r in self.reports)
 
     def worst_query(self) -> SearchReport:

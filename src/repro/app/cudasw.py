@@ -84,10 +84,12 @@ class SearchReport:
 
     @property
     def compute_time(self) -> float:
+        """Kernel time only: inter- plus intra-task, excluding copies."""
         return self.inter_time + self.intra_time
 
     @property
     def total_time(self) -> float:
+        """End-to-end modeled time: compute plus visible transfer."""
         return self.compute_time + self.transfer_time
 
     @property

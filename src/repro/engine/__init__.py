@@ -18,8 +18,12 @@ anything custom.  Scores are bit-identical to
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.sequence.sequence import Sequence
 
 from repro.alphabet import GapPenalty, SubstitutionMatrix
 from repro.engine.executor import run_groups
@@ -133,7 +137,7 @@ class BatchedEngine:
         self.fault_policy = fault_policy or DEFAULT_POLICY
 
     def search(
-        self, query, db: Database
+        self, query: Sequence | np.ndarray | str, db: Database
     ) -> tuple[np.ndarray, EngineReport]:
         """Score the query against every database sequence.
 

@@ -29,8 +29,12 @@ from __future__ import annotations
 
 import random
 import time
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from concurrent.futures import ProcessPoolExecutor
 
 from repro.alphabet import GapPenalty, SubstitutionMatrix
 from repro.engine.faults import (
@@ -43,7 +47,7 @@ from repro.engine.faults import (
 )
 from repro.engine.lanes import count_sweep_work, score_packed_group
 from repro.engine.pack import PackedGroup
-from repro.obs import current as obs_current
+from repro.obs import AnyInstrumentation, current as obs_current
 from repro.sequence.profile import QueryProfile
 
 __all__ = ["run_groups"]
@@ -111,7 +115,10 @@ def run_groups(
     if workers == 1 or len(groups) <= 1:
         instr.count("engine.executor.serial_groups", len(groups))
         results: dict[int, np.ndarray] = {}
-        _score_serial(profile, groups, gaps, instr, clock, results, "sweep")
+        _score_serial(
+            profile, groups, gaps, instr, clock, results,
+            span_name="sweep",
+        )
         return [results[i] for i in range(len(groups))]
     return _run_pool(profile, groups, gaps, workers, policy, instr, clock)
 
@@ -120,7 +127,7 @@ def _score_serial(
     profile: QueryProfile,
     groups: list[PackedGroup],
     gaps: GapPenalty,
-    instr,
+    instr: AnyInstrumentation,
     clock: DeadlineClock,
     results: dict[int, np.ndarray],
     span_name: str,
@@ -139,7 +146,10 @@ def _score_serial(
 
 
 def _raise_deadline(
-    instr, clock: DeadlineClock, results: dict[int, np.ndarray], n_groups: int
+    instr: AnyInstrumentation,
+    clock: DeadlineClock,
+    results: dict[int, np.ndarray],
+    n_groups: int,
 ) -> None:
     instr.count("engine.executor.deadline_exceeded", 1)
     raise SearchDeadlineExceeded(
@@ -150,7 +160,11 @@ def _raise_deadline(
     )
 
 
-def _valid_chunk(chunk_scores, group_indices, groups) -> bool:
+def _valid_chunk(
+    chunk_scores: object,
+    group_indices: Sequence[int],
+    groups: list[PackedGroup],
+) -> bool:
     """Trust a worker's chunk result only if every vector has the
     expected shape and an integer dtype."""
     if not isinstance(chunk_scores, list) or (
@@ -165,11 +179,14 @@ def _valid_chunk(chunk_scores, group_indices, groups) -> bool:
     return True
 
 
-def _abandon_pool(pool) -> None:
+def _abandon_pool(pool: ProcessPoolExecutor) -> None:
     """Tear a pool down without waiting on hung or dead workers."""
     try:
         pool.shutdown(wait=False, cancel_futures=True)
-    except Exception:
+    # Best-effort teardown: the pool is already broken or abandoned and
+    # every group it owed is re-scored serially, so a secondary failure
+    # here has nothing left to corrupt.
+    except Exception:  # repro-lint: disable=RPL105
         pass
     # shutdown(wait=False) leaves stuck workers running (and their
     # eventual join at interpreter exit hanging); terminate them.
@@ -177,7 +194,8 @@ def _abandon_pool(pool) -> None:
     for proc in list(procs.values()):
         try:
             proc.terminate()
-        except Exception:
+        # Best-effort: the process may already be dead/reaped.
+        except Exception:  # repro-lint: disable=RPL105
             pass
 
 
@@ -187,13 +205,13 @@ def _run_pool(
     gaps: GapPenalty,
     workers: int,
     policy: FaultPolicy,
-    instr,
+    instr: AnyInstrumentation,
     clock: DeadlineClock,
 ) -> list[np.ndarray]:
     n = len(groups)
     results: dict[int, np.ndarray] = {}
     serial_group_indices: set[int] = set()
-    pool = None
+    pool: ProcessPoolExecutor | None = None
     dirty = False  # abandoned futures / broken pool: cannot shut down cleanly
     try:
         from concurrent.futures import FIRST_COMPLETED, wait
@@ -207,11 +225,12 @@ def _run_pool(
         ]
         attempts = dict.fromkeys(range(len(tasks)), 0)
         rng = random.Random(policy.seed)
-        pool = ProcessPoolExecutor(
+        live_pool = ProcessPoolExecutor(
             max_workers=min(workers, len(tasks)),
             initializer=_init_worker,
             initargs=(profile.query_codes, profile.matrix, gaps, policy.inject),
         )
+        pool = live_pool
 
         in_flight: dict = {}  # future -> (task_id, submitted_at)
         retry_queue: list[tuple[float, int]] = []  # (ready_at, task_id)
@@ -220,7 +239,7 @@ def _run_pool(
         def submit(tid: int) -> None:
             attempts[tid] += 1
             payload = [(gi, groups[gi]) for gi in tasks[tid]]
-            in_flight[pool.submit(_score_chunk_task, payload)] = (
+            in_flight[live_pool.submit(_score_chunk_task, payload)] = (
                 tid,
                 time.monotonic(),
             )
@@ -366,7 +385,7 @@ def _run_pool(
     if missing:
         instr.count("engine.executor.serial_retry_groups", len(missing))
         _score_serial(
-            profile, groups, gaps, instr, clock, results, "serial_retry",
-            indices=missing,
+            profile, groups, gaps, instr, clock, results,
+            span_name="serial_retry", indices=missing,
         )
     return [results[i] for i in range(n)]

@@ -37,14 +37,16 @@ import numpy as np
 
 from repro.alphabet import GapPenalty
 from repro.engine.pack import PackedGroup
-from repro.obs import current as obs_current
+from repro.obs import AnyInstrumentation, current as obs_current
 from repro.sequence.profile import QueryProfile
 from repro.sw.utils import validate_penalties
 
 __all__ = ["score_packed_group", "padded_lane_profile", "count_sweep_work"]
 
 
-def count_sweep_work(instr, m: int, group: PackedGroup) -> None:
+def count_sweep_work(
+    instr: AnyInstrumentation, m: int, group: PackedGroup
+) -> None:
     """Record one group sweep's work in the ambient counter registry.
 
     Useful vs. padded cells is the Figure 2 distinction: the sweep

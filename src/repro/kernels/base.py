@@ -69,7 +69,7 @@ class PairKernel(abc.ABC):
         with a fully vectorized version (tests pin the two to each other).
         """
         total = KernelCounts()
-        for n in np.asarray(lengths):
+        for n in np.asarray(lengths, dtype=np.int64):
             total += self.pair_counts(m, int(n))
         return total
 
@@ -84,13 +84,13 @@ class PairKernel(abc.ABC):
     # Convenience -------------------------------------------------------
     @staticmethod
     def _validate_pair(q_codes: np.ndarray, d_codes: np.ndarray) -> tuple[int, int]:
-        q_codes = np.asarray(q_codes)
-        d_codes = np.asarray(d_codes)
-        if q_codes.ndim != 1 or d_codes.ndim != 1:
+        # Shape checks only — np.ndim/np.size accept any array-like
+        # without materializing a converted (dtype-ambiguous) copy.
+        if np.ndim(q_codes) != 1 or np.ndim(d_codes) != 1:
             raise ValueError("sequences must be 1-D code arrays")
-        if q_codes.size == 0 or d_codes.size == 0:
+        if np.size(q_codes) == 0 or np.size(d_codes) == 0:
             raise ValueError("cannot align empty sequences")
-        return int(q_codes.size), int(d_codes.size)
+        return int(np.size(q_codes)), int(np.size(d_codes))
 
     @staticmethod
     def _validate_lengths(m: int, n: int) -> None:

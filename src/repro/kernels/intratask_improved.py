@@ -372,7 +372,7 @@ class ImprovedIntraTaskKernel(PairKernel):
         g_f = np.full(n, neg, dtype=np.int64)
 
         for p, (u, a) in enumerate(geometry):
-            t_idx = np.arange(u)
+            t_idx = np.arange(u, dtype=np.int64)
             r0 = p * cfg.strip_height + t_idx * t_h  # first row per thread
             h_left = np.zeros((u, t_h), dtype=np.int64)
             e_left = np.full((u, t_h), neg, dtype=np.int64)

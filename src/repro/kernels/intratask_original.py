@@ -235,7 +235,7 @@ class OriginalIntraTaskKernel(PairKernel):
             i_minus1 = slice(lo - 1, hi)
             e_cur = np.maximum(e_prev[i_range] - sigma, h_prev[i_range] - rho)
             f_cur = np.maximum(f_prev[i_minus1] - sigma, h_prev[i_minus1] - rho)
-            d_idx = (k - 1) - np.arange(lo, hi + 1)
+            d_idx = (k - 1) - np.arange(lo, hi + 1, dtype=np.int64)
             subs = W[q[lo - 1 : hi], d[d_idx]]
             h_cur = np.maximum(np.maximum(e_cur, f_cur), h_prev2[i_minus1] + subs)
             np.maximum(h_cur, 0, out=h_cur)

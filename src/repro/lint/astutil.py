@@ -1,0 +1,63 @@
+"""Small shared AST helpers used by several rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+__all__ = [
+    "dotted_name",
+    "call_name",
+    "has_kwarg",
+    "kwarg_value",
+    "iter_functions",
+    "str_arg",
+]
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> str | None:
+    """The dotted name a call targets (``np.random.default_rng``)."""
+    return dotted_name(node.func)
+
+
+def has_kwarg(call: ast.Call, name: str) -> bool:
+    """Whether ``call`` passes keyword argument ``name``."""
+    return any(kw.arg == name for kw in call.keywords)
+
+
+def kwarg_value(call: ast.Call, name: str) -> ast.expr | None:
+    """The value expression of keyword ``name``, or ``None``."""
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def iter_functions(
+    tree: ast.AST,
+) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Every function/method definition anywhere in ``tree``."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def str_arg(call: ast.Call, index: int = 0) -> str | None:
+    """The ``index``-th positional argument if it is a string literal."""
+    if len(call.args) > index:
+        arg = call.args[index]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return arg.value
+    return None

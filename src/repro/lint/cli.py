@@ -1,0 +1,241 @@
+"""The ``repro-lint`` command.
+
+Usage::
+
+    repro-lint src/                       # lint a tree (text output)
+    repro-lint --format json src/         # machine-readable report
+    repro-lint --format github src/       # GitHub Actions annotations
+    repro-lint --update-baseline src/     # absorb current findings
+    repro-lint --self                     # lint the linter itself
+    repro-lint --list-rules
+
+Exit codes: 0 — no new findings; 1 — new findings (or a rule error);
+2 — usage/configuration error.  Findings recorded in the committed
+baseline (``lint-baseline.json`` by default, when it exists) do not
+fail the run; everything new does.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import IO, Sequence
+
+from repro.lint.baseline import Baseline
+from repro.lint.findings import Finding
+from repro.lint.rules import all_rules
+from repro.lint.runner import LintResult, LintRunner
+
+__all__ = ["main", "build_parser"]
+
+#: JSON report identity, mirrored by the run-report convention.
+REPORT_SCHEMA = "repro.lint_report"
+REPORT_VERSION = 1
+
+DEFAULT_BASELINE = "lint-baseline.json"
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser (exposed for the test suite and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Domain static analysis for the CUDASW++ reproduction: "
+            "buffer-aliasing, dtype, determinism, observability-registry, "
+            "exception-hygiene and API-coverage rules."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src/)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "github"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="project root for relative paths and docs/ lookups "
+        "(default: current directory)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline file (default: {DEFAULT_BASELINE} under the "
+        f"root, when present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file: report every finding",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write the current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids/names to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        default=None,
+        help="comma-separated rule ids/names to skip",
+    )
+    parser.add_argument(
+        "--self",
+        dest="lint_self",
+        action="store_true",
+        help="lint the linter's own package (src/repro/lint)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="also write the JSON report to this path (any --format)",
+    )
+    return parser
+
+
+def _list_rules(out: IO[str]) -> int:
+    width = max(len(r.id) for r in all_rules())
+    for rule in all_rules():
+        out.write(f"{rule.id:<{width}}  {rule.name}\n")
+        out.write(f"{'':<{width}}  {rule.description}\n")
+    return EXIT_CLEAN
+
+
+def _report_dict(
+    result: LintResult, new: list[Finding], baselined: int
+) -> dict:
+    return {
+        "schema": REPORT_SCHEMA,
+        "version": REPORT_VERSION,
+        "files_checked": result.files_checked,
+        "suppressed": result.suppressed,
+        "baselined": baselined,
+        "findings": [f.to_dict() for f in new],
+        "summary": {
+            "total": len(new),
+            "by_rule": _by_rule(new),
+        },
+    }
+
+
+def _by_rule(findings: list[Finding]) -> dict[str, int]:
+    out: dict[str, int] = {}
+    for f in findings:
+        out[f.rule_id] = out.get(f.rule_id, 0) + 1
+    return dict(sorted(out.items()))
+
+
+def main(
+    argv: Sequence[str] | None = None,
+    out: IO[str] | None = None,
+    err: IO[str] | None = None,
+) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    err = err if err is not None else sys.stderr
+    parser = build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:  # argparse exits on usage errors/--help
+        code = exc.code if isinstance(exc.code, int) else EXIT_USAGE
+        return EXIT_USAGE if code not in (0,) else EXIT_CLEAN
+
+    if args.list_rules:
+        return _list_rules(out)
+
+    root = Path(args.root).resolve() if args.root else Path.cwd()
+    paths = list(args.paths)
+    if args.lint_self:
+        self_dir = Path(__file__).resolve().parent
+        paths.append(str(self_dir))
+    if not paths:
+        default = root / "src"
+        if not default.is_dir():
+            err.write(
+                "repro-lint: no paths given and no src/ under the root\n"
+            )
+            return EXIT_USAGE
+        paths = [str(default)]
+
+    select = args.select.split(",") if args.select else None
+    ignore = args.ignore.split(",") if args.ignore else None
+    try:
+        runner = LintRunner(root, select=select, ignore=ignore)
+        result = runner.run_paths(paths)
+    except FileNotFoundError as exc:
+        err.write(f"repro-lint: {exc}\n")
+        return EXIT_USAGE
+
+    baseline_path = Path(args.baseline) if args.baseline else (
+        root / DEFAULT_BASELINE
+    )
+    if args.update_baseline:
+        Baseline().write(baseline_path, result.findings)
+        out.write(
+            f"wrote {len(result.findings)} finding(s) to "
+            f"{baseline_path}\n"
+        )
+        return EXIT_CLEAN
+
+    if args.no_baseline:
+        new, baselined = list(result.findings), 0
+    else:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (ValueError, json.JSONDecodeError) as exc:
+            err.write(f"repro-lint: bad baseline: {exc}\n")
+            return EXIT_USAGE
+        new, baselined = baseline.filter(result.findings)
+
+    report = _report_dict(result, new, baselined)
+    if args.output:
+        Path(args.output).write_text(
+            json.dumps(report, indent=2) + "\n", encoding="utf-8"
+        )
+
+    if args.format == "json":
+        out.write(json.dumps(report, indent=2) + "\n")
+    elif args.format == "github":
+        for f in new:
+            out.write(f.render_github() + "\n")
+    else:
+        for f in new:
+            out.write(f.render_text() + "\n")
+        tail = (
+            f"{result.files_checked} file(s) checked: "
+            f"{len(new)} finding(s)"
+        )
+        extras = []
+        if result.suppressed:
+            extras.append(f"{result.suppressed} suppressed inline")
+        if baselined:
+            extras.append(f"{baselined} baselined")
+        if extras:
+            tail += f" ({', '.join(extras)})"
+        out.write(tail + "\n")
+
+    return EXIT_FINDINGS if new else EXIT_CLEAN
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,121 @@
+"""RPL106: public-API docstring and annotation coverage for repro.app.
+
+``repro.app`` is the layer user code imports (``CudaSW``,
+``search_batch``, ``SearchResult``); its surface is the contract the
+README and docs teach.  Every public module-level function, class, and
+public method there must carry a docstring, and every public function
+and method must be fully annotated (parameters and return type) —
+that's also what keeps mypy's strict gate meaningful.
+
+Exemptions: ``_private`` names, dunder methods other than ``__init__``
+(``__init__`` still needs annotations — it is the constructor signature
+users call — but the class docstring covers it), and ``@overload``
+stubs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.astutil import dotted_name
+from repro.lint.findings import Finding
+from repro.lint.rules.base import FileContext, Rule, register
+
+__all__ = ["PublicApiDocsRule"]
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _decorator_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    names = set()
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        name = dotted_name(target)
+        if name:
+            names.add(name.split(".")[-1])
+    return names
+
+
+def _missing_annotations(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> list[str]:
+    missing = []
+    args = fn.args
+    positional = [*args.posonlyargs, *args.args, *args.kwonlyargs]
+    for i, arg in enumerate(positional):
+        if i == 0 and arg.arg in ("self", "cls"):
+            continue
+        if arg.annotation is None:
+            missing.append(arg.arg)
+    if args.vararg is not None and args.vararg.annotation is None:
+        missing.append("*" + args.vararg.arg)
+    if args.kwarg is not None and args.kwarg.annotation is None:
+        missing.append("**" + args.kwarg.arg)
+    if fn.returns is None:
+        missing.append("return")
+    return missing
+
+
+@register
+class PublicApiDocsRule(Rule):
+    """Docstring + type coverage of the repro.app public surface."""
+
+    id = "RPL106"
+    name = "public-api-docs"
+    description = (
+        "Public repro.app function/class/method without a docstring or "
+        "with incomplete type annotations"
+    )
+    scope = ("repro/app/",)
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if _is_public(stmt.name):
+                    yield from self._check_function(ctx, stmt, stmt.name)
+            elif isinstance(stmt, ast.ClassDef) and _is_public(stmt.name):
+                yield from self._check_class(ctx, stmt)
+
+    def _check_class(
+        self, ctx: FileContext, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        if ast.get_docstring(cls) is None:
+            yield self.finding(
+                ctx, cls, f"public class {cls.name} has no docstring"
+            )
+        for stmt in cls.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            qualname = f"{cls.name}.{stmt.name}"
+            if stmt.name == "__init__":
+                yield from self._check_function(
+                    ctx, stmt, qualname, need_docstring=False
+                )
+            elif _is_public(stmt.name):
+                yield from self._check_function(ctx, stmt, qualname)
+
+    def _check_function(
+        self,
+        ctx: FileContext,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        qualname: str,
+        *,
+        need_docstring: bool = True,
+    ) -> Iterator[Finding]:
+        if "overload" in _decorator_names(fn):
+            return
+        if need_docstring and ast.get_docstring(fn) is None:
+            yield self.finding(
+                ctx, fn, f"public {qualname}() has no docstring"
+            )
+        missing = _missing_annotations(fn)
+        if missing:
+            yield self.finding(
+                ctx,
+                fn,
+                f"public {qualname}() has unannotated "
+                f"{', '.join(missing)}",
+            )

@@ -1,0 +1,74 @@
+"""RPL105: bare excepts and swallowed results in executor code paths.
+
+The fault-tolerant executor's whole design is that *every* failure is
+observed — counted, retried, or surfaced with partial results.  A bare
+``except:`` (which also catches ``KeyboardInterrupt`` and
+``SystemExit``) or an ``except ...: pass`` handler is the opposite: a
+failure mode that vanishes without a counter increment or a retry,
+exactly the "silently wrong" class the paper's Section III post-mortem
+warns about.
+
+Flagged, in engine/app/CLI modules:
+
+* ``except:`` with no exception type, anywhere;
+* any handler whose body is only ``pass``/``...``/``continue`` — the
+  result (or the error) is swallowed.  Deliberate best-effort teardown
+  paths carry an inline ``# repro-lint: disable=RPL105`` with a
+  justification comment, which is the documented escape hatch.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.rules.base import FileContext, Rule, register
+
+__all__ = ["ExceptSwallowRule"]
+
+
+def _is_noop(stmt: ast.stmt) -> bool:
+    if isinstance(stmt, (ast.Pass, ast.Continue)):
+        return True
+    return isinstance(stmt, ast.Expr) and (
+        isinstance(stmt.value, ast.Constant) and stmt.value.value is Ellipsis
+    )
+
+
+@register
+class ExceptSwallowRule(Rule):
+    """Flag bare excepts and pass-only handlers."""
+
+    id = "RPL105"
+    name = "except-swallow"
+    description = (
+        "Bare except:, or an exception handler that only passes: the "
+        "failure disappears without a counter, retry or log"
+    )
+    scope = (
+        "repro/engine/",
+        "repro/app/",
+        "repro/cli.py",
+        "repro/obs/",
+    )
+
+    def visit_ExceptHandler(
+        self, node: ast.ExceptHandler, ctx: FileContext
+    ) -> Iterator[Finding]:
+        if node.type is None:
+            yield self.finding(
+                ctx,
+                node,
+                "bare except: catches KeyboardInterrupt/SystemExit too; "
+                "name the exceptions this path can actually handle",
+            )
+            return
+        if all(_is_noop(stmt) for stmt in node.body):
+            yield self.finding(
+                ctx,
+                node,
+                "exception swallowed: handler body is only pass — count "
+                "it, retry it, or re-raise (suppress inline with a "
+                "justification if this teardown is genuinely best-effort)",
+            )

@@ -1,0 +1,115 @@
+"""RPL103: unseeded randomness in deterministic subsystems.
+
+Determinism is a contract, not a style choice: the fault-tolerant
+executor recomputes lost work and asserts bit-identical scores, the
+equivalence suites compare engines on generated databases, and the
+paper-exhibit pipeline must regenerate the same figures from the same
+seeds.  A single unseeded draw anywhere in those paths makes failures
+unreproducible.  Inside the scoped modules every random draw must flow
+from an explicit ``rng`` parameter or seed:
+
+* ``np.random.default_rng()`` / ``np.random.Generator(...)`` without a
+  seed argument;
+* any legacy global-state ``np.random.<fn>()`` call (``rand``,
+  ``randint``, ``shuffle``, ``seed``, ...);
+* module-level ``random.<fn>()`` calls and ``random.Random()`` with no
+  seed.
+
+Calls on an ``rng`` object that was passed in are fine — the seed
+decision happened at the boundary, which is the point.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.astutil import call_name
+from repro.lint.findings import Finding
+from repro.lint.rules.base import FileContext, Rule, register
+
+__all__ = ["UnseededRandomRule"]
+
+#: ``random`` module functions that read or mutate the global state.
+_STDLIB_GLOBAL = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "uniform",
+        "choice",
+        "choices",
+        "sample",
+        "shuffle",
+        "gauss",
+        "normalvariate",
+        "expovariate",
+        "betavariate",
+        "triangular",
+        "seed",
+        "getrandbits",
+        "randbytes",
+    }
+)
+
+
+@register
+class UnseededRandomRule(Rule):
+    """Forbid unseeded RNG use where determinism is contractual."""
+
+    id = "RPL103"
+    name = "unseeded-random"
+    description = (
+        "Unseeded random/np.random call in a determinism-contract "
+        "module: thread an explicit rng or seed parameter instead"
+    )
+    scope = (
+        "repro/engine/",
+        "repro/kernels/",
+        "repro/sequence/synthetic.py",
+        "repro/sequence/mutate.py",
+    )
+
+    def visit_Call(
+        self, node: ast.Call, ctx: FileContext
+    ) -> Iterator[Finding]:
+        name = call_name(node)
+        if name is None:
+            return
+        seeded = bool(node.args) or bool(node.keywords)
+        if name in ("np.random.default_rng", "numpy.random.default_rng"):
+            if not seeded:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "np.random.default_rng() without a seed: results "
+                    "are unreproducible; accept an rng/seed parameter",
+                )
+            return
+        if name.startswith(("np.random.", "numpy.random.")):
+            yield self.finding(
+                ctx,
+                node,
+                f"legacy global-state call {name}(): use an explicit "
+                f"np.random.Generator threaded from the caller",
+            )
+            return
+        if name == "random.Random":
+            if not seeded:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "random.Random() without a seed: pass an explicit "
+                    "seed so retries/backoff replay deterministically",
+                )
+            return
+        parts = name.split(".")
+        if len(parts) == 2 and parts[0] == "random" and (
+            parts[1] in _STDLIB_GLOBAL
+        ):
+            yield self.finding(
+                ctx,
+                node,
+                f"global-state call {name}(): draw from an explicit "
+                f"seeded random.Random/np.random.Generator instead",
+            )

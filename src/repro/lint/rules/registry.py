@@ -1,0 +1,218 @@
+"""RPL104: counter/span names must match the documented registry.
+
+``docs/observability.md`` is the contract for every counter and span
+name the instrumentation emits — the reproduction's Table I registry.
+Nothing used to keep code and document in sync: a counter renamed in
+``engine/pack.py`` (or a new one added) silently orphaned its
+documentation, and dashboards built on the documented names broke.
+
+The document carries machine-readable registry sections delimited by
+HTML comments::
+
+    <!-- repro-lint:counter-registry -->
+    | `engine.pack.groups` | ... |
+    | `kernel.*` | ... |
+    <!-- /repro-lint:counter-registry -->
+
+(and the same with ``span-registry``).  The first backticked token on
+each line inside the markers is a registered name (descriptions may
+backtick other identifiers freely); a trailing ``.*`` makes it a
+prefix wildcard, reserved for genuinely dynamic families such as the
+per-kernel ``kernel.<name>.*`` ledger.
+
+The rule enforces both directions:
+
+* every string literal passed to ``instr.count(...)`` / ``instr.span(...)``
+  in the source tree must be registered (exactly, or under a wildcard);
+* every *exact* registered name must appear as a literal somewhere in
+  the source tree — stale documentation fails the build too.  Wildcards
+  are exempt from this direction, since their members are built at
+  runtime.
+
+By convention the ambient instrumentation handle is named ``instr``
+(see ``repro.obs.context``); only calls through that name are
+collected, so unrelated ``str.count`` / ``Span``-like APIs do not leak
+into the registry.  A span name forwarded into a helper must travel as
+an explicit ``span_name="..."`` keyword at the call site — that keeps
+the literal statically visible to this rule.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.lint.astutil import str_arg
+from repro.lint.findings import Finding
+from repro.lint.rules.base import FileContext, Rule, register
+
+__all__ = ["CounterRegistryRule", "parse_registry"]
+
+#: The doc carrying the registry sections, repo-relative.
+REGISTRY_DOC = "docs/observability.md"
+
+_MARKER = re.compile(
+    r"<!--\s*repro-lint:(counter|span)-registry\s*-->"
+    r"(.*?)"
+    r"<!--\s*/repro-lint:\1-registry\s*-->",
+    re.DOTALL,
+)
+_BACKTICKED = re.compile(r"`([^`\s]+)`")
+
+
+def parse_registry(markdown: str) -> tuple[set[str], set[str], set[str]]:
+    """Extract (exact counters, counter prefixes, span names) from the
+    registry sections of ``markdown``.
+
+    Only the *first* backticked token of each line registers — table
+    rows put the name in the first column and may mention classes or
+    other identifiers in their description.  Prefixes come from
+    ``name.*`` wildcard entries, with the ``*`` stripped (the dot is
+    kept so ``kernel.*`` cannot accidentally cover ``kernelx``).
+    """
+    counters: set[str] = set()
+    prefixes: set[str] = set()
+    spans: set[str] = set()
+    for match in _MARKER.finditer(markdown):
+        kind, body = match.group(1), match.group(2)
+        for line in body.splitlines():
+            first = _BACKTICKED.search(line)
+            if first is None:
+                continue
+            token = first.group(1)
+            if kind == "span":
+                spans.add(token)
+            elif token.endswith(".*"):
+                prefixes.add(token[:-1])  # keep the trailing dot
+            else:
+                counters.add(token)
+    return counters, prefixes, spans
+
+
+@register
+class CounterRegistryRule(Rule):
+    """Reconcile instr.count/span literals with docs/observability.md."""
+
+    id = "RPL104"
+    name = "counter-registry"
+    description = (
+        "Counter/span name used in code but absent from the "
+        "docs/observability.md registry (or registered but unused): "
+        "the observability contract drifted"
+    )
+    # Everything instrumented; the linter's own fixtures are excluded.
+    scope = ("repro/",)
+
+    def __init__(self) -> None:
+        #: name -> first (ctx.path, node) using it.
+        self.counters_used: dict[str, tuple[str, int, int]] = {}
+        self.spans_used: dict[str, tuple[str, int, int]] = {}
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if ctx.module_path.startswith("repro/lint/"):
+            return False
+        return super().applies_to(ctx)
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        """Collect literals; reconciliation happens in :meth:`finish`."""
+        # Span names forwarded into a helper travel as an explicit
+        # span_name= keyword (the documented convention), so the
+        # literal stays visible at the call site.
+        for kw in node.keywords:
+            if kw.arg == "span_name" and (
+                isinstance(kw.value, ast.Constant)
+                and isinstance(kw.value.value, str)
+            ):
+                self.spans_used.setdefault(
+                    kw.value.value,
+                    (ctx.path, node.lineno, node.col_offset),
+                )
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return None
+        if not (
+            isinstance(func.value, ast.Name) and func.value.id == "instr"
+        ):
+            return None
+        if func.attr not in ("count", "span"):
+            return None
+        literal = str_arg(node)
+        if literal is None:
+            return None
+        used = self.counters_used if func.attr == "count" else self.spans_used
+        used.setdefault(literal, (ctx.path, node.lineno, node.col_offset))
+        return None
+
+    def finish(self, project) -> Iterator[Finding]:
+        doc_path = project.root / REGISTRY_DOC
+        if not self.counters_used and not self.spans_used:
+            return
+        if not doc_path.is_file():
+            yield self._doc_finding(
+                f"instrumentation names are used but the registry "
+                f"document {REGISTRY_DOC} does not exist",
+            )
+            return
+        exact, prefixes, spans = parse_registry(
+            doc_path.read_text(encoding="utf-8")
+        )
+        if not exact and not prefixes and not spans:
+            yield self._doc_finding(
+                f"{REGISTRY_DOC} has no repro-lint registry sections "
+                f"(<!-- repro-lint:counter-registry --> markers)",
+            )
+            return
+        for name, (path, line, col) in sorted(self.counters_used.items()):
+            if name in exact or any(name.startswith(p) for p in prefixes):
+                continue
+            yield Finding(
+                path=path,
+                line=line,
+                col=col,
+                rule_id=self.id,
+                rule_name=self.name,
+                message=(
+                    f"counter {name!r} is not in the {REGISTRY_DOC} "
+                    f"registry: document it (or fix the name)"
+                ),
+                severity=self.severity,
+            )
+        for name, (path, line, col) in sorted(self.spans_used.items()):
+            if name in spans:
+                continue
+            yield Finding(
+                path=path,
+                line=line,
+                col=col,
+                rule_id=self.id,
+                rule_name=self.name,
+                message=(
+                    f"span {name!r} is not in the {REGISTRY_DOC} "
+                    f"registry: document it (or fix the name)"
+                ),
+                severity=self.severity,
+            )
+        for name in sorted(exact - set(self.counters_used)):
+            yield self._doc_finding(
+                f"registered counter {name!r} is never emitted by the "
+                f"linted sources: stale documentation (delete the entry "
+                f"or restore the counter)",
+            )
+        for name in sorted(spans - set(self.spans_used)):
+            yield self._doc_finding(
+                f"registered span {name!r} is never opened by the "
+                f"linted sources: stale documentation (delete the entry "
+                f"or restore the span)",
+            )
+
+    def _doc_finding(self, message: str) -> Finding:
+        return Finding(
+            path=REGISTRY_DOC,
+            line=0,
+            col=0,
+            rule_id=self.id,
+            rule_name=self.name,
+            message=message,
+            severity=self.severity,
+        )

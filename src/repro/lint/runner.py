@@ -1,0 +1,200 @@
+"""Driving the rules over a source tree.
+
+:class:`LintRunner` discovers files, parses each once, fans the rule
+set over the ASTs, runs the cross-file ``finish`` hooks, and applies
+inline suppressions — producing a :class:`LintResult` the CLI renders.
+``run_sources`` accepts an in-memory ``{path: source}`` map so rule
+tests exercise fixture snippets without touching the filesystem.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import FileContext, Rule, all_rules
+from repro.lint.suppress import SuppressionMap, scan_suppressions
+
+__all__ = ["LintRunner", "LintResult", "Project"]
+
+#: Directory names never descended into during discovery.
+_SKIP_DIRS = frozenset(
+    {"__pycache__", ".git", ".venv", "venv", "node_modules", ".mypy_cache"}
+)
+
+
+@dataclass
+class Project:
+    """What cross-file ``finish`` hooks get to see."""
+
+    root: Path
+    file_paths: list[str] = field(default_factory=list)
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    findings: list[Finding]
+    suppressed: int = 0  #: findings silenced by inline directives
+    files_checked: int = 0
+
+    @property
+    def errors(self) -> list[Finding]:
+        """Only the error-severity findings."""
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+
+def _module_path(rel_path: str) -> str:
+    """The scope-matching path: from the last ``repro/`` component on.
+
+    Paths that do not contain a ``repro`` package component (test
+    fixtures, scratch files) scope as themselves.
+    """
+    parts = rel_path.replace("\\", "/").split("/")
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            return "/".join(parts[i:])
+    return "/".join(parts)
+
+
+class LintRunner:
+    """Run a rule set over files or in-memory sources."""
+
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        *,
+        rules: Sequence[Rule] | None = None,
+        select: Iterable[str] | None = None,
+        ignore: Iterable[str] | None = None,
+    ) -> None:
+        self.root = Path(root or Path.cwd()).resolve()
+        chosen = list(rules) if rules is not None else all_rules()
+        if select is not None:
+            wanted = set(select)
+            chosen = [
+                r for r in chosen if r.id in wanted or r.name in wanted
+            ]
+        if ignore is not None:
+            dropped = set(ignore)
+            chosen = [
+                r
+                for r in chosen
+                if r.id not in dropped and r.name not in dropped
+            ]
+        self.rules = chosen
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def run_paths(self, paths: Sequence[str | Path]) -> LintResult:
+        """Lint files/directories on disk."""
+        sources: dict[str, str] = {}
+        unreadable: list[tuple[str, str]] = []
+        for path in self._discover(paths):
+            rel = self._relative(path)
+            try:
+                sources[rel] = path.read_text(encoding="utf-8")
+            except (OSError, UnicodeDecodeError) as exc:
+                unreadable.append((rel, str(exc)))
+        result = self.run_sources(sources)
+        for rel, reason in unreadable:
+            result.findings.append(
+                Finding(
+                    path=rel,
+                    line=0,
+                    col=0,
+                    rule_id="RPL100",
+                    rule_name="parse-error",
+                    message=f"file could not be read: {reason}",
+                )
+            )
+        result.findings.sort()
+        result.files_checked += len(unreadable)
+        return result
+
+    def run_sources(self, sources: Mapping[str, str]) -> LintResult:
+        """Lint an in-memory ``{relative_path: source}`` mapping."""
+        project = Project(root=self.root, file_paths=sorted(sources))
+        raw: list[Finding] = []
+        suppressions: dict[str, SuppressionMap] = {}
+        for rel in sorted(sources):
+            source = sources[rel]
+            suppressions[rel] = scan_suppressions(source)
+            try:
+                tree = ast.parse(source)
+            except SyntaxError as exc:
+                raw.append(
+                    Finding(
+                        path=rel,
+                        line=exc.lineno or 0,
+                        col=(exc.offset or 1) - 1,
+                        rule_id="RPL100",
+                        rule_name="parse-error",
+                        message=f"file does not parse: {exc.msg}",
+                    )
+                )
+                continue
+            ctx = FileContext(
+                path=rel,
+                module_path=_module_path(rel),
+                source=source,
+                tree=tree,
+            )
+            for rule in self.rules:
+                if rule.applies_to(ctx):
+                    raw.extend(rule.check_file(ctx))
+        for rule in self.rules:
+            raw.extend(rule.finish(project))
+
+        kept: list[Finding] = []
+        suppressed = 0
+        for f in raw:
+            smap = suppressions.get(f.path)
+            if smap is not None and smap.is_suppressed(
+                f.line, f.rule_id, f.rule_name
+            ):
+                suppressed += 1
+            else:
+                kept.append(f)
+        kept.sort()
+        return LintResult(
+            findings=kept,
+            suppressed=suppressed,
+            files_checked=len(sources),
+        )
+
+    # ------------------------------------------------------------------
+    # Discovery
+    # ------------------------------------------------------------------
+    def _discover(self, paths: Sequence[str | Path]) -> list[Path]:
+        out: list[Path] = []
+        seen: set[Path] = set()
+        for raw in paths:
+            path = Path(raw)
+            if not path.is_absolute():
+                path = self.root / path
+            if path.is_file():
+                candidates: Iterable[Path] = [path]
+            elif path.is_dir():
+                candidates = sorted(path.rglob("*.py"))
+            else:
+                raise FileNotFoundError(f"no such file or directory: {raw}")
+            for candidate in candidates:
+                if any(part in _SKIP_DIRS for part in candidate.parts):
+                    continue
+                resolved = candidate.resolve()
+                if resolved not in seen:
+                    seen.add(resolved)
+                    out.append(resolved)
+        return out
+
+    def _relative(self, path: Path) -> str:
+        try:
+            return path.relative_to(self.root).as_posix()
+        except ValueError:
+            return path.as_posix()

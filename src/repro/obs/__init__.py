@@ -41,6 +41,7 @@ or, turnkey, ``app.search(query, db, collect="full")`` followed by
 from repro.obs.context import (
     COLLECT_MODES,
     NO_OP,
+    AnyInstrumentation,
     Instrumentation,
     collect,
     current,
@@ -52,6 +53,7 @@ from repro.obs.spans import Span, Tracer, render_forest
 __all__ = [
     "COLLECT_MODES",
     "NO_OP",
+    "AnyInstrumentation",
     "Instrumentation",
     "collect",
     "current",

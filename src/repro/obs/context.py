@@ -24,10 +24,11 @@ from typing import Iterator
 
 from repro.cuda.counts import KernelCounts
 from repro.obs.counters import CounterRegistry
-from repro.obs.spans import Tracer
+from repro.obs.spans import Tracer, _SpanContext
 
 __all__ = [
     "COLLECT_MODES",
+    "AnyInstrumentation",
     "Instrumentation",
     "NO_OP",
     "collect",
@@ -57,7 +58,7 @@ class _NullContext:
     def __enter__(self) -> None:
         return None
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         return None
 
 
@@ -84,7 +85,7 @@ class Instrumentation:
     def enabled(self) -> bool:
         return True
 
-    def span(self, name: str):
+    def span(self, name: str) -> _SpanContext | _NullContext:
         """Timed region context manager (no-op in ``counters`` mode)."""
         if self.tracer is None:
             return _NULL_CONTEXT
@@ -114,7 +115,7 @@ class _NoOpInstrumentation:
     counters = None
     tracer = None
 
-    def span(self, name: str):
+    def span(self, name: str) -> _NullContext:
         return _NULL_CONTEXT
 
     def count(self, name: str, value: int = 1) -> None:
@@ -126,16 +127,23 @@ class _NoOpInstrumentation:
 
 NO_OP = _NoOpInstrumentation()
 
-_ACTIVE: ContextVar = ContextVar("repro_obs_active", default=NO_OP)
+#: What instrumented code actually receives: a live session or the
+#: inert singleton.  Both expose the same span/count/count_kernel
+#: surface, so instrumentation sites take this union.
+AnyInstrumentation = Instrumentation | _NoOpInstrumentation
+
+_ACTIVE: ContextVar[AnyInstrumentation] = ContextVar(
+    "repro_obs_active", default=NO_OP
+)
 
 
-def current() -> Instrumentation | _NoOpInstrumentation:
+def current() -> AnyInstrumentation:
     """The ambient instrumentation (:data:`NO_OP` when none active)."""
     return _ACTIVE.get()
 
 
 @contextmanager
-def collect(mode: str = "full") -> Iterator[Instrumentation]:
+def collect(mode: str = "full") -> Iterator[AnyInstrumentation]:
     """Activate a fresh :class:`Instrumentation` for the enclosed block.
 
     ``collect("off")`` yields :data:`NO_OP` (and deactivates any outer

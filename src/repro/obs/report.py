@@ -19,10 +19,14 @@ import json
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
-from repro.obs.context import Instrumentation
+from repro.obs.context import AnyInstrumentation
 from repro.obs.spans import Span
+
+if TYPE_CHECKING:
+    from repro.app.cudasw import SearchReport
+    from repro.engine import EngineReport
 
 __all__ = ["RunReport", "SCHEMA_VERSION", "sanitize_metric_name"]
 
@@ -32,7 +36,7 @@ SCHEMA_VERSION = 1
 _PROM_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
 
 
-def _engine_report_dict(engine_report) -> dict[str, Any]:
+def _engine_report_dict(engine_report: EngineReport) -> dict[str, Any]:
     return {
         "group_size": engine_report.group_size,
         "workers": engine_report.workers,
@@ -46,7 +50,7 @@ def _engine_report_dict(engine_report) -> dict[str, Any]:
     }
 
 
-def _search_report_dict(search_report) -> dict[str, Any]:
+def _search_report_dict(search_report: SearchReport) -> dict[str, Any]:
     return {
         "device": search_report.device,
         "query_length": search_report.query_length,
@@ -82,10 +86,10 @@ class RunReport:
     @classmethod
     def from_instrumentation(
         cls,
-        instr: Instrumentation,
+        instr: AnyInstrumentation,
         *,
-        engine_report=None,
-        search_report=None,
+        engine_report: EngineReport | None = None,
+        search_report: SearchReport | None = None,
         meta: dict[str, Any] | None = None,
     ) -> "RunReport":
         """Snapshot a finished collection session into a report.

@@ -20,6 +20,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
+from typing import Iterable
 
 __all__ = ["Span", "Tracer", "render_forest"]
 
@@ -75,7 +76,7 @@ class _SpanContext:
         stack.append(self._span)
         return self._span
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         span = self._span
         span.seconds = (
             time.perf_counter() - self._tracer._epoch
@@ -132,7 +133,7 @@ class Tracer:
         return render_forest(self.roots)
 
 
-def render_forest(spans) -> str:
+def render_forest(spans: Iterable[Span]) -> str:
     """Indented tree of a span forest; same-name siblings aggregate into
     one line (``sweep x8``) so per-group spans stay readable."""
     lines: list[str] = []

@@ -80,7 +80,7 @@ def sw_score_antidiagonal_ends(
         # H[i,j] = max(0, E, F, H[i-1,j-1] + w); (i-1, j-1) on diagonal k-2.
         # For i = lo..hi the database index j-1 = k-i-1 runs *down* from
         # k-lo-1 to k-hi-1.
-        d_idx = (k - 1) - np.arange(lo, hi + 1)
+        d_idx = (k - 1) - np.arange(lo, hi + 1, dtype=np.int64)
         subs = W[q[lo - 1 : hi], d[d_idx]]
         h_cur_v = np.maximum(
             np.maximum(e_cur_v, f_cur_v), h_prev2[i_minus1] + subs

@@ -1,0 +1,80 @@
+"""Baseline round-trip: write, load, filter, ratchet semantics."""
+
+import json
+
+import pytest
+
+from repro.lint.baseline import BASELINE_SCHEMA, Baseline
+from repro.lint.findings import Finding
+
+
+def make_finding(message="np.zeros without dtype", line=10):
+    return Finding(
+        path="repro/kernels/k.py",
+        line=line,
+        col=4,
+        rule_id="RPL102",
+        rule_name="dtype-stability",
+        message=message,
+    )
+
+
+class TestRoundTrip:
+    def test_write_then_load_absorbs_same_findings(self, tmp_path):
+        findings = [make_finding(), make_finding(message="other", line=20)]
+        path = tmp_path / "baseline.json"
+        Baseline().write(path, findings)
+        loaded = Baseline.load(path)
+        new, absorbed = loaded.filter(findings)
+        assert new == []
+        assert absorbed == 2
+
+    def test_fingerprint_is_line_insensitive(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline().write(path, [make_finding(line=10)])
+        moved = [make_finding(line=99)]  # same defect, file edited above it
+        new, absorbed = Baseline.load(path).filter(moved)
+        assert new == []
+        assert absorbed == 1
+
+    def test_second_instance_overflows_the_budget(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline().write(path, [make_finding()])
+        two = [make_finding(line=10), make_finding(line=30)]
+        new, absorbed = Baseline.load(path).filter(two)
+        assert absorbed == 1
+        assert len(new) == 1  # the ratchet: duplicates are new findings
+
+    def test_new_finding_is_not_absorbed(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline().write(path, [make_finding()])
+        fresh = [make_finding(message="a brand new defect")]
+        new, absorbed = Baseline.load(path).filter(fresh)
+        assert absorbed == 0
+        assert len(new) == 1
+
+
+class TestSchema:
+    def test_document_shape(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline().write(path, [make_finding()])
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == BASELINE_SCHEMA
+        assert doc["version"] == 1
+        (entry,) = doc["findings"].values()
+        assert entry == {
+            "rule": "RPL102",
+            "path": "repro/kernels/k.py",
+            "message": "np.zeros without dtype",
+            "count": 1,
+        }
+
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "absent.json")
+        assert len(baseline) == 0
+
+    def test_foreign_schema_is_rejected(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"schema": "something.else", "findings": {}}')
+        with pytest.raises(ValueError, match="not a lint baseline"):
+            Baseline.load(path)
