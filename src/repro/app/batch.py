@@ -9,11 +9,12 @@ GCUPs.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 from repro.app.cudasw import CudaSW, SearchReport
 from repro.app.results import SearchResult
-from repro.engine import FaultPolicy
+from repro.engine import FaultPolicy, MemoryBudget
 from repro.obs import (
     COLLECT_MODES,
     RunReport,
@@ -83,6 +84,9 @@ def search_batch(
     engine: str = "batched",
     workers: int = 1,
     fault_policy: FaultPolicy | None = None,
+    checkpoint: str | os.PathLike | None = None,
+    resume: bool = False,
+    memory_budget: MemoryBudget | None = None,
     collect: str = "off",
 ) -> tuple[list[SearchResult], BatchReport]:
     """Functionally search every query; returns per-query results plus
@@ -98,6 +102,14 @@ def search_batch(
     query that exceeds it raises
     :class:`~repro.engine.SearchDeadlineExceeded` with that query's
     partial scores attached.
+
+    ``checkpoint`` names a *base* path for crash-safe write-ahead
+    journals, one per query: query ``i`` journals to
+    ``<checkpoint>.q<i>`` (zero-padded).  With ``resume=True``,
+    already-complete queries replay entirely from their journals and a
+    partially journaled query recomputes only its missing groups, so a
+    killed campaign restarts from where it died.  ``memory_budget``
+    caps per-group sweep memory exactly as in :meth:`CudaSW.search`.
 
     ``collect`` (``"off"|"counters"|"full"``) opens one campaign-level
     observability session spanning every query: per-query phase spans
@@ -115,10 +127,16 @@ def search_batch(
     def run() -> tuple[list[SearchResult], BatchReport]:
         results = []
         reports = []
-        for query in queries:
+        for i, query in enumerate(queries):
+            journal_path = (
+                None
+                if checkpoint is None
+                else f"{os.fspath(checkpoint)}.q{i:04d}"
+            )
             result, report = app.search(
                 query, db, engine=engine, workers=workers,
-                fault_policy=fault_policy,
+                fault_policy=fault_policy, checkpoint=journal_path,
+                resume=resume, memory_budget=memory_budget,
             )
             results.append(result)
             reports.append(report)

@@ -14,6 +14,7 @@ executable: configure a device, an intra-task kernel generation
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
@@ -33,7 +34,7 @@ from repro.kernels.intratask_original import OriginalIntraTaskKernel
 from repro.app.results import SearchResult
 from repro.app.scheduler import schedule_inter_task
 from repro.app.transfer import TransferModel
-from repro.engine import BatchedEngine, EngineReport, FaultPolicy
+from repro.engine import BatchedEngine, EngineReport, FaultPolicy, MemoryBudget
 from repro.obs import (
     COLLECT_MODES,
     RunReport,
@@ -286,6 +287,9 @@ class CudaSW:
         workers: int = 1,
         group_size: int | None = None,
         fault_policy: FaultPolicy | None = None,
+        checkpoint: str | os.PathLike | None = None,
+        resume: bool = False,
+        memory_budget: MemoryBudget | None = None,
         simulate_kernels: bool = False,
         collect: str = "off",
     ) -> tuple[SearchResult, SearchReport]:
@@ -315,6 +319,29 @@ class CudaSW:
             carrying partial scores).  Only the batched engine
             dispatches work units, so combining a policy with another
             engine or ``simulate_kernels`` is an error.
+        checkpoint:
+            Path of a crash-safe write-ahead journal
+            (:class:`~repro.engine.CheckpointJournal`): every completed
+            group's scores are durably appended as the search runs, so
+            a ``SIGKILL``/OOM/reboot costs at most the group in flight.
+            Batched engine only (like ``fault_policy``).  A search that
+            dies behind a deadline
+            (:class:`~repro.engine.SearchDeadlineExceeded`) leaves its
+            completed groups in the journal, so it is resumable too.
+        resume:
+            With ``checkpoint``: replay the existing journal (validated
+            against a content fingerprint of query + database + scoring
+            parameters; a stale or corrupt journal raises
+            :class:`~repro.engine.CheckpointError` instead of being
+            merged) and recompute only the unjournaled groups.  Scores
+            are bit-identical to an uninterrupted run.  Without
+            ``resume``, an existing journal is truncated and the search
+            starts fresh.
+        memory_budget:
+            Optional :class:`~repro.engine.MemoryBudget` capping any
+            single packed group's estimated sweep working set; oversized
+            groups are split at packing time instead of OOM-killing the
+            process (batched engine only; scores unchanged).
         simulate_kernels:
             When true, every pair runs through the dispatched kernel's
             functional simulator instead of ``engine`` (slow; small
@@ -348,23 +375,30 @@ class CudaSW:
             raise ValueError(
                 f"engine must be one of {SEARCH_ENGINES}, got {engine!r}"
             )
-        if fault_policy is not None and (
-            engine != "batched" or simulate_kernels
-        ):
-            raise ValueError(
-                "fault_policy applies to the batched engine only "
-                f"(got engine={engine!r}, simulate_kernels={simulate_kernels})"
-            )
+        batched_only = {
+            "fault_policy": fault_policy,
+            "checkpoint": checkpoint,
+            "memory_budget": memory_budget,
+        }
+        for name, value in batched_only.items():
+            if value is not None and (engine != "batched" or simulate_kernels):
+                raise ValueError(
+                    f"{name} applies to the batched engine only "
+                    f"(got engine={engine!r}, "
+                    f"simulate_kernels={simulate_kernels})"
+                )
+        if resume and checkpoint is None:
+            raise ValueError("resume=True requires a checkpoint path")
 
         if collect == "off" or obs_current().enabled:
             return self._search_traced(
                 query, db, engine, workers, group_size, fault_policy,
-                simulate_kernels,
+                checkpoint, resume, memory_budget, simulate_kernels,
             )
         with obs_collect(collect) as instr:
             result, report = self._search_traced(
                 query, db, engine, workers, group_size, fault_policy,
-                simulate_kernels,
+                checkpoint, resume, memory_budget, simulate_kernels,
             )
         self.last_run_report = RunReport.from_instrumentation(
             instr,
@@ -390,6 +424,9 @@ class CudaSW:
         workers: int,
         group_size: int | None,
         fault_policy: FaultPolicy | None,
+        checkpoint: str | os.PathLike | None,
+        resume: bool,
+        memory_budget: MemoryBudget | None,
         simulate_kernels: bool,
     ) -> tuple[SearchResult, SearchReport]:
         """The search pipeline, phases wrapped in ambient-tracer spans."""
@@ -422,13 +459,16 @@ class CudaSW:
                     self.gaps,
                     workers=workers,
                     fault_policy=fault_policy,
+                    memory_budget=memory_budget,
                     **(
                         {}
                         if group_size is None
                         else {"group_size": group_size}
                     ),
                 )
-                scores, self.last_engine_report = batched.search(q_codes, db)
+                scores, self.last_engine_report = batched.search(
+                    q_codes, db, checkpoint=checkpoint, resume=resume
+                )
             else:
                 score_pair = (
                     sw_score_scalar

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -76,3 +78,22 @@ class SearchResult:
                 "sequences share it; look scores up by index instead"
             )
         return int(self.scores[first])
+
+    def write_tsv(self, path: str | os.PathLike) -> Path:
+        """Write every sequence's score as TSV, atomically.
+
+        Columns: database index, sequence id, length, score — one row
+        per database sequence in database order.  The file lands via
+        temp-file-plus-rename (fsync'd), so a crash mid-write can never
+        leave a truncated score table behind: readers see the previous
+        version or the complete new one.
+        """
+        from repro.engine.checkpoint import atomic_write_text
+
+        lines = [f"# query\t{self.query_id}", "# index\tid\tlength\tscore"]
+        for i in range(len(self.scores)):
+            lines.append(
+                f"{i}\t{self.ids[i]}\t{int(self.lengths[i])}"
+                f"\t{int(self.scores[i])}"
+            )
+        return atomic_write_text(path, "\n".join(lines) + "\n")

@@ -115,6 +115,35 @@ def build_parser() -> argparse.ArgumentParser:
         "(1 = serial)",
     )
     p_search.add_argument(
+        "--group-size", type=int, default=None, metavar="N",
+        help="lanes per batched group (default: the engine's tuned "
+        "default; batched engine only)",
+    )
+    p_search.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="crash-safe write-ahead journal: append each completed "
+        "group's scores to PATH (fsync'd, CRC-checked) so a killed "
+        "search can be resumed with --resume (batched engine only)",
+    )
+    p_search.add_argument(
+        "--resume", action="store_true",
+        help="replay the --checkpoint journal (content-validated "
+        "against this query/database/scoring) and recompute only the "
+        "unjournaled groups; scores are bit-identical to an "
+        "uninterrupted run",
+    )
+    p_search.add_argument(
+        "--memory-budget-mb", type=float, default=None, metavar="MB",
+        help="cap any single group's estimated sweep working set at MB "
+        "mebibytes; oversized groups are split at packing time instead "
+        "of OOM-killing the process (batched engine only)",
+    )
+    p_search.add_argument(
+        "--scores-out", metavar="PATH", default=None,
+        help="write every sequence's score as TSV to PATH (atomic "
+        "temp-file-plus-rename write)",
+    )
+    p_search.add_argument(
         "--timeout", type=float, default=None, metavar="SECONDS",
         help="abandon and retry any dispatched work unit running longer "
         "than this (batched engine with --workers > 1; default: never)",
@@ -224,7 +253,11 @@ def _fault_policy(args):
 
 def _cmd_search(args, out: IO[str]) -> int:
     from repro import obs
-    from repro.engine import SearchDeadlineExceeded
+    from repro.engine import (
+        CheckpointError,
+        MemoryBudget,
+        SearchDeadlineExceeded,
+    )
     from repro.stats import ScoreStatistics, annotate_hits
 
     matrix, gaps = _scoring(args)
@@ -239,6 +272,13 @@ def _cmd_search(args, out: IO[str]) -> int:
     )
     try:
         fault_policy = _fault_policy(args)
+        memory_budget = (
+            None
+            if args.memory_budget_mb is None
+            else MemoryBudget.from_megabytes(args.memory_budget_mb)
+        )
+        if args.resume and args.checkpoint is None:
+            raise ValueError("--resume requires --checkpoint PATH")
     except ValueError as exc:
         print(f"error: {exc}", file=out)
         return 2
@@ -249,7 +289,9 @@ def _cmd_search(args, out: IO[str]) -> int:
         try:
             result, report = app.search(
                 query, db, engine=args.engine, workers=args.workers,
-                fault_policy=fault_policy,
+                group_size=args.group_size, fault_policy=fault_policy,
+                checkpoint=args.checkpoint, resume=args.resume,
+                memory_budget=memory_budget,
             )
         except SearchDeadlineExceeded as exc:
             done = (
@@ -261,7 +303,25 @@ def _cmd_search(args, out: IO[str]) -> int:
                 f"error: {exc} ({done}/{len(db)} sequences scored)",
                 file=out,
             )
+            if args.checkpoint is not None:
+                print(
+                    f"# checkpoint journal: {args.checkpoint} — completed "
+                    "groups are saved; rerun with --resume to finish",
+                    file=out,
+                )
             return 3
+        except CheckpointError as exc:
+            print(f"error: {exc}", file=out)
+            return 2
+        except KeyboardInterrupt:
+            if args.checkpoint is not None:
+                print(
+                    f"# interrupted; checkpoint journal: {args.checkpoint} "
+                    "— completed groups are saved; rerun with --resume to "
+                    "finish",
+                    file=out,
+                )
+            return 130
         except ValueError as exc:
             print(f"error: {exc}", file=out)
             return 2
@@ -318,6 +378,9 @@ def _cmd_search(args, out: IO[str]) -> int:
         )
     else:
         print(f"# scored by {args.engine} engine", file=out)
+    if args.scores_out is not None:
+        print(f"# scores written to {result.write_tsv(args.scores_out)}",
+              file=out)
     if args.profile:
         print(file=out)
         print(run_report.render_profile(), file=out)

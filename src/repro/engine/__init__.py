@@ -17,8 +17,9 @@ anything custom.  Scores are bit-identical to
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -26,6 +27,13 @@ if TYPE_CHECKING:
     from repro.sequence.sequence import Sequence
 
 from repro.alphabet import GapPenalty, SubstitutionMatrix
+from repro.engine.budget import MemoryBudget, estimate_group_bytes
+from repro.engine.checkpoint import (
+    CheckpointError,
+    CheckpointJournal,
+    atomic_write_text,
+    search_fingerprint,
+)
 from repro.engine.executor import run_groups
 from repro.engine.faults import (
     DEFAULT_POLICY,
@@ -42,16 +50,22 @@ from repro.sw.utils import as_codes
 
 __all__ = [
     "BatchedEngine",
+    "CheckpointError",
+    "CheckpointJournal",
     "EngineReport",
     "FaultPolicy",
     "InjectionPlan",
+    "MemoryBudget",
     "PackedGroup",
     "SearchDeadlineExceeded",
+    "atomic_write_text",
+    "estimate_group_bytes",
     "pack_database",
     "pack_group",
     "padded_lane_profile",
     "run_groups",
     "score_packed_group",
+    "search_fingerprint",
     "DEFAULT_GROUP_SIZE",
     "DEFAULT_POLICY",
 ]
@@ -115,6 +129,10 @@ class BatchedEngine:
         fault injection (default: :data:`~repro.engine.faults.
         DEFAULT_POLICY` — no timeout, no deadline, pool failures
         recovered serially).
+    memory_budget:
+        Optional :class:`~repro.engine.budget.MemoryBudget`; oversized
+        groups are split at packing time so a single sweep can never
+        allocate past the budget (OOM guard, scores unchanged).
     """
 
     def __init__(
@@ -125,6 +143,7 @@ class BatchedEngine:
         group_size: int = DEFAULT_GROUP_SIZE,
         workers: int = 1,
         fault_policy: FaultPolicy | None = None,
+        memory_budget: MemoryBudget | None = None,
     ) -> None:
         if group_size <= 0:
             raise ValueError(f"group size must be positive, got {group_size}")
@@ -135,9 +154,15 @@ class BatchedEngine:
         self.group_size = group_size
         self.workers = workers
         self.fault_policy = fault_policy or DEFAULT_POLICY
+        self.memory_budget = memory_budget
 
     def search(
-        self, query: Sequence | np.ndarray | str, db: Database
+        self,
+        query: Sequence | np.ndarray | str,
+        db: Database,
+        *,
+        checkpoint: str | os.PathLike[str] | None = None,
+        resume: bool = False,
     ) -> tuple[np.ndarray, EngineReport]:
         """Score the query against every database sequence.
 
@@ -145,18 +170,66 @@ class BatchedEngine:
         code array or a string.  Returns ``int64`` scores in the
         database's original order plus the packing report.
 
+        ``checkpoint`` names a write-ahead journal file
+        (:class:`~repro.engine.checkpoint.CheckpointJournal`): each
+        completed group's scores are durably appended as the search
+        runs, so a crash costs at most the group being written.  With
+        ``resume=True`` an existing journal is replayed first —
+        validated against a content fingerprint of the query, scoring
+        parameters and database — and only unjournaled groups are
+        recomputed; a stale or corrupt journal raises
+        :class:`~repro.engine.checkpoint.CheckpointError` instead of
+        being merged.  ``resume=False`` (default) truncates any
+        existing journal and starts fresh.
+
         When the fault policy's deadline fires,
         :class:`~repro.engine.faults.SearchDeadlineExceeded` is raised
         with ``partial_scores``/``completed_mask`` attached: scores in
         database order for every group finished before the deadline
-        (``-1`` and ``False`` elsewhere).
+        (``-1`` and ``False`` elsewhere).  Groups completed before the
+        deadline are already in the journal, so a deadline-killed
+        checkpointed search is resumable too.
         """
+        if resume and checkpoint is None:
+            raise ValueError("resume=True requires a checkpoint path")
         instr = obs_current()
         with instr.span("profile_build"):
             q_codes = as_codes(query, self.matrix)
             profile = QueryProfile(q_codes, self.matrix)  # once per search
         with instr.span("pack"):
-            groups = pack_database(db, self.group_size)
+            groups = pack_database(
+                db, self.group_size, budget=self.memory_budget
+            )
+        journal: CheckpointJournal | None = None
+        preloaded: dict[int, np.ndarray] = {}
+        on_scored: Callable[[int, np.ndarray], None] | None = None
+        if checkpoint is not None:
+            fingerprint = search_fingerprint(
+                q_codes, self.matrix, self.gaps, self.group_size, db,
+                budget_bytes=(
+                    0
+                    if self.memory_budget is None
+                    else self.memory_budget.max_group_bytes
+                ),
+            )
+            with instr.span("checkpoint_replay"):
+                if resume:
+                    journal, preloaded = CheckpointJournal.resume(
+                        checkpoint, fingerprint, groups
+                    )
+                else:
+                    journal = CheckpointJournal.create(
+                        checkpoint, fingerprint, len(groups)
+                    )
+
+            live_journal = journal
+
+            def _journal_scored(gi: int, lane_scores: np.ndarray) -> None:
+                live_journal.append(gi, groups[gi], lane_scores)
+                instr.count("engine.checkpoint.groups_recomputed", 1)
+
+            on_scored = _journal_scored
+
         with instr.span("fan_out"):
             try:
                 per_group = run_groups(
@@ -165,6 +238,8 @@ class BatchedEngine:
                     self.gaps,
                     workers=self.workers,
                     policy=self.fault_policy,
+                    preloaded=preloaded or None,
+                    on_group_scored=on_scored,
                 )
             except SearchDeadlineExceeded as exc:
                 partial = np.full(len(db), -1, dtype=np.int64)
@@ -175,6 +250,9 @@ class BatchedEngine:
                 exc.partial_scores = partial
                 exc.completed_mask = mask
                 raise
+            finally:
+                if journal is not None:
+                    journal.close()
         with instr.span("score_scatter"):
             scores = np.zeros(len(db), dtype=np.int64)
             for group, lane_scores in zip(groups, per_group):

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import random
 import time
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
@@ -96,6 +96,8 @@ def run_groups(
     *,
     workers: int = 1,
     policy: FaultPolicy | None = None,
+    preloaded: dict[int, np.ndarray] | None = None,
+    on_group_scored: Callable[[int, np.ndarray], None] | None = None,
 ) -> list[np.ndarray]:
     """Score every group, serially or across ``workers`` processes.
 
@@ -105,6 +107,13 @@ def run_groups(
     for fault reasons is
     :class:`~repro.engine.faults.SearchDeadlineExceeded`, and only when
     ``policy.deadline`` is set.
+
+    ``preloaded`` seeds already-known group scores (a replayed
+    checkpoint journal): those groups are never dispatched or
+    recomputed.  ``on_group_scored`` is invoked exactly once per *newly
+    computed* group, as soon as its scores are accepted — the
+    checkpoint journal's append hook; preloaded groups do not re-fire
+    it.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -112,15 +121,19 @@ def run_groups(
     instr = obs_current()
     clock = DeadlineClock(policy.deadline)
     instr.count("engine.executor.groups_dispatched", len(groups))
-    if workers == 1 or len(groups) <= 1:
-        instr.count("engine.executor.serial_groups", len(groups))
-        results: dict[int, np.ndarray] = {}
+    results: dict[int, np.ndarray] = dict(preloaded or {})
+    pending = [i for i in range(len(groups)) if i not in results]
+    if workers == 1 or len(pending) <= 1:
+        instr.count("engine.executor.serial_groups", len(pending))
         _score_serial(
             profile, groups, gaps, instr, clock, results,
-            span_name="sweep",
+            span_name="sweep", indices=pending, sink=on_group_scored,
         )
         return [results[i] for i in range(len(groups))]
-    return _run_pool(profile, groups, gaps, workers, policy, instr, clock)
+    return _run_pool(
+        profile, groups, gaps, workers, policy, instr, clock,
+        results, pending, on_group_scored,
+    )
 
 
 def _score_serial(
@@ -132,6 +145,7 @@ def _score_serial(
     results: dict[int, np.ndarray],
     span_name: str,
     indices: list[int] | None = None,
+    sink: Callable[[int, np.ndarray], None] | None = None,
 ) -> None:
     """Score ``indices`` (default: all unscored) into ``results``,
     checking the deadline between groups."""
@@ -143,6 +157,8 @@ def _score_serial(
             _raise_deadline(instr, clock, results, len(groups))
         with instr.span(span_name):
             results[i] = score_packed_group(profile, groups[i], gaps)
+        if sink is not None:
+            sink(i, results[i])
 
 
 def _raise_deadline(
@@ -207,9 +223,11 @@ def _run_pool(
     policy: FaultPolicy,
     instr: AnyInstrumentation,
     clock: DeadlineClock,
+    results: dict[int, np.ndarray],
+    pending: list[int],
+    sink: Callable[[int, np.ndarray], None] | None = None,
 ) -> list[np.ndarray]:
     n = len(groups)
-    results: dict[int, np.ndarray] = {}
     serial_group_indices: set[int] = set()
     pool: ProcessPoolExecutor | None = None
     dirty = False  # abandoned futures / broken pool: cannot shut down cleanly
@@ -218,10 +236,10 @@ def _run_pool(
         from concurrent.futures import ProcessPoolExecutor
         from concurrent.futures.process import BrokenProcessPool
 
-        chunk = policy.chunksize or auto_chunksize(n, workers)
+        chunk = policy.chunksize or auto_chunksize(len(pending), workers)
         tasks = [
-            tuple(range(start, min(start + chunk, n)))
-            for start in range(0, n, chunk)
+            tuple(pending[start : start + chunk])
+            for start in range(0, len(pending), chunk)
         ]
         attempts = dict.fromkeys(range(len(tasks)), 0)
         rng = random.Random(policy.seed)
@@ -330,6 +348,8 @@ def _run_pool(
                         continue
                     for gi, arr in zip(tasks[tid], chunk_scores):
                         results[gi] = arr.astype(np.int64, copy=False)
+                        if sink is not None:
+                            sink(gi, results[gi])
                     instr.count("engine.executor.worker_round_trips", 1)
                     instr.count(
                         "engine.executor.pool_completed_groups",
@@ -386,6 +406,6 @@ def _run_pool(
         instr.count("engine.executor.serial_retry_groups", len(missing))
         _score_serial(
             profile, groups, gaps, instr, clock, results,
-            span_name="serial_retry", indices=missing,
+            span_name="serial_retry", indices=missing, sink=sink,
         )
     return [results[i] for i in range(n)]

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.engine.budget import MemoryBudget
 from repro.obs import current as obs_current
 from repro.sequence.database import Database
 
@@ -113,7 +114,12 @@ def pack_group(db: Database, indices: np.ndarray) -> PackedGroup:
     return PackedGroup(indices, lengths, codes, pad_code)
 
 
-def pack_database(db: Database, group_size: int) -> list[PackedGroup]:
+def pack_database(
+    db: Database,
+    group_size: int,
+    *,
+    budget: MemoryBudget | None = None,
+) -> list[PackedGroup]:
     """Sort ``db`` by length and pack it into groups of ``group_size``.
 
     Mirrors CUDASW++'s preprocessing pipeline
@@ -122,16 +128,35 @@ def pack_database(db: Database, group_size: int) -> list[PackedGroup]:
     keeps each group's lengths nearly uniform, so the padded rectangles
     stay tight.  The last group may be smaller.  Group ``indices`` refer
     to the *original* (unsorted) database order.
+
+    ``budget`` (a :class:`~repro.engine.budget.MemoryBudget`) caps any
+    single group's estimated sweep working set: a chunk whose padded
+    rectangle would exceed it is split into narrower groups that each
+    fit, instead of letting the sweep's allocation OOM-kill the
+    process.  Splitting only changes fan-out geometry, never scores.
     """
     if group_size <= 0:
         raise ValueError(f"group size must be positive, got {group_size}")
     db._require_residues()
     order = np.argsort(db.lengths, kind="stable")
-    groups = [
-        pack_group(db, order[start : start + group_size])
-        for start in range(0, order.size, group_size)
-    ]
+    sorted_lengths = db.lengths[order]
+    groups = []
     instr = obs_current()
+    for start in range(0, order.size, group_size):
+        chunk = order[start : start + group_size]
+        if budget is None:
+            groups.append(pack_group(db, chunk))
+            continue
+        ends = budget.split_points(
+            [int(n) for n in sorted_lengths[start : start + group_size]]
+        )
+        if len(ends) > 1:
+            instr.count("engine.budget.groups_split", 1)
+            instr.count("engine.budget.extra_groups", len(ends) - 1)
+        prev = 0
+        for end in ends:
+            groups.append(pack_group(db, chunk[prev:end]))
+            prev = end
     if instr.enabled:
         residues = sum(g.residues for g in groups)
         padded = sum(g.padded_cells for g in groups)

@@ -132,10 +132,14 @@ class RunReport:
         return json.dumps(self.to_dict(), indent=indent) + "\n"
 
     def write(self, path: str | Path) -> Path:
-        """Write the JSON document to ``path`` and return it."""
-        path = Path(path)
-        path.write_text(self.to_json())
-        return path
+        """Write the JSON document to ``path`` atomically and return it.
+
+        Uses temp-file-plus-rename so a crash mid-write never leaves a
+        truncated (unparseable) report on disk.
+        """
+        from repro.engine.checkpoint import atomic_write_text
+
+        return atomic_write_text(path, self.to_json())
 
     # -- derived views --------------------------------------------------
     def span_seconds(self) -> dict[str, float]:

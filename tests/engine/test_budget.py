@@ -1,0 +1,130 @@
+"""Memory-budget tests: oversized groups split instead of OOM-killing."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.alphabet import BLOSUM62, GapPenalty
+from repro.engine import (
+    BatchedEngine,
+    MemoryBudget,
+    estimate_group_bytes,
+    pack_database,
+)
+from repro.engine.budget import SWEEP_BYTES_PER_CELL
+from repro.sequence import Database, Sequence, random_protein
+
+GP = GapPenalty.cudasw_default()
+
+
+@pytest.fixture(scope="module")
+def db():
+    rng = np.random.default_rng(41)
+    return Database.from_sequences(
+        [Sequence.random(f"s{i}", int(n), rng)
+         for i, n in enumerate(rng.integers(10, 200, size=24))]
+    )
+
+
+class TestEstimate:
+    def test_scales_with_geometry(self):
+        assert estimate_group_bytes(1, 1) == 2 * SWEEP_BYTES_PER_CELL
+        assert estimate_group_bytes(4, 99) == 4 * 100 * SWEEP_BYTES_PER_CELL
+
+    def test_rejects_degenerate_geometry(self):
+        for size, length in ((0, 10), (10, 0), (-1, 5)):
+            with pytest.raises(ValueError):
+                estimate_group_bytes(size, length)
+
+
+class TestMemoryBudget:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryBudget(0)
+        with pytest.raises(ValueError):
+            MemoryBudget.from_megabytes(-1)
+        assert MemoryBudget.from_megabytes(2).max_group_bytes == 2 * 2**20
+
+    def test_fits(self):
+        budget = MemoryBudget(estimate_group_bytes(4, 100))
+        assert budget.fits(4, 100)
+        assert not budget.fits(4, 101)
+        assert not budget.fits(5, 100)
+
+    def test_split_points_whole_chunk_fits(self):
+        budget = MemoryBudget.from_megabytes(64)
+        assert budget.split_points([10, 20, 30, 40]) == [4]
+
+    def test_split_points_greedy(self):
+        # Budget admits exactly 2 lanes at width 100.
+        budget = MemoryBudget(estimate_group_bytes(2, 100))
+        assert budget.split_points([50, 100, 100, 100]) == [2, 4]
+        # Ascending widths force earlier cuts as the rectangle widens.
+        assert budget.split_points([10, 10, 10, 200]) == [3, 4]
+
+    def test_split_points_rejects_empty(self):
+        with pytest.raises(ValueError):
+            MemoryBudget.from_megabytes(1).split_points([])
+
+    def test_oversized_singleton_kept_with_warning(self):
+        budget = MemoryBudget(estimate_group_bytes(1, 50))
+        with obs.collect("counters") as instr:
+            with pytest.warns(UserWarning, match="exceeds the memory"):
+                ends = budget.split_points([10, 1000, 2000])
+        assert ends == [1, 2, 3]
+        c = instr.counters.as_dict()
+        assert c["engine.budget.oversized_singletons"] == 2
+
+
+class TestPackWithBudget:
+    def test_no_budget_packing_unchanged(self, db):
+        assert len(pack_database(db, 4, budget=None)) == len(
+            pack_database(db, 4)
+        )
+
+    def test_budget_splits_and_counts(self, db):
+        baseline = pack_database(db, 8)
+        widest = max(g.max_length for g in baseline)
+        budget = MemoryBudget(estimate_group_bytes(3, widest))
+        with obs.collect("counters") as instr:
+            groups = pack_database(db, 8, budget=budget)
+        assert len(groups) > len(baseline)
+        for g in groups:
+            assert budget.fits(g.size, g.max_length) or g.size == 1
+        c = instr.counters.as_dict()
+        assert c["engine.budget.groups_split"] >= 1
+        assert (
+            c["engine.budget.extra_groups"]
+            == len(groups) - len(baseline)
+        )
+        # Every database sequence still lands in exactly one lane.
+        seen = np.concatenate([g.indices for g in groups])
+        assert sorted(seen.tolist()) == list(range(len(db)))
+
+    def test_budgeted_scores_bit_identical(self, db):
+        query = random_protein(35, np.random.default_rng(42), id="q")
+        reference, _ = BatchedEngine(BLOSUM62, GP, group_size=8).search(
+            query, db
+        )
+        budget = MemoryBudget(estimate_group_bytes(2, 256))
+        scores, report = BatchedEngine(
+            BLOSUM62, GP, group_size=8, memory_budget=budget
+        ).search(query, db)
+        assert np.array_equal(scores, reference)
+        assert report.n_groups > 3  # the split really happened
+
+    def test_budget_changes_checkpoint_fingerprint(self, db, tmp_path):
+        """A journal written under one budget must not resume under
+        another: the split changes the group decomposition."""
+        from repro.engine import CheckpointError
+
+        query = random_protein(30, np.random.default_rng(43), id="q")
+        path = tmp_path / "budget.wal"
+        budget = MemoryBudget(estimate_group_bytes(2, 256))
+        BatchedEngine(
+            BLOSUM62, GP, group_size=8, memory_budget=budget
+        ).search(query, db, checkpoint=path)
+        with pytest.raises(CheckpointError, match="different search"):
+            BatchedEngine(BLOSUM62, GP, group_size=8).search(
+                query, db, checkpoint=path, resume=True
+            )

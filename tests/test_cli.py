@@ -185,6 +185,79 @@ class TestSearchFaultFlags:
         assert "batched" in text
 
 
+class TestSearchDurabilityFlags:
+    def test_scores_out_writes_full_tsv(self, fasta_files, tmp_path):
+        path = tmp_path / "scores.tsv"
+        code, text = run_cli(
+            ["search", fasta_files["query"], fasta_files["db"],
+             "--scores-out", str(path)]
+        )
+        assert code == 0
+        assert f"# scores written to {path}" in text
+        lines = path.read_text().splitlines()
+        assert lines[0] == "# query\tQ1"
+        assert lines[1] == "# index\tid\tlength\tscore"
+        assert len(lines) == 2 + 5  # one row per database sequence
+        assert lines[2].split("\t")[1] == "HIT1"
+
+    def test_group_size_flag_changes_packing(self, fasta_files):
+        code, text = run_cli(
+            ["search", fasta_files["query"], fasta_files["db"],
+             "--group-size", "2"]
+        )
+        assert code == 0
+        assert "groups of <= 2 lanes" in text
+
+    def test_checkpoint_flag_writes_journal(self, fasta_files, tmp_path):
+        journal = tmp_path / "run.wal"
+        code, _ = run_cli(
+            ["search", fasta_files["query"], fasta_files["db"],
+             "--checkpoint", str(journal)]
+        )
+        assert code == 0
+        assert journal.read_bytes().startswith(b"RPROWAL1")
+
+    def test_resume_replays_journal(self, fasta_files, tmp_path):
+        journal = tmp_path / "run.wal"
+        argv = ["search", fasta_files["query"], fasta_files["db"],
+                "--checkpoint", str(journal)]
+        code, first = run_cli(argv)
+        assert code == 0
+        code, second = run_cli(argv + ["--resume"])
+        assert code == 0
+        hits = lambda text: [  # noqa: E731
+            ln for ln in text.splitlines() if not ln.startswith("#")
+        ]
+        assert hits(second) == hits(first)
+
+    def test_resume_without_checkpoint_rejected(self, fasta_files):
+        code, text = run_cli(
+            ["search", fasta_files["query"], fasta_files["db"], "--resume"]
+        )
+        assert code == 2
+        assert "--checkpoint" in text
+
+    def test_negative_memory_budget_rejected(self, fasta_files):
+        code, text = run_cli(
+            ["search", fasta_files["query"], fasta_files["db"],
+             "--memory-budget-mb", "-4"]
+        )
+        assert code == 2
+        assert "error:" in text
+
+    def test_deadline_with_checkpoint_prints_resume_hint(
+        self, fasta_files, tmp_path
+    ):
+        journal = tmp_path / "dead.wal"
+        code, text = run_cli(
+            ["search", fasta_files["query"], fasta_files["db"],
+             "--deadline", "1e-9", "--checkpoint", str(journal)]
+        )
+        assert code == 3
+        assert f"checkpoint journal: {journal}" in text
+        assert "--resume" in text
+
+
 class TestSearchObservability:
     def test_profile_prints_span_tree_and_counters(self, fasta_files):
         code, text = run_cli(
