@@ -1,6 +1,6 @@
 """Throughput comparison of the functional scoring engines.
 
-Times the three selectable ``CudaSW.search`` backends on a 1,000-sequence
+Times the four selectable ``CudaSW.search`` backends on a 1,000-sequence
 Swiss-Prot-shaped database (log-normal body plus titin-class heavy tail,
 drawn from :data:`SWISSPROT_PROFILE`):
 
@@ -9,27 +9,36 @@ drawn from :data:`SWISSPROT_PROFILE`):
 * ``antidiagonal`` — ``sw_score_antidiagonal`` per pair over the full
   database;
 * ``batched``      — the inter-sequence engine, at one worker and at
-  ``cpu_count`` workers.
+  ``cpu_count`` workers;
+* ``striped``      — the same packed pipeline with the Farrar striped
+  lane kernel and saturating 8/16-bit score tiers
+  (:mod:`repro.engine.striped`).
 
 Results are emitted through the observability layer's
 :class:`~repro.obs.RunReport` writer: the single-worker batched run is
 traced with ``repro.obs.collect("full")``, so ``BENCH_engine.json`` is a
 versioned run-report document whose ``spans``/``counters`` sections carry
 the per-phase breakdown (pack vs. sweep vs. fan-out) alongside the
-benchmark numbers in ``meta``.  Written to the repository root so the
-measured speedups travel with the code.  Run directly:
+benchmark numbers in ``meta``.  The report also embeds host/platform and
+NumPy version metadata so entries stay comparable across machines.
+Written to the repository root so the measured speedups travel with the
+code.  Run directly:
 
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py
 
-or through pytest (a reduced-size smoke variant):
+(``--skip-scalar`` drops the slow extrapolated scalar reference, which
+otherwise dominates wall time; ``--sequences``/``--out`` resize and
+redirect the run) or through pytest (a reduced-size smoke variant):
 
     pytest benchmarks/bench_engine_throughput.py -s
 """
 
 from __future__ import annotations
 
+import argparse
 import os
 import pathlib
+import platform
 import time
 
 import numpy as np
@@ -53,6 +62,18 @@ def build_database(n_sequences: int, rng: np.random.Generator) -> Database:
     """A materialized Swiss-Prot-shaped database of ``n_sequences``."""
     scale = n_sequences / SWISSPROT_PROFILE.n_sequences
     return SWISSPROT_PROFILE.build(rng, scale=scale, materialize=True)
+
+
+def host_metadata() -> dict:
+    """Host/toolchain identity embedded in every emitted report, so
+    BENCH_engine.json entries are comparable across machines."""
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+    }
 
 
 def _time(fn) -> float:
@@ -97,9 +118,11 @@ def time_antidiagonal(query, db: Database, gaps: GapPenalty) -> float:
 
 
 def time_batched(query, db: Database, gaps: GapPenalty, *,
-                 workers: int, group_size: int) -> tuple[float, object]:
+                 workers: int, group_size: int,
+                 lane_engine: str = "gotoh") -> tuple[float, object]:
     engine = BatchedEngine(
-        BLOSUM62, gaps, group_size=group_size, workers=workers
+        BLOSUM62, gaps, group_size=group_size, workers=workers,
+        lane_engine=lane_engine,
     )
     holder = {}
 
@@ -117,6 +140,7 @@ def run_benchmark(
     query_length: int = QUERY_LENGTH,
     group_size: int = DEFAULT_GROUP_SIZE,
     seed: int = SEED,
+    skip_scalar: bool = False,
 ) -> obs.RunReport:
     rng = np.random.default_rng(seed)
     db = build_database(n_sequences, rng)
@@ -125,7 +149,9 @@ def run_benchmark(
     cells = query_length * db.total_residues
     n_workers = max(os.cpu_count() or 1, 2)
 
-    scalar = time_scalar_extrapolated(query, db, gaps)
+    scalar = (
+        None if skip_scalar else time_scalar_extrapolated(query, db, gaps)
+    )
     anti_seconds = time_antidiagonal(query, db, gaps)
     # The reference single-worker batched run is traced, so the report
     # attributes its time to pack vs. sweep vs. fan-out vs. scatter.
@@ -136,12 +162,53 @@ def run_benchmark(
     fanned_seconds, _ = time_batched(
         query, db, gaps, workers=n_workers, group_size=group_size
     )
+    striped_seconds, _ = time_batched(
+        query, db, gaps, workers=1, group_size=group_size,
+        lane_engine="striped",
+    )
 
     def gcups(seconds: float) -> float:
         return cells / seconds / 1e9
 
+    engines = {}
+    if scalar is not None:
+        engines["scalar"] = {
+            "seconds": scalar["seconds"],
+            "gcups": gcups(scalar["seconds"]),
+            "extrapolated_from": {
+                k: v for k, v in scalar.items() if k != "seconds"
+            },
+        }
+    engines["antidiagonal"] = {
+        "seconds": anti_seconds,
+        "gcups": gcups(anti_seconds),
+    }
+    engines["batched_1_worker"] = {
+        "seconds": batched_seconds,
+        "gcups": gcups(batched_seconds),
+    }
+    engines[f"batched_{n_workers}_workers"] = {
+        "seconds": fanned_seconds,
+        "gcups": gcups(fanned_seconds),
+    }
+    engines["striped"] = {
+        "seconds": striped_seconds,
+        "gcups": gcups(striped_seconds),
+    }
+
+    speedups = {
+        "batched_vs_antidiagonal": anti_seconds / batched_seconds,
+        "striped_vs_antidiagonal": anti_seconds / striped_seconds,
+        "striped_vs_batched": batched_seconds / striped_seconds,
+    }
+    if scalar is not None:
+        speedups["batched_vs_scalar"] = scalar["seconds"] / batched_seconds
+        speedups["striped_vs_scalar"] = scalar["seconds"] / striped_seconds
+        speedups["antidiagonal_vs_scalar"] = scalar["seconds"] / anti_seconds
+
     result = {
         "benchmark": "engine_throughput",
+        "host": host_metadata(),
         "database": {
             "profile": SWISSPROT_PROFILE.name,
             "sequences": len(db),
@@ -155,47 +222,43 @@ def run_benchmark(
         "seed": seed,
         "cpu_count": os.cpu_count(),
         "group_size": group_size,
+        "skip_scalar": skip_scalar,
         "packing": {
             "n_groups": report.n_groups,
             "padding_efficiency": report.padding_efficiency,
         },
-        "engines": {
-            "scalar": {
-                "seconds": scalar["seconds"],
-                "gcups": gcups(scalar["seconds"]),
-                "extrapolated_from": {
-                    k: v for k, v in scalar.items() if k != "seconds"
-                },
-            },
-            "antidiagonal": {
-                "seconds": anti_seconds,
-                "gcups": gcups(anti_seconds),
-            },
-            "batched_1_worker": {
-                "seconds": batched_seconds,
-                "gcups": gcups(batched_seconds),
-            },
-            f"batched_{n_workers}_workers": {
-                "seconds": fanned_seconds,
-                "gcups": gcups(fanned_seconds),
-            },
-        },
-        "speedups": {
-            "batched_vs_antidiagonal": anti_seconds / batched_seconds,
-            "batched_vs_scalar": scalar["seconds"] / batched_seconds,
-            "antidiagonal_vs_scalar": scalar["seconds"] / anti_seconds,
-        },
+        "engines": engines,
+        "speedups": speedups,
     }
     return obs.RunReport.from_instrumentation(
         instr, engine_report=report, meta=result
     )
 
 
-def main() -> None:
-    run_report = run_benchmark()
-    run_report.write(OUTPUT_PATH)
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--skip-scalar", action="store_true",
+        help="skip the extrapolated scalar reference run (it dominates "
+        "wall time); scalar-relative speedups are omitted from the report",
+    )
+    parser.add_argument(
+        "--sequences", type=int, default=DB_SEQUENCES, metavar="N",
+        help=f"database size (default {DB_SEQUENCES})",
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=OUTPUT_PATH, metavar="PATH",
+        help="output report path (default BENCH_engine.json at repo root)",
+    )
+    args = parser.parse_args(argv)
+    run_report = run_benchmark(
+        n_sequences=args.sequences, skip_scalar=args.skip_scalar
+    )
+    run_report.write(args.out)
     result = run_report.meta
     engines = result["engines"]
+    print(f"host: {result['host']['platform']} "
+          f"(numpy {result['host']['numpy']})")
     print(f"database: {result['database']['sequences']} sequences, "
           f"{result['database']['residues']:,} residues "
           f"(lengths {result['database']['min_length']}.."
@@ -207,17 +270,23 @@ def main() -> None:
               f"{run['gcups'] * 1000:8.3f} MCUPs")
     sp = result["speedups"]
     print(f"batched vs antidiagonal: {sp['batched_vs_antidiagonal']:.1f}x")
-    print(f"batched vs scalar:       {sp['batched_vs_scalar']:.1f}x")
+    print(f"striped vs antidiagonal: {sp['striped_vs_antidiagonal']:.1f}x")
+    print(f"striped vs batched:      {sp['striped_vs_batched']:.2f}x")
+    if "batched_vs_scalar" in sp:
+        print(f"batched vs scalar:       {sp['batched_vs_scalar']:.1f}x")
     print("batched phase breakdown (1-worker run):")
     for path, seconds in sorted(run_report.span_seconds().items()):
         print(f"  {path:32s} {seconds * 1e3:10.3f} ms")
-    print(f"wrote {OUTPUT_PATH}")
+    print(f"wrote {args.out}")
 
 
 def test_batched_beats_antidiagonal():
     """Smoke-scale variant for pytest runs of the benchmarks directory."""
-    run_report = run_benchmark(n_sequences=120, query_length=60)
+    run_report = run_benchmark(
+        n_sequences=120, query_length=60, skip_scalar=True
+    )
     assert run_report.meta["speedups"]["batched_vs_antidiagonal"] > 1.0
+    assert run_report.meta["speedups"]["striped_vs_antidiagonal"] > 1.0
     # The traced batched run must expose the pack/sweep phase breakdown
     # and agree with the engine's packing accounting bit-exactly.
     phases = {p.split("/")[-1] for p in run_report.span_seconds()}
@@ -226,6 +295,8 @@ def test_batched_beats_antidiagonal():
         run_report.counters["engine.pack.padded_cells"]
         == run_report.engine["padded_cells"]
     )
+    # Host metadata travels with every report (cross-machine comparisons).
+    assert run_report.meta["host"]["numpy"] == np.__version__
 
 
 if __name__ == "__main__":

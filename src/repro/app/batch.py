@@ -95,10 +95,12 @@ def search_batch(
     ``engine`` and ``workers`` select the functional score backend per
     :meth:`CudaSW.search` — the batched default reuses CUDASW++'s
     once-per-database preprocessing spirit by scoring whole packed
-    groups per NumPy sweep for every query of the campaign.
+    groups per NumPy sweep for every query of the campaign;
+    ``engine="striped"`` runs the same pipeline with the Farrar
+    striped lane kernel.
 
-    ``fault_policy`` is applied to every query's search (batched engine
-    only).  The policy's deadline is per query, not per campaign; a
+    ``fault_policy`` is applied to every query's search (batched or
+    striped engine only).  The policy's deadline is per query, not per campaign; a
     query that exceeds it raises
     :class:`~repro.engine.SearchDeadlineExceeded` with that query's
     partial scores attached.

@@ -53,7 +53,7 @@ __all__ = ["CudaSW", "SearchReport", "tuned_improved_config", "SEARCH_ENGINES"]
 DEFAULT_THRESHOLD = 3072
 
 #: Functional score backends selectable in :meth:`CudaSW.search`.
-SEARCH_ENGINES = ("scalar", "antidiagonal", "batched")
+SEARCH_ENGINES = ("scalar", "antidiagonal", "batched", "striped")
 
 
 def tuned_improved_config(device: DeviceSpec) -> ImprovedKernelConfig:
@@ -301,16 +301,19 @@ class CudaSW:
             Functional score backend: ``"batched"`` (default) packs
             length-sorted groups and advances all lanes per NumPy step
             (:class:`~repro.engine.BatchedEngine`; packing accounting
-            lands in :attr:`last_engine_report`), ``"antidiagonal"``
-            runs the per-pair wavefront aligner, ``"scalar"`` the
-            textbook reference.  All three are bit-identical, which
-            tests verify; they differ only in throughput.
+            lands in :attr:`last_engine_report`), ``"striped"`` the
+            same packed pipeline with the Farrar striped lane kernel
+            and saturating 8/16-bit score tiers
+            (:mod:`repro.engine.striped`), ``"antidiagonal"`` runs the
+            per-pair wavefront aligner, ``"scalar"`` the textbook
+            reference.  All four are bit-identical, which tests
+            verify; they differ only in throughput.
         workers:
-            Worker processes for the batched engine's group fan-out
-            (1 = serial; ignored by the other engines).
+            Worker processes for the batched/striped engines' group
+            fan-out (1 = serial; ignored by the per-pair engines).
         group_size:
-            Lanes per batched group (default
-            :data:`~repro.engine.DEFAULT_GROUP_SIZE`).
+            Lanes per packed group for the batched/striped engines
+            (default :data:`~repro.engine.DEFAULT_GROUP_SIZE`).
         fault_policy:
             :class:`~repro.engine.FaultPolicy` for the batched
             engine's fan-out: per-task timeout, bounded retries with
@@ -381,9 +384,11 @@ class CudaSW:
             "memory_budget": memory_budget,
         }
         for name, value in batched_only.items():
-            if value is not None and (engine != "batched" or simulate_kernels):
+            if value is not None and (
+                engine not in ("batched", "striped") or simulate_kernels
+            ):
                 raise ValueError(
-                    f"{name} applies to the batched engine only "
+                    f"{name} applies to the batched/striped engines only "
                     f"(got engine={engine!r}, "
                     f"simulate_kernels={simulate_kernels})"
                 )
@@ -453,13 +458,14 @@ class CudaSW:
                         scores[i] = kernel.run_pair(
                             q_codes, d_codes, self.matrix, self.gaps
                         ).score
-            elif engine == "batched":
+            elif engine in ("batched", "striped"):
                 batched = BatchedEngine(
                     self.matrix,
                     self.gaps,
                     workers=workers,
                     fault_policy=fault_policy,
                     memory_budget=memory_budget,
+                    lane_engine="striped" if engine == "striped" else "gotoh",
                     **(
                         {}
                         if group_size is None

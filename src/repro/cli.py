@@ -102,22 +102,25 @@ def build_parser() -> argparse.ArgumentParser:
         "detection)",
     )
     p_search.add_argument(
-        "--engine", choices=("scalar", "antidiagonal", "batched"),
+        "--engine",
+        choices=("scalar", "antidiagonal", "batched", "striped"),
         default="batched",
         help="functional score backend (all bit-identical): 'batched' "
         "scores whole length-sorted groups per NumPy sweep (default), "
-        "'antidiagonal' is the per-pair wavefront aligner, 'scalar' the "
-        "slow textbook reference",
+        "'striped' runs the same packed pipeline with the Farrar "
+        "striped lane kernel and saturating 8/16-bit score tiers "
+        "(fastest), 'antidiagonal' is the per-pair wavefront aligner, "
+        "'scalar' the slow textbook reference",
     )
     p_search.add_argument(
         "--workers", type=int, default=1,
-        help="worker processes for the batched engine's group fan-out "
-        "(1 = serial)",
+        help="worker processes for the batched/striped engines' group "
+        "fan-out (1 = serial)",
     )
     p_search.add_argument(
         "--group-size", type=int, default=None, metavar="N",
-        help="lanes per batched group (default: the engine's tuned "
-        "default; batched engine only)",
+        help="lanes per packed group (default: the engine's tuned "
+        "default; batched/striped engines only)",
     )
     p_search.add_argument(
         "--checkpoint", metavar="PATH", default=None,

@@ -43,9 +43,15 @@ from repro.engine.faults import (
 )
 from repro.engine.lanes import padded_lane_profile, score_packed_group
 from repro.engine.pack import PackedGroup, pack_database, pack_group
+from repro.engine.striped import (
+    LANE_ENGINES,
+    count_striped_work,
+    score_packed_group_striped,
+)
 from repro.obs import current as obs_current
 from repro.sequence.database import Database
 from repro.sequence.profile import QueryProfile
+from repro.sequence.striped_profile import StripedProfile
 from repro.sw.utils import as_codes
 
 __all__ = [
@@ -58,16 +64,21 @@ __all__ = [
     "MemoryBudget",
     "PackedGroup",
     "SearchDeadlineExceeded",
+    "StripedProfile",
     "atomic_write_text",
+    "count_striped_work",
     "estimate_group_bytes",
     "pack_database",
     "pack_group",
     "padded_lane_profile",
     "run_groups",
     "score_packed_group",
+    "score_packed_group_striped",
     "search_fingerprint",
+    "DEFAULT_FANOUT_MIN_CELLS",
     "DEFAULT_GROUP_SIZE",
     "DEFAULT_POLICY",
+    "LANE_ENGINES",
 ]
 
 #: Default lanes per group.  Large enough that vectorized work dwarfs the
@@ -76,6 +87,17 @@ __all__ = [
 #: length distributions, whose heavy tail dominates a too-wide last
 #: group — and several groups exist to fan out across workers.
 DEFAULT_GROUP_SIZE = 128
+
+#: Smallest search (query length x padded database cells) worth fanning
+#: out to worker processes.  Below this, pool spin-up plus per-chunk
+#: group pickling costs more than the sweep itself — BENCH_engine.json
+#: showed ``workers=2`` *losing* to serial on the 1,000-sequence
+#: benchmark (1.28s vs 1.18s), whose ~90M padded cells sit well under
+#: this line.  Searches smaller than the threshold are demoted to the
+#: serial path (counted as ``engine.executor.fanout_demotions``); an
+#: explicit non-default fault policy suppresses the demotion, since
+#: fault-injection and timeout semantics need the pool.
+DEFAULT_FANOUT_MIN_CELLS = 256 * 1024 * 1024
 
 
 @dataclass(frozen=True)
@@ -94,6 +116,7 @@ class EngineReport:
     group_efficiencies: tuple[float, ...]
     residues: int
     padded_cells: int
+    lane_engine: str = "gotoh"
 
     @property
     def n_groups(self) -> int:
@@ -133,6 +156,18 @@ class BatchedEngine:
         Optional :class:`~repro.engine.budget.MemoryBudget`; oversized
         groups are split at packing time so a single sweep can never
         allocate past the budget (OOM guard, scores unchanged).
+    lane_engine:
+        Per-group score kernel: ``"gotoh"`` (default, the row-parallel
+        sweep of :mod:`~repro.engine.lanes`) or ``"striped"`` (the
+        Farrar engine of :mod:`~repro.engine.striped`).  Scores are
+        bit-identical; only throughput differs.
+    fanout_min_cells:
+        Smallest search (query length x padded cells) worth a worker
+        pool; smaller searches run serially even with ``workers > 1``
+        (``None`` uses :data:`DEFAULT_FANOUT_MIN_CELLS`, ``0`` disables
+        the demotion).  Ignored when a non-default ``fault_policy`` is
+        set — injected faults, timeouts and deadlines keep pool
+        semantics regardless of size.
     """
 
     def __init__(
@@ -144,17 +179,34 @@ class BatchedEngine:
         workers: int = 1,
         fault_policy: FaultPolicy | None = None,
         memory_budget: MemoryBudget | None = None,
+        lane_engine: str = "gotoh",
+        fanout_min_cells: int | None = None,
     ) -> None:
         if group_size <= 0:
             raise ValueError(f"group size must be positive, got {group_size}")
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if lane_engine not in LANE_ENGINES:
+            raise ValueError(
+                f"lane_engine must be one of {LANE_ENGINES}, "
+                f"got {lane_engine!r}"
+            )
+        if fanout_min_cells is not None and fanout_min_cells < 0:
+            raise ValueError(
+                f"fanout_min_cells must be >= 0, got {fanout_min_cells}"
+            )
         self.matrix = matrix
         self.gaps = gaps
         self.group_size = group_size
         self.workers = workers
         self.fault_policy = fault_policy or DEFAULT_POLICY
         self.memory_budget = memory_budget
+        self.lane_engine = lane_engine
+        self.fanout_min_cells = (
+            DEFAULT_FANOUT_MIN_CELLS
+            if fanout_min_cells is None
+            else fanout_min_cells
+        )
 
     def search(
         self,
@@ -195,11 +247,31 @@ class BatchedEngine:
         instr = obs_current()
         with instr.span("profile_build"):
             q_codes = as_codes(query, self.matrix)
-            profile = QueryProfile(q_codes, self.matrix)  # once per search
+            # Built once per search; the striped profile wraps the plain
+            # one (as its exact-fallback tier) so either engine costs
+            # one profile build.
+            profile: QueryProfile | StripedProfile
+            if self.lane_engine == "striped":
+                profile = StripedProfile(q_codes, self.matrix)
+            else:
+                profile = QueryProfile(q_codes, self.matrix)
         with instr.span("pack"):
             groups = pack_database(
                 db, self.group_size, budget=self.memory_budget
             )
+        workers = self.workers
+        if (
+            workers > 1
+            and self.fault_policy is DEFAULT_POLICY
+            and self.fanout_min_cells
+            and profile.length * sum(g.padded_cells for g in groups)
+            < self.fanout_min_cells
+        ):
+            # Too small to amortize pool spin-up + per-chunk pickling:
+            # run serially (see DEFAULT_FANOUT_MIN_CELLS).  Scores are
+            # path-independent, so only wall time changes.
+            instr.count("engine.executor.fanout_demotions", 1)
+            workers = 1
         journal: CheckpointJournal | None = None
         preloaded: dict[int, np.ndarray] = {}
         on_scored: Callable[[int, np.ndarray], None] | None = None
@@ -236,10 +308,11 @@ class BatchedEngine:
                     profile,
                     groups,
                     self.gaps,
-                    workers=self.workers,
+                    workers=workers,
                     policy=self.fault_policy,
                     preloaded=preloaded or None,
                     on_group_scored=on_scored,
+                    lane_engine=self.lane_engine,
                 )
             except SearchDeadlineExceeded as exc:
                 partial = np.full(len(db), -1, dtype=np.int64)
@@ -265,5 +338,6 @@ class BatchedEngine:
             group_efficiencies=tuple(g.padding_efficiency for g in groups),
             residues=sum(g.residues for g in groups),
             padded_cells=sum(g.padded_cells for g in groups),
+            lane_engine=self.lane_engine,
         )
         return scores, report

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import random
 import time
-from typing import TYPE_CHECKING, Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence, cast
 
 import numpy as np
 
@@ -47,8 +47,14 @@ from repro.engine.faults import (
 )
 from repro.engine.lanes import count_sweep_work, score_packed_group
 from repro.engine.pack import PackedGroup
+from repro.engine.striped import (
+    LANE_ENGINES,
+    count_striped_work,
+    score_packed_group_striped,
+)
 from repro.obs import AnyInstrumentation, current as obs_current
 from repro.sequence.profile import QueryProfile
+from repro.sequence.striped_profile import StripedProfile
 
 __all__ = ["run_groups"]
 
@@ -62,8 +68,13 @@ def _init_worker(
     matrix: SubstitutionMatrix,
     gaps: GapPenalty,
     inject: InjectionPlan | None,
+    lane_engine: str = "gotoh",
 ) -> None:
-    _WORKER_STATE["profile"] = QueryProfile(query_codes, matrix)
+    if lane_engine == "striped":
+        _WORKER_STATE["profile"] = StripedProfile(query_codes, matrix)
+    else:
+        _WORKER_STATE["profile"] = QueryProfile(query_codes, matrix)
+    _WORKER_STATE["lane_engine"] = lane_engine
     _WORKER_STATE["gaps"] = gaps
     _WORKER_STATE["inject"] = inject
     _WORKER_STATE["tasks_done"] = 0
@@ -75,6 +86,7 @@ def _score_chunk_task(
     """Score one chunk of ``(group_index, group)`` pairs, worker-side."""
     profile = _WORKER_STATE["profile"]
     gaps = _WORKER_STATE["gaps"]
+    striped = _WORKER_STATE.get("lane_engine") == "striped"
     inject: InjectionPlan | None = _WORKER_STATE.get("inject")
     out = []
     for group_index, group in payload:
@@ -83,6 +95,8 @@ def _score_chunk_task(
             garbage = inject.apply(group_index, _WORKER_STATE["tasks_done"])
         if garbage:
             out.append(np.zeros(0, dtype=np.int64))
+        elif striped:
+            out.append(score_packed_group_striped(profile, group, gaps))
         else:
             out.append(score_packed_group(profile, group, gaps))
         _WORKER_STATE["tasks_done"] += 1
@@ -90,7 +104,7 @@ def _score_chunk_task(
 
 
 def run_groups(
-    profile: QueryProfile,
+    profile: QueryProfile | StripedProfile,
     groups: list[PackedGroup],
     gaps: GapPenalty,
     *,
@@ -98,6 +112,7 @@ def run_groups(
     policy: FaultPolicy | None = None,
     preloaded: dict[int, np.ndarray] | None = None,
     on_group_scored: Callable[[int, np.ndarray], None] | None = None,
+    lane_engine: str = "gotoh",
 ) -> list[np.ndarray]:
     """Score every group, serially or across ``workers`` processes.
 
@@ -114,9 +129,19 @@ def run_groups(
     computed* group, as soon as its scores are accepted — the
     checkpoint journal's append hook; preloaded groups do not re-fire
     it.
+
+    ``lane_engine`` picks the per-group score kernel: ``"gotoh"`` (the
+    row-parallel sweep, expects a :class:`QueryProfile`) or
+    ``"striped"`` (the Farrar engine, expects a
+    :class:`StripedProfile`).  Scores are bit-identical either way, so
+    checkpoints and fault handling are engine-agnostic.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    if lane_engine not in LANE_ENGINES:
+        raise ValueError(
+            f"lane_engine must be one of {LANE_ENGINES}, got {lane_engine!r}"
+        )
     policy = policy or DEFAULT_POLICY
     instr = obs_current()
     clock = DeadlineClock(policy.deadline)
@@ -128,16 +153,17 @@ def run_groups(
         _score_serial(
             profile, groups, gaps, instr, clock, results,
             span_name="sweep", indices=pending, sink=on_group_scored,
+            lane_engine=lane_engine,
         )
         return [results[i] for i in range(len(groups))]
     return _run_pool(
         profile, groups, gaps, workers, policy, instr, clock,
-        results, pending, on_group_scored,
+        results, pending, on_group_scored, lane_engine,
     )
 
 
 def _score_serial(
-    profile: QueryProfile,
+    profile: QueryProfile | StripedProfile,
     groups: list[PackedGroup],
     gaps: GapPenalty,
     instr: AnyInstrumentation,
@@ -146,17 +172,26 @@ def _score_serial(
     span_name: str,
     indices: list[int] | None = None,
     sink: Callable[[int, np.ndarray], None] | None = None,
+    lane_engine: str = "gotoh",
 ) -> None:
     """Score ``indices`` (default: all unscored) into ``results``,
     checking the deadline between groups."""
     todo = range(len(groups)) if indices is None else indices
+    striped = lane_engine == "striped"
     for i in todo:
         if i in results:
             continue
         if clock.expired():
             _raise_deadline(instr, clock, results, len(groups))
         with instr.span(span_name):
-            results[i] = score_packed_group(profile, groups[i], gaps)
+            if striped:
+                results[i] = score_packed_group_striped(
+                    cast(StripedProfile, profile), groups[i], gaps
+                )
+            else:
+                results[i] = score_packed_group(
+                    cast(QueryProfile, profile), groups[i], gaps
+                )
         if sink is not None:
             sink(i, results[i])
 
@@ -216,7 +251,7 @@ def _abandon_pool(pool: ProcessPoolExecutor) -> None:
 
 
 def _run_pool(
-    profile: QueryProfile,
+    profile: QueryProfile | StripedProfile,
     groups: list[PackedGroup],
     gaps: GapPenalty,
     workers: int,
@@ -226,6 +261,7 @@ def _run_pool(
     results: dict[int, np.ndarray],
     pending: list[int],
     sink: Callable[[int, np.ndarray], None] | None = None,
+    lane_engine: str = "gotoh",
 ) -> list[np.ndarray]:
     n = len(groups)
     serial_group_indices: set[int] = set()
@@ -246,7 +282,10 @@ def _run_pool(
         live_pool = ProcessPoolExecutor(
             max_workers=min(workers, len(tasks)),
             initializer=_init_worker,
-            initargs=(profile.query_codes, profile.matrix, gaps, policy.inject),
+            initargs=(
+                profile.query_codes, profile.matrix, gaps, policy.inject,
+                lane_engine,
+            ),
         )
         pool = live_pool
 
@@ -357,11 +396,23 @@ def _run_pool(
                     )
                     # Worker-process registries are per-process copies
                     # whose updates never reach the parent; the sweep
-                    # work is a deterministic function of geometry, so
-                    # charge accepted groups here.
+                    # work is a deterministic function of geometry (for
+                    # striped, of geometry plus the exact scores just
+                    # accepted), so charge accepted groups here.
                     if instr.enabled:
                         for gi in tasks[tid]:
-                            count_sweep_work(instr, profile.length, groups[gi])
+                            if lane_engine == "striped":
+                                count_striped_work(
+                                    instr,
+                                    cast(StripedProfile, profile),
+                                    groups[gi],
+                                    results[gi],
+                                    include_fallback_sweep=True,
+                                )
+                            else:
+                                count_sweep_work(
+                                    instr, profile.length, groups[gi]
+                                )
                 # Abandon tasks that outran the per-task timeout.  A
                 # running task cannot be cancelled, so its worker stays
                 # busy until it finishes on its own or the pool is torn
@@ -407,5 +458,6 @@ def _run_pool(
         _score_serial(
             profile, groups, gaps, instr, clock, results,
             span_name="serial_retry", indices=missing, sink=sink,
+            lane_engine=lane_engine,
         )
     return [results[i] for i in range(n)]

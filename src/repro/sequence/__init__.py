@@ -27,6 +27,7 @@ from repro.sequence.codon import (
 from repro.sequence.mutate import evolve, indel_mutate, plant_motif, point_mutate
 from repro.sequence.serialize import load_database, save_database
 from repro.sequence.profile import PackedQueryProfile, QueryProfile
+from repro.sequence.striped_profile import DEFAULT_TARGET_LANES, StripedProfile
 from repro.sequence.sequence import Sequence
 from repro.sequence.synthetic import (
     PAPER_DATABASES,
@@ -48,6 +49,8 @@ __all__ = [
     "write_fasta",
     "QueryProfile",
     "PackedQueryProfile",
+    "StripedProfile",
+    "DEFAULT_TARGET_LANES",
     "SWISSPROT_AA_FREQUENCIES",
     "protein_frequencies",
     "DatabaseProfile",

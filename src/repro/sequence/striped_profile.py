@@ -1,0 +1,132 @@
+"""Striped (Farrar) query profile with saturating 8/16-bit score tiers.
+
+Farrar's layout cuts the query into ``seg_len`` *segment rows* of
+``n_lanes`` positions each: query position ``q = k * seg_len + i``
+lives in **lane** ``k`` at **row** ``i``, so one
+(row, *) vector holds positions ``{i, seg_len + i, 2*seg_len + i, ...}``
+— positions a full segment apart.  Stepping rows ``0..seg_len-1``
+advances every lane by one query position per step, and the vertical
+(query-direction) dependency between consecutive positions becomes a
+dependency between *consecutive rows of the same lane*, plus a single
+lane-to-lane wrap from row ``seg_len-1`` of lane ``k`` into row ``0`` of
+lane ``k+1`` — the wrap the lazy-F loop corrects
+(see :mod:`repro.engine.striped`).
+
+The profile is pre-gathered per database symbol like
+:class:`~repro.sequence.profile.QueryProfile`, but reshaped to
+``(alphabet + 1, seg_len, n_lanes)`` so one ``np.take`` per database
+column fetches the whole striped similarity block.  Two tiers are
+built:
+
+* ``profile8`` — ``uint8``, entries ``W + bias`` where
+  ``bias = max(0, -W.min())`` keeps every byte non-negative (the SSW
+  library's biased-byte trick).  Padded query positions and the pad
+  sentinel symbol hold byte ``0`` — a true similarity of ``-bias <= 0``,
+  which can only relay (never raise) a lane's running maximum.
+* ``profile16`` — ``int16``, unbiased scores; pads hold
+  ``min(0, W.min())``.
+
+Each tier advertises a saturation cap (``cap8``/``cap16``): the largest
+H value the sweep may carry such that one more profile addition provably
+cannot wrap the dtype.  A lane whose clipped score reaches the cap is
+re-run in the next tier (see ``score_packed_group_striped``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.alphabet import SubstitutionMatrix
+from repro.sequence.profile import QueryProfile
+
+__all__ = ["StripedProfile", "DEFAULT_TARGET_LANES"]
+
+#: Default lane-count target: the stand-in for the 64 int8 lanes of a
+#: 512-bit SIMD register file (queries shorter than this get one
+#: position per lane).
+DEFAULT_TARGET_LANES = 64
+
+
+class StripedProfile:
+    """Striped two-tier query profile for the Farrar lane engine.
+
+    Attributes
+    ----------
+    base:
+        The plain :class:`~repro.sequence.profile.QueryProfile` (used by
+        the exact int64 fallback tier).
+    seg_len:
+        Segment rows ``t`` — the stripe height.  Query position
+        ``q = k * seg_len + i`` maps to ``[i, k]`` of each
+        ``(seg_len, n_lanes)`` state block.
+    n_lanes:
+        Striped vector width ``V = ceil(m / seg_len)``.
+    bias:
+        ``max(0, -W.min())`` — added to every real ``profile8`` entry so
+        the byte tier stores only non-negative similarities.
+    cap8, cap16:
+        Per-tier saturation caps; a swept lane score equal to the cap
+        means the true score is >= the cap and the lane must be re-run
+        in the next tier.
+    tier8_supported, tier16_supported:
+        Whether the matrix's score range leaves the tier any headroom
+        (``cap8 >= 1``) / fits the dtype at all.
+    """
+
+    def __init__(
+        self,
+        query_codes: np.ndarray,
+        matrix: SubstitutionMatrix,
+        *,
+        target_lanes: int = DEFAULT_TARGET_LANES,
+    ) -> None:
+        if target_lanes < 1:
+            raise ValueError(
+                f"target_lanes must be >= 1, got {target_lanes}"
+            )
+        self.base = QueryProfile(query_codes, matrix)
+        self.matrix = matrix
+        self.query_codes = self.base.query_codes
+        m = self.base.length
+        self.length = m
+        self.seg_len = max(1, -(-m // target_lanes))  # ceil(m / target)
+        self.n_lanes = -(-m // self.seg_len)
+        self.padded_length = self.seg_len * self.n_lanes
+
+        wmin = int(matrix.scores.min())
+        wmax = int(matrix.scores.max())
+        self.bias = max(0, -wmin)
+        #: Largest biased byte one profile fetch can add to a cell.
+        pmax8 = self.bias + max(wmax, 0)
+        self.cap8 = 255 - pmax8
+        self.tier8_supported = self.cap8 >= 1
+        self.cap16 = 32767 - max(wmax, 0)
+        self.tier16_supported = (
+            -32768 <= wmin and wmax <= 32767 and self.cap16 >= 1
+        )
+
+        size = matrix.alphabet.size
+        nat = self.base.scores  # (size, m), [d, i] = W[q_i, d]
+        self.profile8: np.ndarray | None = None
+        if self.tier8_supported:
+            flat8 = np.zeros((size + 1, self.padded_length), dtype=np.uint8)
+            flat8[:size, :m] = (nat + self.bias).astype(np.uint8)
+            self.profile8 = self._stripe(flat8)
+        self.profile16: np.ndarray | None = None
+        if self.tier16_supported:
+            flat16 = np.full(
+                (size + 1, self.padded_length), min(0, wmin), dtype=np.int16
+            )
+            flat16[:size, :m] = nat.astype(np.int16)
+            self.profile16 = self._stripe(flat16)
+
+    def _stripe(self, flat: np.ndarray) -> np.ndarray:
+        """``(A+1, padded)`` natural order -> ``(A+1, seg_len, n_lanes)``
+        striped order: ``out[c, i, k] = flat[c, k * seg_len + i]``."""
+        striped = np.ascontiguousarray(
+            flat.reshape(
+                flat.shape[0], self.n_lanes, self.seg_len
+            ).transpose(0, 2, 1)
+        )
+        striped.setflags(write=False)
+        return striped

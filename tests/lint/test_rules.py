@@ -129,6 +129,98 @@ class TestDtypeStabilityRule:
         )
         assert findings == []
 
+    def test_unguarded_uint8_arithmetic_is_flagged(self):
+        findings = run_rule(
+            DtypeStabilityRule(),
+            "repro/engine/striped.py",
+            """
+            import numpy as np
+
+            def sweep(n, w):
+                h = np.zeros(n, dtype=np.uint8)
+                np.add(h, w, out=h)
+                h = h - 3
+                return h
+            """,
+        )
+        assert [f.rule_id for f in findings] == ["RPL102", "RPL102"]
+        assert all("wraps silently" in f.message for f in findings)
+        assert "'h'" in findings[0].message
+
+    def test_narrowing_astype_then_augassign_is_flagged(self):
+        findings = run_rule(
+            DtypeStabilityRule(),
+            "repro/kernels/k.py",
+            """
+            import numpy as np
+
+            def biased(w, bias):
+                prof = w.astype(np.int8)
+                prof += bias
+                return prof
+            """,
+        )
+        assert [f.rule_id for f in findings] == ["RPL102"]
+        assert "'prof'" in findings[0].message
+
+    def test_saturating_idiom_is_clean(self):
+        # The striped engine's shape: clamp (maximum-before-subtract,
+        # minimum cap clip) marks the function saturation-disciplined.
+        findings = run_rule(
+            DtypeStabilityRule(),
+            "repro/engine/striped.py",
+            """
+            import numpy as np
+
+            def sweep(n, w, cap):
+                h = np.zeros(n, dtype=np.uint8)
+                sig = np.full(n, 2, dtype=np.uint8)
+                np.add(h, w, out=h)
+                np.maximum(h, sig, out=h)
+                np.subtract(h, sig, out=h)
+                np.minimum(h, cap, out=h)
+                return h
+            """,
+        )
+        assert findings == []
+
+    def test_wide_arithmetic_is_clean(self):
+        findings = run_rule(
+            DtypeStabilityRule(),
+            "repro/engine/striped.py",
+            """
+            import numpy as np
+
+            def scan(n, ramp):
+                acc = np.zeros(n, dtype=np.int64)
+                np.add(acc, ramp, out=acc)
+                return acc + 1
+            """,
+        )
+        assert findings == []
+
+    def test_closure_shares_enclosing_guard(self):
+        # A nested helper mutating the outer function's narrow arrays
+        # is covered by the outer function's clamp — one analysis unit.
+        findings = run_rule(
+            DtypeStabilityRule(),
+            "repro/engine/striped.py",
+            """
+            import numpy as np
+
+            def sweep(n, sig):
+                f = np.zeros(n, dtype=np.uint8)
+
+                def extend():
+                    np.maximum(f, sig, out=f)
+                    np.subtract(f, sig, out=f)
+
+                extend()
+                return f
+            """,
+        )
+        assert findings == []
+
 
 class TestUnseededRandomRule:
     def test_unseeded_default_rng_is_flagged(self):

@@ -99,6 +99,7 @@ class TestBitExactCounters:
         for extra in (
             "engine.executor.worker_round_trips",
             "engine.executor.pool_fallbacks",
+            "engine.executor.fanout_demotions",
         ):
             a.pop(extra, None)
             b.pop(extra, None)
