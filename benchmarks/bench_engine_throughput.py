@@ -15,20 +15,29 @@ drawn from :data:`SWISSPROT_PROFILE`):
   (:mod:`repro.engine.striped`).
 
 Results are emitted through the observability layer's
-:class:`~repro.obs.RunReport` writer: the single-worker batched run is
-traced with ``repro.obs.collect("full")``, so ``BENCH_engine.json`` is a
-versioned run-report document whose ``spans``/``counters`` sections carry
-the per-phase breakdown (pack vs. sweep vs. fan-out) alongside the
-benchmark numbers in ``meta``.  The report also embeds host/platform and
-NumPy version metadata so entries stay comparable across machines.
-Written to the repository root so the measured speedups travel with the
-code.  Run directly:
+:class:`~repro.obs.RunReport` writer: *every* engine runs under its own
+``repro.obs.collect("full")`` session, so each entry in the report's
+``engines`` section carries that engine's per-phase span seconds and
+histogram summaries (per-group sweep seconds, padding efficiency,
+lazy-F rounds), and the single-worker batched session additionally
+provides the report's top-level ``spans``/``counters``/``histograms``.
+The report embeds host/platform and NumPy version metadata plus a
+monotonic ``run_index`` so entries stay comparable across machines and
+runs.  Written to the repository root so the measured speedups travel
+with the code.
+
+Unless ``--no-history`` is given, the run also appends one JSONL entry
+per engine to ``BENCH_history.jsonl`` — host-normalized MCUPs keyed by
+``(engine, sequences, query_length)`` — which is what the CI
+perf-regression gate (``python -m repro bench gate``, see
+:mod:`repro.obs.perfgate`) compares against.  Run directly:
 
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py
 
 (``--skip-scalar`` drops the slow extrapolated scalar reference, which
-otherwise dominates wall time; ``--sequences``/``--out`` resize and
-redirect the run) or through pytest (a reduced-size smoke variant):
+otherwise dominates wall time; ``--sequences``/``--out``/``--history``/
+``--trace-out`` resize and redirect the run) or through pytest (a
+reduced-size smoke variant):
 
     pytest benchmarks/bench_engine_throughput.py -s
 """
@@ -51,6 +60,7 @@ from repro.sw import sw_score_antidiagonal, sw_score_scalar
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 OUTPUT_PATH = REPO_ROOT / "BENCH_engine.json"
+HISTORY_PATH = REPO_ROOT / "BENCH_history.jsonl"
 
 DB_SEQUENCES = 1_000
 QUERY_LENGTH = 200
@@ -80,6 +90,25 @@ def _time(fn) -> float:
     start = time.perf_counter()
     fn()
     return time.perf_counter() - start
+
+
+def _session_observation(instr) -> dict:
+    """One engine session's phase/histogram summary for the report."""
+    session = obs.RunReport.from_instrumentation(instr)
+    histograms = {}
+    for name, data in session.histograms.items():
+        hist = obs.Histogram.from_dict(name, data)
+        histograms[name] = {
+            "count": hist.count,
+            "sum": hist.sum,
+            "p50": hist.p50,
+            "p95": hist.p95,
+            "max": hist.max,
+        }
+    return {
+        "phases": session.span_seconds(),
+        "histograms": histograms,
+    }
 
 
 def time_scalar_extrapolated(query, db: Database, gaps: GapPenalty) -> dict:
@@ -141,6 +170,7 @@ def run_benchmark(
     group_size: int = DEFAULT_GROUP_SIZE,
     seed: int = SEED,
     skip_scalar: bool = False,
+    run_index: int = 1,
 ) -> obs.RunReport:
     rng = np.random.default_rng(seed)
     db = build_database(n_sequences, rng)
@@ -149,27 +179,44 @@ def run_benchmark(
     cells = query_length * db.total_residues
     n_workers = max(os.cpu_count() or 1, 2)
 
-    scalar = (
-        None if skip_scalar else time_scalar_extrapolated(query, db, gaps)
-    )
-    anti_seconds = time_antidiagonal(query, db, gaps)
-    # The reference single-worker batched run is traced, so the report
-    # attributes its time to pack vs. sweep vs. fan-out vs. scatter.
+    # Every engine runs under its own collection session, so each
+    # report entry carries that engine's phase and histogram breakdown.
+    scalar = None
+    scalar_obs = None
+    if not skip_scalar:
+        with obs.collect("full") as session:
+            with session.span("pair_loop"):
+                scalar = time_scalar_extrapolated(query, db, gaps)
+        scalar_obs = _session_observation(session)
+    with obs.collect("full") as session:
+        with session.span("pair_loop"):
+            anti_seconds = time_antidiagonal(query, db, gaps)
+    anti_obs = _session_observation(session)
+    # The single-worker batched session doubles as the report's
+    # top-level spans/counters/histograms.
     with obs.collect("full") as instr:
         batched_seconds, report = time_batched(
             query, db, gaps, workers=1, group_size=group_size
         )
-    fanned_seconds, _ = time_batched(
-        query, db, gaps, workers=n_workers, group_size=group_size
-    )
-    striped_seconds, _ = time_batched(
-        query, db, gaps, workers=1, group_size=group_size,
-        lane_engine="striped",
-    )
+    batched_obs = _session_observation(instr)
+    with obs.collect("full") as session:
+        fanned_seconds, _ = time_batched(
+            query, db, gaps, workers=n_workers, group_size=group_size
+        )
+    fanned_obs = _session_observation(session)
+    with obs.collect("full") as session:
+        striped_seconds, _ = time_batched(
+            query, db, gaps, workers=1, group_size=group_size,
+            lane_engine="striped",
+        )
+    striped_obs = _session_observation(session)
 
     def gcups(seconds: float) -> float:
         return cells / seconds / 1e9
 
+    # Engine keys are canonical (independent of this host's cpu count)
+    # so history entries from different machines gate against each
+    # other; the fanned worker count is recorded alongside instead.
     engines = {}
     if scalar is not None:
         engines["scalar"] = {
@@ -178,22 +225,28 @@ def run_benchmark(
             "extrapolated_from": {
                 k: v for k, v in scalar.items() if k != "seconds"
             },
+            **scalar_obs,
         }
     engines["antidiagonal"] = {
         "seconds": anti_seconds,
         "gcups": gcups(anti_seconds),
+        **anti_obs,
     }
-    engines["batched_1_worker"] = {
+    engines["batched"] = {
         "seconds": batched_seconds,
         "gcups": gcups(batched_seconds),
+        **batched_obs,
     }
-    engines[f"batched_{n_workers}_workers"] = {
+    engines["batched_fanned"] = {
         "seconds": fanned_seconds,
         "gcups": gcups(fanned_seconds),
+        "workers": n_workers,
+        **fanned_obs,
     }
     engines["striped"] = {
         "seconds": striped_seconds,
         "gcups": gcups(striped_seconds),
+        **striped_obs,
     }
 
     speedups = {
@@ -208,6 +261,7 @@ def run_benchmark(
 
     result = {
         "benchmark": "engine_throughput",
+        "run_index": run_index,
         "host": host_metadata(),
         "database": {
             "profile": SWISSPROT_PROFILE.name,
@@ -250,11 +304,53 @@ def main(argv: list[str] | None = None) -> None:
         "--out", type=pathlib.Path, default=OUTPUT_PATH, metavar="PATH",
         help="output report path (default BENCH_engine.json at repo root)",
     )
+    parser.add_argument(
+        "--history", type=pathlib.Path, default=HISTORY_PATH,
+        metavar="PATH",
+        help="JSONL history file the perf gate reads "
+        "(default BENCH_history.jsonl at repo root)",
+    )
+    parser.add_argument(
+        "--no-history", action="store_true",
+        help="do not append this run to the history file",
+    )
+    parser.add_argument(
+        "--trace-out", type=pathlib.Path, default=None, metavar="PATH",
+        help="also export the traced batched run as Chrome trace-event "
+        "JSON (chrome://tracing / Perfetto)",
+    )
     args = parser.parse_args(argv)
+    from repro.obs import perfgate
+
+    history = perfgate.read_history(args.history)
+    run_index = perfgate.next_run_index(history)
     run_report = run_benchmark(
-        n_sequences=args.sequences, skip_scalar=args.skip_scalar
+        n_sequences=args.sequences, skip_scalar=args.skip_scalar,
+        run_index=run_index,
     )
     run_report.write(args.out)
+    if not args.no_history:
+        host_factor = perfgate.host_speed_factor()
+        meta = run_report.meta
+        entries = [
+            perfgate.history_entry(
+                engine=name,
+                sequences=meta["database"]["sequences"],
+                query_length=meta["query_length"],
+                mcups=run["gcups"] * 1000.0,
+                run_index=run_index,
+                host_factor=host_factor,
+            )
+            for name, run in meta["engines"].items()
+        ]
+        perfgate.append_history(args.history, entries)
+        print(
+            f"appended run {run_index} ({len(entries)} engines, host "
+            f"factor {host_factor:.3f}) to {args.history}"
+        )
+    if args.trace_out is not None:
+        run_report.write_trace(args.trace_out)
+        print(f"trace written to {args.trace_out}")
     result = run_report.meta
     engines = result["engines"]
     print(f"host: {result['host']['platform']} "
@@ -283,7 +379,7 @@ def main(argv: list[str] | None = None) -> None:
 def test_batched_beats_antidiagonal():
     """Smoke-scale variant for pytest runs of the benchmarks directory."""
     run_report = run_benchmark(
-        n_sequences=120, query_length=60, skip_scalar=True
+        n_sequences=120, query_length=60, skip_scalar=True, run_index=7
     )
     assert run_report.meta["speedups"]["batched_vs_antidiagonal"] > 1.0
     assert run_report.meta["speedups"]["striped_vs_antidiagonal"] > 1.0
@@ -295,6 +391,21 @@ def test_batched_beats_antidiagonal():
         run_report.counters["engine.pack.padded_cells"]
         == run_report.engine["padded_cells"]
     )
+    # Every engine entry carries its own session's phase seconds and
+    # histogram summaries; the packed engines must have observed the
+    # per-group distributions.
+    assert run_report.meta["run_index"] == 7
+    engines = run_report.meta["engines"]
+    for name, run in engines.items():
+        assert "phases" in run and "histograms" in run, name
+        assert run["phases"], f"{name} recorded no phase seconds"
+    for name in ("batched", "batched_fanned", "striped"):
+        hists = engines[name]["histograms"]
+        assert hists["engine.sweep.group_seconds"]["count"] > 0
+        assert hists["engine.pack.group_efficiency"]["count"] > 0
+    assert engines["striped"]["histograms"][
+        "engine.striped.lazy_f_rounds"
+    ]["count"] > 0
     # Host metadata travels with every report (cross-machine comparisons).
     assert run_report.meta["host"]["numpy"] == np.__version__
 

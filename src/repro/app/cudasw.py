@@ -292,6 +292,7 @@ class CudaSW:
         memory_budget: MemoryBudget | None = None,
         simulate_kernels: bool = False,
         collect: str = "off",
+        memory_phases: bool = False,
     ) -> tuple[SearchResult, SearchReport]:
         """Compute every database sequence's score, plus the timing report.
 
@@ -360,6 +361,13 @@ class CudaSW:
             :func:`repro.obs.collect` session is active, in which case
             this search contributes to it and the outer owner builds
             the report.
+        memory_phases:
+            With ``collect="full"``, also track per-phase tracemalloc
+            peaks, surfaced as ``engine.mem.<phase>.peak_bytes``
+            counters and cross-checked against the
+            :class:`~repro.engine.MemoryBudget` estimator (ignored
+            when this search joins an outer session, which owns the
+            session configuration).
         """
         if collect not in COLLECT_MODES:
             raise ValueError(
@@ -400,7 +408,7 @@ class CudaSW:
                 query, db, engine, workers, group_size, fault_policy,
                 checkpoint, resume, memory_budget, simulate_kernels,
             )
-        with obs_collect(collect) as instr:
+        with obs_collect(collect, memory=memory_phases) as instr:
             result, report = self._search_traced(
                 query, db, engine, workers, group_size, fault_policy,
                 checkpoint, resume, memory_budget, simulate_kernels,

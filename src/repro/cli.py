@@ -1,11 +1,12 @@
 """Command-line interface.
 
-Four subcommands::
+Five subcommands::
 
     python -m repro align   A.fasta B.fasta        # pairwise alignment
     python -m repro search  query.fasta db.fasta   # database search + E-values
     python -m repro predict --profile swissprot    # modeled GCUPs report
     python -m repro exhibit figure3                # regenerate a paper exhibit
+    python -m repro bench gate                     # CI perf-regression gate
 
 Every subcommand accepts ``--help``.  The functions return process exit
 codes and print to the handles passed in, so the test suite drives them
@@ -170,7 +171,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_search.add_argument(
         "--metrics-out", metavar="PATH", default=None,
         help="write the run's merged observability report (spans + "
-        "counters + packing + timing model) as JSON to PATH",
+        "counters + histograms + packing + timing model) as JSON to PATH",
+    )
+    p_search.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="export the traced span forest (parent search plus "
+        "per-worker lanes) as Chrome trace-event JSON to PATH — load "
+        "it in chrome://tracing or https://ui.perfetto.dev",
+    )
+    p_search.add_argument(
+        "--mem-phases", action="store_true",
+        help="track per-phase tracemalloc peak memory "
+        "(engine.mem.<phase>.peak_bytes counters; implies tracing)",
     )
     add_scoring(p_search)
 
@@ -209,6 +221,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_exhibit.add_argument("name", choices=_EXHIBITS)
     p_exhibit.add_argument("--seed", type=int, default=0)
+
+    p_bench = sub.add_parser(
+        "bench", help="benchmark history utilities (perf-regression gate)"
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+    p_gate = bench_sub.add_parser(
+        "gate",
+        help="compare the newest benchmark run in the history file "
+        "against the rolling baseline and fail on regression",
+    )
+    p_gate.add_argument(
+        "--history", default="BENCH_history.jsonl", metavar="PATH",
+        help="JSONL history written by benchmarks/"
+        "bench_engine_throughput.py (default: %(default)s)",
+    )
+    p_gate.add_argument(
+        "--tolerance", type=float, default=None, metavar="FRACTION",
+        help="allowed fractional drop below the baseline median before "
+        "the gate fails (default: 0.2)",
+    )
+    p_gate.add_argument(
+        "--min-baseline", type=int, default=None, metavar="N",
+        help="baseline entries required before a key is gated; keys "
+        "with fewer prior runs are skipped (default: 1)",
+    )
 
     return parser
 
@@ -285,10 +322,18 @@ def _cmd_search(args, out: IO[str]) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=out)
         return 2
-    # --profile/--metrics-out own the collection session at CLI level so
-    # the E-value ranking phase is traced alongside the search itself.
-    observing = args.profile or args.metrics_out is not None
-    with obs.collect("full" if observing else "off") as instr:
+    # --profile/--metrics-out/--trace-out/--mem-phases own the
+    # collection session at CLI level so the E-value ranking phase is
+    # traced alongside the search itself.
+    observing = (
+        args.profile
+        or args.metrics_out is not None
+        or args.trace_out is not None
+        or args.mem_phases
+    )
+    with obs.collect(
+        "full" if observing else "off", memory=args.mem_phases
+    ) as instr:
         try:
             result, report = app.search(
                 query, db, engine=args.engine, workers=args.workers,
@@ -390,7 +435,33 @@ def _cmd_search(args, out: IO[str]) -> int:
     if args.metrics_out is not None:
         path = run_report.write(args.metrics_out)
         print(f"# metrics written to {path}", file=out)
+    if args.trace_out is not None:
+        path = run_report.write_trace(args.trace_out)
+        print(
+            f"# trace written to {path} (load in chrome://tracing or "
+            "https://ui.perfetto.dev)",
+            file=out,
+        )
     return 0
+
+
+def _cmd_bench(args, out: IO[str]) -> int:
+    from repro.obs.perfgate import DEFAULT_MIN_BASELINE, DEFAULT_TOLERANCE
+    from repro.obs.perfgate import gate as perf_gate
+
+    tolerance = (
+        DEFAULT_TOLERANCE if args.tolerance is None else args.tolerance
+    )
+    min_baseline = (
+        DEFAULT_MIN_BASELINE
+        if args.min_baseline is None
+        else args.min_baseline
+    )
+    outcome = perf_gate(
+        args.history, tolerance=tolerance, min_baseline=min_baseline
+    )
+    print(outcome.render(), file=out)
+    return 0 if outcome.passed else 1
 
 
 def _cmd_predict(args, out: IO[str]) -> int:
@@ -490,5 +561,6 @@ def main(argv: TySequence[str] | None = None, out: IO[str] | None = None) -> int
         "search": _cmd_search,
         "predict": _cmd_predict,
         "exhibit": _cmd_exhibit,
+        "bench": _cmd_bench,
     }
     return handlers[args.command](args, out)

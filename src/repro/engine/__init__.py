@@ -326,6 +326,29 @@ class BatchedEngine:
             finally:
                 if journal is not None:
                     journal.close()
+        if getattr(instr, "memory", False):
+            # Cross-check the tracemalloc peak observed during the
+            # sweep phases against what the MemoryBudget estimator
+            # predicted for the widest group: an underestimate here
+            # means the OOM guard's split points are too optimistic.
+            predicted = max(
+                (
+                    estimate_group_bytes(g.size, g.max_length)
+                    for g in groups
+                ),
+                default=0,
+            )
+            observed = max(
+                instr.counters.get("engine.mem.sweep.peak_bytes"),
+                instr.counters.get("engine.mem.sweep_parallel.peak_bytes"),
+                instr.counters.get("engine.mem.serial_retry.peak_bytes"),
+            )
+            instr.count("engine.mem.budget_checks", 1)
+            instr.counters.record_max(
+                "engine.mem.budget_predicted_bytes", predicted
+            )
+            if observed > predicted:
+                instr.count("engine.mem.budget_underestimates", 1)
         with instr.span("score_scatter"):
             scores = np.zeros(len(db), dtype=np.int64)
             for group, lane_scores in zip(groups, per_group):

@@ -17,6 +17,13 @@ remainder is recomputed serially — and a whole-search deadline raises
 partial results instead of hanging forever.  Results that do arrive are
 validated (shape and dtype) before being trusted.
 
+When the parent is collecting observability data, each chunk runs under
+a fresh worker-side :class:`~repro.obs.Instrumentation` session and
+ships its snapshot (counters, histograms, spans) back with the scores
+as a :class:`~repro.obs.WorkerTelemetry`; the parent merges snapshots
+from *accepted* chunks only, so counter totals stay bit-identical to
+the serial path while worker spans land in per-pid trace lanes.
+
 Process pools are not available everywhere (restricted sandboxes,
 interpreters without ``fork``/``spawn`` support), and a NumPy sweep
 already saturates one core per group, so parallelism is strictly
@@ -45,14 +52,19 @@ from repro.engine.faults import (
     SearchDeadlineExceeded,
     auto_chunksize,
 )
-from repro.engine.lanes import count_sweep_work, score_packed_group
+from repro.engine.lanes import score_packed_group
 from repro.engine.pack import PackedGroup
 from repro.engine.striped import (
     LANE_ENGINES,
-    count_striped_work,
     score_packed_group_striped,
 )
-from repro.obs import AnyInstrumentation, current as obs_current
+from repro.obs import (
+    AnyInstrumentation,
+    Instrumentation,
+    WorkerTelemetry,
+    activate as obs_activate,
+    current as obs_current,
+)
 from repro.sequence.profile import QueryProfile
 from repro.sequence.striped_profile import StripedProfile
 
@@ -69,6 +81,7 @@ def _init_worker(
     gaps: GapPenalty,
     inject: InjectionPlan | None,
     lane_engine: str = "gotoh",
+    collect_mode: str = "off",
 ) -> None:
     if lane_engine == "striped":
         _WORKER_STATE["profile"] = StripedProfile(query_codes, matrix)
@@ -78,27 +91,61 @@ def _init_worker(
     _WORKER_STATE["gaps"] = gaps
     _WORKER_STATE["inject"] = inject
     _WORKER_STATE["tasks_done"] = 0
+    _WORKER_STATE["collect_mode"] = collect_mode
+    # One epoch per worker process: successive per-chunk sessions anchor
+    # their spans to it, so a worker's lane reads as one monotonic
+    # timeline in the merged trace.
+    _WORKER_STATE["epoch"] = time.perf_counter()
 
 
 def _score_chunk_task(
     payload: list[tuple[int, PackedGroup]],
+) -> tuple[list[np.ndarray], WorkerTelemetry | None]:
+    """Score one chunk of ``(group_index, group)`` pairs, worker-side.
+
+    When the parent collects, the chunk runs under a *fresh* worker-side
+    :class:`~repro.obs.Instrumentation` session whose snapshot ships
+    back with the scores.  A fresh session per chunk attempt is what
+    makes the parent-side merge exactly-once: retried or rejected
+    chunks carry their own registries, which are simply discarded with
+    the chunk, so accepted totals stay bit-identical to the serial
+    path.
+    """
+    mode = _WORKER_STATE.get("collect_mode", "off")
+    if mode == "off":
+        return _score_chunk_groups(payload), None
+    instr = Instrumentation(mode, epoch=_WORKER_STATE["epoch"])
+    with obs_activate(instr):
+        out = _score_chunk_groups(payload)
+    return out, WorkerTelemetry.snapshot(instr)
+
+
+def _score_chunk_groups(
+    payload: list[tuple[int, PackedGroup]],
 ) -> list[np.ndarray]:
-    """Score one chunk of ``(group_index, group)`` pairs, worker-side."""
     profile = _WORKER_STATE["profile"]
     gaps = _WORKER_STATE["gaps"]
     striped = _WORKER_STATE.get("lane_engine") == "striped"
     inject: InjectionPlan | None = _WORKER_STATE.get("inject")
+    instr = obs_current()
     out = []
     for group_index, group in payload:
         garbage = False
         if inject is not None:
             garbage = inject.apply(group_index, _WORKER_STATE["tasks_done"])
-        if garbage:
-            out.append(np.zeros(0, dtype=np.int64))
-        elif striped:
-            out.append(score_packed_group_striped(profile, group, gaps))
-        else:
-            out.append(score_packed_group(profile, group, gaps))
+        started = time.perf_counter()
+        with instr.span("sweep"):
+            if garbage:
+                out.append(np.zeros(0, dtype=np.int64))
+            elif striped:
+                out.append(score_packed_group_striped(profile, group, gaps))
+            else:
+                out.append(score_packed_group(profile, group, gaps))
+        if instr.enabled:
+            instr.observe(
+                "engine.sweep.group_seconds",
+                time.perf_counter() - started,
+            )
         _WORKER_STATE["tasks_done"] += 1
     return out
 
@@ -183,6 +230,7 @@ def _score_serial(
             continue
         if clock.expired():
             _raise_deadline(instr, clock, results, len(groups))
+        started = time.perf_counter()
         with instr.span(span_name):
             if striped:
                 results[i] = score_packed_group_striped(
@@ -192,6 +240,10 @@ def _score_serial(
                 results[i] = score_packed_group(
                     cast(QueryProfile, profile), groups[i], gaps
                 )
+        if instr.enabled:
+            instr.observe(
+                "engine.sweep.group_seconds", time.perf_counter() - started
+            )
         if sink is not None:
             sink(i, results[i])
 
@@ -212,12 +264,18 @@ def _raise_deadline(
 
 
 def _valid_chunk(
-    chunk_scores: object,
+    result: object,
     group_indices: Sequence[int],
     groups: list[PackedGroup],
 ) -> bool:
-    """Trust a worker's chunk result only if every vector has the
-    expected shape and an integer dtype."""
+    """Trust a worker's chunk result only if it is a
+    ``(scores, telemetry)`` pair whose every vector has the expected
+    shape and an integer dtype."""
+    if not isinstance(result, tuple) or len(result) != 2:
+        return False
+    chunk_scores, telemetry = result
+    if telemetry is not None and not isinstance(telemetry, WorkerTelemetry):
+        return False
     if not isinstance(chunk_scores, list) or (
         len(chunk_scores) != len(group_indices)
     ):
@@ -284,7 +342,7 @@ def _run_pool(
             initializer=_init_worker,
             initargs=(
                 profile.query_codes, profile.matrix, gaps, policy.inject,
-                lane_engine,
+                lane_engine, instr.mode,
             ),
         )
         pool = live_pool
@@ -307,6 +365,10 @@ def _run_pool(
                 serial_group_indices.update(tasks[tid])
             else:
                 delay = policy.retry_delay(attempts[tid] + 1, rng)
+                if instr.enabled:
+                    instr.observe(
+                        "engine.executor.retry_delay_seconds", delay
+                    )
                 retry_queue.append((time.monotonic() + delay, tid))
 
         def pool_broke(extra_tids: list[int]) -> None:
@@ -372,7 +434,7 @@ def _run_pool(
                 for fut in done:
                     tid, _sub = in_flight.pop(fut)
                     try:
-                        chunk_scores = fut.result()
+                        chunk_result = fut.result()
                     except BrokenProcessPool:
                         dirty = True
                         pool_broke([tid])
@@ -381,10 +443,11 @@ def _run_pool(
                         instr.count("engine.executor.task_errors", 1)
                         schedule_retry(tid)
                         continue
-                    if not _valid_chunk(chunk_scores, tasks[tid], groups):
+                    if not _valid_chunk(chunk_result, tasks[tid], groups):
                         instr.count("engine.executor.garbage_results", 1)
                         schedule_retry(tid)
                         continue
+                    chunk_scores, telemetry = chunk_result
                     for gi, arr in zip(tasks[tid], chunk_scores):
                         results[gi] = arr.astype(np.int64, copy=False)
                         if sink is not None:
@@ -394,25 +457,13 @@ def _run_pool(
                         "engine.executor.pool_completed_groups",
                         len(tasks[tid]),
                     )
-                    # Worker-process registries are per-process copies
-                    # whose updates never reach the parent; the sweep
-                    # work is a deterministic function of geometry (for
-                    # striped, of geometry plus the exact scores just
-                    # accepted), so charge accepted groups here.
-                    if instr.enabled:
-                        for gi in tasks[tid]:
-                            if lane_engine == "striped":
-                                count_striped_work(
-                                    instr,
-                                    cast(StripedProfile, profile),
-                                    groups[gi],
-                                    results[gi],
-                                    include_fallback_sweep=True,
-                                )
-                            else:
-                                count_sweep_work(
-                                    instr, profile.length, groups[gi]
-                                )
+                    # The chunk ran under its own worker-side session;
+                    # fold the shipped snapshot in (counters and
+                    # histograms into the shared registries, spans into
+                    # the worker's pid lane).  Only accepted chunks
+                    # merge, so totals stay bit-identical to serial.
+                    if telemetry is not None and instr.enabled:
+                        instr.merge_worker(telemetry)
                 # Abandon tasks that outran the per-task timeout.  A
                 # running task cannot be cancelled, so its worker stays
                 # busy until it finishes on its own or the pool is torn

@@ -165,4 +165,9 @@ def pack_database(
         instr.count("engine.pack.residues", residues)
         instr.count("engine.pack.padded_cells", padded)
         instr.count("engine.pack.pad_waste_cells", padded - residues)
+        for g in groups:
+            instr.observe("engine.pack.group_cells", float(g.padded_cells))
+            instr.observe(
+                "engine.pack.group_efficiency", g.padding_efficiency
+            )
     return groups

@@ -58,7 +58,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.alphabet import GapPenalty
-from repro.engine.lanes import count_sweep_work, score_packed_group
+from repro.engine.lanes import score_packed_group
 from repro.engine.pack import PackedGroup
 from repro.obs import AnyInstrumentation, current as obs_current
 from repro.sequence.striped_profile import StripedProfile
@@ -290,6 +290,9 @@ def score_packed_group_striped(
             instr.count(
                 "engine.striped.f_columns_skipped", stats.f_columns_skipped
             )
+        instr.observe(
+            "engine.striped.lazy_f_rounds", float(stats.lazy_f_iterations)
+        )
         count_striped_work(instr, profile, group, scores)
     return scores
 
@@ -299,8 +302,6 @@ def count_striped_work(
     profile: StripedProfile,
     group: PackedGroup,
     lane_scores: np.ndarray,
-    *,
-    include_fallback_sweep: bool = False,
 ) -> None:
     """Charge one striped group's deterministic work counters.
 
@@ -308,16 +309,12 @@ def count_striped_work(
     geometry and the *final exact* lane scores: a lane's clipped sweep
     is exact until the moment it saturates, so ``score >= cap`` decides
     "this tier saturated and the next tier ran" identically to the
-    sweep's own detection.  That determinism is what lets the executor
-    charge pool-scored groups parent-side (worker registries are
-    per-process copies) with totals identical to the serial path; only
-    ``engine.striped.lazy_f_iterations`` / ``f_columns_skipped`` are
-    data-dependent and counted inside the sweep itself.
-
-    With ``include_fallback_sweep`` the ``engine.sweep.*`` work of the
-    exact int64 fallback tier is charged too — the pool path sets it,
-    standing in for the in-process self-charge of
-    :func:`~repro.engine.lanes.score_packed_group`.
+    sweep's own detection.  Pool-scored groups run this same charge
+    *worker-side* and ship the registries back as telemetry (see
+    ``repro.engine.executor``), so pooled totals stay bit-identical to
+    the serial path; ``engine.striped.lazy_f_iterations`` /
+    ``f_columns_skipped`` are data-dependent and counted inside the
+    sweep itself.
     """
     instr.count("engine.striped.groups", 1)
     saturated = np.ones(group.size, dtype=bool)
@@ -344,6 +341,3 @@ def count_striped_work(
         if ran_prior:
             instr.count("engine.striped.overflow_reruns", 1)
         instr.count("engine.striped.exact_rerun_lanes", int(saturated.sum()))
-        if include_fallback_sweep:
-            exact = _subset_group(group, np.flatnonzero(saturated))
-            count_sweep_work(instr, profile.length, exact)

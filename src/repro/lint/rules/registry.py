@@ -1,10 +1,10 @@
-"""RPL104: counter/span names must match the documented registry.
+"""RPL104: counter/span/histogram names must match the documented registry.
 
-``docs/observability.md`` is the contract for every counter and span
-name the instrumentation emits — the reproduction's Table I registry.
-Nothing used to keep code and document in sync: a counter renamed in
-``engine/pack.py`` (or a new one added) silently orphaned its
-documentation, and dashboards built on the documented names broke.
+``docs/observability.md`` is the contract for every counter, span and
+histogram name the instrumentation emits — the reproduction's Table I
+registry.  Nothing used to keep code and document in sync: a counter
+renamed in ``engine/pack.py`` (or a new one added) silently orphaned
+its documentation, and dashboards built on the documented names broke.
 
 The document carries machine-readable registry sections delimited by
 HTML comments::
@@ -14,16 +14,17 @@ HTML comments::
     | `kernel.*` | ... |
     <!-- /repro-lint:counter-registry -->
 
-(and the same with ``span-registry``).  The first backticked token on
-each line inside the markers is a registered name (descriptions may
-backtick other identifiers freely); a trailing ``.*`` makes it a
-prefix wildcard, reserved for genuinely dynamic families such as the
-per-kernel ``kernel.<name>.*`` ledger.
+(and the same with ``span-registry`` and ``histogram-registry``).  The
+first backticked token on each line inside the markers is a registered
+name (descriptions may backtick other identifiers freely); a trailing
+``.*`` makes it a prefix wildcard, reserved for genuinely dynamic
+families such as the per-kernel ``kernel.<name>.*`` ledger.
 
 The rule enforces both directions:
 
-* every string literal passed to ``instr.count(...)`` / ``instr.span(...)``
-  in the source tree must be registered (exactly, or under a wildcard);
+* every string literal passed to ``instr.count(...)`` /
+  ``instr.span(...)`` / ``instr.observe(...)`` in the source tree must
+  be registered (exactly, or under a wildcard);
 * every *exact* registered name must appear as a literal somewhere in
   the source tree — stale documentation fails the build too.  Wildcards
   are exempt from this direction, since their members are built at
@@ -53,7 +54,7 @@ __all__ = ["CounterRegistryRule", "parse_registry"]
 REGISTRY_DOC = "docs/observability.md"
 
 _MARKER = re.compile(
-    r"<!--\s*repro-lint:(counter|span)-registry\s*-->"
+    r"<!--\s*repro-lint:(counter|span|histogram)-registry\s*-->"
     r"(.*?)"
     r"<!--\s*/repro-lint:\1-registry\s*-->",
     re.DOTALL,
@@ -61,9 +62,11 @@ _MARKER = re.compile(
 _BACKTICKED = re.compile(r"`([^`\s]+)`")
 
 
-def parse_registry(markdown: str) -> tuple[set[str], set[str], set[str]]:
-    """Extract (exact counters, counter prefixes, span names) from the
-    registry sections of ``markdown``.
+def parse_registry(
+    markdown: str,
+) -> tuple[set[str], set[str], set[str], set[str]]:
+    """Extract (exact counters, counter prefixes, span names, histogram
+    names) from the registry sections of ``markdown``.
 
     Only the *first* backticked token of each line registers — table
     rows put the name in the first column and may mention classes or
@@ -74,6 +77,7 @@ def parse_registry(markdown: str) -> tuple[set[str], set[str], set[str]]:
     counters: set[str] = set()
     prefixes: set[str] = set()
     spans: set[str] = set()
+    histograms: set[str] = set()
     for match in _MARKER.finditer(markdown):
         kind, body = match.group(1), match.group(2)
         for line in body.splitlines():
@@ -83,21 +87,24 @@ def parse_registry(markdown: str) -> tuple[set[str], set[str], set[str]]:
             token = first.group(1)
             if kind == "span":
                 spans.add(token)
+            elif kind == "histogram":
+                histograms.add(token)
             elif token.endswith(".*"):
                 prefixes.add(token[:-1])  # keep the trailing dot
             else:
                 counters.add(token)
-    return counters, prefixes, spans
+    return counters, prefixes, spans, histograms
 
 
 @register
 class CounterRegistryRule(Rule):
-    """Reconcile instr.count/span literals with docs/observability.md."""
+    """Reconcile instr.count/span/observe literals with
+    docs/observability.md."""
 
     id = "RPL104"
     name = "counter-registry"
     description = (
-        "Counter/span name used in code but absent from the "
+        "Counter/span/histogram name used in code but absent from the "
         "docs/observability.md registry (or registered but unused): "
         "the observability contract drifted"
     )
@@ -108,6 +115,7 @@ class CounterRegistryRule(Rule):
         #: name -> first (ctx.path, node) using it.
         self.counters_used: dict[str, tuple[str, int, int]] = {}
         self.spans_used: dict[str, tuple[str, int, int]] = {}
+        self.histograms_used: dict[str, tuple[str, int, int]] = {}
 
     def applies_to(self, ctx: FileContext) -> bool:
         if ctx.module_path.startswith("repro/lint/"):
@@ -135,18 +143,26 @@ class CounterRegistryRule(Rule):
             isinstance(func.value, ast.Name) and func.value.id == "instr"
         ):
             return None
-        if func.attr not in ("count", "span"):
+        if func.attr not in ("count", "span", "observe"):
             return None
         literal = str_arg(node)
         if literal is None:
             return None
-        used = self.counters_used if func.attr == "count" else self.spans_used
+        used = {
+            "count": self.counters_used,
+            "span": self.spans_used,
+            "observe": self.histograms_used,
+        }[func.attr]
         used.setdefault(literal, (ctx.path, node.lineno, node.col_offset))
         return None
 
     def finish(self, project) -> Iterator[Finding]:
         doc_path = project.root / REGISTRY_DOC
-        if not self.counters_used and not self.spans_used:
+        if (
+            not self.counters_used
+            and not self.spans_used
+            and not self.histograms_used
+        ):
             return
         if not doc_path.is_file():
             yield self._doc_finding(
@@ -154,10 +170,10 @@ class CounterRegistryRule(Rule):
                 f"document {REGISTRY_DOC} does not exist",
             )
             return
-        exact, prefixes, spans = parse_registry(
+        exact, prefixes, spans, histograms = parse_registry(
             doc_path.read_text(encoding="utf-8")
         )
-        if not exact and not prefixes and not spans:
+        if not exact and not prefixes and not spans and not histograms:
             yield self._doc_finding(
                 f"{REGISTRY_DOC} has no repro-lint registry sections "
                 f"(<!-- repro-lint:counter-registry --> markers)",
@@ -193,6 +209,21 @@ class CounterRegistryRule(Rule):
                 ),
                 severity=self.severity,
             )
+        for name, (path, line, col) in sorted(self.histograms_used.items()):
+            if name in histograms:
+                continue
+            yield Finding(
+                path=path,
+                line=line,
+                col=col,
+                rule_id=self.id,
+                rule_name=self.name,
+                message=(
+                    f"histogram {name!r} is not in the {REGISTRY_DOC} "
+                    f"registry: document it (or fix the name)"
+                ),
+                severity=self.severity,
+            )
         for name in sorted(exact - set(self.counters_used)):
             yield self._doc_finding(
                 f"registered counter {name!r} is never emitted by the "
@@ -204,6 +235,12 @@ class CounterRegistryRule(Rule):
                 f"registered span {name!r} is never opened by the "
                 f"linted sources: stale documentation (delete the entry "
                 f"or restore the span)",
+            )
+        for name in sorted(histograms - set(self.histograms_used)):
+            yield self._doc_finding(
+                f"registered histogram {name!r} is never observed by "
+                f"the linted sources: stale documentation (delete the "
+                f"entry or restore the histogram)",
             )
 
     def _doc_finding(self, message: str) -> Finding:

@@ -16,10 +16,19 @@ layer for the functional engines and kernel models:
 * :mod:`~repro.obs.context` — the ambient activation
   (:func:`collect` / :func:`current`) with a no-op ``off`` mode whose
   overhead the test suite bounds at ≤2%;
+* :mod:`~repro.obs.histogram` — fixed-bucket mergeable histograms (the
+  distribution companion to the counters: per-group sweep seconds,
+  padding efficiency, lazy-F correction rounds, retry delays);
+* :mod:`~repro.obs.memphase` — opt-in per-span-phase tracemalloc peaks
+  surfaced as ``engine.mem.*`` counters;
+* :mod:`~repro.obs.trace_export` — Chrome trace-event JSON export of
+  the merged span forest (parent plus pid-tagged worker lanes);
 * :mod:`~repro.obs.report` — :class:`RunReport`, the versioned JSON
-  merge of spans + counters + :class:`~repro.engine.EngineReport` +
+  merge of spans + counters + histograms + worker lanes +
+  :class:`~repro.engine.EngineReport` +
   :class:`~repro.app.cudasw.SearchReport`, with a ``--profile`` text
-  rendering and a Prometheus exposition helper.
+  rendering, a Prometheus exposition helper and the trace export
+  front end.
 
 Typical use::
 
@@ -43,25 +52,55 @@ from repro.obs.context import (
     NO_OP,
     AnyInstrumentation,
     Instrumentation,
+    WorkerTelemetry,
+    activate,
     collect,
     current,
 )
 from repro.obs.counters import CounterRegistry
-from repro.obs.report import SCHEMA_VERSION, RunReport, sanitize_metric_name
-from repro.obs.spans import Span, Tracer, render_forest
+from repro.obs.histogram import (
+    BUCKET_SCHEMES,
+    DEFAULT_BUCKETS,
+    Histogram,
+    HistogramRegistry,
+    bucket_scheme,
+)
+from repro.obs.memphase import MemoryPhaseTracker
+from repro.obs.report import (
+    SCHEMA_VERSION,
+    RunReport,
+    desanitize_metric_name,
+    format_le,
+    sanitize_metric_name,
+)
+from repro.obs.spans import Span, SpanPhaseHook, Tracer, render_forest
+from repro.obs.trace_export import trace_document, trace_json
 
 __all__ = [
     "COLLECT_MODES",
     "NO_OP",
     "AnyInstrumentation",
     "Instrumentation",
+    "WorkerTelemetry",
+    "activate",
     "collect",
     "current",
     "CounterRegistry",
+    "BUCKET_SCHEMES",
+    "DEFAULT_BUCKETS",
+    "Histogram",
+    "HistogramRegistry",
+    "bucket_scheme",
+    "MemoryPhaseTracker",
     "SCHEMA_VERSION",
     "RunReport",
+    "desanitize_metric_name",
+    "format_le",
     "sanitize_metric_name",
     "Span",
+    "SpanPhaseHook",
     "Tracer",
     "render_forest",
+    "trace_document",
+    "trace_json",
 ]

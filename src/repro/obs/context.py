@@ -2,41 +2,50 @@
 
 Instrumented code never threads a collector through its signatures: it
 asks :func:`current` for the ambient :class:`Instrumentation` and calls
-``span``/``count`` on it.  When nothing is collecting, :func:`current`
-returns the module-level :data:`NO_OP` singleton whose methods do
-nothing — one ``ContextVar`` read plus a no-op call per instrumentation
-site, which is why instrumentation sites sit at phase/group/launch
-granularity (never per DP cell) and the ``collect="off"`` overhead
-stays under the 2% budget the test suite enforces.
+``span``/``count``/``observe`` on it.  When nothing is collecting,
+:func:`current` returns the module-level :data:`NO_OP` singleton whose
+methods do nothing — one ``ContextVar`` read plus a no-op call per
+instrumentation site, which is why instrumentation sites sit at
+phase/group/launch granularity (never per DP cell) and the
+``collect="off"`` overhead stays under the 2% budget the test suite
+enforces.
 
 ``ContextVar`` makes the context async- and thread-correct (each thread
-or task sees its own activation), and ``fork``-started worker processes
-inherit a *copy* — their mutations stay in the child, so the parent's
-registry cannot be corrupted; deterministic worker-side counts are
-re-accounted parent-side by the executor.
+or task sees its own activation).  Worker *processes* open their own
+session per chunk (see ``repro.engine.executor``) and ship the snapshot
+back as a :class:`WorkerTelemetry` with the chunk result; the parent
+folds accepted snapshots in with :meth:`Instrumentation.merge_worker`
+— counters and histograms merge into the shared registries, spans land
+in pid-tagged worker lanes.
 """
 
 from __future__ import annotations
 
+import os
 from contextlib import contextmanager
 from contextvars import ContextVar
-from typing import Iterator
+from dataclasses import dataclass
+from typing import Any, Iterator
 
 from repro.cuda.counts import KernelCounts
 from repro.obs.counters import CounterRegistry
-from repro.obs.spans import Tracer, _SpanContext
+from repro.obs.histogram import HistogramRegistry
+from repro.obs.memphase import MemoryPhaseTracker
+from repro.obs.spans import Span, Tracer, _SpanContext
 
 __all__ = [
     "COLLECT_MODES",
     "AnyInstrumentation",
     "Instrumentation",
     "NO_OP",
+    "WorkerTelemetry",
+    "activate",
     "collect",
     "current",
 ]
 
 #: Collection modes: ``off`` records nothing, ``counters`` records the
-#: counter registry only (no timing), ``full`` records counters + spans.
+#: counter/histogram registries only (no timing), ``full`` adds spans.
 COLLECT_MODES = ("off", "counters", "full")
 
 #: KernelCounts fields surfaced as per-kernel counters (the Table I
@@ -65,25 +74,90 @@ class _NullContext:
 _NULL_CONTEXT = _NullContext()
 
 
+@dataclass(frozen=True)
+class WorkerTelemetry:
+    """One worker-side collection session's picklable snapshot.
+
+    Shipped back with each accepted chunk result: ``counters`` and
+    ``histograms`` (serialized with
+    :meth:`~repro.obs.histogram.Histogram.as_dict`) merge into the
+    parent's registries; ``spans`` append to the worker's pid-tagged
+    lane, with starts relative to the *worker's* epoch (set once per
+    process, so successive chunks share one monotonic lane timeline).
+    """
+
+    pid: int
+    mode: str
+    counters: dict[str, int]
+    histograms: dict[str, dict[str, Any]]
+    spans: tuple[Span, ...]
+
+    @classmethod
+    def snapshot(cls, instr: "Instrumentation") -> "WorkerTelemetry":
+        return cls(
+            pid=os.getpid(),
+            mode=instr.mode,
+            counters=instr.counters.as_dict(),
+            histograms=instr.histograms.as_dict(),
+            spans=() if instr.tracer is None else instr.tracer.roots,
+        )
+
+
 class Instrumentation:
-    """One collection session: a counter registry plus (in ``full``
-    mode) a span tracer."""
+    """One collection session: counter + histogram registries plus (in
+    ``full`` mode) a span tracer, and optional memory-phase tracking."""
 
-    __slots__ = ("mode", "counters", "tracer")
+    __slots__ = ("mode", "pid", "counters", "histograms", "tracer",
+                 "worker_lanes", "_mem_tracker")
 
-    def __init__(self, mode: str = "full") -> None:
+    def __init__(
+        self,
+        mode: str = "full",
+        *,
+        memory: bool = False,
+        epoch: float | None = None,
+    ) -> None:
         if mode not in COLLECT_MODES or mode == "off":
             raise ValueError(
                 f"mode must be 'counters' or 'full', got {mode!r} "
                 f"(use NO_OP for 'off')"
             )
+        if memory and mode != "full":
+            raise ValueError(
+                "memory-phase tracking brackets spans, so it requires "
+                f"mode='full' (got {mode!r})"
+            )
         self.mode = mode
+        self.pid = os.getpid()
         self.counters = CounterRegistry()
-        self.tracer = Tracer() if mode == "full" else None
+        self.histograms = HistogramRegistry()
+        #: Worker-process span forests merged in by :meth:`merge_worker`,
+        #: keyed by worker pid.
+        self.worker_lanes: dict[int, list[Span]] = {}
+        self._mem_tracker: MemoryPhaseTracker | None = None
+        if memory:
+            self._mem_tracker = MemoryPhaseTracker(self.counters)
+            self._mem_tracker.start()
+        self.tracer = (
+            Tracer(epoch=epoch, phase_hook=self._mem_tracker)
+            if mode == "full"
+            else None
+        )
 
     @property
     def enabled(self) -> bool:
         return True
+
+    @property
+    def memory(self) -> bool:
+        """Whether memory-phase tracking is live for this session."""
+        return self._mem_tracker is not None
+
+    def close(self) -> None:
+        """Release session resources (stops tracemalloc if this session
+        started it).  :func:`collect` calls it on block exit."""
+        if self._mem_tracker is not None:
+            self._mem_tracker.stop()
 
     def span(self, name: str) -> _SpanContext | _NullContext:
         """Timed region context manager (no-op in ``counters`` mode)."""
@@ -93,6 +167,11 @@ class Instrumentation:
 
     def count(self, name: str, value: int = 1) -> None:
         self.counters.add(name, value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one histogram observation (buckets per
+        :func:`~repro.obs.histogram.bucket_scheme`)."""
+        self.histograms.observe(name, value)
 
     def count_kernel(self, kernel_name: str, counts: KernelCounts) -> None:
         """Record one kernel execution's :class:`KernelCounts` under
@@ -104,6 +183,22 @@ class Instrumentation:
             add(f"{prefix}.{field}", getattr(counts, field))
         add(f"{prefix}.global_transactions", counts.global_transactions)
 
+    def merge_worker(self, telemetry: WorkerTelemetry) -> None:
+        """Fold an accepted chunk's worker-side session into this one.
+
+        Exactly-once by construction: the executor snapshots a *fresh*
+        session per chunk attempt and merges only accepted results, so
+        retried or discarded chunks never double-count and totals stay
+        bit-identical to the serial path.
+        """
+        for name, value in telemetry.counters.items():
+            self.counters.add(name, value)
+        self.histograms.merge_dicts(telemetry.histograms)
+        if telemetry.spans:
+            self.worker_lanes.setdefault(telemetry.pid, []).extend(
+                telemetry.spans
+            )
+
 
 class _NoOpInstrumentation:
     """The ``off`` singleton: every operation is a cheap no-op."""
@@ -112,7 +207,9 @@ class _NoOpInstrumentation:
 
     mode = "off"
     enabled = False
+    memory = False
     counters = None
+    histograms = None
     tracer = None
 
     def span(self, name: str) -> _NullContext:
@@ -121,15 +218,24 @@ class _NoOpInstrumentation:
     def count(self, name: str, value: int = 1) -> None:
         return None
 
+    def observe(self, name: str, value: float) -> None:
+        return None
+
     def count_kernel(self, kernel_name: str, counts: KernelCounts) -> None:
+        return None
+
+    def merge_worker(self, telemetry: WorkerTelemetry) -> None:
+        return None
+
+    def close(self) -> None:
         return None
 
 
 NO_OP = _NoOpInstrumentation()
 
 #: What instrumented code actually receives: a live session or the
-#: inert singleton.  Both expose the same span/count/count_kernel
-#: surface, so instrumentation sites take this union.
+#: inert singleton.  Both expose the same span/count/observe/
+#: count_kernel surface, so instrumentation sites take this union.
 AnyInstrumentation = Instrumentation | _NoOpInstrumentation
 
 _ACTIVE: ContextVar[AnyInstrumentation] = ContextVar(
@@ -143,20 +249,39 @@ def current() -> AnyInstrumentation:
 
 
 @contextmanager
-def collect(mode: str = "full") -> Iterator[AnyInstrumentation]:
-    """Activate a fresh :class:`Instrumentation` for the enclosed block.
-
-    ``collect("off")`` yields :data:`NO_OP` (and deactivates any outer
-    collection for the block), so callers can pass a mode string
-    through unconditionally.
-    """
-    if mode not in COLLECT_MODES:
-        raise ValueError(
-            f"collect mode must be one of {COLLECT_MODES}, got {mode!r}"
-        )
-    instr = NO_OP if mode == "off" else Instrumentation(mode)
+def activate(instr: AnyInstrumentation) -> Iterator[AnyInstrumentation]:
+    """Activate an already-constructed session for the enclosed block
+    (how the executor's workers install a custom-epoch session; most
+    callers want :func:`collect`).  Does not :meth:`close` it."""
     token = _ACTIVE.set(instr)
     try:
         yield instr
     finally:
         _ACTIVE.reset(token)
+
+
+@contextmanager
+def collect(
+    mode: str = "full", *, memory: bool = False
+) -> Iterator[AnyInstrumentation]:
+    """Activate a fresh :class:`Instrumentation` for the enclosed block.
+
+    ``collect("off")`` yields :data:`NO_OP` (and deactivates any outer
+    collection for the block), so callers can pass a mode string
+    through unconditionally.  ``memory=True`` (``full`` mode only)
+    turns on per-phase tracemalloc peaks (``engine.mem.*`` counters);
+    it is ignored when the mode is ``off``.
+    """
+    if mode not in COLLECT_MODES:
+        raise ValueError(
+            f"collect mode must be one of {COLLECT_MODES}, got {mode!r}"
+        )
+    instr: AnyInstrumentation = (
+        NO_OP if mode == "off" else Instrumentation(mode, memory=memory)
+    )
+    token = _ACTIVE.set(instr)
+    try:
+        yield instr
+    finally:
+        _ACTIVE.reset(token)
+        instr.close()

@@ -41,6 +41,21 @@ class CounterRegistry:
         with self._lock:
             self._counters[name] = self._counters.get(name, 0) + value
 
+    def record_max(self, name: str, value: int) -> None:
+        """Raise ``name`` to ``value`` if larger (still monotonic —
+        used for peak gauges such as ``engine.mem.*.peak_bytes``)."""
+        if not name:
+            raise ValueError("counter name cannot be empty")
+        value = int(value)
+        if value < 0:
+            raise ValueError(
+                f"counters are non-negative; cannot record {value} "
+                f"for {name!r}"
+            )
+        with self._lock:
+            if value > self._counters.get(name, 0):
+                self._counters[name] = value
+
     def get(self, name: str, default: int = 0) -> int:
         with self._lock:
             return self._counters.get(name, default)

@@ -1,0 +1,77 @@
+"""Per-span-phase memory peaks via ``tracemalloc`` (opt-in).
+
+The engine's :class:`~repro.engine.budget.MemoryBudget` caps group
+working sets on an *estimate* (`estimate_group_bytes`); this tracker
+supplies the measurement to check that estimate against: when a
+session is opened with ``obs.collect("full", memory=True)``, every
+span entry/exit brackets a ``tracemalloc`` peak window and the phase's
+peak lands in the counter registry as
+``engine.mem.<phase>.peak_bytes`` (a running maximum over same-named
+phases, via :meth:`~repro.obs.counters.CounterRegistry.record_max`).
+
+Nesting is handled with a pending-max stack: entering a child phase
+captures the parent's peak so far and resets the process peak; on the
+child's exit its peak propagates up, so a parent phase always reports
+``>=`` the deepest child inside it.  ``tracemalloc`` peaks are
+process-global, so concurrently traced threads share one window — the
+numbers are per-phase attributions, not isolated measurements — and
+tracing costs real time, which is why memory tracking is opt-in and
+never part of the ``collect="off"`` overhead budget.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+from repro.obs.counters import CounterRegistry
+
+__all__ = ["MemoryPhaseTracker"]
+
+
+class MemoryPhaseTracker:
+    """Span phase hook recording tracemalloc peaks as counters."""
+
+    __slots__ = ("_counters", "_stack", "_started_here")
+
+    def __init__(self, counters: CounterRegistry) -> None:
+        self._counters = counters
+        #: Pending peak maxima for open phases, innermost last.
+        self._stack: list[int] = []
+        self._started_here = False
+
+    def start(self) -> None:
+        """Begin tracing allocations (no-op if already tracing)."""
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_here = True
+
+    def stop(self) -> None:
+        """Stop tracing iff this tracker started it."""
+        if self._started_here and tracemalloc.is_tracing():
+            tracemalloc.stop()
+        self._started_here = False
+
+    # -- span hooks (called by the tracer) ------------------------------
+    def enter_phase(self) -> None:
+        if not tracemalloc.is_tracing():
+            self._stack.append(0)
+            return
+        # Bank the enclosing phase's peak so far before resetting the
+        # process-global peak for the child's window.
+        if self._stack:
+            _, peak = tracemalloc.get_traced_memory()
+            if peak > self._stack[-1]:
+                self._stack[-1] = peak
+        tracemalloc.reset_peak()
+        self._stack.append(0)
+
+    def exit_phase(self, name: str) -> None:
+        pending = self._stack.pop() if self._stack else 0
+        if not tracemalloc.is_tracing():
+            return
+        _, peak = tracemalloc.get_traced_memory()
+        peak = max(peak, pending)
+        self._counters.record_max(f"engine.mem.{name}.peak_bytes", peak)
+        if self._stack and peak > self._stack[-1]:
+            self._stack[-1] = peak
+        tracemalloc.reset_peak()

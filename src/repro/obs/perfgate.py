@@ -1,0 +1,307 @@
+"""CI perf-regression gate over the benchmark history.
+
+The throughput benchmark (``benchmarks/bench_engine_throughput.py``)
+appends one JSONL entry per engine per run to ``BENCH_history.jsonl``:
+the measured MCUPs, a *host speed factor* (how fast this machine runs a
+fixed reference NumPy workload, so histories from different machines
+stay comparable) and the normalized MCUPs the gate actually compares.
+
+``repro bench gate`` (or ``tools/perf_gate.py``) groups the history by
+``(engine, sequences, query_length)``, takes each key's newest entry as
+the candidate and the *median* of the prior entries as the rolling
+baseline, and fails when the candidate's normalized MCUPs falls more
+than ``tolerance`` below that baseline.  The median plus a fractional
+tolerance is the noise armor: a single slow historical run cannot drag
+the baseline, and run-to-run jitter below the tolerance never fails the
+gate, while a genuine sustained regression (the CI default tolerance
+still catches a ~30% drop several times over) does.
+
+Keys without enough prior history are reported as ``skipped`` rather
+than failed, so a freshly added engine or database size needs one
+committed baseline run before it is gated.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_MIN_BASELINE",
+    "DEFAULT_TOLERANCE",
+    "GateOutcome",
+    "KeyVerdict",
+    "append_history",
+    "gate",
+    "history_entry",
+    "host_speed_factor",
+    "next_run_index",
+    "read_history",
+]
+
+#: Allowed fractional drop below the baseline median before a key fails.
+DEFAULT_TOLERANCE = 0.2
+
+#: Prior entries a key needs before it is gated (else it is skipped).
+DEFAULT_MIN_BASELINE = 1
+
+#: Reference seconds for the calibration workload, fixed once from the
+#: machine that seeded the committed history.  ``host_speed_factor``
+#: divides the local measurement by this, so =1.0 on the reference
+#: machine, >1.0 on slower ones; normalized MCUPs = MCUPs * factor.
+_REFERENCE_SECONDS = 0.0112
+
+#: Calibration workload geometry (deterministic: fixed seed, fixed
+#: shapes, pure NumPy — the same operations the sweeps spend their
+#: time in).
+_CALIBRATION_SIZE = 384
+_CALIBRATION_REPEATS = 24
+
+
+def host_speed_factor(*, best_of: int = 3) -> float:
+    """This host's speed on the fixed reference workload, as a factor
+    relative to the machine that seeded the history (1.0 = reference,
+    2.0 = twice as slow).  Best-of-``best_of`` timing keeps a scheduler
+    hiccup from inflating the factor."""
+    rng = np.random.default_rng(20110516)  # IPDPS 2011 publication date
+    a = rng.integers(0, 127, size=(_CALIBRATION_SIZE, _CALIBRATION_SIZE))
+    a = a.astype(np.int32)
+    b = np.zeros_like(a)
+    best = float("inf")
+    for _ in range(max(1, best_of)):
+        start = time.perf_counter()
+        acc = b.copy()
+        for _rep in range(_CALIBRATION_REPEATS):
+            np.maximum(acc[:-1, :-1] + a[1:, 1:], acc[1:, 1:], out=acc[1:, 1:])
+            np.maximum.accumulate(acc, axis=1, out=acc)
+            np.subtract(acc, 1, out=acc)
+            np.maximum(acc, 0, out=acc)
+        best = min(best, time.perf_counter() - start)
+    return best / _REFERENCE_SECONDS
+
+
+def history_entry(
+    *,
+    engine: str,
+    sequences: int,
+    query_length: int,
+    mcups: float,
+    run_index: int,
+    host_factor: float,
+    meta: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """One normalized JSONL history record."""
+    entry: dict[str, Any] = {
+        "schema": "repro.bench_history",
+        "run_index": int(run_index),
+        "engine": engine,
+        "sequences": int(sequences),
+        "query_length": int(query_length),
+        "mcups": float(mcups),
+        "host_factor": float(host_factor),
+        "normalized_mcups": float(mcups) * float(host_factor),
+    }
+    if meta:
+        entry["meta"] = dict(meta)
+    return entry
+
+
+def read_history(path: str | Path) -> list[dict[str, Any]]:
+    """Parse the JSONL history file (missing file -> empty list).
+
+    Unparseable or foreign-schema lines are skipped, not fatal: the
+    gate should degrade to "less baseline", never crash CI on a
+    half-written line.
+    """
+    p = Path(path)
+    if not p.exists():
+        return []
+    entries: list[dict[str, Any]] = []
+    for line in p.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        # A half-written trailing line degrades to "less baseline";
+        # crashing CI on it would make the gate flakier than the
+        # regressions it guards against.
+        except json.JSONDecodeError:  # repro-lint: disable=RPL105
+            continue
+        if (
+            isinstance(entry, dict)
+            and entry.get("schema") == "repro.bench_history"
+        ):
+            entries.append(entry)
+    return entries
+
+
+def next_run_index(entries: list[dict[str, Any]]) -> int:
+    """The next monotonic run index for a history (1 + the max seen)."""
+    return 1 + max(
+        (int(e.get("run_index", 0)) for e in entries), default=0
+    )
+
+
+def append_history(
+    path: str | Path, new_entries: list[dict[str, Any]]
+) -> Path:
+    """Append entries to the JSONL history file (created if missing)."""
+    p = Path(path)
+    with p.open("a") as fh:
+        for entry in new_entries:
+            fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    return p
+
+
+@dataclass(frozen=True)
+class KeyVerdict:
+    """One ``(engine, sequences, query_length)`` key's gate result."""
+
+    engine: str
+    sequences: int
+    query_length: int
+    status: str  # "ok" | "regressed" | "skipped"
+    current: float
+    baseline: float | None
+    baseline_runs: int
+
+    @property
+    def ratio(self) -> float | None:
+        if self.baseline is None or self.baseline <= 0:
+            return None
+        return self.current / self.baseline
+
+    def render(self) -> str:
+        key = f"{self.engine} (n={self.sequences}, q={self.query_length})"
+        if self.status == "skipped":
+            return (
+                f"SKIP  {key}: {self.baseline_runs} baseline run(s), "
+                "not enough history to gate"
+            )
+        ratio = self.ratio
+        detail = (
+            f"{self.current:.1f} vs baseline {self.baseline:.1f} "
+            f"normalized MCUPs"
+            + (f" ({ratio:.2f}x)" if ratio is not None else "")
+        )
+        mark = "ok  " if self.status == "ok" else "FAIL"
+        return f"{mark}  {key}: {detail}"
+
+
+@dataclass(frozen=True)
+class GateOutcome:
+    """The whole gate run: per-key verdicts plus the overall verdict."""
+
+    verdicts: tuple[KeyVerdict, ...]
+    tolerance: float
+    history_path: str
+    errors: tuple[str, ...] = field(default=())
+
+    @property
+    def passed(self) -> bool:
+        return not self.errors and all(
+            v.status != "regressed" for v in self.verdicts
+        )
+
+    def render(self) -> str:
+        lines = [
+            f"perf gate over {self.history_path} "
+            f"(tolerance {self.tolerance:.0%} below baseline median):"
+        ]
+        lines.extend(f"error: {e}" for e in self.errors)
+        lines.extend(v.render() for v in self.verdicts)
+        if not self.verdicts and not self.errors:
+            lines.append("(no gateable entries in history)")
+        lines.append("PASS" if self.passed else "FAIL")
+        return "\n".join(lines)
+
+
+def gate(
+    history_path: str | Path,
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+    min_baseline: int = DEFAULT_MIN_BASELINE,
+) -> GateOutcome:
+    """Gate the newest run in the history against the rolling baseline.
+
+    For each ``(engine, sequences, query_length)`` key, the entry with
+    the highest ``run_index`` is the candidate and the median
+    ``normalized_mcups`` of the remaining entries is the baseline; the
+    key regresses when ``candidate < (1 - tolerance) * baseline``.
+    Keys with fewer than ``min_baseline`` prior entries are skipped.
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError(
+            f"tolerance must be in [0, 1), got {tolerance}"
+        )
+    entries = read_history(history_path)
+    if not entries:
+        return GateOutcome(
+            verdicts=(),
+            tolerance=tolerance,
+            history_path=str(history_path),
+            errors=(f"no benchmark history at {history_path}",),
+        )
+    by_key: dict[tuple[str, int, int], list[dict[str, Any]]] = {}
+    for entry in entries:
+        key = (
+            str(entry["engine"]),
+            int(entry["sequences"]),
+            int(entry["query_length"]),
+        )
+        by_key.setdefault(key, []).append(entry)
+    latest_run = max(int(e["run_index"]) for e in entries)
+    verdicts: list[KeyVerdict] = []
+    for (engine, sequences, query_length), group in sorted(by_key.items()):
+        group.sort(key=lambda e: int(e["run_index"]))
+        candidate = group[-1]
+        if int(candidate["run_index"]) != latest_run:
+            # Key absent from the newest run (e.g. scalar skipped in the
+            # CI smoke): nothing new to gate.
+            continue
+        prior = group[:-1]
+        current = float(candidate["normalized_mcups"])
+        if len(prior) < min_baseline:
+            verdicts.append(
+                KeyVerdict(
+                    engine=engine,
+                    sequences=sequences,
+                    query_length=query_length,
+                    status="skipped",
+                    current=current,
+                    baseline=None,
+                    baseline_runs=len(prior),
+                )
+            )
+            continue
+        baseline = statistics.median(
+            float(e["normalized_mcups"]) for e in prior
+        )
+        status = (
+            "regressed"
+            if current < (1.0 - tolerance) * baseline
+            else "ok"
+        )
+        verdicts.append(
+            KeyVerdict(
+                engine=engine,
+                sequences=sequences,
+                query_length=query_length,
+                status=status,
+                current=current,
+                baseline=baseline,
+                baseline_runs=len(prior),
+            )
+        )
+    return GateOutcome(
+        verdicts=tuple(verdicts),
+        tolerance=tolerance,
+        history_path=str(history_path),
+    )

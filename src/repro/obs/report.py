@@ -1,21 +1,27 @@
 """Structured run reports: spans + counters + engine/model accounting.
 
 :class:`RunReport` is the single versioned JSON document a profiled run
-produces — the merge of the span forest (phase timings), the counter
-registry (Table I-style work totals), the batched engine's
+produces — the merge of the span forest (phase timings, parent process
+plus pid-tagged worker lanes), the counter registry (Table I-style work
+totals), the histogram registry (distributions: per-group sweep
+seconds, padding efficiency, …), the batched engine's
 :class:`~repro.engine.EngineReport` (packing accounting) and the
 modeled :class:`~repro.app.cudasw.SearchReport` (device timing model).
-The CLI's ``--metrics-out`` writes it, ``--profile`` renders it, and
-benchmarks emit their results through the same writer so ``BENCH_*``
-artifacts carry phase breakdowns.
+The CLI's ``--metrics-out`` writes it, ``--profile`` renders it,
+``--trace-out`` exports the span forest as Chrome trace-event JSON,
+and benchmarks emit their results through the same writer so
+``BENCH_*`` artifacts carry phase breakdowns.
 
-``to_prometheus`` emits the counters and span totals in the Prometheus
-text exposition format, for a future service front end to scrape.
+``to_prometheus`` emits the counters, span totals and histograms in
+the Prometheus text exposition format (histograms as
+``_bucket``/``_sum``/``_count`` series with cumulative ``le`` labels),
+for a future service front end to scrape.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -28,10 +34,17 @@ if TYPE_CHECKING:
     from repro.app.cudasw import SearchReport
     from repro.engine import EngineReport
 
-__all__ = ["RunReport", "SCHEMA_VERSION", "sanitize_metric_name"]
+__all__ = [
+    "RunReport",
+    "SCHEMA_VERSION",
+    "desanitize_metric_name",
+    "format_le",
+    "sanitize_metric_name",
+]
 
 #: Version of the JSON document layout.  Bump on breaking changes.
-SCHEMA_VERSION = 1
+#: v2 added ``histograms``, ``worker_lanes`` and ``pid``.
+SCHEMA_VERSION = 2
 
 _PROM_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
 
@@ -79,9 +92,12 @@ class RunReport:
     collect: str
     spans: tuple[Span, ...] = ()
     counters: dict[str, int] = field(default_factory=dict)
+    histograms: dict[str, dict[str, Any]] = field(default_factory=dict)
+    worker_lanes: dict[int, tuple[Span, ...]] = field(default_factory=dict)
     engine: dict[str, Any] | None = None
     model: dict[str, Any] | None = None
     meta: dict[str, Any] = field(default_factory=dict)
+    pid: int = 0
 
     # -- construction ---------------------------------------------------
     @classmethod
@@ -101,10 +117,21 @@ class RunReport:
         """
         spans = () if instr.tracer is None else instr.tracer.roots
         counters = {} if instr.counters is None else instr.counters.as_dict()
+        histograms = (
+            {} if instr.histograms is None else instr.histograms.as_dict()
+        )
+        lanes = {
+            pid: tuple(lane_spans)
+            for pid, lane_spans in getattr(
+                instr, "worker_lanes", {}
+            ).items()
+        }
         return cls(
             collect=instr.mode,
             spans=spans,
             counters=counters,
+            histograms=histograms,
+            worker_lanes=lanes,
             engine=(
                 None if engine_report is None
                 else _engine_report_dict(engine_report)
@@ -114,6 +141,7 @@ class RunReport:
                 else _search_report_dict(search_report)
             ),
             meta=dict(meta or {}),
+            pid=getattr(instr, "pid", 0),
         )
 
     # -- serialization --------------------------------------------------
@@ -122,8 +150,20 @@ class RunReport:
             "schema": "repro.run_report",
             "schema_version": SCHEMA_VERSION,
             "collect": self.collect,
+            "pid": self.pid,
             "spans": [s.as_dict() for s in self.spans],
             "counters": dict(self.counters),
+            "histograms": {
+                name: dict(data)
+                for name, data in sorted(self.histograms.items())
+            },
+            "worker_lanes": [
+                {
+                    "pid": pid,
+                    "spans": [s.as_dict() for s in lane],
+                }
+                for pid, lane in sorted(self.worker_lanes.items())
+            ],
             "engine": self.engine,
             "model": self.model,
             "meta": dict(self.meta),
@@ -142,17 +182,52 @@ class RunReport:
 
         return atomic_write_text(path, self.to_json())
 
+    # -- trace export ---------------------------------------------------
+    def to_trace_dict(self) -> dict[str, Any]:
+        """The span forest (worker lanes included) as a Chrome
+        trace-event document (see :mod:`repro.obs.trace_export`)."""
+        from repro.obs.trace_export import trace_document
+
+        return trace_document(
+            self.spans,
+            self.worker_lanes,
+            main_pid=self.pid,
+            meta={"collect": self.collect, **self.meta},
+        )
+
+    def to_trace_json(self, *, indent: int | None = None) -> str:
+        return json.dumps(self.to_trace_dict(), indent=indent) + "\n"
+
+    def write_trace(self, path: str | Path) -> Path:
+        """Atomically write the Chrome trace JSON to ``path``."""
+        from repro.engine.checkpoint import atomic_write_text
+
+        return atomic_write_text(path, self.to_trace_json())
+
     # -- derived views --------------------------------------------------
     def span_seconds(self) -> dict[str, float]:
-        """Summed duration per slash-joined span path."""
+        """Summed duration per slash-joined span path (parent process
+        only; worker lanes are summarized separately)."""
         totals: dict[str, float] = {}
         for root in self.spans:
             for path, span in root.walk():
                 totals[path] = totals.get(path, 0.0) + span.seconds
         return totals
 
+    def worker_lane_seconds(self) -> dict[int, dict[str, float]]:
+        """Per worker pid: summed duration per slash-joined span path."""
+        out: dict[int, dict[str, float]] = {}
+        for pid, lane in sorted(self.worker_lanes.items()):
+            totals: dict[str, float] = {}
+            for root in lane:
+                for path, span in root.walk():
+                    totals[path] = totals.get(path, 0.0) + span.seconds
+            out[pid] = totals
+        return out
+
     def render_profile(self) -> str:
-        """The ``--profile`` view: span tree plus counter table."""
+        """The ``--profile`` view: span tree, histogram percentiles,
+        worker lanes, counter table."""
         parts = ["== span tree =="]
         if self.spans:
             from repro.obs.spans import render_forest
@@ -167,6 +242,22 @@ class RunReport:
                     else ")"
                 )
             )
+        if self.worker_lanes:
+            parts.append("")
+            parts.append("== worker lanes ==")
+            from repro.obs.spans import render_forest
+
+            for pid, lane in sorted(self.worker_lanes.items()):
+                busy = sum(s.seconds for s in lane)
+                parts.append(
+                    f"worker pid {pid}: {len(lane)} spans, "
+                    f"{busy * 1e3:.3f} ms busy"
+                )
+                parts.append(render_forest(lane))
+        if self.histograms:
+            parts.append("")
+            parts.append("== histograms ==")
+            parts.append(_render_histograms(self.histograms))
         parts.append("")
         parts.append("== counters ==")
         if self.counters:
@@ -192,7 +283,9 @@ class RunReport:
         return "\n".join(parts)
 
     def to_prometheus(self, *, prefix: str = "repro") -> str:
-        """Prometheus text exposition of counters and span totals."""
+        """Prometheus text exposition of counters, span totals and
+        histograms (``_bucket``/``_sum``/``_count`` with cumulative
+        ``le`` labels)."""
         lines = [
             f"# HELP {prefix}_counter_total "
             "Instrumentation counter totals for one run.",
@@ -213,13 +306,97 @@ class RunReport:
                 lines.append(
                     f'{prefix}_span_seconds{{path="{path}"}} {seconds:.9f}'
                 )
+        if self.histograms:
+            lines.append(
+                f"# HELP {prefix}_histogram "
+                "Instrumentation histogram distributions for one run."
+            )
+            lines.append(f"# TYPE {prefix}_histogram histogram")
+            for name, data in sorted(self.histograms.items()):
+                bounds = [float(b) for b in data["bounds"]]
+                counts = [int(c) for c in data["bucket_counts"]]
+                cumulative = 0
+                for bound, count in zip(
+                    bounds + [math.inf], counts
+                ):
+                    cumulative += count
+                    lines.append(
+                        f'{prefix}_histogram_bucket{{name="{name}",'
+                        f'le="{format_le(bound)}"}} {cumulative}'
+                    )
+                lines.append(
+                    f'{prefix}_histogram_sum{{name="{name}"}} '
+                    f"{float(data['sum']):.9g}"
+                )
+                lines.append(
+                    f'{prefix}_histogram_count{{name="{name}"}} '
+                    f"{int(data['count'])}"
+                )
         return "\n".join(lines) + "\n"
+
+
+def _render_histograms(histograms: dict[str, dict[str, Any]]) -> str:
+    """Percentile table for ``--profile``: one row per histogram."""
+    from repro.obs.histogram import Histogram
+
+    header = (
+        f"{'histogram':<40} {'count':>8} {'sum':>12} "
+        f"{'p50':>10} {'p95':>10} {'max':>10}"
+    )
+    rows = [header]
+    for name, data in sorted(histograms.items()):
+        hist = Histogram.from_dict(name, data)
+        if hist.count == 0:
+            rows.append(
+                f"{name:<40} {0:>8} {'-':>12} {'-':>10} {'-':>10} {'-':>10}"
+            )
+            continue
+        rows.append(
+            f"{name:<40} {hist.count:>8} {hist.sum:>12.4g} "
+            f"{hist.p50:>10.4g} {hist.p95:>10.4g} {hist.max:>10.4g}"
+        )
+    return "\n".join(rows)
+
+
+def format_le(bound: float) -> str:
+    """Canonical ``le`` label value for a bucket boundary.
+
+    Round-trip safe: ``float(format_le(b)) == b`` for every boundary,
+    including ``.``-bearing fractions (shortest-repr formatting) and
+    the infinite overflow bucket (``"+Inf"``, which ``float`` parses
+    back to ``inf``).
+    """
+    if math.isinf(bound):
+        return "+Inf" if bound > 0 else "-Inf"
+    if bound == int(bound) and abs(bound) < 1e15:
+        return str(int(bound))
+    return repr(bound)
 
 
 def sanitize_metric_name(name: str) -> str:
     """A Prometheus-legal metric name fragment (used by exporters that
-    flatten counter names into metric names rather than labels)."""
-    out = _PROM_SANITIZE.sub("_", name)
+    flatten counter/histogram names into metric names rather than
+    labels).
+
+    Invertible for dot-namespaced names: pre-existing underscores are
+    doubled before ``.`` maps to ``_``, so
+    :func:`desanitize_metric_name` recovers the original — including
+    flattened bucket boundaries like ``0.005`` or ``inf`` (all-legal
+    characters pass through untouched).  Other illegal characters
+    collapse to ``_`` (lossy, for display only).
+    """
+    out = name.replace("_", "__")
+    out = _PROM_SANITIZE.sub("_", out)
     if out and out[0].isdigit():
         out = "_" + out
     return out
+
+
+def desanitize_metric_name(name: str) -> str:
+    """Invert :func:`sanitize_metric_name` for names whose only
+    illegal characters were dots (the dot-namespaced registry names
+    and numeric bucket boundaries): ``__`` becomes ``_``, remaining
+    single ``_`` becomes ``.``."""
+    return (
+        name.replace("__", "\x00").replace("_", ".").replace("\x00", "_")
+    )

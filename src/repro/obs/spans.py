@@ -6,9 +6,9 @@ a forest of phase trees.  :class:`Tracer` maintains the open-span stack
 *per thread* (``threading.local``) and appends finished root spans to a
 lock-guarded list, so concurrently traced threads interleave safely.
 Worker *processes* inherit a copy of the tracer under ``fork`` and
-cannot corrupt the parent; their work is accounted parent-side by the
-executor (see ``repro.engine.executor``), mirroring how CUDA events
-time a kernel from the host rather than inside it.
+cannot corrupt the parent; instead each worker chunk runs its own
+session and ships finished spans back as telemetry, which the parent
+merges into pid-tagged lanes (see ``repro.engine.executor``).
 
 Span starts are recorded relative to the tracer's epoch (its creation
 time), so a serialized trace shows phase ordering without wall-clock
@@ -20,9 +20,19 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Any, Iterable, Mapping, Protocol
 
-__all__ = ["Span", "Tracer", "render_forest"]
+__all__ = ["Span", "SpanPhaseHook", "Tracer", "render_forest"]
+
+
+class SpanPhaseHook(Protocol):
+    """Optional per-span callbacks a :class:`Tracer` invokes on span
+    entry/exit (how :class:`~repro.obs.memphase.MemoryPhaseTracker`
+    brackets tracemalloc peak windows around phases)."""
+
+    def enter_phase(self) -> None: ...
+
+    def exit_phase(self, name: str) -> None: ...
 
 
 @dataclass
@@ -46,6 +56,17 @@ class Span:
             "seconds": self.seconds,
             "children": [c.as_dict() for c in self.children],
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Span":
+        """Rebuild a span tree from :meth:`as_dict` output (how worker
+        telemetry and serialized reports round-trip span forests)."""
+        return cls(
+            name=str(data["name"]),
+            start=float(data["start"]),
+            seconds=float(data["seconds"]),
+            children=[cls.from_dict(c) for c in data.get("children", ())],
+        )
 
     def walk(self, _path: str = "") -> list[tuple[str, "Span"]]:
         """Flatten to ``(slash/joined/path, span)`` pairs, depth-first."""
@@ -74,6 +95,9 @@ class _SpanContext:
         if stack:
             stack[-1].children.append(self._span)
         stack.append(self._span)
+        hook = self._tracer._phase_hook
+        if hook is not None:
+            hook.enter_phase()
         return self._span
 
     def __exit__(self, *exc: object) -> None:
@@ -81,6 +105,9 @@ class _SpanContext:
         span.seconds = (
             time.perf_counter() - self._tracer._epoch
         ) - span.start
+        hook = self._tracer._phase_hook
+        if hook is not None:
+            hook.exit_phase(span.name)
         stack = self._tracer._stack()
         if stack and stack[-1] is span:
             stack.pop()
@@ -89,10 +116,23 @@ class _SpanContext:
 
 
 class Tracer:
-    """Collects a forest of :class:`Span` trees."""
+    """Collects a forest of :class:`Span` trees.
 
-    def __init__(self) -> None:
-        self._epoch = time.perf_counter()
+    ``epoch`` anchors span starts (default: creation time); a worker
+    process passes its own long-lived base so spans from successive
+    per-chunk sessions share one monotonic lane timeline.
+    ``phase_hook`` receives enter/exit callbacks around every span
+    (see :class:`SpanPhaseHook`).
+    """
+
+    def __init__(
+        self,
+        *,
+        epoch: float | None = None,
+        phase_hook: SpanPhaseHook | None = None,
+    ) -> None:
+        self._epoch = time.perf_counter() if epoch is None else epoch
+        self._phase_hook = phase_hook
         self._local = threading.local()
         self._lock = threading.Lock()
         self._roots: list[Span] = []

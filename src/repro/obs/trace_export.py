@@ -1,0 +1,108 @@
+"""Chrome trace-event export of a merged span forest.
+
+Serializes a run's spans — parent process and pid-tagged worker lanes —
+as the Trace Event Format JSON that ``chrome://tracing`` and Perfetto
+(https://ui.perfetto.dev) load directly: an object with a
+``traceEvents`` array of complete (``"ph": "X"``) events, timestamps
+and durations in microseconds, one ``pid`` lane per process.
+
+Each lane's timestamps are relative to that process's own epoch (the
+parent session's creation, or the worker's pool initialization), so
+events within a lane are monotonically consistent but lanes are not
+clock-synchronized against each other — good enough to read phase
+structure and per-worker load balance, which is what the export is
+for.  Process-name metadata events label the lanes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Mapping
+
+from repro.obs.spans import Span
+
+__all__ = ["trace_document", "trace_json"]
+
+#: Event category stamped on every span event.
+_CATEGORY = "repro"
+
+
+def _span_events(
+    span: Span, pid: int, events: list[dict[str, Any]]
+) -> None:
+    events.append(
+        {
+            "name": span.name,
+            "cat": _CATEGORY,
+            "ph": "X",
+            "ts": round(span.start * 1e6, 3),
+            "dur": round(max(span.seconds, 0.0) * 1e6, 3),
+            "pid": pid,
+            "tid": 0,
+        }
+    )
+    for child in span.children:
+        _span_events(child, pid, events)
+
+
+def _process_name_event(pid: int, label: str) -> dict[str, Any]:
+    return {
+        "name": "process_name",
+        "ph": "M",
+        "pid": pid,
+        "tid": 0,
+        "args": {"name": label},
+    }
+
+
+def trace_document(
+    spans: Iterable[Span],
+    worker_lanes: Mapping[int, Iterable[Span]] | None = None,
+    *,
+    main_pid: int = 0,
+    meta: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Build the Trace Event Format document (a JSON-able dict).
+
+    ``spans`` is the parent-process span forest, rendered on the
+    ``main_pid`` lane; ``worker_lanes`` maps worker pids to their
+    shipped span forests, each rendered on its own lane.  ``meta``
+    lands in the document's ``otherData`` section (Perfetto shows it
+    in the trace info panel).
+    """
+    events: list[dict[str, Any]] = [
+        _process_name_event(main_pid, f"search (pid {main_pid})")
+    ]
+    for root in spans:
+        _span_events(root, main_pid, events)
+    for pid in sorted(worker_lanes or {}):
+        events.append(_process_name_event(pid, f"worker (pid {pid})"))
+        for root in (worker_lanes or {})[pid]:
+            _span_events(root, pid, events)
+    doc: dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    }
+    if meta:
+        doc["otherData"] = dict(meta)
+    return doc
+
+
+def trace_json(
+    spans: Iterable[Span],
+    worker_lanes: Mapping[int, Iterable[Span]] | None = None,
+    *,
+    main_pid: int = 0,
+    meta: Mapping[str, Any] | None = None,
+    indent: int | None = None,
+) -> str:
+    """:func:`trace_document` serialized to a JSON string."""
+    return (
+        json.dumps(
+            trace_document(
+                spans, worker_lanes, main_pid=main_pid, meta=meta
+            ),
+            indent=indent,
+        )
+        + "\n"
+    )

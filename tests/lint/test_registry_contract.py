@@ -28,6 +28,14 @@ REGISTRY_DOC = textwrap.dedent(
     | `sweep` | forwarded via `span_name=` |
 
     <!-- /repro-lint:span-registry -->
+
+    <!-- repro-lint:histogram-registry -->
+
+    | histogram | observed |
+    |---|---|
+    | `engine.sweep.group_seconds` | per group (see `Histogram`) |
+
+    <!-- /repro-lint:histogram-registry -->
     """
 )
 
@@ -47,6 +55,7 @@ REGISTERED_USE = """
         with instr.span("search"):
             pass
         helper(span_name="sweep")
+        instr.observe("engine.sweep.group_seconds", 0.25)
 """
 
 
@@ -90,10 +99,35 @@ class TestAcceptance:
             def f(instr, helper):
                 instr.count("engine.pack.groups", 1)
                 helper(span_name="sweep")
+                instr.observe("engine.sweep.group_seconds", 0.25)
             """,
         )
         assert len(findings) == 1
         assert "search" in findings[0].message
+        assert findings[0].path == "docs/observability.md"
+
+    def test_undocumented_histogram_fails(self, tmp_path):
+        findings = run(
+            tmp_path,
+            REGISTERED_USE
+            + "        instr.observe(\"engine.sweep.surprise\", 1.0)\n",
+        )
+        assert len(findings) == 1
+        assert "histogram" in findings[0].message
+        assert "engine.sweep.surprise" in findings[0].message
+        assert findings[0].path == "src/repro/engine/pack.py"
+
+    def test_stale_histogram_entry_fails(self, tmp_path):
+        # Registered histogram never observed anywhere in the sources.
+        findings = run(
+            tmp_path,
+            REGISTERED_USE.replace(
+                'instr.observe("engine.sweep.group_seconds", 0.25)',
+                "pass",
+            ),
+        )
+        assert len(findings) == 1
+        assert "engine.sweep.group_seconds" in findings[0].message
         assert findings[0].path == "docs/observability.md"
 
     def test_missing_registry_doc_fails(self, tmp_path):
@@ -126,16 +160,18 @@ class TestCollection:
 
 class TestParseRegistry:
     def test_first_backtick_per_line_wins(self):
-        counters, prefixes, spans = parse_registry(REGISTRY_DOC)
+        counters, prefixes, spans, histograms = parse_registry(REGISTRY_DOC)
         assert counters == {"engine.pack.groups"}
         assert prefixes == {"kernel."}
         assert spans == {"search", "sweep"}
+        assert histograms == {"engine.sweep.group_seconds"}
         # Description-column code references never register.
         assert "Packer.run" not in counters
         assert "CudaSW.search" not in spans
+        assert "Histogram" not in histograms
 
     def test_text_outside_markers_is_ignored(self):
-        counters, prefixes, spans = parse_registry(
+        counters, prefixes, spans, histograms = parse_registry(
             "some `stray.token` outside any marker section\n"
         )
-        assert counters == prefixes == spans == set()
+        assert counters == prefixes == spans == histograms == set()

@@ -1,0 +1,141 @@
+"""Unit tests for the fixed-bucket histogram layer."""
+
+import math
+
+import pytest
+
+from repro.obs import (
+    BUCKET_SCHEMES,
+    DEFAULT_BUCKETS,
+    Histogram,
+    HistogramRegistry,
+    bucket_scheme,
+)
+
+
+class TestBucketSchemes:
+    def test_registered_name_gets_its_scheme(self):
+        assert bucket_scheme("engine.sweep.group_seconds") == BUCKET_SCHEMES[
+            "engine.sweep.group_seconds"
+        ]
+
+    def test_unregistered_name_gets_default(self):
+        assert bucket_scheme("made.up.metric") == DEFAULT_BUCKETS
+
+    def test_all_schemes_strictly_increasing_and_finite(self):
+        for name, bounds in BUCKET_SCHEMES.items():
+            assert all(
+                lo < hi for lo, hi in zip(bounds, bounds[1:])
+            ), name
+            assert all(math.isfinite(b) for b in bounds), name
+
+
+class TestHistogram:
+    def test_observations_land_in_le_buckets(self):
+        # bucket i counts values <= bounds[i] (Prometheus `le` semantics);
+        # a value exactly on a boundary lands in that boundary's bucket.
+        h = Histogram("t", (1.0, 2.0, 4.0))
+        for v in (0.5, 1.0, 1.5, 4.0, 99.0):
+            h.observe(v)
+        assert h.bucket_counts == [2, 1, 1, 1]
+        assert h.count == 5
+        assert h.sum == pytest.approx(106.0)
+        assert h.max == 99.0
+
+    def test_empty_histogram_quantiles_are_nan(self):
+        h = Histogram("t", (1.0,))
+        assert math.isnan(h.p50)
+        assert math.isnan(h.p95)
+
+    def test_quantile_interpolates_within_bucket(self):
+        h = Histogram("t", (0.0, 10.0))
+        for _ in range(100):
+            h.observe(5.0)
+        # All mass in (0, 10]: any quantile interpolates inside it.
+        assert 0.0 < h.p50 <= 10.0
+        assert h.quantile(1.0) <= 10.0
+
+    def test_overflow_bucket_reports_observed_max(self):
+        h = Histogram("t", (1.0,))
+        h.observe(50.0)
+        h.observe(70.0)
+        assert h.p95 == 70.0
+
+    def test_quantile_range_validated(self):
+        h = Histogram("t", (1.0,))
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_merge_adds_counts(self):
+        a = Histogram("t", (1.0, 2.0))
+        b = Histogram("t", (1.0, 2.0))
+        a.observe(0.5)
+        b.observe(1.5)
+        b.observe(9.0)
+        a.merge(b)
+        assert a.bucket_counts == [1, 1, 1]
+        assert a.count == 3
+        assert a.sum == pytest.approx(11.0)
+        assert a.max == 9.0
+
+    def test_merge_rejects_different_bounds(self):
+        a = Histogram("t", (1.0, 2.0))
+        b = Histogram("t", (1.0, 3.0))
+        with pytest.raises(ValueError, match="boundaries differ"):
+            a.merge(b)
+
+    def test_serialization_round_trip(self):
+        a = Histogram("t", (1.0, 2.0))
+        a.observe(0.5)
+        a.observe(5.0)
+        snapshot = a.as_dict()
+        restored = Histogram.from_dict("t", snapshot)
+        assert restored.as_dict() == snapshot
+
+    def test_empty_histogram_serializes_null_max(self):
+        assert Histogram("t", (1.0,)).as_dict()["max"] is None
+
+    def test_from_dict_rejects_wrong_bucket_count(self):
+        with pytest.raises(ValueError, match="buckets"):
+            Histogram.from_dict(
+                "t",
+                {"bounds": [1.0], "bucket_counts": [1], "count": 1,
+                 "sum": 0.5, "max": 0.5},
+            )
+
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            Histogram("t", ())
+        with pytest.raises(ValueError):
+            Histogram("t", (2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("t", (1.0, math.inf))
+
+
+class TestHistogramRegistry:
+    def test_observe_creates_with_scheme_buckets(self):
+        reg = HistogramRegistry()
+        reg.observe("engine.sweep.group_seconds", 0.01)
+        hist = reg.get("engine.sweep.group_seconds")
+        assert hist is not None
+        assert hist.bounds == BUCKET_SCHEMES["engine.sweep.group_seconds"]
+        assert "engine.sweep.group_seconds" in reg
+        assert len(reg) == 1
+
+    def test_merge_dicts_is_the_wire_format(self):
+        # Worker side: observe and snapshot.  Parent side: merge_dicts.
+        worker = HistogramRegistry()
+        worker.observe("engine.pack.group_cells", 5e4)
+        worker.observe("engine.pack.group_cells", 2e6)
+        parent = HistogramRegistry()
+        parent.observe("engine.pack.group_cells", 1e3)
+        parent.merge_dicts(worker.as_dict())
+        merged = parent.get("engine.pack.group_cells")
+        assert merged.count == 3
+        assert merged.sum == pytest.approx(1e3 + 5e4 + 2e6)
+
+    def test_as_dict_sorted_by_name(self):
+        reg = HistogramRegistry()
+        reg.observe("b.metric", 1.0)
+        reg.observe("a.metric", 1.0)
+        assert list(reg.as_dict()) == ["a.metric", "b.metric"]

@@ -4,14 +4,16 @@ The acceptance bar for the observability subsystem:
 
 * counter totals agree **bit-exactly** with the engine's own
   :class:`~repro.engine.EngineReport` accounting;
-* fanning groups out to worker processes changes no totals (the
-  executor charges deterministic sweep work parent-side);
+* fanning groups out to worker processes changes no totals (each chunk
+  runs under a worker-side session whose registries ship back and merge
+  exactly once) and yields pid-tagged worker span lanes;
 * the ``collect="off"`` path costs ≤ 2% of search time (measured by
   counting instrumentation call sites and pricing them at the no-op
   singleton's per-call cost).
 """
 
 import contextlib
+import json
 import time
 
 import numpy as np
@@ -19,6 +21,7 @@ import pytest
 
 from repro import obs
 from repro.app import CudaSW, search_batch
+from repro.engine import FaultPolicy
 from repro.obs import NO_OP
 from repro.obs import context as obs_context
 from repro.sequence import Database, Sequence, random_protein
@@ -111,6 +114,105 @@ class TestBitExactCounters:
         for mode in ("counters", "full"):
             got, _ = app.search(query, db, collect=mode)
             np.testing.assert_array_equal(got.scores, base.scores)
+
+    def test_striped_fanout_counters_identical_to_serial(self, query, db):
+        # Even the data-dependent striped counters (lazy-F rounds,
+        # skipped F columns) must agree: workers score under their own
+        # sessions and ship the registries back, so the pooled totals
+        # are the serial totals.
+        policy = FaultPolicy(chunksize=1)
+        serial = CudaSW()
+        serial.search(
+            query, db, engine="striped", collect="counters",
+            workers=1, group_size=4, fault_policy=policy,
+        )
+        fanned = CudaSW()
+        fanned.search(
+            query, db, engine="striped", collect="counters",
+            workers=2, group_size=4, fault_policy=policy,
+        )
+        a = dict(serial.last_run_report.counters)
+        b = dict(fanned.last_run_report.counters)
+        assert b.get("engine.executor.worker_round_trips", 0) > 0
+        assert any(k.startswith("engine.striped.") for k in a)
+        # Only the scheduling bookkeeping may differ between the paths.
+        for extra in (
+            "engine.executor.serial_groups",
+            "engine.executor.tasks_submitted",
+            "engine.executor.worker_round_trips",
+            "engine.executor.pool_completed_groups",
+            "engine.executor.pool_fallbacks",
+            "engine.executor.fanout_demotions",
+        ):
+            a.pop(extra, None)
+            b.pop(extra, None)
+        assert a == b
+
+
+class TestWorkerLanes:
+    """The tentpole acceptance search: workers=2, striped engine, full
+    collection with memory phases — worker span lanes, populated
+    histograms, memory peaks and a loadable Chrome trace."""
+
+    @pytest.fixture(scope="class")
+    def run(self, query, db):
+        app = CudaSW()
+        app.search(
+            query, db, engine="striped", collect="full",
+            memory_phases=True, workers=2, group_size=4,
+            fault_policy=FaultPolicy(chunksize=1),
+        )
+        report = app.last_run_report
+        assert report is not None
+        return report
+
+    def test_worker_lane_spans_present(self, run):
+        assert run.worker_lanes
+        for pid, spans in run.worker_lanes.items():
+            assert pid != run.pid
+            assert spans
+            assert {s.name for s in spans} == {"sweep"}
+        busy = run.worker_lane_seconds()
+        assert all(t > 0.0 for lane in busy.values() for t in lane.values())
+
+    def test_registered_histograms_populated(self, run):
+        populated = {
+            name
+            for name, snap in run.histograms.items()
+            if snap["count"] > 0
+        }
+        assert {
+            "engine.sweep.group_seconds",
+            "engine.pack.group_cells",
+            "engine.pack.group_efficiency",
+            "engine.striped.lazy_f_rounds",
+        } <= populated
+        assert len(populated) >= 4
+
+    def test_memory_phase_peaks_recorded(self, run):
+        peaks = {
+            name: value
+            for name, value in run.counters.items()
+            if name.startswith("engine.mem.") and name.endswith(".peak_bytes")
+        }
+        assert peaks and all(v > 0 for v in peaks.values())
+        assert run.counters["engine.mem.budget_checks"] == 1
+        assert run.counters["engine.mem.budget_predicted_bytes"] > 0
+
+    def test_trace_export_has_distinct_pid_lanes(self, run, tmp_path):
+        path = run.write_trace(tmp_path / "trace.json")
+        doc = json.loads(path.read_text())
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        pids = {e["pid"] for e in events}
+        assert run.pid in pids
+        assert pids == {run.pid, *run.worker_lanes}
+        assert len(pids) >= 2
+        assert all(e["dur"] >= 0.0 for e in events)
+
+    def test_profile_renders_worker_lanes(self, run):
+        text = run.render_profile()
+        assert "== worker lanes ==" in text
+        assert "== histograms ==" in text
 
 
 class TestKernelCounters:
@@ -209,7 +311,9 @@ class _SpyInstrumentation:
 
     mode = "off"
     enabled = False
+    memory = False
     counters = None
+    histograms = None
     tracer = None
 
     def __init__(self):
@@ -222,19 +326,23 @@ class _SpyInstrumentation:
     def count(self, name, value=1):
         self.calls += 1
 
+    def observe(self, name, value):
+        self.calls += 1
+
     def count_kernel(self, kernel_name, counts):
         self.calls += 1
 
 
 class TestOffModeOverhead:
-    def test_off_mode_overhead_within_two_percent(self, query, db):
+    @pytest.mark.parametrize("engine", ["batched", "striped"])
+    def test_off_mode_overhead_within_two_percent(self, query, db, engine):
         app = CudaSW()
 
         # 1. How many instrumentation touch-points does one search emit?
         spy = _SpyInstrumentation()
         token = obs_context._ACTIVE.set(spy)
         try:
-            app.search(query, db)
+            app.search(query, db, engine=engine)
         finally:
             obs_context._ACTIVE.reset(token)
         sites = spy.calls
@@ -252,12 +360,13 @@ class TestOffModeOverhead:
         # 3. Compare against the real search time (best of 3 to shave
         #    scheduler noise; overhead bound is what matters).
         search_seconds = min(
-            _timed(lambda: app.search(query, db)) for _ in range(3)
+            _timed(lambda: app.search(query, db, engine=engine))
+            for _ in range(3)
         )
         overhead = sites * per_site
         assert overhead <= 0.02 * search_seconds, (
             f"off-mode instrumentation cost {overhead * 1e6:.1f}us over "
-            f"{sites} sites vs search {search_seconds * 1e3:.2f}ms"
+            f"{sites} sites vs {engine} search {search_seconds * 1e3:.2f}ms"
         )
 
 

@@ -1,0 +1,240 @@
+"""The benchmark-history perf-regression gate, including the acceptance
+case: a synthetic 30% throughput drop must fail the gate."""
+
+import json
+
+import pytest
+
+from repro.obs import perfgate
+from repro.obs.perfgate import (
+    append_history,
+    gate,
+    history_entry,
+    host_speed_factor,
+    next_run_index,
+    read_history,
+)
+
+
+def entry(engine="striped", run_index=1, mcups=500.0, *, host_factor=1.0,
+          sequences=1000, query_length=120):
+    return history_entry(
+        engine=engine,
+        sequences=sequences,
+        query_length=query_length,
+        mcups=mcups,
+        run_index=run_index,
+        host_factor=host_factor,
+    )
+
+
+def write_history(path, entries):
+    return append_history(path, entries)
+
+
+class TestHistoryFile:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        entries = [entry(run_index=1), entry(run_index=2, mcups=510.0)]
+        write_history(path, entries)
+        assert read_history(path) == entries
+
+    def test_append_extends(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        write_history(path, [entry(run_index=1)])
+        write_history(path, [entry(run_index=2)])
+        assert [e["run_index"] for e in read_history(path)] == [1, 2]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert read_history(tmp_path / "nope.jsonl") == []
+
+    def test_garbage_lines_skipped(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        write_history(path, [entry(run_index=1)])
+        with path.open("a") as fh:
+            fh.write("{truncated half-written li\n")
+            fh.write(json.dumps({"schema": "something.else"}) + "\n")
+            fh.write("\n")
+        assert len(read_history(path)) == 1
+
+    def test_next_run_index_monotonic(self):
+        assert next_run_index([]) == 1
+        assert next_run_index([entry(run_index=3), entry(run_index=7)]) == 8
+
+    def test_normalized_mcups_applies_host_factor(self):
+        e = entry(mcups=400.0, host_factor=1.5)
+        assert e["normalized_mcups"] == pytest.approx(600.0)
+
+
+class TestHostSpeedFactor:
+    def test_positive_and_stable(self):
+        f1 = host_speed_factor(best_of=1)
+        assert f1 > 0.0
+        # Best-of-N can only improve (shrink) the measured time.
+        assert host_speed_factor(best_of=2) <= f1 * 1.5
+
+
+class TestGate:
+    def test_passes_on_steady_history(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        write_history(path, [
+            entry(run_index=1, mcups=500.0),
+            entry(run_index=2, mcups=490.0),
+            entry(run_index=3, mcups=505.0),
+        ])
+        outcome = gate(path)
+        assert outcome.passed
+        assert [v.status for v in outcome.verdicts] == ["ok"]
+        assert outcome.render().endswith("PASS")
+
+    def test_synthetic_30pct_drop_fails(self, tmp_path):
+        # The acceptance case: drop the newest run 30% below baseline.
+        path = tmp_path / "hist.jsonl"
+        write_history(path, [
+            entry(run_index=1, mcups=500.0),
+            entry(run_index=2, mcups=500.0),
+            entry(run_index=3, mcups=350.0),
+        ])
+        outcome = gate(path, tolerance=0.2)
+        assert not outcome.passed
+        v = outcome.verdicts[0]
+        assert v.status == "regressed"
+        assert v.ratio == pytest.approx(0.7)
+        assert outcome.render().endswith("FAIL")
+
+    def test_drop_within_tolerance_passes(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        write_history(path, [
+            entry(run_index=1, mcups=500.0),
+            entry(run_index=2, mcups=450.0),
+        ])
+        assert gate(path, tolerance=0.2).passed
+
+    def test_median_baseline_resists_one_slow_run(self, tmp_path):
+        # One historically slow run must not drag the baseline down to
+        # where a real regression passes.
+        path = tmp_path / "hist.jsonl"
+        write_history(path, [
+            entry(run_index=1, mcups=500.0),
+            entry(run_index=2, mcups=100.0),
+            entry(run_index=3, mcups=505.0),
+            entry(run_index=4, mcups=340.0),
+        ])
+        outcome = gate(path, tolerance=0.2)
+        assert not outcome.passed
+        assert outcome.verdicts[0].baseline == pytest.approx(500.0)
+
+    def test_new_key_skipped_without_baseline(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        write_history(path, [entry(run_index=1)])
+        outcome = gate(path)
+        assert outcome.passed
+        assert [v.status for v in outcome.verdicts] == ["skipped"]
+        assert "SKIP" in outcome.render()
+
+    def test_key_absent_from_newest_run_not_gated(self, tmp_path):
+        # e.g. scalar is skipped in the CI smoke run: its history stays
+        # but it produces no verdict at all.
+        path = tmp_path / "hist.jsonl"
+        write_history(path, [
+            entry("scalar", run_index=1, mcups=10.0),
+            entry("scalar", run_index=2, mcups=1.0),  # would regress
+            entry("striped", run_index=1, mcups=500.0),
+            entry("striped", run_index=2, mcups=500.0),
+            entry("striped", run_index=3, mcups=500.0),
+        ])
+        outcome = gate(path)
+        assert outcome.passed
+        assert [v.engine for v in outcome.verdicts] == ["striped"]
+
+    def test_keys_are_per_geometry(self, tmp_path):
+        # Same engine at a different database size gates independently.
+        path = tmp_path / "hist.jsonl"
+        write_history(path, [
+            entry(run_index=1, sequences=50, mcups=400.0),
+            entry(run_index=1, sequences=1000, mcups=500.0),
+            entry(run_index=2, sequences=50, mcups=400.0),
+            entry(run_index=2, sequences=1000, mcups=200.0),
+        ])
+        outcome = gate(path, tolerance=0.2)
+        statuses = {
+            (v.sequences, v.status) for v in outcome.verdicts
+        }
+        assert statuses == {(50, "ok"), (1000, "regressed")}
+
+    def test_host_normalization_rescues_slow_host(self, tmp_path):
+        # Half the raw MCUPs on a host measured twice as slow is not a
+        # regression once normalized.
+        path = tmp_path / "hist.jsonl"
+        write_history(path, [
+            entry(run_index=1, mcups=500.0, host_factor=1.0),
+            entry(run_index=2, mcups=250.0, host_factor=2.0),
+        ])
+        assert gate(path, tolerance=0.2).passed
+
+    def test_empty_history_errors(self, tmp_path):
+        outcome = gate(tmp_path / "none.jsonl")
+        assert not outcome.passed
+        assert outcome.errors
+
+    def test_tolerance_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            gate(tmp_path / "x.jsonl", tolerance=1.0)
+
+
+class TestCli:
+    def _seed(self, tmp_path, mcups_latest):
+        path = tmp_path / "hist.jsonl"
+        write_history(path, [
+            entry(run_index=1, mcups=500.0),
+            entry(run_index=2, mcups=500.0),
+            entry(run_index=3, mcups=mcups_latest),
+        ])
+        return path
+
+    def test_repro_bench_gate_passes(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = self._seed(tmp_path, 495.0)
+        assert main(["bench", "gate", "--history", str(path)]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_repro_bench_gate_fails_on_regression(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = self._seed(tmp_path, 350.0)
+        assert main(["bench", "gate", "--history", str(path)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_perf_gate_tool_mirrors_cli(self, tmp_path):
+        import os
+        import pathlib
+        import subprocess
+        import sys
+
+        import repro
+
+        repo_root = pathlib.Path(repro.__file__).resolve().parents[2]
+        env = dict(os.environ, PYTHONPATH=str(repo_root / "src"))
+        tool = str(repo_root / "tools" / "perf_gate.py")
+        path = self._seed(tmp_path, 350.0)
+        proc = subprocess.run(
+            [sys.executable, tool, "--history", str(path)],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        assert proc.returncode == 1
+        assert "FAIL" in proc.stdout
+        proc = subprocess.run(
+            [sys.executable, tool, "--history", str(path),
+             "--tolerance", "0.5"],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        assert proc.returncode == 0
+
+    def test_default_tolerance_matches_module(self):
+        assert perfgate.DEFAULT_TOLERANCE == 0.2
+        assert perfgate.DEFAULT_MIN_BASELINE == 1

@@ -1,6 +1,7 @@
 """Unit tests for the RunReport document."""
 
 import json
+import math
 
 import pytest
 
@@ -8,6 +9,8 @@ from repro.obs import (
     SCHEMA_VERSION,
     RunReport,
     collect,
+    desanitize_metric_name,
+    format_le,
     sanitize_metric_name,
 )
 
@@ -19,6 +22,8 @@ def _session():
                 instr.count("engine.pack.residues", 100)
             with instr.span("sweep"):
                 instr.count("engine.sweep.useful_cells", 5000)
+                instr.observe("engine.sweep.group_seconds", 0.02)
+                instr.observe("engine.sweep.group_seconds", 0.4)
         with instr.span("rank"):
             pass
     return instr
@@ -31,11 +36,18 @@ class TestRunReport:
         )
         doc = report.to_dict()
         assert doc["schema"] == "repro.run_report"
-        assert doc["schema_version"] == SCHEMA_VERSION
+        assert doc["schema_version"] == SCHEMA_VERSION == 2
         assert doc["collect"] == "full"
         assert doc["counters"]["engine.pack.residues"] == 100
         assert doc["meta"]["query_id"] == "Q1"
         assert doc["engine"] is None and doc["model"] is None
+        # Schema v2 fields: process id, histograms, worker lanes.
+        assert doc["pid"] > 0
+        assert doc["worker_lanes"] == []
+        hist = doc["histograms"]["engine.sweep.group_seconds"]
+        assert hist["count"] == 2
+        assert hist["sum"] == pytest.approx(0.42)
+        assert len(hist["bucket_counts"]) == len(hist["bounds"]) + 1
 
         path = report.write(tmp_path / "run.json")
         loaded = json.loads(path.read_text())
@@ -65,8 +77,11 @@ class TestRunReport:
         text = report.render_profile()
         assert "== span tree ==" in text
         assert "== counters ==" in text
+        assert "== histograms ==" in text
         assert "search" in text and "rank" in text
         assert "engine.pack.residues" in text
+        assert "engine.sweep.group_seconds" in text
+        assert "p95" in text
 
     def test_render_profile_with_engine_section(self):
         from repro.engine import EngineReport
@@ -118,6 +133,47 @@ class TestRunReport:
         assert 'repro_span_seconds{path="search/pack"}' in text
         assert text.endswith("\n")
 
+    def test_prometheus_histogram_family(self):
+        report = RunReport.from_instrumentation(_session())
+        text = report.to_prometheus()
+        assert "# TYPE repro_histogram histogram" in text
+        bucket_lines = [
+            line
+            for line in text.splitlines()
+            if line.startswith("repro_histogram_bucket")
+            and 'name="engine.sweep.group_seconds"' in line
+        ]
+        # Cumulative counts, ending at the +Inf catch-all == _count.
+        counts = [int(line.rsplit(" ", 1)[1]) for line in bucket_lines]
+        assert counts == sorted(counts)
+        assert 'le="+Inf"' in bucket_lines[-1]
+        assert counts[-1] == 2
+        assert (
+            'repro_histogram_count{name="engine.sweep.group_seconds"} 2'
+            in text
+        )
+        sum_line = next(
+            line
+            for line in text.splitlines()
+            if line.startswith("repro_histogram_sum")
+            and 'name="engine.sweep.group_seconds"' in line
+        )
+        assert float(sum_line.rsplit(" ", 1)[1]) == pytest.approx(0.42)
+
+    def test_prometheus_le_labels_parse_back_to_bounds(self):
+        from repro.obs import bucket_scheme
+
+        report = RunReport.from_instrumentation(_session())
+        text = report.to_prometheus()
+        les = [
+            line.split('le="')[1].split('"')[0]
+            for line in text.splitlines()
+            if line.startswith("repro_histogram_bucket")
+        ]
+        bounds = list(bucket_scheme("engine.sweep.group_seconds"))
+        assert les[-1] == "+Inf"
+        assert [float(le) for le in les[:-1]] == bounds
+
     def test_prometheus_custom_prefix(self):
         report = RunReport.from_instrumentation(_session())
         assert "cudasw_counter_total" in report.to_prometheus(
@@ -125,12 +181,75 @@ class TestRunReport:
         )
 
 
+class TestTraceExport:
+    def test_trace_document_shape(self, tmp_path):
+        report = RunReport.from_instrumentation(_session())
+        doc = report.to_trace_dict()
+        assert set(doc) >= {"traceEvents", "displayTimeUnit"}
+        events = doc["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert {e["name"] for e in complete} >= {"search", "pack", "rank"}
+        for e in complete:
+            assert e["ts"] >= 0.0 and e["dur"] >= 0.0
+        # Parent-only session: a single pid lane, named by metadata.
+        assert {e["pid"] for e in complete} == {report.pid}
+        meta_events = [e for e in events if e["ph"] == "M"]
+        assert any(e["name"] == "process_name" for e in meta_events)
+
+    def test_trace_children_nest_within_parents(self):
+        report = RunReport.from_instrumentation(_session())
+        events = [
+            e
+            for e in report.to_trace_dict()["traceEvents"]
+            if e["ph"] == "X"
+        ]
+        search = next(e for e in events if e["name"] == "search")
+        pack = next(e for e in events if e["name"] == "pack")
+        assert search["ts"] <= pack["ts"]
+        assert pack["ts"] + pack["dur"] <= search["ts"] + search["dur"] + 1e-3
+
+    def test_write_trace_is_valid_json(self, tmp_path):
+        report = RunReport.from_instrumentation(_session())
+        path = report.write_trace(tmp_path / "trace.json")
+        loaded = json.loads(path.read_text())
+        assert loaded == report.to_trace_dict()
+        assert loaded["otherData"]["collect"] == "full"
+
+
 class TestSanitizeMetricName:
     def test_replaces_illegal_characters(self):
         assert (
             sanitize_metric_name("kernel.intra_improved(T=256,H=4).cells")
-            == "kernel_intra_improved_T_256_H_4__cells"
+            == "kernel_intra__improved_T_256_H_4__cells"
         )
 
     def test_leading_digit_prefixed(self):
         assert sanitize_metric_name("9lives") == "_9lives"
+
+    def test_injective_on_dot_vs_underscore(self):
+        # 'a.b' and 'a_b' must not collide into one Prometheus series.
+        assert sanitize_metric_name("a.b") != sanitize_metric_name("a_b")
+
+    def test_desanitize_round_trips_registry_names(self):
+        for name in (
+            "engine.sweep.group_seconds",
+            "engine.pack.group_efficiency",
+            "engine.striped.lazy_f_rounds",
+            "engine.executor.retry_delay_seconds",
+            "engine.mem.sweep_parallel.peak_bytes",
+        ):
+            assert desanitize_metric_name(sanitize_metric_name(name)) == name
+
+
+class TestFormatLe:
+    def test_round_trips_to_exact_bound(self):
+        for bound in (0.005, 0.25, 1.0, 2.5, 1000.0, 1e6, 0.1 + 0.2):
+            assert float(format_le(bound)) == bound
+
+    def test_integral_bounds_render_without_point(self):
+        assert format_le(1000.0) == "1000"
+        assert format_le(1.0) == "1"
+
+    def test_infinities(self):
+        assert format_le(math.inf) == "+Inf"
+        assert format_le(-math.inf) == "-Inf"

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Perf-regression gate over BENCH_history.jsonl (CI entry point).
+
+Thin wrapper over :mod:`repro.obs.perfgate` — equivalent to
+``python -m repro bench gate``.  Usage:
+
+    PYTHONPATH=src python tools/perf_gate.py \
+        [--history BENCH_history.jsonl] [--tolerance 0.2] \
+        [--min-baseline 1]
+
+Exits 0 when no gated key regressed, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.obs.perfgate import (
+    DEFAULT_MIN_BASELINE,
+    DEFAULT_TOLERANCE,
+    gate,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--history", default="BENCH_history.jsonl", metavar="PATH"
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        metavar="FRACTION",
+    )
+    parser.add_argument(
+        "--min-baseline", type=int, default=DEFAULT_MIN_BASELINE,
+        metavar="N",
+    )
+    args = parser.parse_args(argv)
+    outcome = gate(
+        args.history,
+        tolerance=args.tolerance,
+        min_baseline=args.min_baseline,
+    )
+    print(outcome.render())
+    return 0 if outcome.passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
