@@ -88,6 +88,7 @@ def search_batch(
     resume: bool = False,
     memory_budget: MemoryBudget | None = None,
     collect: str = "off",
+    split_threshold: int | str | None = None,
 ) -> tuple[list[SearchResult], BatchReport]:
     """Functionally search every query; returns per-query results plus
     the aggregated report.
@@ -97,7 +98,10 @@ def search_batch(
     once-per-database preprocessing spirit by scoring whole packed
     groups per NumPy sweep for every query of the campaign;
     ``engine="striped"`` runs the same pipeline with the Farrar
-    striped lane kernel.
+    striped lane kernel, ``engine="hetero"`` dispatches each packed
+    group to the bulk or long-tail strip engine by length threshold
+    (``split_threshold``: ``"auto"`` or an integer length, hetero
+    only).
 
     ``fault_policy`` is applied to every query's search (batched or
     striped engine only).  The policy's deadline is per query, not per campaign; a
@@ -139,6 +143,7 @@ def search_batch(
                 query, db, engine=engine, workers=workers,
                 fault_policy=fault_policy, checkpoint=journal_path,
                 resume=resume, memory_budget=memory_budget,
+                split_threshold=split_threshold,
             )
             results.append(result)
             reports.append(report)

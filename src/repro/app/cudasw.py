@@ -53,7 +53,7 @@ __all__ = ["CudaSW", "SearchReport", "tuned_improved_config", "SEARCH_ENGINES"]
 DEFAULT_THRESHOLD = 3072
 
 #: Functional score backends selectable in :meth:`CudaSW.search`.
-SEARCH_ENGINES = ("scalar", "antidiagonal", "batched", "striped")
+SEARCH_ENGINES = ("scalar", "antidiagonal", "batched", "striped", "hetero")
 
 
 def tuned_improved_config(device: DeviceSpec) -> ImprovedKernelConfig:
@@ -293,6 +293,7 @@ class CudaSW:
         simulate_kernels: bool = False,
         collect: str = "off",
         memory_phases: bool = False,
+        split_threshold: int | str | None = None,
     ) -> tuple[SearchResult, SearchReport]:
         """Compute every database sequence's score, plus the timing report.
 
@@ -305,10 +306,15 @@ class CudaSW:
             lands in :attr:`last_engine_report`), ``"striped"`` the
             same packed pipeline with the Farrar striped lane kernel
             and saturating 8/16-bit score tiers
-            (:mod:`repro.engine.striped`), ``"antidiagonal"`` runs the
-            per-pair wavefront aligner, ``"scalar"`` the textbook
-            reference.  All four are bit-identical, which tests
-            verify; they differ only in throughput.
+            (:mod:`repro.engine.striped`), ``"hetero"`` the paper's
+            length-threshold split — sequences at or under the split
+            threshold sweep as striped bulk groups, longer ones as
+            bounded-padding strip groups
+            (:mod:`repro.engine.strips`) in the same search —
+            ``"antidiagonal"`` runs the per-pair wavefront aligner,
+            ``"scalar"`` the textbook reference.  All engines are
+            bit-identical, which tests verify; they differ only in
+            throughput.
         workers:
             Worker processes for the batched/striped engines' group
             fan-out (1 = serial; ignored by the per-pair engines).
@@ -368,6 +374,13 @@ class CudaSW:
             :class:`~repro.engine.MemoryBudget` estimator (ignored
             when this search joins an outer session, which owns the
             session configuration).
+        split_threshold:
+            Heterogeneous dispatch length threshold, ``engine="hetero"``
+            only: ``"auto"`` (the default for hetero; tuned per
+            database by :func:`repro.app.threshold.tune_split_threshold`
+            from the packed-group geometry) or an integer length
+            ``>= 0`` — sequences at or under it go to the striped bulk
+            engine, longer ones to the strip-sweep engine.
         """
         if collect not in COLLECT_MODES:
             raise ValueError(
@@ -393,13 +406,22 @@ class CudaSW:
         }
         for name, value in batched_only.items():
             if value is not None and (
-                engine not in ("batched", "striped") or simulate_kernels
+                engine not in ("batched", "striped", "hetero")
+                or simulate_kernels
             ):
                 raise ValueError(
-                    f"{name} applies to the batched/striped engines only "
-                    f"(got engine={engine!r}, "
+                    f"{name} applies to the batched/striped/hetero "
+                    f"engines only (got engine={engine!r}, "
                     f"simulate_kernels={simulate_kernels})"
                 )
+        if split_threshold is not None and (
+            engine != "hetero" or simulate_kernels
+        ):
+            raise ValueError(
+                "split_threshold applies to engine='hetero' only "
+                f"(got engine={engine!r}, "
+                f"simulate_kernels={simulate_kernels})"
+            )
         if resume and checkpoint is None:
             raise ValueError("resume=True requires a checkpoint path")
 
@@ -407,11 +429,13 @@ class CudaSW:
             return self._search_traced(
                 query, db, engine, workers, group_size, fault_policy,
                 checkpoint, resume, memory_budget, simulate_kernels,
+                split_threshold,
             )
         with obs_collect(collect, memory=memory_phases) as instr:
             result, report = self._search_traced(
                 query, db, engine, workers, group_size, fault_policy,
                 checkpoint, resume, memory_budget, simulate_kernels,
+                split_threshold,
             )
         self.last_run_report = RunReport.from_instrumentation(
             instr,
@@ -441,6 +465,7 @@ class CudaSW:
         resume: bool,
         memory_budget: MemoryBudget | None,
         simulate_kernels: bool,
+        split_threshold: int | str | None = None,
     ) -> tuple[SearchResult, SearchReport]:
         """The search pipeline, phases wrapped in ambient-tracer spans."""
         instr = obs_current()
@@ -466,14 +491,22 @@ class CudaSW:
                         scores[i] = kernel.run_pair(
                             q_codes, d_codes, self.matrix, self.gaps
                         ).score
-            elif engine in ("batched", "striped"):
+            elif engine in ("batched", "striped", "hetero"):
+                lane_engine = {
+                    "batched": "gotoh",
+                    "striped": "striped",
+                    "hetero": "hetero",
+                }[engine]
                 batched = BatchedEngine(
                     self.matrix,
                     self.gaps,
                     workers=workers,
                     fault_policy=fault_policy,
                     memory_budget=memory_budget,
-                    lane_engine="striped" if engine == "striped" else "gotoh",
+                    lane_engine=lane_engine,
+                    split_threshold=(
+                        split_threshold if engine == "hetero" else None
+                    ),
                     **(
                         {}
                         if group_size is None

@@ -18,9 +18,34 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.app.cudasw import CudaSW
+from repro.engine.pack import DEFAULT_STRIP_WIDTH, plan_chunks
 from repro.sequence.database import Database
 
-__all__ = ["ThresholdPoint", "threshold_sweep", "optimal_threshold"]
+__all__ = [
+    "STRIP_CELL_COST",
+    "ThresholdPoint",
+    "optimal_threshold",
+    "threshold_sweep",
+    "tune_split_threshold",
+]
+
+#: Modeled cost of one strip-swept cell relative to one striped
+#: bulk-swept cell.  Calibrated against the bimodal throughput
+#: benchmark: the strip engine pays more vectorized ops per cell than
+#: the Farrar sweep (two prefix scans and the cross-strip carry per
+#: row), but amortizes its Python row loop over every tail sequence at
+#: once, so the measured per-cell ratio stays modest.
+STRIP_CELL_COST = 1.6
+
+#: Fixed overhead of one striped column iteration, in lane-equivalents.
+#: The Farrar sweep's Python loop advances one database column per
+#: iteration regardless of how many lanes the group holds, so a sparse
+#: long-tail group (few lanes, thousands of columns) pays the
+#: per-iteration interpreter/ufunc cost across very little useful work
+#: — the effect the bimodal benchmark shows as striped's collapse on
+#: the tail.  A full ``group_size``-lane bulk group amortizes the same
+#: overhead over every lane, which is why the bulk side stays cheap.
+STRIPED_COLUMN_OVERHEAD = 12.0
 
 
 @dataclass(frozen=True)
@@ -34,18 +59,39 @@ class ThresholdPoint:
     intra_time_fraction: float
 
 
+def _downsample(values: np.ndarray, limit: int) -> np.ndarray:
+    """Evenly thin a sorted array to at most ``limit`` entries, always
+    keeping the first and last."""
+    if values.size <= limit:
+        return values
+    idx = np.unique(
+        np.linspace(0, values.size - 1, num=limit).astype(np.int64)
+    )
+    return values[idx]
+
+
 def _candidate_thresholds(
     db: Database, lo: int, hi: int, max_candidates: int
 ) -> list[int]:
-    lengths = db.lengths
+    """Candidate thresholds that each produce a *distinct* partition.
+
+    A threshold only changes the inter/intra split when it crosses a
+    length actually present in the database, so candidates are the
+    deduplicated sorted sequence lengths (the packed-group boundary
+    values) clipped to ``[lo, hi]`` — not a fixed ``linspace`` grid,
+    which could place several candidates between two identical
+    partitions and let :func:`optimal_threshold` return an arbitrary
+    one of them.
+    """
+    lengths = np.unique(db.lengths)
     lo = max(lo, int(lengths.min()) + 1)
     hi = min(hi, int(lengths.max()))
     if hi <= lo:
         return [max(lo, 2)]
-    candidates = np.unique(
-        np.linspace(lo, hi, num=max_candidates, dtype=np.int64)
-    )
-    return [int(t) for t in candidates]
+    boundaries = lengths[(lengths >= lo) & (lengths <= hi)]
+    if boundaries.size == 0:
+        return [max(lo, 2)]
+    return [int(t) for t in _downsample(boundaries, max_candidates)]
 
 
 def threshold_sweep(
@@ -102,3 +148,58 @@ def optimal_threshold(
         app, query_length, db, lo=lo, hi=hi, max_candidates=max_candidates
     )
     return max(points, key=lambda p: p.gcups)
+
+
+def tune_split_threshold(
+    lengths: np.ndarray,
+    *,
+    group_size: int,
+    strip_width: int = DEFAULT_STRIP_WIDTH,
+    max_candidates: int = 64,
+    strip_cell_cost: float = STRIP_CELL_COST,
+    column_overhead: float = STRIPED_COLUMN_OVERHEAD,
+) -> int:
+    """Pick the heterogeneous-dispatch length threshold for a database.
+
+    Models exactly the quantities the ``engine.pack.*`` counters report
+    for each candidate split: sequences at or under the threshold pack
+    into bulk groups via the same :func:`~repro.engine.pack.plan_chunks`
+    geometry the packer uses (including the tail-degeneracy gap split),
+    each group costing ``max_len x (lanes + column_overhead)`` — its
+    padded rectangle plus the striped sweep's fixed per-column
+    iteration cost, which is what sinks sparse long-tail groups; longer
+    sequences cost ``strip_cell_cost`` per strip-swept cell
+    (``ceil(len / strip_width) * strip_width`` each).  The candidate set
+    is the deduplicated sequence lengths plus 0 (all-strips) — every
+    distinct partition, nothing between two identical ones — and the
+    cheapest modeled split wins, preferring the larger threshold on
+    ties.  Pure geometry: no packing, no scoring, O(candidates x
+    groups).
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if lengths.size == 0:
+        return 0
+    sorted_lengths = np.sort(lengths)
+    distinct = np.unique(sorted_lengths)
+    candidates = [0, *(int(t) for t in _downsample(distinct, max_candidates))]
+    best_t = 0
+    best_cost: float | None = None
+    for t in candidates:
+        n_bulk = int(np.searchsorted(sorted_lengths, t, side="right"))
+        bulk = sorted_lengths[:n_bulk]
+        tail = sorted_lengths[n_bulk:]
+        cost = 0.0
+        # tail_floor=0.0 mirrors pack_database_hetero's bulk side: the
+        # striped bulk groups are never gap-split.
+        for start, end in plan_chunks(bulk, group_size, tail_floor=0.0).ranges:
+            cost += float(int(bulk[end - 1])) * (
+                (end - start) + column_overhead
+            )
+        if tail.size:
+            strip_lanes = (tail + strip_width - 1) // strip_width
+            cost += float(strip_lanes.sum()) * strip_width * strip_cell_cost
+        if best_cost is None or cost < best_cost or (
+            cost == best_cost and t > best_t
+        ):
+            best_t, best_cost = t, cost
+    return best_t

@@ -104,14 +104,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_search.add_argument(
         "--engine",
-        choices=("scalar", "antidiagonal", "batched", "striped"),
+        choices=("scalar", "antidiagonal", "batched", "striped", "hetero"),
         default="batched",
         help="functional score backend (all bit-identical): 'batched' "
         "scores whole length-sorted groups per NumPy sweep (default), "
         "'striped' runs the same packed pipeline with the Farrar "
-        "striped lane kernel and saturating 8/16-bit score tiers "
-        "(fastest), 'antidiagonal' is the per-pair wavefront aligner, "
-        "'scalar' the slow textbook reference",
+        "striped lane kernel and saturating 8/16-bit score tiers, "
+        "'hetero' splits the database at a length threshold — short "
+        "sequences sweep as striped bulk groups, the long tail as "
+        "bounded-padding strip groups (fastest on ragged databases; "
+        "see --split-threshold), 'antidiagonal' is the per-pair "
+        "wavefront aligner, 'scalar' the slow textbook reference",
+    )
+    p_search.add_argument(
+        "--split-threshold", type=_threshold_arg, default=None,
+        metavar="auto|N",
+        help="hetero engine only: route sequences longer than N to the "
+        "strip engine ('auto', the hetero default, tunes N from the "
+        "database's packed-group geometry)",
     )
     p_search.add_argument(
         "--workers", type=int, default=1,
@@ -340,6 +350,7 @@ def _cmd_search(args, out: IO[str]) -> int:
                 group_size=args.group_size, fault_policy=fault_policy,
                 checkpoint=args.checkpoint, resume=args.resume,
                 memory_budget=memory_budget,
+                split_threshold=args.split_threshold,
             )
         except SearchDeadlineExceeded as exc:
             done = (

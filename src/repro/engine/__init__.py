@@ -27,7 +27,11 @@ if TYPE_CHECKING:
     from repro.sequence.sequence import Sequence
 
 from repro.alphabet import GapPenalty, SubstitutionMatrix
-from repro.engine.budget import MemoryBudget, estimate_group_bytes
+from repro.engine.budget import (
+    MemoryBudget,
+    estimate_group_bytes,
+    estimate_strip_group_bytes,
+)
 from repro.engine.checkpoint import (
     CheckpointError,
     CheckpointJournal,
@@ -42,13 +46,21 @@ from repro.engine.faults import (
     SearchDeadlineExceeded,
 )
 from repro.engine.lanes import padded_lane_profile, score_packed_group
-from repro.engine.pack import PackedGroup, pack_database, pack_group
+from repro.engine.pack import (
+    DEFAULT_STRIP_WIDTH,
+    TAIL_EFFICIENCY_FLOOR,
+    PackedGroup,
+    pack_database,
+    pack_database_hetero,
+    pack_group,
+)
 from repro.engine.striped import (
     LANE_ENGINES,
     count_striped_work,
     score_packed_group_striped,
 )
-from repro.obs import current as obs_current
+from repro.engine.strips import score_packed_group_strips
+from repro.obs import AnyInstrumentation, current as obs_current
 from repro.sequence.database import Database
 from repro.sequence.profile import QueryProfile
 from repro.sequence.striped_profile import StripedProfile
@@ -69,15 +81,18 @@ __all__ = [
     "count_striped_work",
     "estimate_group_bytes",
     "pack_database",
+    "pack_database_hetero",
     "pack_group",
     "padded_lane_profile",
     "run_groups",
     "score_packed_group",
     "score_packed_group_striped",
+    "score_packed_group_strips",
     "search_fingerprint",
     "DEFAULT_FANOUT_MIN_CELLS",
     "DEFAULT_GROUP_SIZE",
     "DEFAULT_POLICY",
+    "DEFAULT_STRIP_WIDTH",
     "LANE_ENGINES",
 ]
 
@@ -104,9 +119,12 @@ DEFAULT_FANOUT_MIN_CELLS = 256 * 1024 * 1024
 class EngineReport:
     """Packing/execution accounting of one batched search.
 
-    ``group_efficiencies`` is the per-group padding efficiency — the
+    ``group_efficiencies`` is the per-group sweep efficiency — the
     functional analogue of the paper's Figure 2 load-balance efficiency:
-    useful residues over the padded ``size x max_len`` rectangle.
+    useful residues over the cells the group's assigned engine sweeps
+    (the padded ``size x max_len`` rectangle for batched groups, the
+    bounded strip total for strip groups; identical for single-engine
+    searches).  ``padded_cells`` aggregates the same quantity.
     """
 
     group_size: int
@@ -117,6 +135,12 @@ class EngineReport:
     residues: int
     padded_cells: int
     lane_engine: str = "gotoh"
+    #: Resolved per-group engine assignment (one entry per group).
+    #: Empty for homogeneous searches from older call sites.
+    lane_engines: tuple[str, ...] = ()
+    #: The length threshold a heterogeneous search dispatched on
+    #: (``None`` for single-engine searches).
+    split_threshold: int | None = None
 
     @property
     def n_groups(self) -> int:
@@ -158,9 +182,23 @@ class BatchedEngine:
         allocate past the budget (OOM guard, scores unchanged).
     lane_engine:
         Per-group score kernel: ``"gotoh"`` (default, the row-parallel
-        sweep of :mod:`~repro.engine.lanes`) or ``"striped"`` (the
-        Farrar engine of :mod:`~repro.engine.striped`).  Scores are
+        sweep of :mod:`~repro.engine.lanes`), ``"striped"`` (the
+        Farrar engine of :mod:`~repro.engine.striped`), ``"strips"``
+        (the long-tail strip sweep of :mod:`~repro.engine.strips`) or
+        ``"hetero"`` — the paper's length-threshold split: sequences at
+        or under the split threshold pack into striped bulk groups,
+        longer ones into strip groups, mixed in one search.  Scores are
         bit-identical; only throughput differs.
+    split_threshold:
+        Heterogeneous dispatch threshold — ``"auto"`` (default for
+        ``lane_engine="hetero"``; tuned per database by the
+        :func:`repro.app.threshold.tune_split_threshold` cost model
+        from the packed-group geometry) or a length ``>= 0``.  Only
+        valid with ``lane_engine="hetero"``.
+    strip_width:
+        Strip width for tail groups under heterogeneous dispatch or
+        ``lane_engine="strips"`` (``None`` =
+        :data:`~repro.engine.pack.DEFAULT_STRIP_WIDTH`).
     fanout_min_cells:
         Smallest search (query length x padded cells) worth a worker
         pool; smaller searches run serially even with ``workers > 1``
@@ -181,19 +219,40 @@ class BatchedEngine:
         memory_budget: MemoryBudget | None = None,
         lane_engine: str = "gotoh",
         fanout_min_cells: int | None = None,
+        split_threshold: int | str | None = None,
+        strip_width: int | None = None,
     ) -> None:
         if group_size <= 0:
             raise ValueError(f"group size must be positive, got {group_size}")
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
-        if lane_engine not in LANE_ENGINES:
+        if lane_engine not in (*LANE_ENGINES, "hetero"):
             raise ValueError(
-                f"lane_engine must be one of {LANE_ENGINES}, "
-                f"got {lane_engine!r}"
+                f"lane_engine must be one of "
+                f"{(*LANE_ENGINES, 'hetero')}, got {lane_engine!r}"
             )
         if fanout_min_cells is not None and fanout_min_cells < 0:
             raise ValueError(
                 f"fanout_min_cells must be >= 0, got {fanout_min_cells}"
+            )
+        if split_threshold is not None and lane_engine != "hetero":
+            raise ValueError(
+                "split_threshold is only valid with lane_engine='hetero'"
+            )
+        if lane_engine == "hetero" and split_threshold is None:
+            split_threshold = "auto"
+        if isinstance(split_threshold, str) and split_threshold != "auto":
+            raise ValueError(
+                f"split_threshold must be 'auto' or an integer >= 0, "
+                f"got {split_threshold!r}"
+            )
+        if isinstance(split_threshold, int) and split_threshold < 0:
+            raise ValueError(
+                f"split_threshold must be >= 0, got {split_threshold}"
+            )
+        if strip_width is not None and strip_width <= 0:
+            raise ValueError(
+                f"strip_width must be positive, got {strip_width}"
             )
         self.matrix = matrix
         self.gaps = gaps
@@ -202,6 +261,8 @@ class BatchedEngine:
         self.fault_policy = fault_policy or DEFAULT_POLICY
         self.memory_budget = memory_budget
         self.lane_engine = lane_engine
+        self.split_threshold = split_threshold
+        self.strip_width = strip_width
         self.fanout_min_cells = (
             DEFAULT_FANOUT_MIN_CELLS
             if fanout_min_cells is None
@@ -249,22 +310,46 @@ class BatchedEngine:
             q_codes = as_codes(query, self.matrix)
             # Built once per search; the striped profile wraps the plain
             # one (as its exact-fallback tier) so either engine costs
-            # one profile build.
+            # one profile build.  Heterogeneous searches start from the
+            # plain profile — the executor builds the striped flavor
+            # lazily iff bulk groups actually exist.
             profile: QueryProfile | StripedProfile
             if self.lane_engine == "striped":
                 profile = StripedProfile(q_codes, self.matrix)
             else:
                 profile = QueryProfile(q_codes, self.matrix)
+        threshold: int | None = None
         with instr.span("pack"):
-            groups = pack_database(
-                db, self.group_size, budget=self.memory_budget
-            )
+            if self.lane_engine == "hetero":
+                threshold = self._resolve_threshold(db)
+                groups = pack_database_hetero(
+                    db,
+                    self.group_size,
+                    threshold,
+                    budget=self.memory_budget,
+                    strip_width=self.strip_width,
+                )
+                if instr.enabled:
+                    self._count_dispatch(instr, groups, threshold)
+            else:
+                # The striped column sweep opts out of the gap split:
+                # its cost scales with column iterations, not padded
+                # cells (see pack_database).
+                groups = pack_database(
+                    db,
+                    self.group_size,
+                    budget=self.memory_budget,
+                    tail_floor=(
+                        0.0 if self.lane_engine == "striped"
+                        else TAIL_EFFICIENCY_FLOOR
+                    ),
+                )
         workers = self.workers
         if (
             workers > 1
             and self.fault_policy is DEFAULT_POLICY
             and self.fanout_min_cells
-            and profile.length * sum(g.padded_cells for g in groups)
+            and profile.length * sum(g.sweep_cells for g in groups)
             < self.fanout_min_cells
         ):
             # Too small to amortize pool spin-up + per-chunk pickling:
@@ -282,6 +367,9 @@ class BatchedEngine:
                     0
                     if self.memory_budget is None
                     else self.memory_budget.max_group_bytes
+                ),
+                engines=tuple(
+                    self._engine_token(g) for g in groups
                 ),
             )
             with instr.span("checkpoint_replay"):
@@ -312,7 +400,13 @@ class BatchedEngine:
                     policy=self.fault_policy,
                     preloaded=preloaded or None,
                     on_group_scored=on_scored,
-                    lane_engine=self.lane_engine,
+                    # Heterogeneous groups carry their own assignment;
+                    # the default only covers unassigned groups.
+                    lane_engine=(
+                        "gotoh"
+                        if self.lane_engine == "hetero"
+                        else self.lane_engine
+                    ),
                 )
             except SearchDeadlineExceeded as exc:
                 partial = np.full(len(db), -1, dtype=np.int64)
@@ -331,9 +425,14 @@ class BatchedEngine:
             # sweep phases against what the MemoryBudget estimator
             # predicted for the widest group: an underestimate here
             # means the OOM guard's split points are too optimistic.
+            # Strip groups sweep a (total_strips, W) working set, not
+            # the packed rectangle — predict from the cells each
+            # engine actually allocates.
             predicted = max(
                 (
-                    estimate_group_bytes(g.size, g.max_length)
+                    estimate_strip_group_bytes(g.sweep_cells)
+                    if g.lane_engine == "strips"
+                    else estimate_group_bytes(g.size, g.max_length)
                     for g in groups
                 ),
                 default=0,
@@ -358,9 +457,60 @@ class BatchedEngine:
             workers=self.workers,
             group_sizes=tuple(g.size for g in groups),
             group_max_lengths=tuple(g.max_length for g in groups),
-            group_efficiencies=tuple(g.padding_efficiency for g in groups),
+            group_efficiencies=tuple(g.sweep_efficiency for g in groups),
             residues=sum(g.residues for g in groups),
-            padded_cells=sum(g.padded_cells for g in groups),
+            padded_cells=sum(g.sweep_cells for g in groups),
             lane_engine=self.lane_engine,
+            lane_engines=tuple(
+                g.lane_engine or self.lane_engine for g in groups
+            ),
+            split_threshold=threshold,
         )
         return scores, report
+
+    def _resolve_threshold(self, db: Database) -> int:
+        """Resolve the heterogeneous split threshold for one database."""
+        if self.split_threshold == "auto":
+            # Imported at call time: repro.app.threshold builds CudaSW
+            # apps for its sweep API, so a module-level import would be
+            # circular.
+            from repro.app.threshold import tune_split_threshold
+
+            return tune_split_threshold(
+                db.lengths,
+                group_size=self.group_size,
+                strip_width=self.strip_width or DEFAULT_STRIP_WIDTH,
+            )
+        assert isinstance(self.split_threshold, int)
+        return self.split_threshold
+
+    def _count_dispatch(
+        self,
+        instr: AnyInstrumentation,
+        groups: list[PackedGroup],
+        threshold: int,
+    ) -> None:
+        """Charge the ``engine.dispatch.*`` counters for one split."""
+        tail = [g for g in groups if g.lane_engine == "strips"]
+        bulk = [g for g in groups if g.lane_engine != "strips"]
+        instr.count("engine.dispatch.bulk_groups", len(bulk))
+        instr.count("engine.dispatch.tail_groups", len(tail))
+        instr.count(
+            "engine.dispatch.bulk_sequences", sum(g.size for g in bulk)
+        )
+        instr.count(
+            "engine.dispatch.tail_sequences", sum(g.size for g in tail)
+        )
+        instr.counters.record_max(
+            "engine.dispatch.split_threshold", threshold
+        )
+        if self.split_threshold == "auto":
+            instr.count("engine.dispatch.auto_tuned", 1)
+
+    def _engine_token(self, group: PackedGroup) -> str:
+        """Fingerprint token for one group's resolved engine."""
+        engine = group.lane_engine or self.lane_engine
+        if engine == "strips":
+            width = group.strip_width or DEFAULT_STRIP_WIDTH
+            return f"strips:{width}"
+        return engine

@@ -29,13 +29,25 @@ from dataclasses import dataclass
 
 from repro.obs import current as obs_current
 
-__all__ = ["MemoryBudget", "SWEEP_BYTES_PER_CELL", "estimate_group_bytes"]
+__all__ = [
+    "MemoryBudget",
+    "STRIP_SWEEP_BYTES_PER_CELL",
+    "SWEEP_BYTES_PER_CELL",
+    "estimate_group_bytes",
+    "estimate_strip_group_bytes",
+]
 
 #: Estimated working-set bytes per padded lane cell: seven int64
 #: ``(size, max_len)`` sweep buffers (the worst-case dtype) plus the
 #: uint8 code matrix, rounded up for interpreter slack.  Deliberately
 #: conservative — the budget is an OOM guard, not an allocator.
 SWEEP_BYTES_PER_CELL = 64
+
+#: The strip-sweep engine keeps more live ``(strips, width)`` buffers
+#: per row than the rectangle sweep (H/F/E plus the diagonal shift, two
+#: prefix-scan workspaces and the segmented-carry key), so its
+#: per-strip-cell estimate is half again the rectangle figure.
+STRIP_SWEEP_BYTES_PER_CELL = 96
 
 
 def estimate_group_bytes(size: int, max_length: int) -> int:
@@ -45,6 +57,16 @@ def estimate_group_bytes(size: int, max_length: int) -> int:
             f"group geometry must be positive, got {size}x{max_length}"
         )
     return size * (max_length + 1) * SWEEP_BYTES_PER_CELL
+
+
+def estimate_strip_group_bytes(sweep_cells: int) -> int:
+    """Estimated peak working-set bytes for one strip-engine group,
+    from its total strip-swept cells (``strips x strip_width``)."""
+    if sweep_cells < 1:
+        raise ValueError(
+            f"sweep cells must be positive, got {sweep_cells}"
+        )
+    return (sweep_cells + 1) * STRIP_SWEEP_BYTES_PER_CELL
 
 
 @dataclass(frozen=True)

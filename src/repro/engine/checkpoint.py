@@ -103,6 +103,7 @@ def search_fingerprint(
     db: "Database",
     *,
     budget_bytes: int = 0,
+    engines: tuple[str, ...] = (),
 ) -> str:
     """Content hash identifying one search's journal-compatible inputs.
 
@@ -110,8 +111,13 @@ def search_fingerprint(
     scores: the encoded query, the substitution matrix (name *and*
     table — a retuned matrix under the same name must not match), the
     gap penalties, the group size, the memory budget (it changes the
-    split) and the database geometry.  Per-group residue content is
-    covered separately by :func:`group_content_hash`, record by record.
+    split), the database geometry and — when ``engines`` is non-empty —
+    the per-group engine assignment.  A heterogeneous search passes one
+    token per group (e.g. ``"striped"`` / ``"strips:512"``), so a
+    journal written under one split threshold *refuses* to resume under
+    another instead of silently scattering scores into a different
+    group decomposition.  Per-group residue content is covered
+    separately by :func:`group_content_hash`, record by record.
     """
     h = hashlib.sha256()
     h.update(MAGIC)
@@ -123,6 +129,9 @@ def search_fingerprint(
                          budget_bytes))
     h.update(struct.pack("<q", len(db)))
     h.update(np.ascontiguousarray(db.lengths, dtype=np.int64).tobytes())
+    if engines:
+        h.update(b"engines:")
+        h.update("\x1f".join(engines).encode("utf-8", "replace"))
     return h.hexdigest()
 
 

@@ -58,6 +58,7 @@ from repro.engine.striped import (
     LANE_ENGINES,
     score_packed_group_striped,
 )
+from repro.engine.strips import score_packed_group_strips
 from repro.obs import (
     AnyInstrumentation,
     Instrumentation,
@@ -75,6 +76,39 @@ __all__ = ["run_groups"]
 _WORKER_STATE: dict = {}
 
 
+def _profile_kind(engine: str) -> str:
+    """Profile flavor an engine sweeps with: the striped engine needs
+    the two-tier :class:`StripedProfile`; the row and strip sweeps share
+    one plain :class:`QueryProfile`."""
+    return "striped" if engine == "striped" else "base"
+
+
+def _profile_for(
+    cache: dict[str, QueryProfile | StripedProfile],
+    engine: str,
+    query_codes: np.ndarray,
+    matrix: SubstitutionMatrix,
+) -> QueryProfile | StripedProfile:
+    """Fetch (building lazily, at most once per flavor) the profile for
+    ``engine``.  Lazy construction is what lets a mixed-engine search
+    pay for exactly the profile flavors its groups actually use."""
+    kind = _profile_kind(engine)
+    if kind not in cache:
+        if kind == "striped":
+            cache[kind] = StripedProfile(query_codes, matrix)
+        else:
+            cache[kind] = QueryProfile(query_codes, matrix)
+    return cache[kind]
+
+
+def _seed_profile_cache(
+    profile: QueryProfile | StripedProfile,
+) -> dict[str, QueryProfile | StripedProfile]:
+    """Start a profile cache from an already-built profile."""
+    kind = "striped" if isinstance(profile, StripedProfile) else "base"
+    return {kind: profile}
+
+
 def _init_worker(
     query_codes: np.ndarray,
     matrix: SubstitutionMatrix,
@@ -83,10 +117,9 @@ def _init_worker(
     lane_engine: str = "gotoh",
     collect_mode: str = "off",
 ) -> None:
-    if lane_engine == "striped":
-        _WORKER_STATE["profile"] = StripedProfile(query_codes, matrix)
-    else:
-        _WORKER_STATE["profile"] = QueryProfile(query_codes, matrix)
+    _WORKER_STATE["query_codes"] = query_codes
+    _WORKER_STATE["matrix"] = matrix
+    _WORKER_STATE["profiles"] = {}
     _WORKER_STATE["lane_engine"] = lane_engine
     _WORKER_STATE["gaps"] = gaps
     _WORKER_STATE["inject"] = inject
@@ -123,13 +156,19 @@ def _score_chunk_task(
 def _score_chunk_groups(
     payload: list[tuple[int, PackedGroup]],
 ) -> list[np.ndarray]:
-    profile = _WORKER_STATE["profile"]
     gaps = _WORKER_STATE["gaps"]
-    striped = _WORKER_STATE.get("lane_engine") == "striped"
+    default_engine = _WORKER_STATE.get("lane_engine", "gotoh")
     inject: InjectionPlan | None = _WORKER_STATE.get("inject")
     instr = obs_current()
     out = []
     for group_index, group in payload:
+        engine = group.lane_engine or default_engine
+        profile = _profile_for(
+            _WORKER_STATE["profiles"],
+            engine,
+            _WORKER_STATE["query_codes"],
+            _WORKER_STATE["matrix"],
+        )
         garbage = False
         if inject is not None:
             garbage = inject.apply(group_index, _WORKER_STATE["tasks_done"])
@@ -137,10 +176,24 @@ def _score_chunk_groups(
         with instr.span("sweep"):
             if garbage:
                 out.append(np.zeros(0, dtype=np.int64))
-            elif striped:
-                out.append(score_packed_group_striped(profile, group, gaps))
+            elif engine == "striped":
+                out.append(
+                    score_packed_group_striped(
+                        cast(StripedProfile, profile), group, gaps
+                    )
+                )
+            elif engine == "strips":
+                out.append(
+                    score_packed_group_strips(
+                        cast(QueryProfile, profile), group, gaps
+                    )
+                )
             else:
-                out.append(score_packed_group(profile, group, gaps))
+                out.append(
+                    score_packed_group(
+                        cast(QueryProfile, profile), group, gaps
+                    )
+                )
         if instr.enabled:
             instr.observe(
                 "engine.sweep.group_seconds",
@@ -177,11 +230,16 @@ def run_groups(
     checkpoint journal's append hook; preloaded groups do not re-fire
     it.
 
-    ``lane_engine`` picks the per-group score kernel: ``"gotoh"`` (the
-    row-parallel sweep, expects a :class:`QueryProfile`) or
-    ``"striped"`` (the Farrar engine, expects a
-    :class:`StripedProfile`).  Scores are bit-identical either way, so
-    checkpoints and fault handling are engine-agnostic.
+    ``lane_engine`` is the *default* per-group score kernel:
+    ``"gotoh"`` (the row-parallel sweep), ``"striped"`` (the Farrar
+    engine) or ``"strips"`` (the long-tail strip sweep).  A group whose
+    :attr:`~repro.engine.pack.PackedGroup.lane_engine` is set overrides
+    the default — the engine is a per-group decision, which is how
+    heterogeneous dispatch mixes bulk and tail kernels in one search.
+    The profile flavor each kernel needs is built lazily from the
+    passed profile's query codes and matrix.  Scores are bit-identical
+    on every engine, so checkpoints and fault handling stay
+    engine-agnostic.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -189,6 +247,12 @@ def run_groups(
         raise ValueError(
             f"lane_engine must be one of {LANE_ENGINES}, got {lane_engine!r}"
         )
+    for g in groups:
+        if g.lane_engine is not None and g.lane_engine not in LANE_ENGINES:
+            raise ValueError(
+                f"group lane_engine must be one of {LANE_ENGINES}, "
+                f"got {g.lane_engine!r}"
+            )
     policy = policy or DEFAULT_POLICY
     instr = obs_current()
     clock = DeadlineClock(policy.deadline)
@@ -224,21 +288,29 @@ def _score_serial(
     """Score ``indices`` (default: all unscored) into ``results``,
     checking the deadline between groups."""
     todo = range(len(groups)) if indices is None else indices
-    striped = lane_engine == "striped"
+    profiles = _seed_profile_cache(profile)
     for i in todo:
         if i in results:
             continue
         if clock.expired():
             _raise_deadline(instr, clock, results, len(groups))
+        engine = groups[i].lane_engine or lane_engine
+        group_profile = _profile_for(
+            profiles, engine, profile.query_codes, profile.matrix
+        )
         started = time.perf_counter()
         with instr.span(span_name):
-            if striped:
+            if engine == "striped":
                 results[i] = score_packed_group_striped(
-                    cast(StripedProfile, profile), groups[i], gaps
+                    cast(StripedProfile, group_profile), groups[i], gaps
+                )
+            elif engine == "strips":
+                results[i] = score_packed_group_strips(
+                    cast(QueryProfile, group_profile), groups[i], gaps
                 )
             else:
                 results[i] = score_packed_group(
-                    cast(QueryProfile, profile), groups[i], gaps
+                    cast(QueryProfile, group_profile), groups[i], gaps
                 )
         if instr.enabled:
             instr.observe(

@@ -13,19 +13,51 @@ and :attr:`PackedGroup.padding_efficiency` (useful residues over the
 padded rectangle) is exactly the ``sum(len) / (s * max_len)`` quantity
 of :class:`~repro.sequence.database.SequenceGroup`.  Length sorting
 before grouping is what keeps it near 1.0.
+
+Two things the length sort alone cannot fix live here too:
+
+* the **tail group** — the final ``group_size`` remainder merges
+  whatever lengths are left, so a handful of outliers can drag one
+  group far below every other's efficiency.  :func:`plan_chunks` splits
+  that last chunk at its largest length gaps whenever efficiency would
+  fall under :data:`TAIL_EFFICIENCY_FLOOR`;
+* the **long tail itself** — past a length threshold no grouping packs
+  well, which is why :func:`pack_database_hetero` routes those
+  sequences to the strip-sweep engine (each :class:`PackedGroup`
+  carries its ``lane_engine``, making the engine a per-group decision).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import NamedTuple
 
 import numpy as np
 
 from repro.engine.budget import MemoryBudget
-from repro.obs import current as obs_current
+from repro.obs import AnyInstrumentation, current as obs_current
 from repro.sequence.database import Database
 
-__all__ = ["PackedGroup", "pack_group", "pack_database"]
+__all__ = [
+    "DEFAULT_STRIP_WIDTH",
+    "TAIL_EFFICIENCY_FLOOR",
+    "ChunkPlan",
+    "PackedGroup",
+    "pack_group",
+    "pack_database",
+    "pack_database_hetero",
+    "plan_chunks",
+]
+
+#: Default strip width for groups swept by the strip engine (DP columns
+#: per strip lane).  Lives here rather than in
+#: :mod:`~repro.engine.strips` so packing and cost modelling can reason
+#: about strip geometry without importing the kernel.
+DEFAULT_STRIP_WIDTH = 512
+
+#: Below this packing efficiency the tail chunk is split at its largest
+#: length gaps instead of being packed as one degenerate rectangle.
+TAIL_EFFICIENCY_FLOOR = 0.5
 
 
 @dataclass(frozen=True)
@@ -47,12 +79,22 @@ class PackedGroup:
         The padding sentinel — one past the largest valid alphabet code,
         so a padded query profile can route it to an impossibly bad
         similarity score and padded cells can never win an alignment.
+    lane_engine:
+        Optional per-group engine assignment (one of
+        :data:`~repro.engine.striped.LANE_ENGINES`); ``None`` defers to
+        the executor's search-wide default.  This is what makes the
+        engine a per-group decision for heterogeneous dispatch.
+    strip_width:
+        Strip width for groups assigned to the ``"strips"`` engine
+        (``None`` = :data:`DEFAULT_STRIP_WIDTH`); ignored elsewhere.
     """
 
     indices: np.ndarray
     lengths: np.ndarray
     codes: np.ndarray
     pad_code: int
+    lane_engine: str | None = None
+    strip_width: int | None = None
 
     def __post_init__(self) -> None:
         if self.codes.ndim != 2:
@@ -91,13 +133,43 @@ class PackedGroup:
         efficiency, for the NumPy lanes instead of SIMT threads."""
         return self.residues / self.padded_cells
 
+    @property
+    def sweep_cells(self) -> int:
+        """Cells actually swept per query row by this group's engine.
 
-def pack_group(db: Database, indices: np.ndarray) -> PackedGroup:
+        The batched engines sweep the full ``(size, max_length)``
+        rectangle; the strip engine sweeps ``ceil(len / W) * W`` per
+        sequence, bounding each sequence's padding at ``W - 1`` cells no
+        matter how ragged the group is.
+        """
+        if self.lane_engine == "strips":
+            w = self.strip_width or DEFAULT_STRIP_WIDTH
+            counts = np.maximum(
+                (self.lengths.astype(np.int64) + w - 1) // w, 1
+            )
+            return int(counts.sum()) * w
+        return self.padded_cells
+
+    @property
+    def sweep_efficiency(self) -> float:
+        """Useful work over swept cells under the *assigned* engine."""
+        return self.residues / self.sweep_cells
+
+
+def pack_group(
+    db: Database,
+    indices: np.ndarray,
+    *,
+    lane_engine: str | None = None,
+    strip_width: int | None = None,
+) -> PackedGroup:
     """Pack the database sequences at ``indices`` into one lane matrix.
 
     ``indices`` refer to ``db``'s own ordering and are recorded verbatim
     in the result, so callers can pack a sorted permutation of an
     unsorted database and still scatter scores back trivially.
+    ``lane_engine``/``strip_width`` stamp a per-group engine assignment
+    for heterogeneous dispatch.
     """
     indices = np.asarray(indices, dtype=np.int64)
     if indices.ndim != 1 or indices.size == 0:
@@ -111,7 +183,124 @@ def pack_group(db: Database, indices: np.ndarray) -> PackedGroup:
         row = db.codes_of(int(src))
         codes[lane, : row.size] = row
     codes.setflags(write=False)
-    return PackedGroup(indices, lengths, codes, pad_code)
+    return PackedGroup(
+        indices, lengths, codes, pad_code, lane_engine, strip_width
+    )
+
+
+class ChunkPlan(NamedTuple):
+    """Pure-geometry packing plan over a length-sorted database.
+
+    ``ranges`` are ``(start, end)`` slices into the sorted order;
+    the split counters record why extra groups exist so callers can
+    charge the matching ``engine.pack.*`` / ``engine.budget.*``
+    counters without re-deriving the decisions.
+    """
+
+    ranges: list[tuple[int, int]]
+    tail_splits: int
+    budget_splits: int
+    budget_extra_groups: int
+
+
+def _gap_split(
+    lengths: np.ndarray, start: int, end: int, floor: float
+) -> list[tuple[int, int]]:
+    """Split ``[start, end)`` at its largest length gaps until every
+    piece packs at ``floor`` efficiency or better (or is a single lane).
+    ``lengths`` must be ascending over the range."""
+    size = end - start
+    if size < 2:
+        return [(start, end)]
+    seg = lengths[start:end]
+    if float(seg.sum()) / (size * int(seg[-1])) >= floor:
+        return [(start, end)]
+    cut = int(np.argmax(np.diff(seg))) + 1
+    if cut <= 0 or cut >= size:
+        return [(start, end)]
+    return _gap_split(lengths, start, start + cut, floor) + _gap_split(
+        lengths, start + cut, end, floor
+    )
+
+
+def plan_chunks(
+    sorted_lengths: np.ndarray,
+    group_size: int,
+    *,
+    budget: MemoryBudget | None = None,
+    tail_floor: float = TAIL_EFFICIENCY_FLOOR,
+) -> ChunkPlan:
+    """Plan packing ranges for an ascending-sorted length array.
+
+    Applies, in order: fixed ``group_size`` chunking; the tail-group
+    degeneracy fix (the last chunk — the ``group_size`` remainder that
+    used to merge wildly different lengths into one low-efficiency
+    rectangle — is split at its largest length gaps whenever its
+    efficiency falls below ``tail_floor``); then the ``budget``'s
+    working-set splitting within each chunk.  Geometry only — no
+    database access — so the threshold cost model can evaluate candidate
+    partitions without packing anything.
+    """
+    if group_size <= 0:
+        raise ValueError(f"group size must be positive, got {group_size}")
+    sorted_lengths = np.asarray(sorted_lengths, dtype=np.int64)
+    n = int(sorted_lengths.size)
+    ranges = [
+        (start, min(start + group_size, n))
+        for start in range(0, n, group_size)
+    ]
+    tail_splits = 0
+    if ranges and tail_floor > 0:
+        last = ranges.pop()
+        pieces = _gap_split(sorted_lengths, last[0], last[1], tail_floor)
+        tail_splits = len(pieces) - 1
+        ranges.extend(pieces)
+    budget_splits = budget_extra = 0
+    if budget is not None:
+        split_ranges: list[tuple[int, int]] = []
+        for start, end in ranges:
+            ends = budget.split_points(
+                [int(x) for x in sorted_lengths[start:end]]
+            )
+            if len(ends) > 1:
+                budget_splits += 1
+                budget_extra += len(ends) - 1
+            prev = 0
+            for cut in ends:
+                split_ranges.append((start + prev, start + cut))
+                prev = cut
+        ranges = split_ranges
+    return ChunkPlan(ranges, tail_splits, budget_splits, budget_extra)
+
+
+def _record_pack_counters(
+    instr: AnyInstrumentation,
+    n_sequences: int,
+    groups: list[PackedGroup],
+    plan: ChunkPlan,
+) -> None:
+    """Charge the packing counters for one planned-and-packed database.
+
+    ``padded_cells`` counts cells the assigned engines will actually
+    sweep (``sweep_cells``) — identical to the padded rectangle for
+    batched groups, the bounded strip total for strip groups.
+    """
+    residues = sum(g.residues for g in groups)
+    swept = sum(g.sweep_cells for g in groups)
+    instr.count("engine.pack.groups", len(groups))
+    instr.count("engine.pack.sequences", n_sequences)
+    instr.count("engine.pack.residues", residues)
+    instr.count("engine.pack.padded_cells", swept)
+    instr.count("engine.pack.pad_waste_cells", swept - residues)
+    if plan.tail_splits:
+        instr.count("engine.pack.tail_splits", 1)
+        instr.count("engine.pack.tail_extra_groups", plan.tail_splits)
+    if plan.budget_splits:
+        instr.count("engine.budget.groups_split", plan.budget_splits)
+        instr.count("engine.budget.extra_groups", plan.budget_extra_groups)
+    for g in groups:
+        instr.observe("engine.pack.group_cells", float(g.sweep_cells))
+        instr.observe("engine.pack.group_efficiency", g.sweep_efficiency)
 
 
 def pack_database(
@@ -119,6 +308,7 @@ def pack_database(
     group_size: int,
     *,
     budget: MemoryBudget | None = None,
+    tail_floor: float = TAIL_EFFICIENCY_FLOOR,
 ) -> list[PackedGroup]:
     """Sort ``db`` by length and pack it into groups of ``group_size``.
 
@@ -133,41 +323,88 @@ def pack_database(
     single group's estimated sweep working set: a chunk whose padded
     rectangle would exceed it is split into narrower groups that each
     fit, instead of letting the sweep's allocation OOM-kill the
-    process.  Splitting only changes fan-out geometry, never scores.
+    process.  Splitting — by budget or by the tail-degeneracy floor —
+    only changes fan-out geometry, never scores.
+
+    ``tail_floor`` is the gap-split efficiency floor (see
+    :func:`plan_chunks`).  Row-sweep engines want the default — their
+    cost scales with padded cells — while column-sweep (striped)
+    callers pass ``0.0``: a gap split there trades padding for extra
+    near-empty column iterations, the overhead the split exists to
+    avoid.
     """
-    if group_size <= 0:
-        raise ValueError(f"group size must be positive, got {group_size}")
+    db._require_residues()
+    order = np.argsort(db.lengths, kind="stable")
+    plan = plan_chunks(
+        db.lengths[order], group_size, budget=budget, tail_floor=tail_floor
+    )
+    groups = [
+        pack_group(db, order[start:end]) for start, end in plan.ranges
+    ]
+    instr = obs_current()
+    if instr.enabled:
+        _record_pack_counters(instr, len(db), groups, plan)
+    return groups
+
+
+def pack_database_hetero(
+    db: Database,
+    group_size: int,
+    threshold: int,
+    *,
+    budget: MemoryBudget | None = None,
+    bulk_engine: str = "striped",
+    strip_width: int | None = None,
+) -> list[PackedGroup]:
+    """Length-threshold heterogeneous packing (the paper's core split).
+
+    Sequences of length ``<= threshold`` pack into ``bulk_engine``
+    groups exactly as :func:`pack_database` would (inter-task side);
+    longer sequences pack into ``"strips"`` groups for the strip-sweep
+    engine (intra-task side), where padding stays bounded per sequence
+    instead of scaling with group raggedness.  Group ``indices`` refer
+    to the original database order, so mixed-engine scores scatter back
+    identically.  ``threshold <= 0`` routes everything to strips;
+    ``threshold >= max length`` routes everything to the bulk engine.
+    """
     db._require_residues()
     order = np.argsort(db.lengths, kind="stable")
     sorted_lengths = db.lengths[order]
-    groups = []
-    instr = obs_current()
-    for start in range(0, order.size, group_size):
-        chunk = order[start : start + group_size]
-        if budget is None:
-            groups.append(pack_group(db, chunk))
-            continue
-        ends = budget.split_points(
-            [int(n) for n in sorted_lengths[start : start + group_size]]
+    n_bulk = int(np.searchsorted(sorted_lengths, threshold, side="right"))
+    groups: list[PackedGroup] = []
+    # Bulk groups are striped-swept (column loop): a gap split would
+    # trade padded cells for extra column iterations, so keep them
+    # whole — the genuinely degenerate lengths are past the threshold
+    # and tiled into strips anyway.
+    bulk_plan = plan_chunks(
+        sorted_lengths[:n_bulk], group_size, budget=budget, tail_floor=0.0
+    )
+    for start, end in bulk_plan.ranges:
+        groups.append(
+            pack_group(db, order[start:end], lane_engine=bulk_engine)
         )
-        if len(ends) > 1:
-            instr.count("engine.budget.groups_split", 1)
-            instr.count("engine.budget.extra_groups", len(ends) - 1)
-        prev = 0
-        for end in ends:
-            groups.append(pack_group(db, chunk[prev:end]))
-            prev = end
-    if instr.enabled:
-        residues = sum(g.residues for g in groups)
-        padded = sum(g.padded_cells for g in groups)
-        instr.count("engine.pack.groups", len(groups))
-        instr.count("engine.pack.sequences", len(db))
-        instr.count("engine.pack.residues", residues)
-        instr.count("engine.pack.padded_cells", padded)
-        instr.count("engine.pack.pad_waste_cells", padded - residues)
-        for g in groups:
-            instr.observe("engine.pack.group_cells", float(g.padded_cells))
-            instr.observe(
-                "engine.pack.group_efficiency", g.padding_efficiency
+    tail_order = order[n_bulk:]
+    # Strip groups don't pack a rectangle, so the rectangle-efficiency
+    # tail floor would split them for no gain: disable it there.
+    tail_plan = plan_chunks(
+        sorted_lengths[n_bulk:], group_size, budget=budget, tail_floor=0.0
+    )
+    for start, end in tail_plan.ranges:
+        groups.append(
+            pack_group(
+                db,
+                tail_order[start:end],
+                lane_engine="strips",
+                strip_width=strip_width,
             )
+        )
+    plan = ChunkPlan(
+        bulk_plan.ranges + tail_plan.ranges,
+        bulk_plan.tail_splits + tail_plan.tail_splits,
+        bulk_plan.budget_splits + tail_plan.budget_splits,
+        bulk_plan.budget_extra_groups + tail_plan.budget_extra_groups,
+    )
+    instr = obs_current()
+    if instr.enabled:
+        _record_pack_counters(instr, len(db), groups, plan)
     return groups

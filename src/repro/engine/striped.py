@@ -72,8 +72,9 @@ __all__ = [
 
 #: Per-lane score kernels the executor can run inside a group:
 #: ``"gotoh"`` is the row-parallel sweep of :mod:`repro.engine.lanes`,
-#: ``"striped"`` this module's Farrar engine.
-LANE_ENGINES = ("gotoh", "striped")
+#: ``"striped"`` this module's Farrar engine, ``"strips"`` the
+#: long-tail strip sweep of :mod:`repro.engine.strips`.
+LANE_ENGINES = ("gotoh", "striped", "strips")
 
 
 @dataclass

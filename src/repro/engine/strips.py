@@ -1,0 +1,241 @@
+"""Strip-sweep lane engine for the long-tail (intra-task) dispatch side.
+
+The batched engines pay for padding: a length-sorted tail group mixing a
+700-residue sequence with a 3,600-residue one sweeps the full
+``(size, max_len)`` rectangle, and BENCH showed the tail group packing
+at ~31% efficiency.  CUDASW++'s answer (Section IV) is to stop batching
+long subjects against each other and instead *tile a single long
+subject* into fixed-size strips processed by one cooperating block.
+
+This module is that tiling in NumPy lane form.  Each subject of length
+``L`` is cut into ``ceil(L / W)`` column strips of fixed width ``W``
+(:data:`DEFAULT_STRIP_WIDTH`); every strip becomes one lane of a
+``(total_strips, W)`` code matrix, so the padding per subject is bounded
+by ``W - 1`` cells **regardless of its length** — a 3,597-residue tail
+subject packs at ``3597 / 3584``... of its own strips' rectangle instead
+of dragging a whole group down to its width.  One Python step per query
+row advances *every strip of every subject* at once, exactly like the
+row sweep of :mod:`~repro.engine.lanes`.
+
+Strips of one subject are not independent: within a DP row, H and E flow
+across the strip boundary.  Both dependencies close in the same scan
+forms the engine already uses:
+
+* the *diagonal* term of strip ``s``'s column 0 is simply the previous
+  row's value at strip ``s - 1``'s last column — a shifted gather;
+* the *horizontal* gap term uses the Gotoh scan identity
+  (``E[i][c] = max_{k<c}(Htmp[k] + k*sigma) - rho - (c-1)*sigma``,
+  valid because ``sigma <= rho``): an in-strip prefix maximum of
+  ``Htmp + j*sigma`` per strip, then one **segmented** prefix maximum
+  over the per-strip boundary values — offset by ``s * W * sigma`` so
+  decay across whole strips is exact, and biased by a per-sequence ramp
+  so one ``np.maximum.accumulate`` cannot leak a carry from one
+  subject's strips into the next's.
+
+The vertical gap chain F never crosses a strip boundary (strips tile
+*columns*), so it stays elementwise.  Padded cells sit only in each
+subject's final strip, read the same poison sentinel as the row sweep,
+and can only relay decayed in-bounds values — scores are bit-identical
+to :func:`~repro.sw.scalar.sw_score_scalar`, which the mixed-engine
+equivalence suite asserts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.alphabet import GapPenalty
+from repro.engine.lanes import _working_dtype, padded_lane_profile
+from repro.engine.pack import DEFAULT_STRIP_WIDTH, PackedGroup
+from repro.obs import AnyInstrumentation, current as obs_current
+from repro.sequence.profile import QueryProfile
+from repro.sw.utils import validate_penalties
+
+__all__ = [
+    "DEFAULT_STRIP_WIDTH",
+    "count_strips_work",
+    "plan_strip_counts",
+    "score_packed_group_strips",
+]
+
+def plan_strip_counts(
+    lengths: np.ndarray, strip_width: int
+) -> np.ndarray:
+    """Strips per subject: ``ceil(length / strip_width)``, minimum 1."""
+    if strip_width <= 0:
+        raise ValueError(
+            f"strip width must be positive, got {strip_width}"
+        )
+    lengths = np.asarray(lengths, dtype=np.int64)
+    counts = (lengths + strip_width - 1) // strip_width
+    return np.maximum(counts, 1)
+
+
+def count_strips_work(
+    instr: AnyInstrumentation,
+    m: int,
+    group: PackedGroup,
+    strip_width: int,
+    total_strips: int,
+) -> None:
+    """Charge one strip-group sweep's deterministic work counters.
+
+    ``padded_cells`` is the swept strip rectangle ``total_strips * W``
+    per query row — the quantity the dispatch decision optimizes — not
+    the ``(size, max_len)`` packing rectangle the batched engines would
+    have swept for the same subjects.
+    """
+    instr.count("engine.strips.groups", 1)
+    instr.count("engine.strips.sequences", group.size)
+    instr.count("engine.strips.strip_lanes", total_strips)
+    instr.count("engine.strips.rows", m)
+    instr.count("engine.strips.useful_cells", m * group.residues)
+    instr.count(
+        "engine.strips.padded_cells", m * total_strips * strip_width
+    )
+
+
+def score_packed_group_strips(
+    profile: QueryProfile,
+    group: PackedGroup,
+    gaps: GapPenalty,
+    *,
+    strip_width: int | None = None,
+) -> np.ndarray:
+    """Optimal local-alignment score of the query against every subject.
+
+    Re-tiles each subject's true-length codes into ``strip_width``-wide
+    strip lanes and sweeps all strips per query row.  Returns an
+    ``int64`` array of ``group.size`` scores in lane order,
+    bit-identical to :func:`~repro.engine.lanes.score_packed_group`.
+    """
+    validate_penalties(gaps)
+    if group.pad_code != profile.matrix.alphabet.size:
+        raise ValueError(
+            f"pad code must be the alphabet-size sentinel "
+            f"{profile.matrix.alphabet.size}, got {group.pad_code}"
+        )
+    w = int(
+        strip_width
+        if strip_width is not None
+        else (group.strip_width or DEFAULT_STRIP_WIDTH)
+    )
+    m = profile.length
+    n = group.size
+    lengths = group.lengths.astype(np.int64)
+    counts = plan_strip_counts(lengths, w)
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    total = int(offsets[-1])
+    #: subject index and in-subject strip index of every strip lane.
+    seq_of = np.repeat(np.arange(n, dtype=np.int64), counts)
+    local = np.arange(total, dtype=np.int64) - offsets[:-1][seq_of]
+    first = local == 0  # strip 0 of each subject: no carry, no wrap
+
+    instr = obs_current()
+    if instr.enabled:
+        count_strips_work(instr, m, group, w, total)
+
+    # Re-tile: subject q's true residues, flattened across its strips.
+    codes = np.full((total, w), group.pad_code, dtype=np.uint8)
+    for q in range(n):
+        length = int(lengths[q])
+        s0 = int(offsets[q])
+        k = int(counts[q])
+        codes[s0 : s0 + k].reshape(-1)[:length] = group.codes[q, :length]
+
+    rho, sigma = gaps.rho, gaps.sigma
+    max_abs = max(int(np.abs(profile.scores).max()), 1)
+    pp = padded_lane_profile(profile, group.pad_code)
+    dtype = _working_dtype(m, total * w, max_abs, gaps)
+    pp = pp.astype(dtype, copy=False)
+
+    #: -inf stand-in, decay-proof over m rows (same bound as the row
+    #: sweep's F seed).
+    neg = dtype(-(m * max_abs + rho + sigma * (m + 2)))
+    neg64 = np.int64(int(neg))
+    rampw = (sigma * np.arange(w, dtype=np.int64)).astype(dtype)
+    #: rho + (j-1)*sigma at in-strip column j (j=0 pairs with the carry
+    #: term, whose strip-boundary crossing is the "-1" column).
+    e_off = (
+        rho - sigma + sigma * np.arange(w, dtype=np.int64)
+    ).astype(dtype)
+    #: Whole-strip decay offset of strip s's boundary value:
+    #: local_strip * W * sigma (int64 — can exceed a narrow dtype for
+    #: adversarial penalties).
+    off = np.int64(sigma) * w * local
+    #: Segmentation bias: adding big * subject_index before the
+    #: cross-strip accumulate leaves any value carried across a subject
+    #: boundary at least ``big`` below its segment's floor once the
+    #: bias comes back off, where the -inf clip below catches it.
+    #: big * n stays far inside int64 for every validated penalty.
+    big = (
+        np.int64(m) * max_abs
+        + np.int64(sigma) * (np.int64(total) * w + w + 4)
+        + np.int64(rho)
+        - neg64
+        + 1
+    )
+    seg_pen = big * seq_of
+
+    h_prev = np.zeros((total, w), dtype=dtype)  # H of row i-1
+    f = np.full((total, w), neg, dtype=dtype)
+    htmp = np.empty_like(h_prev)  # max(0, F, H_diag + W): H before E
+    diag = np.empty_like(h_prev)
+    g = np.empty_like(h_prev)  # in-strip scan buffer
+    ecand = np.empty_like(h_prev)
+    sub = np.empty((total, w), dtype=dtype)
+    tmp = np.empty_like(h_prev)
+    bests = np.zeros(total, dtype=dtype)  # per-strip Htmp maxima
+    bshift = np.empty(total, dtype=np.int64)
+    key = np.empty(total, dtype=np.int64)
+    carry = np.empty(total, dtype=np.int64)
+    carry_col = np.empty((total, 1), dtype=dtype)
+
+    for i in range(m):
+        # F[i] = max(F[i-1] - sigma, H[i-1] - rho): vertical chains live
+        # inside a column, so strips tile them without any boundary.
+        np.subtract(f, sigma, out=f)
+        np.subtract(h_prev, rho, out=tmp)
+        np.maximum(f, tmp, out=f)
+        # Similarity of query row i against every strip column.
+        np.take(pp[i], codes, out=sub)
+        # Diagonal H[i-1][c-1]: in-strip shift; column 0 wraps from the
+        # previous strip's last column (zero at each subject's strip 0).
+        diag[:, 1:] = h_prev[:, :-1]
+        diag[1:, 0] = h_prev[:-1, -1]
+        diag[first, 0] = 0
+        np.add(diag, sub, out=htmp)
+        np.maximum(htmp, f, out=htmp)
+        np.maximum(htmp, 0, out=htmp)
+        # The sequence maximum of H equals the sequence maximum of Htmp
+        # (E and the carries only relay decayed Htmp values), so the
+        # per-strip running maxima reduce exactly at the end.
+        np.maximum(bests, htmp.max(axis=1), out=bests)
+        # In-strip inclusive prefix maximum of Htmp + j*sigma.
+        np.add(htmp, rampw, out=g)
+        np.maximum.accumulate(g, axis=1, out=g)
+        # Cross-strip carry: exclusive segmented prefix maximum of each
+        # strip's boundary value B[s] = G[s, -1] + s_local * W * sigma.
+        np.add(g[:-1, -1], off[:-1], out=bshift[1:])
+        bshift[0] = neg64
+        bshift[first] = neg64
+        np.add(bshift, seg_pen, out=key)
+        np.maximum.accumulate(key, out=key)
+        np.subtract(key, seg_pen, out=carry)
+        np.subtract(carry, off, out=carry)  # into strip-local terms
+        np.maximum(carry, neg64, out=carry)  # clip leaked/-inf values
+        np.copyto(carry_col[:, 0], carry, casting="unsafe")
+        # E candidate at in-strip column j:
+        #   max(G[s, j-1], carry[s]) - (rho + (j-1)*sigma).
+        ecand[:, 1:] = g[:, :-1]
+        ecand[:, 0] = neg
+        np.maximum(ecand, carry_col, out=ecand)
+        np.subtract(ecand, e_off, out=ecand)
+        # H row i = max(Htmp, E); h_prev is fully consumed above.
+        np.maximum(ecand, htmp, out=h_prev)
+
+    scores: np.ndarray = np.maximum.reduceat(
+        bests.astype(np.int64), offsets[:-1]
+    )
+    return scores

@@ -1,0 +1,269 @@
+"""Heterogeneous length-threshold dispatch: the ISSUE 8 contract.
+
+``lane_engine="hetero"`` splits the packed database at a length
+threshold — bulk groups go to the striped Farrar engine, the long tail
+to the strip-sweep engine — and must stay *bit-identical* to the scalar
+reference at every threshold, under a worker pool, and across a real
+SIGKILL-and-resume.  The checkpoint fingerprint must refuse a hetero
+journal replayed under a different split (the per-group engine
+assignment is part of the search identity).
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.alphabet import BLOSUM62, GapPenalty
+from repro.engine import BatchedEngine, CheckpointError
+from repro.sequence import Database, Sequence, random_protein, write_fasta
+from repro.sw import sw_score_scalar
+
+GP = GapPenalty.cudasw_default()
+
+
+def _reference(query, db, matrix, gaps):
+    return np.array(
+        [sw_score_scalar(query, s, matrix, gaps) for s in db],
+        dtype=np.int64,
+    )
+
+
+def _bimodal_db(rng, n_short=24, n_long=3):
+    """Swiss-Prot-shaped: a short bulk plus a few very long subjects."""
+    seqs = [
+        Sequence.random(f"s{i}", int(n), rng)
+        for i, n in enumerate(rng.integers(20, 300, size=n_short))
+    ] + [
+        Sequence.random(f"long{i}", int(n), rng)
+        for i, n in enumerate(rng.integers(1200, 1500, size=n_long))
+    ]
+    return Database.from_sequences(seqs)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    rng = np.random.default_rng(81)
+    query = random_protein(40, rng, id="Q1")
+    db = _bimodal_db(rng)
+    return {"query": query, "db": db,
+            "reference": _reference(query, db, BLOSUM62, GP)}
+
+
+class TestHeteroEquivalence:
+    def thresholds(self, db):
+        lengths = np.sort(db.lengths)
+        return (0, 1, int(np.median(lengths)), int(lengths.max()) + 1)
+
+    def test_bit_identical_to_scalar_across_thresholds(self, corpus):
+        """{0, 1, median, max+1} covers all-strips, mixed, and
+        all-bulk partitions — every one must match the scalar path."""
+        db = corpus["db"]
+        for t in self.thresholds(db):
+            engine = BatchedEngine(
+                BLOSUM62, GP, group_size=8,
+                lane_engine="hetero", split_threshold=t,
+            )
+            scores, report = engine.search(corpus["query"], db)
+            assert np.array_equal(scores, corpus["reference"]), t
+            assert report.split_threshold == t
+
+    def test_auto_threshold_bit_identical_and_mixed(self, corpus):
+        engine = BatchedEngine(
+            BLOSUM62, GP, group_size=8,
+            lane_engine="hetero", split_threshold="auto",
+        )
+        scores, report = engine.search(corpus["query"], corpus["db"])
+        assert np.array_equal(scores, corpus["reference"])
+        # The bimodal corpus must actually split: both engines ran.
+        assert set(report.lane_engines) == {"striped", "strips"}
+        lengths = corpus["db"].lengths
+        assert int(lengths.min()) <= report.split_threshold
+        assert report.split_threshold < int(lengths.max())
+
+    def test_strip_width_variants_bit_identical(self, corpus):
+        for width in (64, 257, 4096):
+            engine = BatchedEngine(
+                BLOSUM62, GP, group_size=8,
+                lane_engine="hetero", split_threshold=300,
+                strip_width=width,
+            )
+            scores, _ = engine.search(corpus["query"], corpus["db"])
+            assert np.array_equal(scores, corpus["reference"]), width
+
+
+class TestHeteroWorkerParity:
+    #: Counter namespaces that must not depend on serial-vs-pool
+    #: execution (executor bookkeeping legitimately differs).
+    PARITY_PREFIXES = (
+        "engine.pack.", "engine.dispatch.", "engine.strips.",
+        "engine.sweep.", "engine.striped.",
+    )
+
+    def _run(self, corpus, workers):
+        engine = BatchedEngine(
+            BLOSUM62, GP, group_size=4,
+            lane_engine="hetero", split_threshold=300,
+            workers=workers,
+        )
+        with obs.collect("counters") as instr:
+            scores, _ = engine.search(corpus["query"], corpus["db"])
+        counters = {
+            k: v for k, v in instr.counters.as_dict().items()
+            if k.startswith(self.PARITY_PREFIXES)
+        }
+        return scores, counters
+
+    def test_workers_2_scores_and_counters_match_serial(self, corpus):
+        serial_scores, serial_counters = self._run(corpus, workers=1)
+        pool_scores, pool_counters = self._run(corpus, workers=2)
+        assert np.array_equal(pool_scores, serial_scores)
+        assert np.array_equal(serial_scores, corpus["reference"])
+        assert pool_counters == serial_counters
+        assert any(
+            k.startswith("engine.strips.") for k in pool_counters
+        )  # the tail really went through the strip engine
+
+
+class TestHeteroCheckpointIdentity:
+    def test_journal_refused_under_different_threshold(self, corpus, tmp_path):
+        """The per-group engine assignment is fingerprinted: a hetero
+        journal written at one split must refuse to resume at another."""
+        journal = tmp_path / "hetero.wal"
+        engine_a = BatchedEngine(
+            BLOSUM62, GP, group_size=8,
+            lane_engine="hetero", split_threshold=300,
+        )
+        engine_a.search(corpus["query"], corpus["db"], checkpoint=journal)
+        engine_b = BatchedEngine(
+            BLOSUM62, GP, group_size=8,
+            lane_engine="hetero", split_threshold=1,
+        )
+        with pytest.raises(CheckpointError, match="different search"):
+            engine_b.search(
+                corpus["query"], corpus["db"],
+                checkpoint=journal, resume=True,
+            )
+
+    def test_journal_refused_under_different_strip_width(
+        self, corpus, tmp_path
+    ):
+        journal = tmp_path / "width.wal"
+        BatchedEngine(
+            BLOSUM62, GP, group_size=8,
+            lane_engine="hetero", split_threshold=300, strip_width=512,
+        ).search(corpus["query"], corpus["db"], checkpoint=journal)
+        with pytest.raises(CheckpointError, match="different search"):
+            BatchedEngine(
+                BLOSUM62, GP, group_size=8,
+                lane_engine="hetero", split_threshold=300, strip_width=64,
+            ).search(
+                corpus["query"], corpus["db"],
+                checkpoint=journal, resume=True,
+            )
+
+    def test_same_threshold_resumes_cleanly(self, corpus, tmp_path):
+        journal = tmp_path / "same.wal"
+        make = lambda: BatchedEngine(  # noqa: E731
+            BLOSUM62, GP, group_size=8,
+            lane_engine="hetero", split_threshold=300,
+        )
+        make().search(corpus["query"], corpus["db"], checkpoint=journal)
+        with obs.collect("counters") as instr:
+            scores, _ = make().search(
+                corpus["query"], corpus["db"],
+                checkpoint=journal, resume=True,
+            )
+        assert np.array_equal(scores, corpus["reference"])
+        c = instr.counters.as_dict()
+        assert c.get("engine.checkpoint.groups_recomputed", 0) == 0
+        assert c["engine.checkpoint.groups_replayed"] >= 1
+
+
+#: Crashing child for the mixed-engine kill-and-resume test: a hetero
+#: checkpointed search with both lane kernels slowed, so SIGKILL lands
+#: between fsync'd journal appends with bulk *and* strip groups in play.
+CHILD_SCRIPT = textwrap.dedent(
+    """
+    import sys, time
+    import numpy as np
+    import repro.engine.executor as executor
+    from repro.alphabet import BLOSUM62, GapPenalty
+    from repro.engine import BatchedEngine
+    from repro.sequence import Database, read_fasta_file
+
+    db_path, query_path, journal = sys.argv[1:4]
+
+    def slowed(real):
+        def slow(profile, group, gaps, **kwargs):
+            time.sleep(0.12)
+            return real(profile, group, gaps, **kwargs)
+        return slow
+
+    executor.score_packed_group_striped = slowed(
+        executor.score_packed_group_striped)
+    executor.score_packed_group_strips = slowed(
+        executor.score_packed_group_strips)
+    db = Database.from_sequences(read_fasta_file(db_path))
+    query = read_fasta_file(query_path)[0]
+    BatchedEngine(
+        BLOSUM62, GapPenalty.cudasw_default(), group_size=4,
+        lane_engine="hetero", split_threshold=300,
+    ).search(query, db, checkpoint=journal)
+    """
+)
+
+
+class TestHeteroSigkillResume:
+    def test_sigkill_mixed_engine_resume_bit_identical(self, corpus, tmp_path):
+        query_path = tmp_path / "query.fasta"
+        db_path = tmp_path / "db.fasta"
+        write_fasta([corpus["query"]], query_path)
+        write_fasta(list(corpus["db"]), db_path)
+        journal = tmp_path / "hetero-killed.wal"
+
+        child = subprocess.Popen(
+            [sys.executable, "-c", CHILD_SCRIPT, str(db_path),
+             str(query_path), str(journal)],
+            env={**os.environ, "PYTHONPATH": "src"},
+            cwd=os.path.dirname(os.path.dirname(
+                os.path.dirname(os.path.abspath(__file__)))),
+        )
+        try:
+            deadline = time.monotonic() + 30.0
+            floor = 120 + 60 * 2  # header plus two fsync'd appends
+            while time.monotonic() < deadline:
+                if journal.exists() and journal.stat().st_size >= floor:
+                    break
+                time.sleep(0.01)
+            else:
+                raise AssertionError("journal never grew two records")
+        finally:
+            if child.poll() is None:
+                child.send_signal(signal.SIGKILL)
+            child.wait(timeout=30)
+        assert child.returncode == -signal.SIGKILL
+
+        make = lambda: BatchedEngine(  # noqa: E731
+            BLOSUM62, GP, group_size=4,
+            lane_engine="hetero", split_threshold=300,
+        )
+        with obs.collect("counters") as instr:
+            scores, report = make().search(
+                corpus["query"], corpus["db"],
+                checkpoint=journal, resume=True,
+            )
+        assert np.array_equal(scores, corpus["reference"])
+        assert set(report.lane_engines) == {"striped", "strips"}
+        c = instr.counters.as_dict()
+        replayed = c.get("engine.checkpoint.groups_replayed", 0)
+        recomputed = c.get("engine.checkpoint.groups_recomputed", 0)
+        assert replayed >= 1
+        assert recomputed >= 1
+        assert replayed + recomputed == report.n_groups

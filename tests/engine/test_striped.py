@@ -22,7 +22,7 @@ from repro.engine import (
     score_packed_group_striped,
 )
 from repro.engine.executor import run_groups
-from repro.engine.pack import pack_database
+from repro.engine.pack import pack_database, pack_group
 from repro.sequence import Database, Sequence, StripedProfile, random_protein
 from repro.sequence.profile import QueryProfile
 from repro.sw import sw_score_scalar
@@ -258,7 +258,11 @@ class TestSaturationBoundaries:
         lengths = [3, 253, 17, 400, 1]
         db = _self_db(query, lengths)
         profile = StripedProfile(query.codes, matrix)
-        (group,) = pack_database(db, 8)
+        # Pack the ragged mix as ONE group on purpose: pack_database
+        # would now gap-split a rectangle this degenerate (the tail-
+        # efficiency floor), but the rerun-subsetting under test needs
+        # saturated and exact lanes side by side in a single group.
+        group = pack_group(db, np.argsort(db.lengths, kind="stable"))
         with obs.collect("counters") as instr:
             scores = score_packed_group_striped(profile, group, gaps)
         got = np.empty(len(db), dtype=np.int64)
