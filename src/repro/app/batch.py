@@ -89,6 +89,8 @@ def search_batch(
     memory_budget: MemoryBudget | None = None,
     collect: str = "off",
     split_threshold: int | str | None = None,
+    strip_cell_cost: float | None = None,
+    striped_column_overhead: float | None = None,
 ) -> tuple[list[SearchResult], BatchReport]:
     """Functionally search every query; returns per-query results plus
     the aggregated report.
@@ -101,7 +103,9 @@ def search_batch(
     striped lane kernel, ``engine="hetero"`` dispatches each packed
     group to the bulk or long-tail strip engine by length threshold
     (``split_threshold``: ``"auto"`` or an integer length, hetero
-    only).
+    only).  ``strip_cell_cost`` and ``striped_column_overhead``
+    override the ``"auto"`` threshold's cost-model constants for the
+    whole campaign (hetero only, see :meth:`CudaSW.search`).
 
     ``fault_policy`` is applied to every query's search (batched or
     striped engine only).  The policy's deadline is per query, not per campaign; a
@@ -144,6 +148,8 @@ def search_batch(
                 fault_policy=fault_policy, checkpoint=journal_path,
                 resume=resume, memory_budget=memory_budget,
                 split_threshold=split_threshold,
+                strip_cell_cost=strip_cell_cost,
+                striped_column_overhead=striped_column_overhead,
             )
             results.append(result)
             reports.append(report)

@@ -294,6 +294,8 @@ class CudaSW:
         collect: str = "off",
         memory_phases: bool = False,
         split_threshold: int | str | None = None,
+        strip_cell_cost: float | None = None,
+        striped_column_overhead: float | None = None,
     ) -> tuple[SearchResult, SearchReport]:
         """Compute every database sequence's score, plus the timing report.
 
@@ -381,6 +383,15 @@ class CudaSW:
             from the packed-group geometry) or an integer length
             ``>= 0`` — sequences at or under it go to the striped bulk
             engine, longer ones to the strip-sweep engine.
+        strip_cell_cost, striped_column_overhead:
+            Cost-model knobs for the ``"auto"`` split threshold
+            (``engine="hetero"`` only): the relative cost of one
+            strip-engine cell versus a striped bulk cell, and the fixed
+            per-column striped overhead.  ``None`` keeps the measured
+            defaults (:data:`~repro.app.threshold.STRIP_CELL_COST`,
+            :data:`~repro.app.threshold.STRIPED_COLUMN_OVERHEAD`); a
+            machine whose measured ratio differs can recalibrate the
+            split without editing the module constants.
         """
         if collect not in COLLECT_MODES:
             raise ValueError(
@@ -422,6 +433,18 @@ class CudaSW:
                 f"(got engine={engine!r}, "
                 f"simulate_kernels={simulate_kernels})"
             )
+        for name, value in (
+            ("strip_cell_cost", strip_cell_cost),
+            ("striped_column_overhead", striped_column_overhead),
+        ):
+            if value is not None and (
+                engine != "hetero" or simulate_kernels
+            ):
+                raise ValueError(
+                    f"{name} applies to engine='hetero' only "
+                    f"(got engine={engine!r}, "
+                    f"simulate_kernels={simulate_kernels})"
+                )
         if resume and checkpoint is None:
             raise ValueError("resume=True requires a checkpoint path")
 
@@ -429,13 +452,13 @@ class CudaSW:
             return self._search_traced(
                 query, db, engine, workers, group_size, fault_policy,
                 checkpoint, resume, memory_budget, simulate_kernels,
-                split_threshold,
+                split_threshold, strip_cell_cost, striped_column_overhead,
             )
         with obs_collect(collect, memory=memory_phases) as instr:
             result, report = self._search_traced(
                 query, db, engine, workers, group_size, fault_policy,
                 checkpoint, resume, memory_budget, simulate_kernels,
-                split_threshold,
+                split_threshold, strip_cell_cost, striped_column_overhead,
             )
         self.last_run_report = RunReport.from_instrumentation(
             instr,
@@ -466,6 +489,8 @@ class CudaSW:
         memory_budget: MemoryBudget | None,
         simulate_kernels: bool,
         split_threshold: int | str | None = None,
+        strip_cell_cost: float | None = None,
+        striped_column_overhead: float | None = None,
     ) -> tuple[SearchResult, SearchReport]:
         """The search pipeline, phases wrapped in ambient-tracer spans."""
         instr = obs_current()
@@ -506,6 +531,14 @@ class CudaSW:
                     lane_engine=lane_engine,
                     split_threshold=(
                         split_threshold if engine == "hetero" else None
+                    ),
+                    strip_cell_cost=(
+                        strip_cell_cost if engine == "hetero" else None
+                    ),
+                    striped_column_overhead=(
+                        striped_column_overhead
+                        if engine == "hetero"
+                        else None
                     ),
                     **(
                         {}

@@ -124,6 +124,18 @@ def build_parser() -> argparse.ArgumentParser:
         "database's packed-group geometry)",
     )
     p_search.add_argument(
+        "--strip-cell-cost", type=float, default=None, metavar="C",
+        help="hetero engine only: relative cost of one strip-engine "
+        "cell vs a striped bulk cell in the 'auto' split cost model "
+        "(default: the measured constant; recalibrate per machine)",
+    )
+    p_search.add_argument(
+        "--striped-col-overhead", type=float, default=None, metavar="C",
+        help="hetero engine only: fixed per-column overhead charged to "
+        "striped bulk groups in the 'auto' split cost model (default: "
+        "the measured constant)",
+    )
+    p_search.add_argument(
         "--workers", type=int, default=1,
         help="worker processes for the batched/striped engines' group "
         "fan-out (1 = serial)",
@@ -351,6 +363,8 @@ def _cmd_search(args, out: IO[str]) -> int:
                 checkpoint=args.checkpoint, resume=args.resume,
                 memory_budget=memory_budget,
                 split_threshold=args.split_threshold,
+                strip_cell_cost=args.strip_cell_cost,
+                striped_column_overhead=args.striped_col_overhead,
             )
         except SearchDeadlineExceeded as exc:
             done = (

@@ -199,6 +199,15 @@ class BatchedEngine:
         Strip width for tail groups under heterogeneous dispatch or
         ``lane_engine="strips"`` (``None`` =
         :data:`~repro.engine.pack.DEFAULT_STRIP_WIDTH`).
+    strip_cell_cost, striped_column_overhead:
+        Cost-model knobs for the ``"auto"`` split threshold: the
+        relative cost of one strip-engine cell versus a striped bulk
+        cell, and the fixed per-column overhead charged to striped
+        groups (``None`` = the measured defaults
+        :data:`~repro.app.threshold.STRIP_CELL_COST` /
+        :data:`~repro.app.threshold.STRIPED_COLUMN_OVERHEAD`).  They
+        shift where the length split lands on a given machine; scores
+        are unaffected.
     fanout_min_cells:
         Smallest search (query length x padded cells) worth a worker
         pool; smaller searches run serially even with ``workers > 1``
@@ -221,6 +230,8 @@ class BatchedEngine:
         fanout_min_cells: int | None = None,
         split_threshold: int | str | None = None,
         strip_width: int | None = None,
+        strip_cell_cost: float | None = None,
+        striped_column_overhead: float | None = None,
     ) -> None:
         if group_size <= 0:
             raise ValueError(f"group size must be positive, got {group_size}")
@@ -254,6 +265,15 @@ class BatchedEngine:
             raise ValueError(
                 f"strip_width must be positive, got {strip_width}"
             )
+        if strip_cell_cost is not None and strip_cell_cost <= 0:
+            raise ValueError(
+                f"strip_cell_cost must be positive, got {strip_cell_cost}"
+            )
+        if striped_column_overhead is not None and striped_column_overhead < 0:
+            raise ValueError(
+                f"striped_column_overhead must be >= 0, "
+                f"got {striped_column_overhead}"
+            )
         self.matrix = matrix
         self.gaps = gaps
         self.group_size = group_size
@@ -263,6 +283,8 @@ class BatchedEngine:
         self.lane_engine = lane_engine
         self.split_threshold = split_threshold
         self.strip_width = strip_width
+        self.strip_cell_cost = strip_cell_cost
+        self.striped_column_overhead = striped_column_overhead
         self.fanout_min_cells = (
             DEFAULT_FANOUT_MIN_CELLS
             if fanout_min_cells is None
@@ -474,12 +496,26 @@ class BatchedEngine:
             # Imported at call time: repro.app.threshold builds CudaSW
             # apps for its sweep API, so a module-level import would be
             # circular.
-            from repro.app.threshold import tune_split_threshold
+            from repro.app.threshold import (
+                STRIP_CELL_COST,
+                STRIPED_COLUMN_OVERHEAD,
+                tune_split_threshold,
+            )
 
             return tune_split_threshold(
                 db.lengths,
                 group_size=self.group_size,
                 strip_width=self.strip_width or DEFAULT_STRIP_WIDTH,
+                strip_cell_cost=(
+                    STRIP_CELL_COST
+                    if self.strip_cell_cost is None
+                    else self.strip_cell_cost
+                ),
+                column_overhead=(
+                    STRIPED_COLUMN_OVERHEAD
+                    if self.striped_column_overhead is None
+                    else self.striped_column_overhead
+                ),
             )
         assert isinstance(self.split_threshold, int)
         return self.split_threshold

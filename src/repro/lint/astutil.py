@@ -12,6 +12,8 @@ __all__ = [
     "kwarg_value",
     "iter_functions",
     "str_arg",
+    "qualname_index",
+    "qualname_for_line",
 ]
 
 
@@ -52,6 +54,58 @@ def iter_functions(
     for node in ast.walk(tree):
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
             yield node
+
+
+def qualname_index(tree: ast.AST) -> dict[int, str]:
+    """``id(def-node) -> dotted qualname`` for every class/function.
+
+    Nested scopes join with ``.`` (``Outer.method.closure``), which is
+    what the baseline fingerprints and the dataflow analyses use to
+    name a finding's enclosing definition stably across line moves.
+    """
+    out: dict[int, str] = {}
+
+    def walk(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+            ):
+                qualname = f"{prefix}.{child.name}" if prefix else child.name
+                out[id(child)] = qualname
+                walk(child, qualname)
+            else:
+                walk(child, prefix)
+
+    walk(tree, "")
+    return out
+
+
+def qualname_for_line(tree: ast.AST, line: int) -> str:
+    """The innermost class/function qualname containing ``line``.
+
+    Returns ``""`` for module-level lines (and for ``line <= 0``).
+    Callers cache the computed interval table on the file context; this
+    helper recomputes it, so prefer
+    :meth:`repro.lint.rules.base.FileContext.qualname_at` in rules.
+    """
+    if line <= 0:
+        return ""
+    best = ""
+    best_span: int | None = None
+    index = qualname_index(tree)
+    for node in ast.walk(tree):
+        if not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        end = getattr(node, "end_lineno", None) or node.lineno
+        if node.lineno <= line <= end:
+            span = end - node.lineno
+            if best_span is None or span <= best_span:
+                best = index.get(id(node), node.name)
+                best_span = span
+    return best
 
 
 def str_arg(call: ast.Call, index: int = 0) -> str | None:

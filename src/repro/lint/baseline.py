@@ -8,9 +8,17 @@ debt, and regenerating with ``--update-baseline`` after a cleanup
 shrinks it.
 
 Matching is by :meth:`~repro.lint.findings.Finding.fingerprint`
-(rule + path + message, line-insensitive) with per-fingerprint counts,
-so adding a *second* instance of an already-baselined violation to the
-same file is still reported.
+(rule + path + enclosing qualname + normalized source context, so pure
+line moves and message rewording keep entries valid) with
+per-fingerprint counts — adding a *second* instance of an
+already-baselined violation to the same file is still reported.
+
+Version-1 baselines (the pre-PR 9 rule+path+message scheme) load as
+*legacy* entries: findings that miss on the current fingerprint are
+retried against :meth:`~repro.lint.findings.Finding.legacy_fingerprint`
+so an old committed baseline keeps absorbing its debt.  Running
+``--update-baseline`` (or :meth:`Baseline.write`) migrates the file to
+version 2 in place.
 """
 
 from __future__ import annotations
@@ -18,21 +26,27 @@ from __future__ import annotations
 import json
 from collections import Counter
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 from repro.lint.findings import Finding
 
 __all__ = ["Baseline", "BASELINE_SCHEMA"]
 
 BASELINE_SCHEMA = "repro.lint_baseline"
-_VERSION = 1
+_VERSION = 2
 
 
 class Baseline:
     """Fingerprint -> allowed-count map with JSON (de)serialization."""
 
-    def __init__(self, counts: dict[str, int] | None = None) -> None:
+    def __init__(
+        self,
+        counts: dict[str, int] | None = None,
+        legacy_counts: dict[str, int] | None = None,
+    ) -> None:
         self.counts: dict[str, int] = dict(counts or {})
+        #: version-1 (rule+path+message) fingerprints, matched second.
+        self.legacy_counts: dict[str, int] = dict(legacy_counts or {})
 
     @classmethod
     def load(cls, path: str | Path) -> "Baseline":
@@ -50,6 +64,10 @@ class Baseline:
             fp: int(entry["count"])
             for fp, entry in data.get("findings", {}).items()
         }
+        if int(data.get("version", 1)) < 2:
+            # A pre-migration file: its fingerprints were computed with
+            # the rule+path+message scheme.
+            return cls(legacy_counts=counts)
         return cls(counts)
 
     @classmethod
@@ -58,8 +76,12 @@ class Baseline:
         return cls(dict(Counter(f.fingerprint() for f in findings)))
 
     def write(self, path: str | Path, findings: Sequence[Finding]) -> Path:
-        """Serialize, with one annotated entry per fingerprint."""
-        by_fp: dict[str, dict] = {}
+        """Serialize, with one annotated entry per fingerprint.
+
+        Always writes the version-2 scheme — rewriting an old baseline
+        with the current findings *is* the migration.
+        """
+        by_fp: dict[str, dict[str, Any]] = {}
         for f in sorted(findings):
             fp = f.fingerprint()
             if fp in by_fp:
@@ -68,6 +90,8 @@ class Baseline:
                 by_fp[fp] = {
                     "rule": f.rule_id,
                     "path": f.path,
+                    "qualname": f.qualname,
+                    "context": f.context,
                     "message": f.message,
                     "count": 1,
                 }
@@ -89,9 +113,11 @@ class Baseline:
         """Split findings into (new, baselined-count).
 
         Up to ``counts[fingerprint]`` occurrences of each fingerprint
-        are absorbed; the overflow is new.
+        are absorbed (legacy fingerprints matched for version-1 files);
+        the overflow is new.
         """
         budget = Counter(self.counts)
+        legacy_budget = Counter(self.legacy_counts)
         fresh: list[Finding] = []
         absorbed = 0
         for f in sorted(findings):
@@ -99,9 +125,14 @@ class Baseline:
             if budget[fp] > 0:
                 budget[fp] -= 1
                 absorbed += 1
-            else:
-                fresh.append(f)
+                continue
+            legacy = f.legacy_fingerprint()
+            if legacy_budget[legacy] > 0:
+                legacy_budget[legacy] -= 1
+                absorbed += 1
+                continue
+            fresh.append(f)
         return fresh, absorbed
 
     def __len__(self) -> int:
-        return sum(self.counts.values())
+        return sum(self.counts.values()) + sum(self.legacy_counts.values())

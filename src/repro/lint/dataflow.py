@@ -1,0 +1,1785 @@
+"""Intraprocedural abstract interpretation for the dataflow rules.
+
+The flow-insensitive rules of PR 4 pattern-match single statements; the
+bug classes the engines now actually ship are *flow* bugs — a dtype
+silently promoted three assignments after the allocation, a view
+mutated along only one branch, an unpicklable object threaded into a
+pool chunk.  This module interprets each function body over a small
+abstract domain and emits *events* that the RPL107–RPL110 rules (and
+the delegating RPL101/RPL102) consume:
+
+* **dtype** — ``int8/uint8/int16/int32/int64/float/bool`` plus
+  ``unknown``, combined through NumPy's promotion rules (NEP-50
+  semantics for Python scalars: a Python ``int`` does not widen an
+  array, a Python ``float`` does).
+* **shape** — a tuple of symbolic dims (``int`` literal, ``str``
+  symbol, or ``None`` for unknown), seeded from ``np.zeros``-style
+  allocations, ``.shape`` unpacking and slicing, and unified through
+  broadcasting.  A provable broadcast mismatch (two concrete unequal
+  dims, neither 1) raises a :class:`BroadcastEvent`.
+* **aliasing** — every allocation site gets a storage id; values carry
+  the *may-overlap* set of storage ids, so a bare-name rebinding
+  (``prev = cur``) is distinguishable from a simultaneous tuple
+  exchange (``cur, prev = prev, cur``) and from an explicit slice view.
+
+Control flow: branches join pointwise (dtype joins through the
+promotion lattice, dims to ``unknown`` on disagreement, storage sets
+by union); ``for``/``while`` bodies run to a fixed point with an
+iteration cap.  Events are only recorded on a final pass over the
+converged state, so a half-converged loop cannot emit a stale event;
+the lone exception is loop widening itself, which is *defined* by the
+difference between the pre-loop state and the converged loop-entry
+state (:class:`WidenEvent` with ``via="loop"``).
+
+Analyses that hit the iteration cap, or meet ``global``/``exec``/
+``eval``, drop their ``confident`` flag — consumers fall back to the
+PR 4 heuristics rather than trust a partial interpretation.
+
+Everything here is stdlib-only (``ast`` + dataclasses): the linter must
+import without NumPy installed.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Mapping, Sequence, Union
+
+from repro.lint.astutil import dotted_name
+
+__all__ = [
+    "UNKNOWN",
+    "NARROW_DTYPES",
+    "AbstractValue",
+    "BroadcastEvent",
+    "WidenEvent",
+    "AliasMutationEvent",
+    "CallEvent",
+    "FunctionAnalysis",
+    "ModuleAnalysis",
+    "promote",
+    "join_dtype",
+    "wider_than",
+    "broadcast_shapes",
+    "join_values",
+    "analyze_function",
+    "analyze_module",
+    "file_analysis",
+    "subtree_analyses",
+]
+
+# ---------------------------------------------------------------------------
+# The dtype lattice
+# ---------------------------------------------------------------------------
+
+UNKNOWN = "unknown"
+
+#: Saturating-tier widths: arithmetic on these is only correct inside a
+#: clamp discipline, so a silent promotion out of them changes scores.
+NARROW_DTYPES = frozenset({"int8", "uint8", "int16"})
+
+_INT_ORDER = ("int8", "uint8", "int16", "int32", "int64")
+_INT_WIDTH = {"int8": 8, "uint8": 8, "int16": 16, "int32": 32, "int64": 64}
+
+#: Tokens for Python scalars (NEP-50 "weak" values): they participate in
+#: arithmetic without forcing an array promotion.
+_WEAK_INT = "int"
+_WEAK_FLOAT = "float"
+
+_KNOWN_ARRAY_DTYPES = frozenset({*_INT_ORDER, "float", "bool"})
+
+
+def promote(a: str, b: str) -> str:
+    """NumPy result dtype of an array-array op between ``a`` and ``b``."""
+    if a == UNKNOWN or b == UNKNOWN:
+        return UNKNOWN
+    if a == b:
+        return a
+    # Weak Python-int tokens can reach a join (``x = 0`` on one branch,
+    # an array on the other); NEP-50 makes them transparent.
+    if a == _WEAK_INT:
+        return b
+    if b == _WEAK_INT:
+        return a
+    if a not in _KNOWN_ARRAY_DTYPES or b not in _KNOWN_ARRAY_DTYPES:
+        return UNKNOWN
+    if "float" in (a, b):
+        return "float"
+    if a == "bool":
+        return b
+    if b == "bool":
+        return a
+    # Both integers.  int8 + uint8 has no common 8-bit signed/unsigned
+    # home, so NumPy widens to int16; otherwise the larger width wins
+    # (signedness agrees at >= 16 bits in this token set).
+    if {a, b} == {"int8", "uint8"}:
+        return "int16"
+    return a if _INT_WIDTH[a] >= _INT_WIDTH[b] else b
+
+
+def join_dtype(a: str, b: str) -> str:
+    """Control-flow join of two dtypes: the promotion lub.
+
+    Using the promotion lattice (rather than collapsing straight to
+    ``unknown``) is what lets the loop-widening check see *what* an
+    accumulator widened to across a back edge.
+    """
+    return promote(a, b)
+
+
+def wider_than(new: str, old: str) -> bool:
+    """Whether ``new`` is a strict widening of ``old`` (both known)."""
+    if new == old or UNKNOWN in (new, old):
+        return False
+    if old == "bool" or new == "bool":
+        return False
+    return promote(new, old) == new
+
+
+def promote_with_scalar(array_dtype: str, scalar_dtype: str) -> str:
+    """Array-op-scalar result dtype under NEP-50 weak-scalar rules."""
+    if array_dtype == UNKNOWN:
+        return UNKNOWN
+    if scalar_dtype in (_WEAK_INT, "bool"):
+        return array_dtype
+    if scalar_dtype == _WEAK_FLOAT:
+        return promote(array_dtype, "float")
+    if scalar_dtype == UNKNOWN:
+        return UNKNOWN
+    return promote(array_dtype, scalar_dtype)
+
+
+# ---------------------------------------------------------------------------
+# Shapes
+# ---------------------------------------------------------------------------
+
+#: One symbolic dimension: a concrete extent, a named symbol, or unknown.
+Dim = Union[int, str, None]
+#: ``None`` means unknown rank.
+Shape = Union[tuple, None]
+
+
+def _join_dim(a: Dim, b: Dim) -> Dim:
+    return a if a == b else None
+
+
+def join_shape(a: Shape, b: Shape) -> Shape:
+    if a is None or b is None or len(a) != len(b):
+        return None
+    return tuple(_join_dim(x, y) for x, y in zip(a, b))
+
+
+def broadcast_shapes(
+    a: Shape, b: Shape
+) -> tuple[Shape, tuple[Dim, Dim] | None]:
+    """Broadcast two symbolic shapes.
+
+    Returns ``(result_shape, mismatch)`` where ``mismatch`` is the
+    offending dim pair when the shapes *provably* cannot broadcast:
+    both extents concrete, unequal, and neither 1.  Symbolic or unknown
+    dims are always compatible (they unify, never refute).
+    """
+    if a is None or b is None:
+        return None, None
+    short, long = (a, b) if len(a) <= len(b) else (b, a)
+    pad = len(long) - len(short)
+    out: list[Dim] = list(long[:pad])
+    mismatch: tuple[Dim, Dim] | None = None
+    for x, y in zip(long[pad:], short):
+        if x == 1:
+            out.append(y)
+        elif y == 1:
+            out.append(x)
+        elif x == y:
+            out.append(x)
+        elif isinstance(x, int) and isinstance(y, int):
+            mismatch = (x, y) if long is a else (y, x)
+            out.append(None)
+        else:
+            out.append(None)
+    return tuple(out), mismatch
+
+
+# ---------------------------------------------------------------------------
+# Abstract values
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AbstractValue:
+    """One variable's abstract state at one program point.
+
+    ``storage`` is the may-overlap set of allocation-site ids (negative
+    ids are synthesized for parameters and free variables); ``param``
+    marks memory that may belong to the caller.
+    """
+
+    kind: str = UNKNOWN  #: array | scalar | tuple | func | object | unknown
+    dtype: str = UNKNOWN
+    shape: Shape = None
+    storage: frozenset = frozenset()
+    param: bool = False
+    classname: str | None = None  #: constructor name for ``object`` kind
+    func_node: ast.AST | None = None  #: FunctionDef/Lambda for local funcs
+    sym: int | str | None = None  #: scalar symbolic identity
+    elements: tuple | None = None  #: tuple-kind element values
+
+
+TOP = AbstractValue()
+
+
+def join_values(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    if a == b:
+        return a
+    return AbstractValue(
+        kind=a.kind if a.kind == b.kind else UNKNOWN,
+        dtype=join_dtype(a.dtype, b.dtype),
+        shape=join_shape(a.shape, b.shape),
+        storage=a.storage | b.storage,
+        param=a.param or b.param,
+        classname=a.classname if a.classname == b.classname else None,
+        func_node=a.func_node if a.func_node is b.func_node else None,
+        sym=a.sym if a.sym == b.sym else None,
+        elements=None,
+    )
+
+
+Env = dict
+
+
+def join_env(a: Env, b: Env) -> Env:
+    out: Env = {}
+    for name in a.keys() | b.keys():
+        va, vb = a.get(name), b.get(name)
+        if va is None:
+            out[name] = vb
+        elif vb is None:
+            out[name] = va
+        else:
+            out[name] = join_values(va, vb)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Events
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BroadcastEvent:
+    """Two operands whose shapes provably cannot broadcast."""
+
+    node: ast.AST
+    left: Shape
+    right: Shape
+    dims: tuple  #: the offending (left_extent, right_extent) pair
+
+
+@dataclass(frozen=True)
+class WidenEvent:
+    """A name's array dtype silently widened.
+
+    ``via`` is ``"assign"`` for a straight-line rebinding and
+    ``"loop"`` when the widening happens across a loop back edge (the
+    node is then the loop statement itself).
+    """
+
+    node: ast.AST
+    name: str
+    old: str
+    new: str
+    via: str
+
+
+@dataclass(frozen=True)
+class AliasMutationEvent:
+    """In-place mutation of memory shared through a bare-name alias."""
+
+    node: ast.AST  #: the mutating statement/call
+    name: str  #: the name mutated
+    other: str  #: the live alias partner
+    alias_node: ast.AST  #: the assignment that created the alias
+    how: str
+
+
+@dataclass(frozen=True)
+class CallEvent:
+    """One call site with the abstract values that flowed into it."""
+
+    node: ast.Call
+    func_name: str | None
+    func_value: AbstractValue
+    args: tuple
+    keywords: tuple  #: ((name, AbstractValue), ...) pairs
+
+
+Event = Union[BroadcastEvent, WidenEvent, AliasMutationEvent, CallEvent]
+
+
+# ---------------------------------------------------------------------------
+# Analysis results
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FunctionAnalysis:
+    """Everything the rules need to know about one function body."""
+
+    fn: ast.AST
+    qualname: str
+    confident: bool = True
+    error: str | None = None  #: internal interpreter failure, if any
+    events: list = field(default_factory=list)
+    #: names that held a known int8/uint8 array at some point
+    narrow_names: frozenset = frozenset()
+    #: locally-defined callables: name -> FunctionDef/Lambda node
+    local_defs: dict = field(default_factory=dict)
+
+    def alias_events(self) -> list:
+        return [e for e in self.events if isinstance(e, AliasMutationEvent)]
+
+    def widen_events(self) -> list:
+        return [e for e in self.events if isinstance(e, WidenEvent)]
+
+    def broadcast_events(self) -> list:
+        return [e for e in self.events if isinstance(e, BroadcastEvent)]
+
+    def call_events(self) -> list:
+        return [e for e in self.events if isinstance(e, CallEvent)]
+
+
+@dataclass
+class ModuleAnalysis:
+    """Per-function analyses for one parsed file."""
+
+    functions: list = field(default_factory=list)
+    by_node: dict = field(default_factory=dict)
+
+    def for_node(self, fn: ast.AST) -> FunctionAnalysis | None:
+        return self.by_node.get(id(fn))
+
+
+_FN_TYPES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+#: Iteration cap for the loop fixed point.  The lattice is finite
+#: height (dtype chains of length <= 5, dims collapse in one step,
+#: storage sets bounded by the allocation sites in the body), so real
+#: code converges in 2-3 passes; hitting the cap drops ``confident``.
+MAX_LOOP_ITERS = 8
+
+_ALLOCATORS = frozenset({"zeros", "ones", "empty", "full"})
+_LIKE_ALLOCATORS = frozenset(
+    {"zeros_like", "ones_like", "empty_like", "full_like"}
+)
+_BINARY_UFUNCS = frozenset(
+    {
+        "add",
+        "subtract",
+        "multiply",
+        "maximum",
+        "minimum",
+        "fmax",
+        "fmin",
+        "mod",
+        "remainder",
+        "floor_divide",
+        "bitwise_and",
+        "bitwise_or",
+        "bitwise_xor",
+        "left_shift",
+        "right_shift",
+        "hypot",
+        "logaddexp",
+        "power",
+        "greater",
+        "greater_equal",
+        "less",
+        "less_equal",
+        "equal",
+        "not_equal",
+    }
+)
+_COMPARE_UFUNCS = frozenset(
+    {"greater", "greater_equal", "less", "less_equal", "equal", "not_equal"}
+)
+_FLOAT_UFUNCS = frozenset(
+    {"sqrt", "exp", "log", "log2", "log10", "sin", "cos", "tanh", "divide",
+     "true_divide"}
+)
+_PASSTHROUGH_UFUNCS = frozenset(
+    {"abs", "absolute", "negative", "positive", "sign", "copy", "ascontiguousarray"}
+)
+_REDUCERS_INT64 = frozenset({"sum", "prod", "dot", "matmul", "trace"})
+_VIEW_METHODS = frozenset(
+    {"reshape", "ravel", "transpose", "swapaxes", "view", "squeeze"}
+)
+_MUTATING_METHODS = frozenset({"fill", "sort", "partition", "put"})
+
+_STATIC_DTYPES = {
+    "int8": "int8",
+    "uint8": "uint8",
+    "int16": "int16",
+    "uint16": "int16",
+    "int32": "int32",
+    "uint32": "int32",
+    "int64": "int64",
+    "uint64": "int64",
+    "intp": "int64",
+    "float16": "float",
+    "float32": "float",
+    "float64": "float",
+    "bool_": "bool",
+    "bool": "bool",
+    "float": "float",
+    "int": "int64",
+}
+
+
+def _static_dtype(node: ast.expr | None, env: Env) -> str:
+    """Resolve a ``dtype=`` expression to a lattice token, if static."""
+    if node is None:
+        return UNKNOWN
+    name = dotted_name(node)
+    if name is not None:
+        parts = name.split(".")
+        if len(parts) == 2 and parts[0] in ("np", "numpy"):
+            return _STATIC_DTYPES.get(parts[1], UNKNOWN)
+        if len(parts) == 1 and parts[0] in ("float", "int", "bool"):
+            return _STATIC_DTYPES[parts[0]]
+        # A plain name bound to a known-static dtype earlier on.
+        if len(parts) == 1:
+            bound = env.get(parts[0])
+            if bound is not None and isinstance(bound.sym, str):
+                return _STATIC_DTYPES.get(
+                    bound.sym.removeprefix("dtype:"), UNKNOWN
+                )
+        return UNKNOWN
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return _STATIC_DTYPES.get(node.value, UNKNOWN)
+    return UNKNOWN
+
+
+@dataclass
+class _BlockResult:
+    env: Env
+    terminated: bool  #: the block ended in return/raise/break/continue
+
+
+class _Interpreter:
+    """One function body's abstract interpretation."""
+
+    def __init__(self, fn: ast.AST, qualname: str) -> None:
+        self.fn = fn
+        self.qualname = qualname
+        self.confident = True
+        self.recording = True
+        self.events: list = []
+        self._event_keys: set = set()
+        self.narrow_names: set = set()
+        self.local_defs: dict = {}
+        #: bare-name alias links: (target, source, assign node)
+        self.pairs: list = []
+        self._free_ids: dict = {}
+        self._next_free = -1
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _free_storage(self, name: str) -> frozenset:
+        if name not in self._free_ids:
+            self._free_ids[name] = self._next_free
+            self._next_free -= 1
+        return frozenset({self._free_ids[name]})
+
+    def _emit(self, event: Event) -> None:
+        if not self.recording:
+            return
+        key = (type(event).__name__, id(event.node), getattr(event, "name", None))
+        if key not in self._event_keys:
+            self._event_keys.add(key)
+            self.events.append(event)
+
+    # -- entry -------------------------------------------------------------
+
+    def run(self) -> Env:
+        env: Env = {}
+        args = self.fn.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            env[arg.arg] = self._param_value(arg)
+        if args.vararg is not None:
+            env[args.vararg.arg] = AbstractValue(kind="tuple")
+        if args.kwarg is not None:
+            env[args.kwarg.arg] = TOP
+        result = self.exec_block(self.fn.body, env)
+        return result.env
+
+    def _param_value(self, arg: ast.arg) -> AbstractValue:
+        storage = self._free_storage(arg.arg)
+        kind = UNKNOWN
+        classname: str | None = None
+        ann = dotted_name(arg.annotation) if arg.annotation is not None else None
+        if ann is not None:
+            leaf = ann.split(".")[-1]
+            if leaf == "ndarray":
+                kind = "array"
+            elif leaf in ("int", "float", "bool", "str"):
+                kind = "scalar"
+            elif leaf[:1].isupper():
+                kind = "object"
+                classname = leaf
+        return AbstractValue(
+            kind=kind, storage=storage, param=True, classname=classname
+        )
+
+    # -- statements --------------------------------------------------------
+
+    def exec_block(self, stmts: Sequence, env: Env) -> _BlockResult:
+        for stmt in stmts:
+            result = self.exec_stmt(stmt, env)
+            env = result.env
+            if result.terminated:
+                return _BlockResult(env, True)
+        return _BlockResult(env, False)
+
+    def exec_stmt(self, stmt: ast.stmt, env: Env) -> _BlockResult:
+        handler = getattr(self, f"stmt_{type(stmt).__name__}", None)
+        if handler is not None:
+            out = handler(stmt, env)
+            assert isinstance(out, _BlockResult)
+            return out
+        # Unknown statement kinds: evaluate child expressions for their
+        # events, keep the environment.
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self.eval(child, env)
+        return _BlockResult(env, False)
+
+    def stmt_Assign(self, stmt: ast.Assign, env: Env) -> _BlockResult:
+        value = self.eval(stmt.value, env)
+        for target in stmt.targets:
+            self._bind_target(target, stmt.value, value, stmt, env)
+        return _BlockResult(env, False)
+
+    def stmt_AnnAssign(self, stmt: ast.AnnAssign, env: Env) -> _BlockResult:
+        if stmt.value is not None:
+            value = self.eval(stmt.value, env)
+            self._bind_target(stmt.target, stmt.value, value, stmt, env)
+        return _BlockResult(env, False)
+
+    def stmt_AugAssign(self, stmt: ast.AugAssign, env: Env) -> _BlockResult:
+        value = self.eval(stmt.value, env)
+        target = stmt.target
+        if isinstance(target, ast.Name):
+            old = env.get(target.id, TOP)
+            if old.kind == "array":
+                # NumPy in-place ops cast the RHS into the target: the
+                # dtype never changes, but the buffer is mutated.
+                self._mutate(target.id, stmt, "augmented assignment", env)
+            elif old.kind == "scalar":
+                env[target.id] = replace(
+                    old,
+                    dtype=promote(old.dtype, value.dtype)
+                    if value.kind == "scalar"
+                    else UNKNOWN,
+                    sym=None,
+                )
+            else:
+                env[target.id] = TOP
+        elif isinstance(target, ast.Subscript):
+            base = _root_of(target)
+            if base is not None:
+                self._mutate(base, stmt, "augmented assignment", env)
+        return _BlockResult(env, False)
+
+    def stmt_Expr(self, stmt: ast.Expr, env: Env) -> _BlockResult:
+        self.eval(stmt.value, env)
+        return _BlockResult(env, False)
+
+    def stmt_Return(self, stmt: ast.Return, env: Env) -> _BlockResult:
+        if stmt.value is not None:
+            self.eval(stmt.value, env)
+        return _BlockResult(env, True)
+
+    def stmt_Raise(self, stmt: ast.Raise, env: Env) -> _BlockResult:
+        if stmt.exc is not None:
+            self.eval(stmt.exc, env)
+        return _BlockResult(env, True)
+
+    def stmt_Break(self, stmt: ast.Break, env: Env) -> _BlockResult:
+        return _BlockResult(env, True)
+
+    def stmt_Continue(self, stmt: ast.Continue, env: Env) -> _BlockResult:
+        return _BlockResult(env, True)
+
+    def stmt_Pass(self, stmt: ast.Pass, env: Env) -> _BlockResult:
+        return _BlockResult(env, False)
+
+    def stmt_Assert(self, stmt: ast.Assert, env: Env) -> _BlockResult:
+        self.eval(stmt.test, env)
+        return _BlockResult(env, False)
+
+    def stmt_Delete(self, stmt: ast.Delete, env: Env) -> _BlockResult:
+        for target in stmt.targets:
+            if isinstance(target, ast.Name):
+                env.pop(target.id, None)
+        return _BlockResult(env, False)
+
+    def stmt_Global(self, stmt: ast.Global, env: Env) -> _BlockResult:
+        self.confident = False
+        return _BlockResult(env, False)
+
+    def stmt_Nonlocal(self, stmt: ast.Nonlocal, env: Env) -> _BlockResult:
+        return _BlockResult(env, False)
+
+    def stmt_Import(self, stmt: ast.Import, env: Env) -> _BlockResult:
+        return _BlockResult(env, False)
+
+    def stmt_ImportFrom(self, stmt: ast.ImportFrom, env: Env) -> _BlockResult:
+        return _BlockResult(env, False)
+
+    def stmt_FunctionDef(
+        self, stmt: ast.FunctionDef, env: Env
+    ) -> _BlockResult:
+        # The nested body is analyzed as its own unit by the module
+        # driver; here the def only binds a local callable.
+        self.local_defs[stmt.name] = stmt
+        env[stmt.name] = AbstractValue(kind="func", func_node=stmt)
+        return _BlockResult(env, False)
+
+    def stmt_AsyncFunctionDef(
+        self, stmt: ast.AsyncFunctionDef, env: Env
+    ) -> _BlockResult:
+        self.local_defs[stmt.name] = stmt
+        env[stmt.name] = AbstractValue(kind="func", func_node=stmt)
+        return _BlockResult(env, False)
+
+    def stmt_ClassDef(self, stmt: ast.ClassDef, env: Env) -> _BlockResult:
+        env[stmt.name] = AbstractValue(kind="object", classname=stmt.name)
+        return _BlockResult(env, False)
+
+    def stmt_If(self, stmt: ast.If, env: Env) -> _BlockResult:
+        self.eval(stmt.test, env)
+        then = self.exec_block(stmt.body, dict(env))
+        other = self.exec_block(stmt.orelse, dict(env))
+        return self._merge_branches(then, other)
+
+    @staticmethod
+    def _merge_branches(a: _BlockResult, b: _BlockResult) -> _BlockResult:
+        if a.terminated and not b.terminated:
+            return b
+        if b.terminated and not a.terminated:
+            return a
+        return _BlockResult(join_env(a.env, b.env), a.terminated and b.terminated)
+
+    def stmt_While(self, stmt: ast.While, env: Env) -> _BlockResult:
+        self.eval(stmt.test, env)
+        state = self._loop_fixpoint(stmt, stmt.body, env, bind=None)
+        if stmt.orelse:
+            state = self.exec_block(stmt.orelse, state).env
+        return _BlockResult(state, False)
+
+    def stmt_For(self, stmt: ast.For, env: Env) -> _BlockResult:
+        iter_value = self.eval(stmt.iter, env)
+        elem = self._element_of(stmt.iter, iter_value)
+
+        def bind(e: Env) -> None:
+            self._bind_target(stmt.target, None, elem, stmt, e, alias=False)
+
+        state = self._loop_fixpoint(stmt, stmt.body, env, bind=bind)
+        if stmt.orelse:
+            state = self.exec_block(stmt.orelse, state).env
+        return _BlockResult(state, False)
+
+    stmt_AsyncFor = stmt_For
+
+    def _loop_fixpoint(
+        self,
+        stmt: ast.stmt,
+        body: Sequence,
+        env: Env,
+        bind,
+    ) -> Env:
+        """Run ``body`` to a fixed point; record events on a final pass."""
+        before = dict(env)
+        state = dict(env)
+        was_recording = self.recording
+        self.recording = False
+        try:
+            for _ in range(MAX_LOOP_ITERS):
+                iter_env = dict(state)
+                if bind is not None:
+                    bind(iter_env)
+                out = self.exec_block(body, iter_env)
+                merged = join_env(state, out.env)
+                if merged == state:
+                    break
+                state = merged
+            else:
+                self.confident = False
+        finally:
+            self.recording = was_recording
+        if self.recording:
+            # Loop-widening events: the back edge changed a name's
+            # array dtype relative to the pre-loop state.
+            for name, old in before.items():
+                new = state.get(name)
+                if (
+                    new is not None
+                    and "array" in (old.kind, new.kind)
+                    and old.dtype in _KNOWN_ARRAY_DTYPES
+                    and new.dtype in _KNOWN_ARRAY_DTYPES
+                    and wider_than(new.dtype, old.dtype)
+                ):
+                    self._emit(
+                        WidenEvent(
+                            node=stmt,
+                            name=name,
+                            old=old.dtype,
+                            new=new.dtype,
+                            via="loop",
+                        )
+                    )
+            # One recorded pass over the converged state for the other
+            # event kinds (broadcasts, alias mutations, calls).
+            iter_env = dict(state)
+            if bind is not None:
+                bind(iter_env)
+            self.exec_block(body, iter_env)
+        return state
+
+    def stmt_With(self, stmt: ast.With, env: Env) -> _BlockResult:
+        for item in stmt.items:
+            value = self.eval(item.context_expr, env)
+            if item.optional_vars is not None:
+                self._bind_target(
+                    item.optional_vars, item.context_expr, value, stmt, env,
+                    alias=False,
+                )
+        return self.exec_block(stmt.body, env)
+
+    stmt_AsyncWith = stmt_With
+
+    def stmt_Try(self, stmt: ast.Try, env: Env) -> _BlockResult:
+        entry = dict(env)
+        body = self.exec_block(stmt.body, dict(env))
+        state = body
+        for handler in stmt.handlers:
+            # An exception can fire anywhere in the body, so handlers
+            # start from the conservative join of entry and body-end.
+            h_env = join_env(entry, body.env)
+            if handler.name is not None:
+                h_env[handler.name] = TOP
+            h_out = self.exec_block(handler.body, h_env)
+            state = self._merge_branches(state, h_out)
+        if stmt.orelse and not body.terminated:
+            state = self._merge_branches(
+                state, self.exec_block(stmt.orelse, dict(state.env))
+            )
+        if stmt.finalbody:
+            state = _BlockResult(
+                self.exec_block(stmt.finalbody, state.env).env,
+                state.terminated,
+            )
+        return state
+
+    stmt_TryStar = stmt_Try
+
+    def stmt_Match(self, stmt: ast.Match, env: Env) -> _BlockResult:
+        self.eval(stmt.subject, env)
+        state = _BlockResult(dict(env), False)  # the no-match path
+        for case in stmt.cases:
+            state = self._merge_branches(
+                state, self.exec_block(case.body, dict(env))
+            )
+        return state
+
+    # -- binding -----------------------------------------------------------
+
+    def _bind_target(
+        self,
+        target: ast.expr,
+        value_expr: ast.expr | None,
+        value: AbstractValue,
+        stmt: ast.AST,
+        env: Env,
+        *,
+        alias: bool = True,
+    ) -> None:
+        if isinstance(target, ast.Name):
+            self._bind_name(target.id, value_expr, value, stmt, env, alias)
+        elif isinstance(target, ast.Subscript):
+            base = _root_of(target)
+            if base is not None:
+                self._mutate(base, stmt, "subscript store", env)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            self._bind_tuple(target, value_expr, value, stmt, env)
+        elif isinstance(target, ast.Starred):
+            self._bind_target(
+                target.value, None, AbstractValue(kind="tuple"), stmt, env,
+                alias=False,
+            )
+        # Attribute targets (obj.x = v) mutate objects, out of scope.
+
+    def _bind_name(
+        self,
+        name: str,
+        value_expr: ast.expr | None,
+        value: AbstractValue,
+        stmt: ast.AST,
+        env: Env,
+        alias: bool,
+    ) -> None:
+        old = env.get(name)
+        if (
+            old is not None
+            and old.kind == "array"
+            and value.kind == "array"
+            and old.dtype in _KNOWN_ARRAY_DTYPES
+            and value.dtype in _KNOWN_ARRAY_DTYPES
+            and wider_than(value.dtype, old.dtype)
+            and not _is_astype_call(value_expr)
+        ):
+            self._emit(
+                WidenEvent(
+                    node=stmt,
+                    name=name,
+                    old=old.dtype,
+                    new=value.dtype,
+                    via="assign",
+                )
+            )
+        # Rebinding a name breaks every bare-name pair it participates
+        # in: the two *names* no longer address the same buffer, even if
+        # the old buffer lives on elsewhere.  This is what keeps the
+        # fresh-buffer rotation idiom clean — `h_cur = np.full(...)` at
+        # the top of a loop kills the `h_prev = h_cur` pair recorded at
+        # the bottom of the previous iteration.
+        if self.pairs:
+            self.pairs = [
+                p for p in self.pairs if name != p[0] and name != p[1]
+            ]
+        if (
+            alias
+            and isinstance(value_expr, ast.Name)
+            and value.kind == "array"
+        ):
+            self.pairs.append((name, value_expr.id, stmt))
+        if value.kind == "array" and value.dtype in ("int8", "uint8"):
+            if self.recording:
+                self.narrow_names.add(name)
+        env[name] = value
+
+    def _bind_tuple(
+        self,
+        target: ast.Tuple | ast.List,
+        value_expr: ast.expr | None,
+        value: AbstractValue,
+        stmt: ast.stmt,
+        env: Env,
+    ) -> None:
+        elements: Sequence | None = None
+        if value.elements is not None and len(value.elements) == len(
+            target.elts
+        ):
+            elements = value.elements
+        for i, elt in enumerate(target.elts):
+            elem_value = elements[i] if elements is not None else TOP
+            # Simultaneous semantics: the whole RHS was evaluated
+            # against the pre-assignment environment already, so tuple
+            # exchanges (h, hbuf = hbuf, h) rebind without creating a
+            # dangling alias — no pair is recorded for tuple targets.
+            self._bind_target(elt, None, elem_value, stmt, env, alias=False)
+
+    # -- mutation ----------------------------------------------------------
+
+    def _mutate(self, name: str, node: ast.AST, how: str, env: Env) -> None:
+        value = env.get(name)
+        if value is None or not self.recording:
+            return
+        if value.kind != "array" and not (
+            value.kind == UNKNOWN and value.storage
+        ):
+            return
+        for target, source, pair_node in self.pairs:
+            tv = env.get(target)
+            sv = env.get(source)
+            if tv is None or sv is None:
+                continue
+            shared = tv.storage & sv.storage
+            if not shared or not (shared & value.storage):
+                continue
+            if value.kind != "array" and tv.kind != "array":
+                continue
+            other = source if name == target else target
+            if name not in (target, source):
+                other = f"{target}/{source}"
+            self._emit(
+                AliasMutationEvent(
+                    node=node,
+                    name=name,
+                    other=other,
+                    alias_node=pair_node,
+                    how=how,
+                )
+            )
+            return
+
+    # -- expressions -------------------------------------------------------
+
+    def eval(self, node: ast.expr, env: Env) -> AbstractValue:
+        handler = getattr(self, f"eval_{type(node).__name__}", None)
+        if handler is not None:
+            out = handler(node, env)
+            assert isinstance(out, AbstractValue)
+            return out
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.eval(child, env)
+        return TOP
+
+    def eval_Constant(self, node: ast.Constant, env: Env) -> AbstractValue:
+        v = node.value
+        if isinstance(v, bool):
+            return AbstractValue(kind="scalar", dtype="bool", sym=int(v))
+        if isinstance(v, int):
+            return AbstractValue(kind="scalar", dtype=_WEAK_INT, sym=v)
+        if isinstance(v, float):
+            return AbstractValue(kind="scalar", dtype=_WEAK_FLOAT)
+        return TOP
+
+    def eval_Name(self, node: ast.Name, env: Env) -> AbstractValue:
+        value = env.get(node.id)
+        if value is None:
+            # A free variable (closure/global): give it a stable
+            # synthetic storage id so repeated reads agree.
+            value = AbstractValue(storage=self._free_storage(node.id))
+            env[node.id] = value
+        return value
+
+    def eval_Tuple(self, node: ast.Tuple, env: Env) -> AbstractValue:
+        return AbstractValue(
+            kind="tuple",
+            elements=tuple(self.eval(e, env) for e in node.elts),
+        )
+
+    eval_List = eval_Tuple
+
+    def eval_Starred(self, node: ast.Starred, env: Env) -> AbstractValue:
+        return self.eval(node.value, env)
+
+    def eval_NamedExpr(self, node: ast.NamedExpr, env: Env) -> AbstractValue:
+        value = self.eval(node.value, env)
+        if isinstance(node.target, ast.Name):
+            self._bind_name(
+                node.target.id, node.value, value, node, env, alias=True
+            )
+        return value
+
+    def eval_UnaryOp(self, node: ast.UnaryOp, env: Env) -> AbstractValue:
+        operand = self.eval(node.operand, env)
+        if isinstance(node.op, ast.Not):
+            return AbstractValue(kind="scalar", dtype="bool")
+        return operand
+
+    def eval_BoolOp(self, node: ast.BoolOp, env: Env) -> AbstractValue:
+        values = [self.eval(v, env) for v in node.values]
+        out = values[0]
+        for v in values[1:]:
+            out = join_values(out, v)
+        return out
+
+    def eval_IfExp(self, node: ast.IfExp, env: Env) -> AbstractValue:
+        self.eval(node.test, env)
+        return join_values(
+            self.eval(node.body, env), self.eval(node.orelse, env)
+        )
+
+    def eval_Compare(self, node: ast.Compare, env: Env) -> AbstractValue:
+        left = self.eval(node.left, env)
+        rights = [self.eval(c, env) for c in node.comparators]
+        if left.kind == "array" or any(r.kind == "array" for r in rights):
+            shape = left.shape if left.kind == "array" else None
+            for r in rights:
+                if r.kind == "array":
+                    shape = self._broadcast(node, shape, r.shape)
+            return AbstractValue(
+                kind="array", dtype="bool", shape=shape,
+                storage=frozenset({id(node)}),
+            )
+        return AbstractValue(kind="scalar", dtype="bool")
+
+    def _broadcast(self, node: ast.AST, a: Shape, b: Shape) -> Shape:
+        result, mismatch = broadcast_shapes(a, b)
+        if mismatch is not None:
+            self._emit(
+                BroadcastEvent(node=node, left=a, right=b, dims=mismatch)
+            )
+        return result
+
+    def eval_BinOp(self, node: ast.BinOp, env: Env) -> AbstractValue:
+        left = self.eval(node.left, env)
+        right = self.eval(node.right, env)
+        arrays = [v for v in (left, right) if v.kind == "array"]
+        if not arrays:
+            if left.kind == "scalar" and right.kind == "scalar":
+                if isinstance(node.op, ast.Div):
+                    dtype = _WEAK_FLOAT
+                else:
+                    dtype = promote(left.dtype, right.dtype) if (
+                        left.dtype != UNKNOWN and right.dtype != UNKNOWN
+                    ) else (
+                        _WEAK_FLOAT
+                        if _WEAK_FLOAT in (left.dtype, right.dtype)
+                        else left.dtype
+                        if left.dtype == right.dtype
+                        else UNKNOWN
+                    )
+                return AbstractValue(kind="scalar", dtype=dtype)
+            return TOP
+        if len(arrays) == 2:
+            dtype = promote(left.dtype, right.dtype)
+            shape = self._broadcast(node, left.shape, right.shape)
+        else:
+            array = arrays[0]
+            scalar = right if array is left else left
+            dtype = (
+                promote_with_scalar(array.dtype, scalar.dtype)
+                if scalar.kind == "scalar"
+                else UNKNOWN
+            )
+            shape = array.shape
+        if isinstance(node.op, ast.Div):
+            dtype = "float"
+        return AbstractValue(
+            kind="array",
+            dtype=dtype,
+            shape=shape,
+            storage=frozenset({id(node)}),
+        )
+
+    def eval_Attribute(self, node: ast.Attribute, env: Env) -> AbstractValue:
+        base = self.eval(node.value, env)
+        if base.kind == "array":
+            if node.attr == "T":
+                shape = (
+                    tuple(reversed(base.shape))
+                    if base.shape is not None
+                    else None
+                )
+                return replace(base, shape=shape)
+            if node.attr == "shape":
+                key = "s" + ",".join(str(s) for s in sorted(base.storage))
+                if base.shape is not None:
+                    elems = tuple(
+                        AbstractValue(
+                            kind="scalar",
+                            dtype=_WEAK_INT,
+                            sym=d if d is not None else f"{key}[{i}]",
+                        )
+                        for i, d in enumerate(base.shape)
+                    )
+                    return AbstractValue(kind="tuple", elements=elems, sym=key)
+                return AbstractValue(kind="tuple", sym=f"shape:{key}")
+            if node.attr in ("dtype", "size", "ndim", "nbytes"):
+                return AbstractValue(kind="scalar", dtype=_WEAK_INT)
+            if node.attr == "flat":
+                return replace(base, shape=None)
+        return TOP
+
+    def eval_Subscript(self, node: ast.Subscript, env: Env) -> AbstractValue:
+        base = self.eval(node.value, env)
+        self.eval(node.slice, env)
+        if base.kind == "tuple":
+            index = node.slice
+            if isinstance(index, ast.Constant) and isinstance(
+                index.value, int
+            ):
+                i = index.value
+                if base.elements is not None and 0 <= i < len(base.elements):
+                    return base.elements[i]
+                if isinstance(base.sym, str) and base.sym.startswith("shape:"):
+                    return AbstractValue(
+                        kind="scalar",
+                        dtype=_WEAK_INT,
+                        sym=f"{base.sym[6:]}[{i}]",
+                    )
+            return TOP
+        if base.kind != "array":
+            return TOP
+        shape = _slice_shape(base.shape, node.slice)
+        if shape is not None and len(shape) == 0:
+            return AbstractValue(kind="scalar", dtype=base.dtype)
+        return AbstractValue(
+            kind="array", dtype=base.dtype, shape=shape,
+            storage=base.storage, param=base.param,
+        )
+
+    def eval_Lambda(self, node: ast.Lambda, env: Env) -> AbstractValue:
+        return AbstractValue(kind="func", func_node=node)
+
+    def eval_ListComp(self, node: ast.expr, env: Env) -> AbstractValue:
+        # Comprehensions get their own scope: bind each generator target
+        # to the iterable's element and evaluate the body there, so
+        # events inside it still fire (``[pool.submit(task, c) for c in
+        # chunks]`` is the idiomatic dispatch shape).
+        inner = dict(env)
+        for comp in node.generators:  # type: ignore[attr-defined]
+            iter_value = self.eval(comp.iter, inner)
+            element = self._element_of(comp.iter, iter_value)
+            self._bind_target(
+                comp.target, None, element, comp.iter, inner, alias=False
+            )
+            for cond in comp.ifs:
+                self.eval(cond, inner)
+        if isinstance(node, ast.DictComp):
+            self.eval(node.key, inner)
+            self.eval(node.value, inner)
+        else:
+            self.eval(node.elt, inner)  # type: ignore[attr-defined]
+        return AbstractValue(kind="tuple")
+
+    eval_SetComp = eval_ListComp
+    eval_DictComp = eval_ListComp
+    eval_GeneratorExp = eval_ListComp
+
+    def eval_Dict(self, node: ast.Dict, env: Env) -> AbstractValue:
+        for v in node.values:
+            if v is not None:
+                self.eval(v, env)
+        return TOP
+
+    def eval_JoinedStr(self, node: ast.JoinedStr, env: Env) -> AbstractValue:
+        return AbstractValue(kind="scalar")
+
+    # -- calls -------------------------------------------------------------
+
+    def eval_Call(self, node: ast.Call, env: Env) -> AbstractValue:
+        fname = dotted_name(node.func)
+        args = tuple(self.eval(a, env) for a in node.args)
+        keywords = tuple(
+            (kw.arg, self.eval(kw.value, env))
+            for kw in node.keywords
+            if kw.arg is not None
+        )
+        for kw in node.keywords:
+            if kw.arg is None:
+                self.eval(kw.value, env)
+        kwmap = dict(keywords)
+
+        func_value = TOP
+        if isinstance(node.func, ast.Name):
+            func_value = env.get(node.func.id, TOP)
+        elif isinstance(node.func, ast.Attribute):
+            # Evaluate the receiver for its events (but don't re-emit
+            # argument evaluations).
+            self.eval(node.func.value, env)
+
+        self._emit(
+            CallEvent(
+                node=node,
+                func_name=fname,
+                func_value=func_value,
+                args=args,
+                keywords=keywords,
+            )
+        )
+
+        if fname in ("exec", "eval"):
+            self.confident = False
+
+        # out= targets are mutated in place, and the result aliases them.
+        out_kw = kwmap.get("out")
+        for kw in node.keywords:
+            if kw.arg == "out":
+                for target in _names_in(kw.value):
+                    self._mutate(target, node, "out= argument", env)
+
+        result = self._dispatch_call(node, fname, args, kwmap, env)
+        if result is not None:
+            return result
+        if out_kw is not None:
+            return out_kw
+        return TOP
+
+    def _dispatch_call(
+        self,
+        node: ast.Call,
+        fname: str | None,
+        args: tuple,
+        kwmap: Mapping,
+        env: Env,
+    ) -> AbstractValue | None:
+        if fname is None:
+            return None
+        parts = fname.split(".")
+
+        # ---- builtins ----
+        if len(parts) == 1:
+            name = parts[0]
+            if name == "len":
+                target = args[0] if args else TOP
+                key = ",".join(str(s) for s in sorted(target.storage))
+                return AbstractValue(
+                    kind="scalar", dtype=_WEAK_INT,
+                    sym=f"len:{key}" if key else None,
+                )
+            if name in ("int", "round"):
+                return AbstractValue(kind="scalar", dtype=_WEAK_INT)
+            if name == "float":
+                return AbstractValue(kind="scalar", dtype=_WEAK_FLOAT)
+            if name == "bool":
+                return AbstractValue(kind="scalar", dtype="bool")
+            if name in ("min", "max", "abs", "sum"):
+                scalars = [a for a in args if a.kind == "scalar"]
+                if scalars and len(scalars) == len(args):
+                    dtype = scalars[0].dtype
+                    for s in scalars[1:]:
+                        dtype = dtype if dtype == s.dtype else UNKNOWN
+                    return AbstractValue(kind="scalar", dtype=dtype)
+                return TOP
+            if name in ("range", "enumerate", "zip", "reversed", "sorted",
+                        "list", "tuple"):
+                return AbstractValue(kind="tuple", sym=f"iter:{name}")
+            if name == "open":
+                return AbstractValue(kind="object", classname="file")
+            if name and name[:1].isupper():
+                bound = env.get(name)
+                if bound is not None and bound.kind == "func":
+                    return TOP
+                return AbstractValue(kind="object", classname=name)
+            return None
+
+        # ---- numpy namespace ----
+        if parts[0] in ("np", "numpy"):
+            return self._numpy_call(node, parts[1:], args, kwmap, env)
+
+        # ---- methods / other attributes ----
+        leaf = parts[-1]
+        if len(parts) >= 2:
+            receiver_expr = node.func.value if isinstance(
+                node.func, ast.Attribute
+            ) else None
+            receiver = (
+                self.eval(receiver_expr, env)
+                if receiver_expr is not None
+                else TOP
+            )
+            if leaf in _MUTATING_METHODS:
+                root = _root_of(receiver_expr) if receiver_expr is not None else None
+                if root is not None:
+                    self._mutate(root, node, f".{leaf}()", env)
+                return TOP
+            if receiver.kind == "array":
+                return self._array_method(node, leaf, receiver, args, kwmap)
+            if leaf == "astype" and receiver.kind == UNKNOWN:
+                # .astype() is an ndarray-only method: even on a value
+                # we know nothing about, the result is an array of the
+                # statically named dtype.
+                return self._array_method(node, leaf, receiver, args, kwmap)
+            if leaf[:1].isupper():
+                return AbstractValue(kind="object", classname=leaf)
+        return None
+
+    def _array_method(
+        self,
+        node: ast.Call,
+        leaf: str,
+        receiver: AbstractValue,
+        args: tuple,
+        kwmap: Mapping,
+    ) -> AbstractValue | None:
+        if leaf == "astype":
+            dtype_expr = node.args[0] if node.args else _kwarg_expr(
+                node, "dtype"
+            )
+            dtype = _static_dtype(dtype_expr, {})
+            # astype(copy=False) may alias, but an explicit cast is the
+            # sanctioned widening idiom either way; treat as fresh.
+            return AbstractValue(
+                kind="array", dtype=dtype, shape=receiver.shape,
+                storage=frozenset({id(node)}),
+            )
+        if leaf == "copy":
+            return AbstractValue(
+                kind="array", dtype=receiver.dtype, shape=receiver.shape,
+                storage=frozenset({id(node)}),
+            )
+        if leaf in _VIEW_METHODS:
+            return AbstractValue(
+                kind="array", dtype=receiver.dtype, shape=None,
+                storage=receiver.storage, param=receiver.param,
+            )
+        if leaf == "flatten":
+            return AbstractValue(
+                kind="array", dtype=receiver.dtype, shape=None,
+                storage=frozenset({id(node)}),
+            )
+        if leaf == "clip":
+            return AbstractValue(
+                kind="array", dtype=receiver.dtype, shape=receiver.shape,
+                storage=frozenset({id(node)}),
+            )
+        if leaf in ("max", "min", "item", "argmax", "argmin", "all", "any"):
+            dtype = receiver.dtype if leaf in ("max", "min", "item") else (
+                "bool" if leaf in ("all", "any") else "int64"
+            )
+            return AbstractValue(kind="scalar", dtype=dtype)
+        if leaf in ("sum", "prod", "dot"):
+            dtype = (
+                "int64"
+                if receiver.dtype in _INT_WIDTH or receiver.dtype == "bool"
+                else receiver.dtype
+            )
+            if "axis" in kwmap:
+                return AbstractValue(
+                    kind="array", dtype=dtype, shape=None,
+                    storage=frozenset({id(node)}),
+                )
+            return AbstractValue(kind="scalar", dtype=dtype)
+        if leaf == "mean":
+            return AbstractValue(kind="scalar", dtype="float")
+        return None
+
+    def _numpy_call(
+        self,
+        node: ast.Call,
+        tail: list,
+        args: tuple,
+        kwmap: Mapping,
+        env: Env,
+    ) -> AbstractValue | None:
+        name = tail[0]
+        # np.<ufunc>.accumulate/.reduce/.outer/.at
+        if len(tail) == 2:
+            method = tail[1]
+            base = args[0] if args else TOP
+            if method == "at":
+                root = _root_of(node.args[0]) if node.args else None
+                if root is not None:
+                    self._mutate(root, node, f"np.{name}.at", env)
+                return TOP
+            if method == "accumulate":
+                out = kwmap.get("out")
+                if out is not None and out.kind == "array":
+                    return out
+                return AbstractValue(
+                    kind="array", dtype=base.dtype, shape=base.shape,
+                    storage=frozenset({id(node)}),
+                )
+            if method == "reduce":
+                return AbstractValue(kind="scalar", dtype=base.dtype)
+            if method == "outer":
+                return AbstractValue(
+                    kind="array",
+                    dtype=promote(
+                        base.dtype, args[1].dtype if len(args) > 1 else UNKNOWN
+                    ),
+                    storage=frozenset({id(node)}),
+                )
+            return None
+        if len(tail) != 1:
+            return None
+
+        if name in _ALLOCATORS:
+            shape = self._shape_argument(node, kwmap, env)
+            dtype = _static_dtype(_kwarg_expr(node, "dtype"), env)
+            if dtype == UNKNOWN and not _has_kwarg(node, "dtype"):
+                if name == "full":
+                    fill = args[1] if len(args) > 1 else TOP
+                    dtype = (
+                        "int64" if fill.dtype == _WEAK_INT
+                        else "float" if fill.dtype == _WEAK_FLOAT
+                        else UNKNOWN
+                    )
+                else:
+                    dtype = "float"  # NumPy's default is float64
+            return AbstractValue(
+                kind="array", dtype=dtype, shape=shape,
+                storage=frozenset({id(node)}),
+            )
+        if name in _LIKE_ALLOCATORS:
+            proto = args[0] if args else TOP
+            dtype = _static_dtype(_kwarg_expr(node, "dtype"), env)
+            if dtype == UNKNOWN and not _has_kwarg(node, "dtype"):
+                dtype = proto.dtype
+            return AbstractValue(
+                kind="array", dtype=dtype, shape=proto.shape,
+                storage=frozenset({id(node)}),
+            )
+        if name == "arange":
+            dtype = _static_dtype(_kwarg_expr(node, "dtype"), env)
+            if dtype == UNKNOWN and not _has_kwarg(node, "dtype"):
+                if all(a.dtype == _WEAK_INT for a in args):
+                    dtype = "int64"
+            return AbstractValue(
+                kind="array", dtype=dtype, shape=(None,),
+                storage=frozenset({id(node)}),
+            )
+        if name in ("array", "asarray", "ascontiguousarray", "asanyarray"):
+            source = args[0] if args else TOP
+            dtype = _static_dtype(_kwarg_expr(node, "dtype"), env)
+            if dtype == UNKNOWN and not _has_kwarg(node, "dtype"):
+                if source.kind == "array":
+                    dtype = source.dtype
+                elif source.kind == "tuple" and source.elements:
+                    dtype = (
+                        "int64"
+                        if all(
+                            e.dtype == _WEAK_INT for e in source.elements
+                        )
+                        else UNKNOWN
+                    )
+            shape = source.shape if source.kind == "array" else (
+                (len(source.elements),)
+                if source.kind == "tuple" and source.elements is not None
+                else None
+            )
+            # asarray of an array may return the input itself.
+            storage = frozenset({id(node)}) | (
+                source.storage if name != "array" else frozenset()
+            )
+            return AbstractValue(
+                kind="array", dtype=dtype, shape=shape, storage=storage,
+                param=source.param if name != "array" else False,
+            )
+        if name == "copyto":
+            root = _root_of(node.args[0]) if node.args else None
+            if root is not None:
+                self._mutate(root, node, "np.copyto", env)
+            return TOP
+        if name == "broadcast_to":
+            source = args[0] if args else TOP
+            shape = self._shape_argument(node, kwmap, env, arg_index=1)
+            return AbstractValue(
+                kind="array", dtype=source.dtype, shape=shape,
+                storage=source.storage, param=source.param,
+            )
+        if name == "where":
+            a = args[1] if len(args) > 1 else TOP
+            b = args[2] if len(args) > 2 else TOP
+            shape = self._broadcast(node, a.shape, b.shape)
+            if len(args) > 0 and args[0].kind == "array":
+                shape = self._broadcast(node, shape, args[0].shape)
+            return AbstractValue(
+                kind="array",
+                dtype=_combine_operands(a, b),
+                shape=shape,
+                storage=frozenset({id(node)}),
+            )
+        if name in _BINARY_UFUNCS:
+            a = args[0] if args else TOP
+            b = args[1] if len(args) > 1 else TOP
+            out = kwmap.get("out")
+            arrays = [v for v in (a, b) if v.kind == "array"]
+            if arrays and len(arrays) == 2:
+                shape = self._broadcast(node, a.shape, b.shape)
+            else:
+                shape = arrays[0].shape if arrays else None
+            if out is not None and out.kind == "array":
+                return out
+            dtype = (
+                "bool"
+                if name in _COMPARE_UFUNCS
+                else _combine_operands(a, b)
+            )
+            return AbstractValue(
+                kind="array" if arrays else "scalar",
+                dtype=dtype,
+                shape=shape,
+                storage=frozenset({id(node)}) if arrays else frozenset(),
+            )
+        if name in _FLOAT_UFUNCS:
+            a = args[0] if args else TOP
+            out = kwmap.get("out")
+            if out is not None and out.kind == "array":
+                return out
+            return AbstractValue(
+                kind=a.kind if a.kind in ("array", "scalar") else UNKNOWN,
+                dtype="float",
+                shape=a.shape,
+                storage=frozenset({id(node)}) if a.kind == "array" else frozenset(),
+            )
+        if name in _PASSTHROUGH_UFUNCS:
+            a = args[0] if args else TOP
+            storage = (
+                frozenset({id(node)})
+                if name not in ("ascontiguousarray",)
+                else frozenset({id(node)}) | a.storage
+            )
+            return replace(a, storage=storage) if a.kind == "array" else a
+        if name == "clip":
+            a = args[0] if args else TOP
+            out = kwmap.get("out")
+            if out is not None and out.kind == "array":
+                return out
+            return AbstractValue(
+                kind="array", dtype=a.dtype, shape=a.shape,
+                storage=frozenset({id(node)}),
+            )
+        if name in _REDUCERS_INT64:
+            a = args[0] if args else TOP
+            dtype = (
+                "int64"
+                if a.dtype in _INT_WIDTH or a.dtype == "bool"
+                else "float" if a.dtype == "float" else UNKNOWN
+            )
+            if "axis" in kwmap:
+                return AbstractValue(
+                    kind="array", dtype=dtype, shape=None,
+                    storage=frozenset({id(node)}),
+                )
+            return AbstractValue(kind="scalar", dtype=dtype)
+        if name in ("concatenate", "stack", "hstack", "vstack", "column_stack"):
+            parts_v = args[0].elements if args and args[0].kind == "tuple" else None
+            dtype = UNKNOWN
+            if parts_v:
+                dtype = parts_v[0].dtype
+                for p in parts_v[1:]:
+                    dtype = promote(dtype, p.dtype)
+            return AbstractValue(
+                kind="array", dtype=dtype, shape=None,
+                storage=frozenset({id(node)}),
+            )
+        if name in _STATIC_DTYPES:
+            # np.int32(5), np.float64(x): a *strong* NumPy scalar that
+            # does promote arrays it meets (unlike weak Python ints).
+            return AbstractValue(
+                kind="scalar", dtype=_STATIC_DTYPES[name]
+            )
+        if name in ("searchsorted", "argsort", "argmax", "argmin",
+                    "count_nonzero"):
+            return AbstractValue(kind="scalar", dtype=_WEAK_INT)
+        if name in ("sort", "unique", "flip", "roll", "repeat", "tile"):
+            a = args[0] if args else TOP
+            return AbstractValue(
+                kind="array", dtype=a.dtype, shape=None,
+                storage=frozenset({id(node)}),
+            )
+        return None
+
+    def _shape_argument(
+        self,
+        node: ast.Call,
+        kwmap: Mapping,
+        env: Env,
+        arg_index: int = 0,
+    ) -> Shape:
+        expr: ast.expr | None = None
+        if len(node.args) > arg_index:
+            expr = node.args[arg_index]
+        else:
+            expr = _kwarg_expr(node, "shape")
+        if expr is None:
+            return None
+        if isinstance(expr, (ast.Tuple, ast.List)):
+            return tuple(self._dim_of(e, env) for e in expr.elts)
+        value = self.eval(expr, env)
+        if value.kind == "scalar":
+            return (_dim_from_scalar(value),)
+        if value.kind == "tuple" and value.elements is not None:
+            return tuple(_dim_from_scalar(e) for e in value.elements)
+        if value.kind == "array":
+            # np.zeros(x.shape) handled through eval_Attribute's tuple.
+            return None
+        return None
+
+    def _dim_of(self, expr: ast.expr, env: Env) -> Dim:
+        value = self.eval(expr, env)
+        if value.kind == "scalar":
+            return _dim_from_scalar(value)
+        return None
+
+    def _element_of(
+        self, iter_expr: ast.expr, iter_value: AbstractValue
+    ) -> AbstractValue:
+        """The abstract value bound by ``for target in <iter>``."""
+        if isinstance(iter_expr, ast.Call):
+            cname = dotted_name(iter_expr.func)
+            if cname == "range":
+                return AbstractValue(kind="scalar", dtype=_WEAK_INT)
+            if cname == "enumerate":
+                return AbstractValue(
+                    kind="tuple",
+                    elements=(
+                        AbstractValue(kind="scalar", dtype=_WEAK_INT),
+                        TOP,
+                    ),
+                )
+        if iter_value.kind == "array":
+            if iter_value.shape is not None and len(iter_value.shape) == 1:
+                return AbstractValue(kind="scalar", dtype=iter_value.dtype)
+            shape = (
+                iter_value.shape[1:] if iter_value.shape is not None else None
+            )
+            return AbstractValue(
+                kind="array", dtype=iter_value.dtype, shape=shape,
+                storage=iter_value.storage, param=iter_value.param,
+            )
+        return TOP
+
+
+def _dim_from_scalar(value: AbstractValue) -> Dim:
+    if isinstance(value.sym, int):
+        return value.sym
+    if isinstance(value.sym, str):
+        return value.sym
+    return None
+
+
+def _combine_operands(a: AbstractValue, b: AbstractValue) -> str:
+    if a.kind == "array" and b.kind == "array":
+        return promote(a.dtype, b.dtype)
+    if a.kind == "array":
+        return promote_with_scalar(
+            a.dtype, b.dtype if b.kind == "scalar" else UNKNOWN
+        )
+    if b.kind == "array":
+        return promote_with_scalar(
+            b.dtype, a.dtype if a.kind == "scalar" else UNKNOWN
+        )
+    return UNKNOWN
+
+
+def _root_of(node: ast.expr | None) -> str | None:
+    while isinstance(node, (ast.Subscript, ast.Attribute, ast.Starred)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _names_in(node: ast.expr) -> Iterator[str]:
+    if isinstance(node, ast.Name):
+        yield node.id
+    elif isinstance(node, (ast.Tuple, ast.List)):
+        for elt in node.elts:
+            yield from _names_in(elt)
+
+
+def _is_astype_call(node: ast.expr | None) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in ("astype", "view")
+    )
+
+
+def _kwarg_expr(call: ast.Call, name: str) -> ast.expr | None:
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def _has_kwarg(call: ast.Call, name: str) -> bool:
+    return any(kw.arg == name for kw in call.keywords)
+
+
+def _slice_shape(shape: Shape, index: ast.expr) -> Shape:
+    """The shape of ``x[index]`` given ``x``'s symbolic shape."""
+    if shape is None:
+        return None
+
+    def one(dim_index: int, expr: ast.expr) -> tuple:
+        """(consumed_axes, produced_dims) for one index element."""
+        if isinstance(expr, ast.Slice):
+            if expr.lower is None and expr.upper is None and expr.step is None:
+                return 1, (shape[dim_index],) if dim_index < len(shape) else (None,)
+            return 1, (None,)
+        if isinstance(expr, ast.Constant) and expr.value is None:
+            return 0, (1,)  # np.newaxis
+        # Integer (or anything else scalar-like) drops the axis;
+        # fancy/boolean indexing degrades to unknown handled below.
+        return 1, ()
+
+    elems = (
+        list(index.elts) if isinstance(index, ast.Tuple) else [index]
+    )
+    if any(isinstance(e, (ast.List, ast.Name)) for e in elems) and not all(
+        isinstance(e, (ast.Slice, ast.Constant)) for e in elems
+    ):
+        # Fancy indexing (array/list indices): rank preserved only by
+        # accident; give up on the shape but keep the view-ness.
+        return None
+    out: list[Dim] = []
+    axis = 0
+    for e in elems:
+        consumed, produced = one(axis, e)
+        out.extend(produced)
+        axis += consumed
+        if axis > len(shape):
+            return None
+    out.extend(shape[axis:])
+    return tuple(out)
+
+
+# ---------------------------------------------------------------------------
+# Drivers
+# ---------------------------------------------------------------------------
+
+
+def analyze_function(fn: ast.AST, qualname: str = "") -> FunctionAnalysis:
+    """Interpret one function body; never raises."""
+    interp = _Interpreter(fn, qualname or getattr(fn, "name", "<lambda>"))
+    analysis = FunctionAnalysis(fn=fn, qualname=interp.qualname)
+    try:
+        interp.run()
+    except Exception as exc:  # pragma: no cover - defensive: the
+        # interpreter must never take the linter down with it
+        analysis.confident = False
+        analysis.error = f"{type(exc).__name__}: {exc}"
+        return analysis
+    analysis.confident = interp.confident
+    analysis.events = interp.events
+    analysis.narrow_names = frozenset(interp.narrow_names)
+    analysis.local_defs = dict(interp.local_defs)
+    return analysis
+
+
+def analyze_module(
+    tree: ast.Module, qualnames: Mapping | None = None
+) -> ModuleAnalysis:
+    """Analyze every function definition in a parsed module."""
+    out = ModuleAnalysis()
+    for node in ast.walk(tree):
+        if isinstance(node, _FN_TYPES):
+            qualname = (
+                qualnames.get(id(node), node.name)
+                if qualnames is not None
+                else node.name
+            )
+            analysis = analyze_function(node, qualname)
+            out.functions.append(analysis)
+            out.by_node[id(node)] = analysis
+    return out
+
+
+def file_analysis(ctx) -> ModuleAnalysis:
+    """The (memoized) module analysis for one :class:`FileContext`."""
+    cached = ctx.cache.get("dataflow")
+    if cached is None:
+        from repro.lint.astutil import qualname_index
+
+        cached = analyze_module(ctx.tree, qualname_index(ctx.tree))
+        ctx.cache["dataflow"] = cached
+    return cached
+
+
+def subtree_analyses(
+    module: ModuleAnalysis, fn: ast.AST
+) -> tuple[bool, list]:
+    """All analyses for ``fn`` and its nested defs.
+
+    Returns ``(all_confident, analyses)`` — the delegating rules treat
+    a function unit as trustworthy only when every nested unit
+    converged cleanly too.
+    """
+    units = [
+        module.by_node.get(id(node))
+        for node in ast.walk(fn)
+        if isinstance(node, _FN_TYPES)
+    ]
+    present = [u for u in units if u is not None]
+    confident = bool(present) and all(
+        u.confident and u.error is None for u in present
+    )
+    return confident, present

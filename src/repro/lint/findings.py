@@ -2,19 +2,31 @@
 
 A :class:`Finding` is one rule violation at one source location.  Its
 :meth:`Finding.fingerprint` identifies the *logical* violation for
-baseline matching: it hashes the rule id, the file path and the message
-— but not the line number, so unrelated edits above a baselined finding
-do not resurrect it.
+baseline matching: it hashes the rule id, the file path, the enclosing
+definition's qualname and the normalized source line the finding
+anchors to — but neither the line number nor the message, so unrelated
+edits that move a baselined finding (or reword a message that embeds a
+line number) do not resurrect it.  The pre-PR 9 scheme hashed the
+message instead; :meth:`Finding.legacy_fingerprint` keeps it available
+so version-1 baselines still match until regenerated.
 """
 
 from __future__ import annotations
 
 import hashlib
+import re
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any
 
 __all__ = ["Severity", "Finding"]
+
+_WS = re.compile(r"\s+")
+
+
+def _normalize(text: str) -> str:
+    """Strip all whitespace so formatting-only edits keep fingerprints."""
+    return _WS.sub("", text)
 
 
 class Severity(str, Enum):
@@ -38,9 +50,24 @@ class Finding:
     rule_name: str  #: e.g. ``unseeded-random``
     message: str
     severity: Severity = field(default=Severity.ERROR, compare=False)
+    #: dotted name of the enclosing def/class ('' at module level).
+    qualname: str = field(default="", compare=False)
+    #: the normalized source line the finding anchors to.
+    context: str = field(default="", compare=False)
 
     def fingerprint(self) -> str:
-        """Stable id for baseline matching (line-number insensitive)."""
+        """Stable id for baseline matching (line- and message-stable).
+
+        Keyed on (rule, path, enclosing qualname, normalized source
+        context); whole-file findings (no context) fall back to the
+        message, which is all they have.
+        """
+        anchor = _normalize(self.context) or self.message
+        key = f"{self.rule_id}::{self.path}::{self.qualname}::{anchor}"
+        return hashlib.sha256(key.encode("utf-8")).hexdigest()[:16]
+
+    def legacy_fingerprint(self) -> str:
+        """The pre-PR 9 fingerprint (rule + path + message)."""
         key = f"{self.rule_id}::{self.path}::{self.message}"
         return hashlib.sha256(key.encode("utf-8")).hexdigest()[:16]
 
@@ -54,8 +81,25 @@ class Finding:
             "name": self.rule_name,
             "severity": str(self.severity),
             "message": self.message,
+            "qualname": self.qualname,
+            "context": self.context,
             "fingerprint": self.fingerprint(),
         }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Finding":
+        """Rebuild a finding from :meth:`to_dict` output (cache I/O)."""
+        return cls(
+            path=str(data["path"]),
+            line=int(data["line"]),
+            col=int(data["col"]),
+            rule_id=str(data["rule"]),
+            rule_name=str(data["name"]),
+            message=str(data["message"]),
+            severity=Severity(data.get("severity", "error")),
+            qualname=str(data.get("qualname", "")),
+            context=str(data.get("context", "")),
+        )
 
     def render_text(self) -> str:
         """The classic one-line ``path:line:col: ID message`` form."""

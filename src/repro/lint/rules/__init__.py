@@ -25,10 +25,14 @@ from repro.lint.rules.base import (
 from repro.lint.rules import (  # noqa: F401  (registration imports)
     aliasing,
     api_docs,
+    broadcast,
     dtypes,
     exceptions,
+    poolsafety,
+    promotion,
     randomness,
     registry,
+    view_alias,
 )
 
 __all__ = [

@@ -4,8 +4,9 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterator
+from typing import TYPE_CHECKING, Any, Iterator
 
+from repro.lint.astutil import qualname_index
 from repro.lint.findings import Finding, Severity
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
@@ -37,10 +38,47 @@ class FileContext:
     source: str
     tree: ast.Module
     lines: list[str] = field(default_factory=list)
+    #: per-file scratch shared between rules (dataflow analyses,
+    #: qualname tables) so each expensive pass runs at most once.
+    cache: dict[str, Any] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         if not self.lines:
             self.lines = self.source.splitlines()
+
+    def qualname_at(self, line: int) -> str:
+        """Innermost def/class qualname containing ``line`` ('' if none)."""
+        spans = self.cache.get("qualname_spans")
+        if spans is None:
+            index = qualname_index(self.tree)
+            spans = sorted(
+                (
+                    node.lineno,
+                    getattr(node, "end_lineno", None) or node.lineno,
+                    index.get(id(node), ""),
+                )
+                for node in ast.walk(self.tree)
+                if isinstance(
+                    node,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+                )
+            )
+            self.cache["qualname_spans"] = spans
+        best = ""
+        best_span: int | None = None
+        for start, end, qualname in spans:
+            if start > line:
+                break
+            if line <= end and (best_span is None or end - start <= best_span):
+                best = qualname
+                best_span = end - start
+        return best
+
+    def context_line(self, line: int) -> str:
+        """The source line at 1-based ``line`` ('' out of range)."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
 
 
 class Rule:
@@ -88,14 +126,17 @@ class Rule:
         message: str,
     ) -> Finding:
         """A :class:`Finding` by this rule at ``node`` (or whole-file)."""
+        line = getattr(node, "lineno", 0) if node is not None else 0
         return Finding(
             path=ctx.path,
-            line=getattr(node, "lineno", 0) if node is not None else 0,
+            line=line,
             col=getattr(node, "col_offset", 0) if node is not None else 0,
             rule_id=self.id,
             rule_name=self.name,
             message=message,
             severity=self.severity,
+            qualname=ctx.qualname_at(line),
+            context=ctx.context_line(line),
         )
 
 

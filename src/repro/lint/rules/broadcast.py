@@ -1,0 +1,70 @@
+"""RPL107: operands whose symbolic shapes provably cannot broadcast.
+
+The batched engines live on broadcasting — lane sweeps combine
+``(lanes,)`` row vectors against ``(lanes, width)`` tiles every step —
+and a mis-sized operand does not always crash: NumPy happily broadcasts
+``(n, 1)`` against ``(m,)`` into ``(n, m)``, silently turning a lane
+vector into a matrix and burying the score error under a reduction.
+
+The dataflow interpreter (:mod:`repro.lint.dataflow`) seeds symbolic
+shapes from allocation calls, ``.shape`` unpacking and slicing, and
+checks every array-array operation.  A mismatch is only reported when
+it is *provable*: both extents concrete integers, unequal, and neither
+equal to 1 — symbolic dims unify rather than refute, so parameterized
+shapes never false-positive.  Functions whose interpretation did not
+converge are skipped entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.dataflow import Shape, file_analysis
+from repro.lint.findings import Finding
+from repro.lint.rules.base import FileContext, Rule, register
+
+__all__ = ["BroadcastMismatchRule"]
+
+
+def format_shape(shape: Shape) -> str:
+    """``(3, n, ?)`` rendering of a symbolic shape."""
+    if shape is None:
+        return "(?)"
+    dims = ", ".join("?" if d is None else str(d) for d in shape)
+    if len(shape) == 1:
+        dims += ","
+    return f"({dims})"
+
+
+@register
+class BroadcastMismatchRule(Rule):
+    """Flag array operations that provably cannot broadcast."""
+
+    id = "RPL107"
+    name = "broadcast-mismatch"
+    description = (
+        "Array operands whose inferred shapes provably cannot broadcast "
+        "(concrete unequal extents, neither 1): the op either crashes at "
+        "runtime or silently broadcasts into the wrong geometry"
+    )
+    scope = (
+        "repro/engine/",
+        "repro/kernels/",
+        "repro/sw/",
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        module = file_analysis(ctx)
+        for analysis in module.functions:
+            if analysis.error is not None or not analysis.confident:
+                continue
+            for event in analysis.broadcast_events():
+                left, right = event.dims
+                yield self.finding(
+                    ctx,
+                    event.node,
+                    f"operands with shapes {format_shape(event.left)} and "
+                    f"{format_shape(event.right)} cannot broadcast in "
+                    f"{analysis.qualname}(): extent {left} vs {right} "
+                    f"(neither is 1)",
+                )

@@ -1,0 +1,299 @@
+"""RPL110: pool-boundary safety for executor chunk dispatch.
+
+Everything that crosses ``pool.submit`` / ``ProcessPoolExecutor``
+dispatch is pickled into a worker process.  Three mistakes survive
+review because they *work on the happy path*:
+
+* **unpicklable cargo** — an ``Instrumentation`` handle, a counter/
+  span/histogram registry, an open file or a lock smuggled into a
+  chunk payload either crashes at submit time or (worse, with fork)
+  silently ships a *copy* whose updates never come back;
+* **closure dispatch** — a locally-defined function or lambda passed
+  as the task: the pickle protocol cannot serialize nested functions,
+  and with a thread pool it runs but shares parent state;
+* **parent-state mutation** — a worker-side callable that writes to
+  enclosing-scope variables, which mutates a forked copy (lost
+  silently) or races the parent (threads).
+
+The shipped protocol — module-level ``_score_chunk_task`` +
+``_init_worker`` installing ``_WORKER_STATE``, results merged
+parent-side from a returned ``WorkerTelemetry`` value — passes clean:
+module-level callables resolve to no local ``func`` value, worker
+globals are installed via ``initializer=``, and ``WorkerTelemetry`` is
+a plain picklable dataclass that crosses the boundary as a *return*
+value, exactly once.
+
+Dispatch sites are recognized by shape: ``<receiver>.submit/map/
+apply_async/starmap(...)`` where the receiver's root name mentions
+``pool`` or ``executor``, plus ``ProcessPoolExecutor(...)`` /
+``Pool(...)`` constructors (whose ``initializer``/``initargs`` are
+checked like a submission).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.dataflow import AbstractValue, CallEvent, file_analysis
+from repro.lint.findings import Finding
+from repro.lint.rules.base import FileContext, Rule, register
+
+__all__ = ["PoolBoundaryRule"]
+
+_DISPATCH_METHODS = frozenset(
+    {"submit", "map", "apply_async", "apply", "starmap", "imap",
+     "imap_unordered"}
+)
+_POOL_CONSTRUCTORS = frozenset({"ProcessPoolExecutor", "Pool"})
+
+#: Constructor names whose instances must never cross the boundary.
+_UNPICKLABLE = frozenset(
+    {
+        "Instrumentation",
+        "CounterRegistry",
+        "SpanTracer",
+        "HistogramRegistry",
+        "MemoryPhases",
+        "Lock",
+        "RLock",
+        "Condition",
+        "Semaphore",
+        "BoundedSemaphore",
+        "Barrier",
+        "Thread",
+        "file",  # the open(...) result
+        "TextIOWrapper",
+        "BufferedReader",
+        "BufferedWriter",
+    }
+)
+
+
+def _receiver_root(node: ast.expr) -> str | None:
+    while isinstance(node, (ast.Attribute, ast.Subscript, ast.Call)):
+        node = node.func if isinstance(node, ast.Call) else node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _is_pool_receiver(call: ast.Call) -> bool:
+    if not isinstance(call.func, ast.Attribute):
+        return False
+    if call.func.attr not in _DISPATCH_METHODS:
+        return False
+    root = _receiver_root(call.func.value)
+    if root is None:
+        return False
+    lowered = root.lower()
+    return "pool" in lowered or "executor" in lowered
+
+
+def _closure_mutations(fn: ast.AST) -> list[str]:
+    """Enclosing-scope names an inner callable writes to.
+
+    Local names are the parameters plus anything bound by a plain
+    assignment inside the callable; a subscript store, augmented
+    assignment, ``out=`` target or ``nonlocal`` rebinding of any
+    *other* name reaches into the parent frame.
+    """
+    if isinstance(fn, ast.Lambda):
+        return []
+    assert isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef))
+    args = fn.args
+    local = {
+        a.arg
+        for a in (
+            *args.posonlyargs, *args.args, *args.kwonlyargs,
+            *( (args.vararg,) if args.vararg else () ),
+            *( (args.kwarg,) if args.kwarg else () ),
+        )
+    }
+    nonlocals: set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Nonlocal):
+            nonlocals.update(node.names)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    local.add(target.id)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            if isinstance(node.target, ast.Name):
+                local.add(node.target.id)
+
+    def root(node: ast.expr) -> str | None:
+        while isinstance(node, (ast.Subscript, ast.Attribute)):
+            node = node.value
+        return node.id if isinstance(node, ast.Name) else None
+
+    mutated: list[str] = []
+
+    def note(name: str | None) -> None:
+        if name is not None and name not in local and name not in mutated:
+            mutated.append(name)
+
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript):
+                    note(root(target))
+        elif isinstance(node, ast.AugAssign):
+            if isinstance(node.target, ast.Subscript):
+                note(root(node.target))
+            elif isinstance(node.target, ast.Name):
+                if node.target.id in nonlocals:
+                    note(node.target.id)
+                # A bare augmented assignment of a free name is a
+                # NameError at runtime unless nonlocal/global - skip.
+        elif isinstance(node, ast.Call):
+            for kw in node.keywords:
+                if kw.arg == "out":
+                    note(root(kw.value))
+    mutated.extend(n for n in nonlocals if n not in mutated)
+    return mutated
+
+
+@register
+class PoolBoundaryRule(Rule):
+    """Flag unpicklable or parent-coupled state crossing pool dispatch."""
+
+    id = "RPL110"
+    name = "pool-boundary"
+    description = (
+        "Unpicklable object (Instrumentation/registry/file/lock), "
+        "locally-defined callable, or parent-state-mutating worker "
+        "function crossing a process-pool dispatch boundary: ship "
+        "module-level callables and plain data, merge results "
+        "parent-side (the WorkerTelemetry return protocol)"
+    )
+    scope = (
+        "repro/engine/",
+        "repro/app/",
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        module = file_analysis(ctx)
+        for analysis in module.functions:
+            if analysis.error is not None:
+                continue
+            for event in analysis.call_events():
+                yield from self._check_event(ctx, analysis.qualname, event)
+
+    # ------------------------------------------------------------------
+    def _check_event(
+        self, ctx: FileContext, qualname: str, event: CallEvent
+    ) -> Iterator[Finding]:
+        call = event.node
+        if _is_pool_receiver(call):
+            method = call.func.attr  # type: ignore[union-attr]
+            if event.args:
+                yield from self._check_callable(
+                    ctx, qualname, call, method, call.args[0], event.args[0]
+                )
+            for expr, value in zip(call.args[1:], event.args[1:]):
+                yield from self._check_payload(
+                    ctx, qualname, method, expr, value
+                )
+            for (name, value), kw in zip(
+                event.keywords,
+                [k for k in call.keywords if k.arg is not None],
+            ):
+                yield from self._check_payload(
+                    ctx, qualname, method, kw.value, value
+                )
+            return
+        leaf = (event.func_name or "").split(".")[-1]
+        if leaf in _POOL_CONSTRUCTORS:
+            kwmap = dict(event.keywords)
+            for kw in call.keywords:
+                if kw.arg == "initializer":
+                    yield from self._check_callable(
+                        ctx, qualname, call, "initializer=", kw.value,
+                        kwmap.get("initializer", AbstractValue()),
+                    )
+                elif kw.arg == "initargs":
+                    yield from self._check_payload(
+                        ctx, qualname, "initargs=", kw.value,
+                        kwmap.get("initargs", AbstractValue()),
+                    )
+
+    def _check_callable(
+        self,
+        ctx: FileContext,
+        qualname: str,
+        call: ast.Call,
+        how: str,
+        expr: ast.expr,
+        value: AbstractValue,
+    ) -> Iterator[Finding]:
+        fn_node = value.func_node if value.kind == "func" else None
+        if isinstance(expr, ast.Lambda):
+            fn_node = expr
+        if fn_node is None:
+            return
+        label = (
+            "lambda"
+            if isinstance(fn_node, ast.Lambda)
+            else f"locally-defined function {getattr(fn_node, 'name', '?')!r}"
+        )
+        yield self.finding(
+            ctx,
+            call,
+            f"{label} passed to {how} in {qualname}(): nested callables "
+            f"do not pickle across a process-pool boundary; move the "
+            f"worker function to module level and ship its state via "
+            f"initargs",
+        )
+        mutated = _closure_mutations(fn_node)
+        if mutated:
+            names = ", ".join(repr(n) for n in sorted(mutated))
+            yield self.finding(
+                ctx,
+                call,
+                f"worker-side callable passed to {how} in {qualname}() "
+                f"mutates parent-scope state ({names}): the write lands "
+                f"in a forked copy (silently lost) or races the parent; "
+                f"return results and merge them parent-side instead",
+            )
+
+    def _check_payload(
+        self,
+        ctx: FileContext,
+        qualname: str,
+        how: str,
+        expr: ast.expr,
+        value: AbstractValue,
+        depth: int = 0,
+    ) -> Iterator[Finding]:
+        if value.kind == "object" and value.classname in _UNPICKLABLE:
+            article = "an" if value.classname[:1].lower() in "aeiou" else "a"
+            yield self.finding(
+                ctx,
+                expr,
+                f"{article} {value.classname} instance flows into {how} "
+                f"in {qualname}(): it does not survive the process-pool "
+                f"pickle boundary (or silently forks a divergent copy); "
+                f"pass plain data and merge worker results parent-side "
+                f"(the WorkerTelemetry protocol)",
+            )
+            return
+        if value.kind == "func" and value.func_node is not None:
+            yield self.finding(
+                ctx,
+                expr,
+                f"locally-defined callable flows into {how} in "
+                f"{qualname}(): nested callables do not pickle across a "
+                f"process-pool boundary",
+            )
+            return
+        if value.kind == "tuple" and value.elements is not None and depth < 3:
+            exprs: list[ast.expr]
+            if isinstance(expr, (ast.Tuple, ast.List)) and len(
+                expr.elts
+            ) == len(value.elements):
+                exprs = list(expr.elts)
+            else:
+                exprs = [expr] * len(value.elements)
+            for sub_expr, sub_value in zip(exprs, value.elements):
+                yield from self._check_payload(
+                    ctx, qualname, how, sub_expr, sub_value, depth + 1
+                )

@@ -1,0 +1,92 @@
+"""RPL108: flow-sensitive dtype-promotion discipline.
+
+The striped engine's 8/16-bit score tiers (SSW-style saturation) are
+only correct while every operation stays in the lane width — NumPy
+promotion is the enemy: ``uint8_array + int16_array`` silently yields
+``int16``, the saturating clamps stop clamping, and the overflow re-run
+logic never triggers because nothing overflows anymore.  The symmetric
+bug hits the wide side: a hot-loop accumulator the engine contract pins
+at ``int32`` picks up ``int64``/``float64`` through a stray operand and
+doubles the sweep's memory traffic.
+
+RPL102 catches allocation-site dtype omissions; this rule catches the
+*flow* version using the abstract interpreter's widening events:
+
+* a name bound to a saturating-tier array (``int8``/``uint8``/
+  ``int16``) rebound to a strictly wider dtype — unless the widening is
+  an explicit ``.astype(...)``, which is the sanctioned escape hatch
+  (that is how the striped tier cascade deliberately re-runs overflowed
+  lanes at 16 bits);
+* an ``int32`` array that widens to ``int64``/``float`` across a loop
+  back edge — the accumulator-promotion shape.
+
+In-place ops (``+=``, ``out=``) never change a NumPy array's dtype, so
+they never fire this rule; the striped ``uint8``
+maximum-before-subtract idiom and the strips segmented carry pass
+clean (both are fixture-tested).  Functions whose interpretation did
+not converge are skipped.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.dataflow import NARROW_DTYPES, file_analysis
+from repro.lint.findings import Finding
+from repro.lint.rules.base import FileContext, Rule, register
+
+__all__ = ["DtypePromotionRule"]
+
+
+@register
+class DtypePromotionRule(Rule):
+    """Flag silent widening of tiered arrays and loop accumulators."""
+
+    id = "RPL108"
+    name = "dtype-promotion"
+    description = (
+        "Saturating 8/16-bit tier array silently promoted to a wider "
+        "dtype, or an int32 hot-loop accumulator widened to int64/float "
+        "across a loop iteration: both change scores or memory traffic "
+        "without crashing (use an explicit .astype for deliberate tier "
+        "changes)"
+    )
+    scope = (
+        "repro/engine/",
+        "repro/kernels/",
+        "repro/sw/",
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        module = file_analysis(ctx)
+        for analysis in module.functions:
+            if analysis.error is not None or not analysis.confident:
+                continue
+            for event in analysis.widen_events():
+                if event.old in NARROW_DTYPES:
+                    where = (
+                        "across a loop iteration"
+                        if event.via == "loop"
+                        else "by this assignment"
+                    )
+                    yield self.finding(
+                        ctx,
+                        event.node,
+                        f"saturating {event.old} array {event.name!r} in "
+                        f"{analysis.qualname}() is silently promoted to "
+                        f"{event.new} {where}: the tier's clamps stop "
+                        f"saturating; widen explicitly with .astype or "
+                        f"keep the operand in-tier",
+                    )
+                elif event.old == "int32" and event.via == "loop" and (
+                    event.new in ("int64", "float")
+                ):
+                    yield self.finding(
+                        ctx,
+                        event.node,
+                        f"int32 accumulator {event.name!r} in "
+                        f"{analysis.qualname}() widens to {event.new} "
+                        f"across a loop iteration: the engine contract "
+                        f"pins hot-loop score accumulators at int32; pin "
+                        f"the widening operand or cast explicitly",
+                    )

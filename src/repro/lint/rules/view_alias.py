@@ -1,0 +1,79 @@
+"""RPL109: flow-sensitive view/alias mutation — Section III-A, precise.
+
+The paper's costliest bug: swapping *pointers* to the register arrays
+instead of their contents (Section III-A) silently demoted the improved
+kernel's tile state to local memory.  The NumPy rendition — ``prev =
+cur`` followed anywhere later by an in-place update of either name —
+corrupts two wavefront rows at once, and only on inputs where the
+clobbered cells mattered.
+
+RPL101 catches this with single-pass heuristics (allocation-site names,
+a later-line check).  This rule is the dataflow replacement: the
+interpreter gives every allocation a storage id, propagates may-overlap
+sets through rebinding, branches and loops, and records a *bare-name
+alias pair* for each ``a = b`` whose right side is an array.  A
+mutation fires only when the mutated memory is still shared by a live
+pair — which is exactly what distinguishes the bug from the sanctioned
+idioms:
+
+* ``h, hbuf = hbuf, h`` — simultaneous tuple exchange; no pair is
+  recorded (the right side is evaluated against the pre-assignment
+  state), and after the swap the names hold *different* buffers anyway.
+* ``carry = tmp[:, 1:]`` — an explicit slice view; deliberate
+  windowing creates no bare-name pair.
+* ``prev = cur`` where ``cur`` is immediately rebound to a fresh
+  buffer — the pair's storage sets no longer overlap at mutation time,
+  so the fresh-buffer rotation stays clean.
+
+Mutation through a third name (a view taken off either partner) is
+still caught: the check is on storage overlap, not on the mutated
+name's spelling.  Functions whose interpretation did not converge are
+skipped — RPL101's heuristics still cover them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.dataflow import file_analysis
+from repro.lint.findings import Finding
+from repro.lint.rules.base import FileContext, Rule, register
+
+__all__ = ["ViewAliasMutationRule"]
+
+
+@register
+class ViewAliasMutationRule(Rule):
+    """Flag in-place mutation of memory shared through a bare alias."""
+
+    id = "RPL109"
+    name = "view-alias-mutation"
+    description = (
+        "In-place mutation of an array whose buffer is still shared "
+        "through a bare-name rebinding (prev = cur), tracked "
+        "flow-sensitively through branches, loops and views — the "
+        "Section III-A shallow-swap bug; exchange with a simultaneous "
+        "tuple assignment or take an explicit .copy()"
+    )
+    scope = (
+        "repro/engine/",
+        "repro/kernels/",
+        "repro/sw/",
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        module = file_analysis(ctx)
+        for analysis in module.functions:
+            if analysis.error is not None or not analysis.confident:
+                continue
+            for event in analysis.alias_events():
+                yield self.finding(
+                    ctx,
+                    event.node,
+                    f"in-place mutation ({event.how}) of {event.name!r} in "
+                    f"{analysis.qualname}() hits a buffer still aliased by "
+                    f"{event.other!r} (bare rebinding on line "
+                    f"{event.alias_node.lineno}): a shallow swap — "
+                    f"exchange with a simultaneous tuple assignment or "
+                    f"take an explicit .copy()",
+                )

@@ -267,3 +267,73 @@ class TestHeteroSigkillResume:
         assert replayed >= 1
         assert recomputed >= 1
         assert replayed + recomputed == report.n_groups
+
+
+class TestCostModelKnobs:
+    """The 'auto' split cost constants are parameters, not baked in."""
+
+    def test_strip_cell_cost_moves_the_threshold(self, corpus):
+        def resolved(**knobs):
+            engine = BatchedEngine(
+                BLOSUM62, GP, group_size=4,
+                lane_engine="hetero", split_threshold="auto", **knobs,
+            )
+            return engine._resolve_threshold(corpus["db"])
+
+        default = resolved()
+        # Strips priced near-free: everything should route to the strip
+        # engine (threshold collapses); priced exorbitantly: the split
+        # point must move the other way from the cheap setting.
+        cheap = resolved(strip_cell_cost=0.01)
+        costly = resolved(strip_cell_cost=50.0)
+        assert cheap != costly
+        assert default != cheap or default != costly
+
+    def test_column_overhead_moves_the_threshold(self, corpus):
+        def resolved(**knobs):
+            engine = BatchedEngine(
+                BLOSUM62, GP, group_size=4,
+                lane_engine="hetero", split_threshold="auto", **knobs,
+            )
+            return engine._resolve_threshold(corpus["db"])
+
+        # A huge fixed per-column striped overhead makes striped bulk
+        # groups unattractive relative to strips.
+        assert resolved(striped_column_overhead=1e6) != resolved()
+
+    def test_scores_bit_identical_across_cost_settings(self, corpus):
+        for knobs in ({}, {"strip_cell_cost": 0.01},
+                      {"striped_column_overhead": 1e6}):
+            engine = BatchedEngine(
+                BLOSUM62, GP, group_size=4,
+                lane_engine="hetero", split_threshold="auto", **knobs,
+            )
+            scores, _ = engine.search(corpus["query"], corpus["db"])
+            assert np.array_equal(scores, corpus["reference"])
+
+    def test_invalid_costs_rejected(self):
+        with pytest.raises(ValueError, match="strip_cell_cost"):
+            BatchedEngine(
+                BLOSUM62, GP, lane_engine="hetero", strip_cell_cost=0.0,
+            )
+        with pytest.raises(ValueError, match="striped_column_overhead"):
+            BatchedEngine(
+                BLOSUM62, GP, lane_engine="hetero",
+                striped_column_overhead=-1.0,
+            )
+
+    def test_search_api_threads_the_knobs(self, corpus):
+        from repro.app import CudaSW
+        from repro.cuda import TESLA_C2050
+
+        app = CudaSW(TESLA_C2050)
+        result, report = app.search(
+            corpus["query"], corpus["db"], engine="hetero",
+            strip_cell_cost=0.01,
+        )
+        assert np.array_equal(result.scores, corpus["reference"])
+        with pytest.raises(ValueError, match="strip_cell_cost"):
+            app.search(
+                corpus["query"], corpus["db"], engine="batched",
+                strip_cell_cost=2.0,
+            )

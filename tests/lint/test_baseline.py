@@ -8,7 +8,8 @@ from repro.lint.baseline import BASELINE_SCHEMA, Baseline
 from repro.lint.findings import Finding
 
 
-def make_finding(message="np.zeros without dtype", line=10):
+def make_finding(message="np.zeros without dtype", line=10, qualname="",
+                 context=""):
     return Finding(
         path="repro/kernels/k.py",
         line=line,
@@ -16,6 +17,8 @@ def make_finding(message="np.zeros without dtype", line=10):
         rule_id="RPL102",
         rule_name="dtype-stability",
         message=message,
+        qualname=qualname,
+        context=context,
     )
 
 
@@ -54,17 +57,84 @@ class TestRoundTrip:
         assert len(new) == 1
 
 
+class TestFingerprintStability:
+    def test_fingerprint_survives_context_whitespace_change(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        original = make_finding(
+            qualname="sweep", context="h = np.zeros(n)"
+        )
+        Baseline().write(path, [original])
+        reformatted = make_finding(
+            line=42, qualname="sweep", context="h  =  np.zeros( n )"
+        )
+        new, absorbed = Baseline.load(path).filter([reformatted])
+        assert new == []
+        assert absorbed == 1
+
+    def test_moved_to_other_function_is_new(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline().write(
+            path, [make_finding(qualname="sweep", context="h = np.zeros(n)")]
+        )
+        elsewhere = [
+            make_finding(qualname="other", context="h = np.zeros(n)")
+        ]
+        new, absorbed = Baseline.load(path).filter(elsewhere)
+        assert absorbed == 0
+        assert len(new) == 1
+
+
+class TestLegacyBaseline:
+    """Version-1 files (rule+path+message keys) still absorb findings."""
+
+    def _write_v1(self, path, finding):
+        key = finding.legacy_fingerprint()
+        path.write_text(json.dumps({
+            "schema": BASELINE_SCHEMA,
+            "version": 1,
+            "findings": {
+                key: {
+                    "rule": finding.rule_id,
+                    "path": finding.path,
+                    "message": finding.message,
+                    "count": 1,
+                },
+            },
+        }))
+
+    def test_v1_file_absorbs_matching_finding(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        finding = make_finding(qualname="sweep", context="h = np.zeros(n)")
+        self._write_v1(path, finding)
+        new, absorbed = Baseline.load(path).filter([finding])
+        assert new == []
+        assert absorbed == 1
+
+    def test_rewrite_migrates_v1_to_current(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        finding = make_finding(qualname="sweep", context="h = np.zeros(n)")
+        self._write_v1(path, finding)
+        Baseline().write(path, [finding])
+        doc = json.loads(path.read_text())
+        assert doc["version"] == 2
+        assert finding.fingerprint() in doc["findings"]
+
+
 class TestSchema:
     def test_document_shape(self, tmp_path):
         path = tmp_path / "baseline.json"
-        Baseline().write(path, [make_finding()])
+        Baseline().write(
+            path, [make_finding(qualname="kernel", context="h = x + y")]
+        )
         doc = json.loads(path.read_text())
         assert doc["schema"] == BASELINE_SCHEMA
-        assert doc["version"] == 1
+        assert doc["version"] == 2
         (entry,) = doc["findings"].values()
         assert entry == {
             "rule": "RPL102",
             "path": "repro/kernels/k.py",
+            "qualname": "kernel",
+            "context": "h = x + y",
             "message": "np.zeros without dtype",
             "count": 1,
         }

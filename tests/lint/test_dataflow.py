@@ -1,0 +1,736 @@
+"""The abstract interpreter behind RPL107-RPL110, tested directly.
+
+Three layers:
+
+* the lattice primitives — NumPy promotion, the dtype join, symbolic
+  shape unification and provable-broadcast refutation — as pure
+  functions;
+* interpreter semantics over small programs — branch merges, loop
+  fixed points, alias-pair lifecycle, confidence;
+* the shipped hot kernels as negative fixtures: the striped lazy-F
+  fold and the strips segmented carry are lifted *from the installed
+  sources* and must produce zero dataflow findings — they are exactly
+  the saturating in-place idioms the rules must never flag.
+"""
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.lint.astutil import qualname_index
+from repro.lint.dataflow import (
+    MAX_LOOP_ITERS,
+    NARROW_DTYPES,
+    UNKNOWN,
+    analyze_function,
+    analyze_module,
+    broadcast_shapes,
+    join_dtype,
+    join_shape,
+    promote,
+    promote_with_scalar,
+    wider_than,
+)
+from repro.lint.runner import LintRunner
+from repro.lint.rules.broadcast import BroadcastMismatchRule
+from repro.lint.rules.poolsafety import PoolBoundaryRule
+from repro.lint.rules.promotion import DtypePromotionRule
+from repro.lint.rules.view_alias import ViewAliasMutationRule
+
+
+def analyze(source, name="f"):
+    """Analysis of the single function ``name`` in ``source``."""
+    tree = ast.parse(textwrap.dedent(source))
+    module = analyze_module(tree, qualname_index(tree))
+    for analysis in module.functions:
+        if analysis.qualname.split(".")[-1] == name:
+            return analysis
+    raise AssertionError(f"no function {name!r} in fixture")
+
+
+def run_rule(rule, path, source):
+    runner = LintRunner("/nonexistent-root", rules=[rule])
+    return runner.run_sources({path: textwrap.dedent(source)}).findings
+
+
+def dataflow_rules():
+    return [
+        BroadcastMismatchRule(),
+        DtypePromotionRule(),
+        ViewAliasMutationRule(),
+        PoolBoundaryRule(),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Lattice primitives
+# ----------------------------------------------------------------------
+class TestPromotionTable:
+    @pytest.mark.parametrize(
+        "a, b, expected",
+        [
+            ("int8", "int8", "int8"),
+            ("uint8", "uint8", "uint8"),
+            ("int8", "uint8", "int16"),  # no common 8-bit supertype
+            ("int8", "int16", "int16"),
+            ("uint8", "int16", "int16"),
+            ("int16", "int32", "int32"),
+            ("int32", "int64", "int64"),
+            ("int64", "float", "float"),
+            ("int8", "float", "float"),
+            ("bool", "int8", "int8"),  # bool is transparent
+            ("bool", "bool", "bool"),
+        ],
+    )
+    def test_promote(self, a, b, expected):
+        assert promote(a, b) == expected
+        assert promote(b, a) == expected  # commutative
+
+    def test_unknown_absorbs(self):
+        assert promote("int8", UNKNOWN) == UNKNOWN
+        assert promote(UNKNOWN, "float") == UNKNOWN
+
+    def test_join_is_promotion_not_collapse(self):
+        # The join of two *known* dtypes is their promotion — this is
+        # what makes widening across a loop back edge detectable at
+        # all (a collapse-to-unknown join would hide it).
+        assert join_dtype("int32", "int64") == "int64"
+        assert join_dtype("uint8", "int16") == "int16"
+
+    def test_wider_than_is_strict(self):
+        assert wider_than("int16", "uint8")
+        assert wider_than("float", "int32")
+        assert not wider_than("int8", "int8")
+        assert not wider_than("int8", "int16")
+        assert not wider_than(UNKNOWN, "int8")
+        assert not wider_than("int16", UNKNOWN)
+
+    def test_weak_python_scalars_nep50(self):
+        # NEP 50: a Python int does not promote an array's dtype; a
+        # Python float does.
+        assert promote_with_scalar("int8", "int") == "int8"
+        assert promote_with_scalar("uint8", "int") == "uint8"
+        assert promote_with_scalar("int8", "float") == "float"
+        assert promote_with_scalar("int64", "float") == "float"
+        # Strong (NumPy) scalar operands promote normally.
+        assert promote_with_scalar("int8", "int64") == "int64"
+
+    def test_narrow_set(self):
+        assert NARROW_DTYPES == {"int8", "uint8", "int16"}
+
+
+class TestShapes:
+    def test_broadcast_compatible(self):
+        result, mismatch = broadcast_shapes((4, 1), (3,))
+        assert result == (4, 3)
+        assert mismatch is None
+
+    def test_broadcast_provable_mismatch(self):
+        result, mismatch = broadcast_shapes((4,), (5,))
+        assert mismatch == (4, 5)
+
+    def test_symbolic_dims_unify_not_refute(self):
+        # ('n',) vs (4,): n MIGHT be 4 — never a provable mismatch.
+        _, mismatch = broadcast_shapes(("n",), (4,))
+        assert mismatch is None
+        _, mismatch = broadcast_shapes(("n",), ("m",))
+        assert mismatch is None
+
+    def test_join_shape_keeps_agreement_drops_conflict(self):
+        assert join_shape((4, "n"), (4, "m")) == (4, None)
+        assert join_shape((4, 8), (4, 8)) == (4, 8)
+        assert join_shape((4,), (4, 8)) is None  # rank conflict
+
+
+# ----------------------------------------------------------------------
+# Interpreter semantics
+# ----------------------------------------------------------------------
+class TestBranchMerge:
+    def test_dtype_joins_at_branch_merge(self):
+        analysis = analyze("""
+            import numpy as np
+
+            def f(n, flag):
+                if flag:
+                    x = np.zeros(n, dtype=np.int32)
+                else:
+                    x = np.zeros(n, dtype=np.int64)
+                y = x
+                return y
+        """)
+        assert analysis.confident
+        assert analysis.error is None
+        # No widening event: the merge itself is a join, not a rebind.
+        assert analysis.widen_events() == []
+
+    def test_widening_assignment_after_merge_is_seen(self):
+        analysis = analyze("""
+            import numpy as np
+
+            def f(n):
+                x = np.zeros(n, dtype=np.uint8)
+                y = np.zeros(n, dtype=np.int32)
+                x = x + y
+                return x
+        """)
+        events = analysis.widen_events()
+        assert [(e.name, e.old, e.new) for e in events] == [
+            ("x", "uint8", "int32")
+        ]
+
+
+class TestLoopFixpoint:
+    def test_loop_widening_detected(self):
+        analysis = analyze("""
+            import numpy as np
+
+            def f(n, m, ramp):
+                acc = np.zeros(n, dtype=np.int32)
+                for i in range(m):
+                    acc = acc + np.float64(1.5)
+                return acc
+        """)
+        assert analysis.confident
+        loops = [e for e in analysis.widen_events() if e.via == "loop"]
+        assert [(e.name, e.old, e.new) for e in loops] == [
+            ("acc", "int32", "float")
+        ]
+
+    def test_stable_loop_converges_clean(self):
+        analysis = analyze("""
+            import numpy as np
+
+            def f(n, m):
+                acc = np.zeros(n, dtype=np.int32)
+                for i in range(m):
+                    acc = acc + 1
+                return acc
+        """)
+        assert analysis.confident
+        assert analysis.widen_events() == []
+
+    def test_fixed_point_terminates_on_pathological_nesting(self):
+        body = "\n".join(
+            f"{'    ' * (i + 2)}for i{i} in range(n):"
+            for i in range(MAX_LOOP_ITERS)
+        )
+        inner = f"{'    ' * (MAX_LOOP_ITERS + 2)}x = x + 1"
+        analysis = analyze(
+            "import numpy as np\n\n"
+            "def f(n):\n"
+            "        x = np.zeros(n, dtype=np.int64)\n"
+            f"{body}\n{inner}\n"
+            "        return x\n"
+        )
+        assert analysis.error is None  # terminated, whatever the verdict
+
+    def test_global_statement_drops_confidence(self):
+        analysis = analyze("""
+            def f():
+                global _STATE
+                _STATE = 1
+        """)
+        assert not analysis.confident
+
+
+class TestAliasPairs:
+    def test_pair_dies_when_partner_rebinds_fresh(self):
+        analysis = analyze("""
+            import numpy as np
+
+            def f(n, m):
+                prev = np.zeros(n, dtype=np.int32)
+                for i in range(m):
+                    cur = np.zeros(n, dtype=np.int32)
+                    cur[0] = i
+                    prev = cur
+                return prev
+        """)
+        assert analysis.confident
+        assert analysis.alias_events() == []
+
+    def test_mutation_through_live_pair_is_an_event(self):
+        analysis = analyze("""
+            import numpy as np
+
+            def f(n):
+                cur = np.zeros(n, dtype=np.int32)
+                prev = cur
+                cur[0] = 1
+                return prev
+        """)
+        events = analysis.alias_events()
+        assert [e.name for e in events] == ["cur"]
+
+    def test_mutation_through_view_of_pair_is_an_event(self):
+        analysis = analyze("""
+            import numpy as np
+
+            def f(n):
+                a = np.zeros(n, dtype=np.int32)
+                b = a
+                c = b[1:]
+                c[0] = 1
+                return a
+        """)
+        assert [e.name for e in analysis.alias_events()] == ["c"]
+
+    def test_tuple_exchange_records_no_pair(self):
+        analysis = analyze("""
+            import numpy as np
+
+            def f(n, m):
+                h = np.zeros(n, dtype=np.int32)
+                hbuf = np.zeros(n, dtype=np.int32)
+                for i in range(m):
+                    h[0] = i
+                    h, hbuf = hbuf, h
+                return h
+        """)
+        assert analysis.confident
+        assert analysis.alias_events() == []
+
+
+class TestDriverRobustness:
+    def test_analyze_function_never_raises(self):
+        # A node the interpreter has no business understanding.
+        fn = ast.parse("def f():\n    return 1").body[0]
+        fn.body.insert(0, ast.Expr(value=ast.Constant(value=...)))
+        analysis = analyze_function(fn, "f")
+        assert analysis.qualname == "f"
+
+    def test_nested_functions_are_separate_units(self):
+        tree = ast.parse(textwrap.dedent("""
+            def outer(n):
+                def inner(m):
+                    return m
+                return inner
+        """))
+        module = analyze_module(tree, qualname_index(tree))
+        assert sorted(a.qualname for a in module.functions) == [
+            "outer", "outer.inner"
+        ]
+
+
+# ----------------------------------------------------------------------
+# The shipped kernels as verbatim negative fixtures
+# ----------------------------------------------------------------------
+def _installed_source(module_name):
+    import importlib
+
+    module = importlib.import_module(module_name)
+    with open(module.__file__, encoding="utf-8") as handle:
+        return handle.read()
+
+
+class TestShippedKernelsAreClean:
+    """The rules were built around these idioms; hold them to it."""
+
+    @pytest.mark.parametrize(
+        "module_name, lint_path",
+        [
+            ("repro.engine.striped", "repro/engine/striped.py"),
+            ("repro.engine.strips", "repro/engine/strips.py"),
+            ("repro.engine.lanes", "repro/engine/lanes.py"),
+            ("repro.engine.executor", "repro/engine/executor.py"),
+        ],
+    )
+    def test_zero_dataflow_findings(self, module_name, lint_path):
+        source = _installed_source(module_name)
+        runner = LintRunner("/nonexistent-root", rules=dataflow_rules())
+        result = runner.run_sources({lint_path: source})
+        assert result.findings == []
+
+    def test_striped_lazy_f_interprets_confidently(self):
+        # The lazy-F fold is the most in-place-heavy function in the
+        # tree; it must converge (else RPL107-109 silently skip it).
+        source = _installed_source("repro.engine.striped")
+        tree = ast.parse(source)
+        module = analyze_module(tree, qualname_index(tree))
+        analysis = next(
+            a for a in module.functions if a.qualname == "_lazy_f_sweep"
+        )
+        assert analysis.error is None
+        assert analysis.confident
+        assert analysis.alias_events() == []
+        assert analysis.widen_events() == []
+
+    def test_strips_segmented_carry_interprets_confidently(self):
+        source = _installed_source("repro.engine.strips")
+        tree = ast.parse(source)
+        module = analyze_module(tree, qualname_index(tree))
+        analysis = next(
+            a
+            for a in module.functions
+            if a.qualname == "score_packed_group_strips"
+        )
+        assert analysis.error is None
+        assert analysis.alias_events() == []
+
+
+# ----------------------------------------------------------------------
+# RPL107: broadcast mismatch
+# ----------------------------------------------------------------------
+class TestBroadcastMismatchRule:
+    def test_provable_mismatch_is_flagged(self):
+        findings = run_rule(
+            BroadcastMismatchRule(),
+            "repro/engine/sweep.py",
+            """
+            import numpy as np
+
+            def f():
+                a = np.zeros(4, dtype=np.int32)
+                b = np.zeros(5, dtype=np.int32)
+                return a + b
+            """,
+        )
+        assert [f.rule_id for f in findings] == ["RPL107"]
+        assert "(4,)" in findings[0].message
+        assert "(5,)" in findings[0].message
+
+    def test_broadcastable_and_symbolic_are_clean(self):
+        findings = run_rule(
+            BroadcastMismatchRule(),
+            "repro/engine/sweep.py",
+            """
+            import numpy as np
+
+            def f(n):
+                a = np.zeros((4, 1), dtype=np.int32)
+                b = np.zeros(3, dtype=np.int32)
+                c = np.zeros(n, dtype=np.int32)
+                d = np.zeros(4, dtype=np.int32)
+                return a + b, c + d
+            """,
+        )
+        assert findings == []
+
+    def test_out_of_scope_module_is_ignored(self):
+        findings = run_rule(
+            BroadcastMismatchRule(),
+            "repro/app/anything.py",
+            """
+            import numpy as np
+
+            def f():
+                return np.zeros(4, dtype=np.int32) + np.zeros(
+                    5, dtype=np.int32
+                )
+            """,
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RPL108: dtype promotion
+# ----------------------------------------------------------------------
+class TestDtypePromotionRule:
+    def test_tier_widening_assignment_is_flagged(self):
+        findings = run_rule(
+            DtypePromotionRule(),
+            "repro/engine/striped.py",
+            """
+            import numpy as np
+
+            def sweep(n):
+                h = np.zeros(n, dtype=np.uint8)
+                wide = np.zeros(n, dtype=np.int16)
+                h = h + wide
+                return h
+            """,
+        )
+        assert [f.rule_id for f in findings] == ["RPL108"]
+        assert "uint8" in findings[0].message
+
+    def test_int32_loop_accumulator_promotion_is_flagged(self):
+        findings = run_rule(
+            DtypePromotionRule(),
+            "repro/engine/sweep.py",
+            """
+            import numpy as np
+
+            def fold(n, m):
+                acc = np.zeros(n, dtype=np.int32)
+                for i in range(m):
+                    acc = acc + np.float64(0.5)
+                return acc
+            """,
+        )
+        assert [f.rule_id for f in findings] == ["RPL108"]
+        assert "accumulator" in findings[0].message
+
+    def test_explicit_astype_is_the_sanctioned_escape(self):
+        findings = run_rule(
+            DtypePromotionRule(),
+            "repro/engine/striped.py",
+            """
+            import numpy as np
+
+            def rerun(n):
+                lane8 = np.zeros(n, dtype=np.uint8)
+                lane8 = lane8.astype(np.int16)
+                return lane8
+            """,
+        )
+        assert findings == []
+
+    def test_in_place_saturating_idiom_is_clean(self):
+        # The striped uint8 maximum-before-subtract shape: in-place ops
+        # never change dtype, so nothing widens.
+        findings = run_rule(
+            DtypePromotionRule(),
+            "repro/engine/striped.py",
+            """
+            import numpy as np
+
+            def saturate(n):
+                h = np.zeros(n, dtype=np.uint8)
+                bias = np.full(n, 4, dtype=np.uint8)
+                np.maximum(h, bias, out=h)
+                np.subtract(h, bias, out=h)
+                h += 1
+                return h
+            """,
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RPL109: view aliasing (Section III-A, flow-sensitive)
+# ----------------------------------------------------------------------
+class TestViewAliasMutationRule:
+    def test_section_iii_a_shallow_swap_is_caught(self):
+        findings = run_rule(
+            ViewAliasMutationRule(),
+            "repro/sw/wavefront.py",
+            """
+            import numpy as np
+
+            def sweep(n, m):
+                h_cur = np.zeros(n, dtype=np.int32)
+                h_prev = np.zeros(n, dtype=np.int32)
+                for i in range(m):
+                    h_prev = h_cur
+                    h_cur[0] = i
+                return h_prev
+            """,
+        )
+        assert [f.rule_id for f in findings] == ["RPL109"]
+        assert "shallow swap" in findings[0].message
+
+    def test_rebinding_is_tracked_not_name_matched(self):
+        # The mutation goes through a *third* name derived from the
+        # pair — spelling-based heuristics cannot see this one.
+        findings = run_rule(
+            ViewAliasMutationRule(),
+            "repro/sw/wavefront.py",
+            """
+            import numpy as np
+
+            def sweep(n):
+                a = np.zeros(n, dtype=np.int32)
+                b = a
+                window = b[1:]
+                window[0] = 1
+                return a
+            """,
+        )
+        assert [f.rule_id for f in findings] == ["RPL109"]
+
+    def test_tuple_exchange_and_fresh_rotation_are_clean(self):
+        findings = run_rule(
+            ViewAliasMutationRule(),
+            "repro/sw/wavefront.py",
+            """
+            import numpy as np
+
+            def exchange(n, m):
+                h = np.zeros(n, dtype=np.int32)
+                hbuf = np.zeros(n, dtype=np.int32)
+                for i in range(m):
+                    h[0] = i
+                    h, hbuf = hbuf, h
+                return h
+
+            def rotate(n, m):
+                prev = np.zeros(n, dtype=np.int32)
+                for i in range(m):
+                    cur = np.zeros(n, dtype=np.int32)
+                    cur[0] = i
+                    prev = cur
+                return prev
+            """,
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RPL110: pool-boundary safety
+# ----------------------------------------------------------------------
+class TestPoolBoundaryRule:
+    def test_instrumentation_smuggled_into_chunk_is_caught(self):
+        findings = run_rule(
+            PoolBoundaryRule(),
+            "repro/engine/dispatch.py",
+            """
+            from concurrent.futures import ProcessPoolExecutor
+            from repro.obs import Instrumentation
+
+            def dispatch(chunks, workers):
+                instr = Instrumentation()
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = [
+                        pool.submit(score_chunk, chunk, instr)
+                        for chunk in chunks
+                    ]
+                return futures
+            """,
+        )
+        assert [f.rule_id for f in findings] == ["RPL110"]
+        assert "Instrumentation" in findings[0].message
+
+    def test_parent_state_mutating_closure_is_caught(self):
+        findings = run_rule(
+            PoolBoundaryRule(),
+            "repro/engine/dispatch.py",
+            """
+            def dispatch(pool, chunks):
+                results = {}
+
+                def work(chunk):
+                    results[chunk.key] = chunk.score
+                    return chunk
+
+                return [pool.submit(work, c) for c in chunks]
+            """,
+        )
+        assert len(findings) == 2  # nested callable + parent mutation
+        assert any("mutates parent-scope state" in f.message
+                   for f in findings)
+        assert any("'results'" in f.message for f in findings)
+
+    def test_shipped_worker_telemetry_protocol_is_clean(self):
+        # The executor.py shape: module-level task + initializer, plain
+        # initargs, telemetry merged parent-side from return values.
+        findings = run_rule(
+            PoolBoundaryRule(),
+            "repro/engine/dispatch.py",
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            _WORKER_STATE = None
+
+            def _init_worker(codes, matrix, gaps, inject, engine, mode):
+                global _WORKER_STATE
+                _WORKER_STATE = (codes, matrix, gaps, inject, engine, mode)
+
+            def _score_chunk_task(payload):
+                return payload
+
+            def dispatch(profile, gaps, policy, engine, instr, chunks):
+                live_pool = ProcessPoolExecutor(
+                    max_workers=4,
+                    initializer=_init_worker,
+                    initargs=(profile.query_codes, profile.matrix, gaps,
+                              policy.inject, engine, instr.mode),
+                )
+                return [live_pool.submit(_score_chunk_task, payload)
+                        for payload in chunks]
+            """,
+        )
+        assert findings == []
+
+    def test_out_of_scope_module_is_ignored(self):
+        findings = run_rule(
+            PoolBoundaryRule(),
+            "repro/sw/anything.py",
+            """
+            def dispatch(pool, instr):
+                return pool.submit(lambda: instr)
+            """,
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# Parallel runner and findings cache
+# ----------------------------------------------------------------------
+_CACHED_FIXTURE = """
+import numpy as np
+
+def sweep(n):
+    h_cur = np.zeros(n, dtype=np.int32)
+    h_prev = h_cur
+    h_cur[0] = 1
+    return h_prev
+"""
+
+
+class TestRunnerParallelAndCache:
+    def _write_tree(self, tmp_path):
+        pkg = tmp_path / "repro" / "sw"
+        pkg.mkdir(parents=True)
+        (pkg / "hot.py").write_text(
+            textwrap.dedent(_CACHED_FIXTURE), encoding="utf-8"
+        )
+        (pkg / "clean.py").write_text(
+            "def untouched():\n    return 0\n", encoding="utf-8"
+        )
+        return tmp_path
+
+    def test_parallel_matches_serial(self, tmp_path):
+        root = self._write_tree(tmp_path)
+        serial = LintRunner(root, jobs=1).run_paths([root])
+        parallel = LintRunner(root, jobs=2).run_paths([root])
+        assert parallel.findings == serial.findings
+        assert parallel.files_checked == serial.files_checked
+
+    def test_cache_hits_on_second_run_with_identical_findings(
+        self, tmp_path
+    ):
+        root = self._write_tree(tmp_path)
+        cache = root / ".repro-lint-cache"
+        cold = LintRunner(root, cache_dir=cache).run_paths([root])
+        assert cold.cache_hits == 0
+        assert cache.is_dir()
+        warm = LintRunner(root, cache_dir=cache).run_paths([root])
+        assert warm.cache_hits == 2
+        assert warm.findings == cold.findings
+        # Fingerprints survive the dict round-trip through the cache.
+        assert [f.fingerprint() for f in warm.findings] == [
+            f.fingerprint() for f in cold.findings
+        ]
+
+    def test_edited_file_misses_cache(self, tmp_path):
+        root = self._write_tree(tmp_path)
+        cache = root / ".repro-lint-cache"
+        LintRunner(root, cache_dir=cache).run_paths([root])
+        hot = root / "repro" / "sw" / "hot.py"
+        hot.write_text(
+            hot.read_text(encoding="utf-8") + "\n# touched\n",
+            encoding="utf-8",
+        )
+        rerun = LintRunner(root, cache_dir=cache).run_paths([root])
+        assert rerun.cache_hits == 1  # only the untouched file
+
+    def test_corrupt_cache_entry_is_recomputed(self, tmp_path):
+        root = self._write_tree(tmp_path)
+        cache = root / ".repro-lint-cache"
+        cold = LintRunner(root, cache_dir=cache).run_paths([root])
+        for entry in cache.glob("*.json"):
+            entry.write_text("{not json", encoding="utf-8")
+        rerun = LintRunner(root, cache_dir=cache).run_paths([root])
+        assert rerun.cache_hits == 0
+        assert rerun.findings == cold.findings
+
+    def test_cross_file_rules_are_never_cached(self):
+        from repro.lint.rules import all_rules
+        from repro.lint.runner import _is_local_rule
+
+        rules = all_rules()
+        cross = [r for r in rules if not _is_local_rule(r)]
+        assert cross, "expected at least one cross-file rule"
+        for rule in cross:
+            assert type(rule).finish.__qualname__ != "Rule.finish"
