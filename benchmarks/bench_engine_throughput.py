@@ -57,13 +57,19 @@ import argparse
 import os
 import pathlib
 import platform
+import tempfile
 import time
 
 import numpy as np
 
 from repro import obs
 from repro.alphabet import BLOSUM62, GapPenalty
-from repro.engine import DEFAULT_GROUP_SIZE, BatchedEngine
+from repro.engine import (
+    DEFAULT_GROUP_SIZE,
+    BatchedEngine,
+    build_store,
+    open_database,
+)
 from repro.sequence import (
     Database,
     SWISSPROT_PROFILE,
@@ -180,7 +186,7 @@ def time_antidiagonal(query, db: Database, gaps: GapPenalty) -> float:
     return _time(run)
 
 
-def time_batched(query, db: Database, gaps: GapPenalty, *,
+def time_batched(query, db, gaps: GapPenalty, *,
                  workers: int, group_size: int,
                  lane_engine: str = "gotoh") -> tuple[float, object, object]:
     """Time one packed-engine configuration; returns ``(seconds,
@@ -254,6 +260,24 @@ def run_benchmark(
         query, db, gaps, workers=n_workers, group_size=group_size
     )
     fanned_obs = _session_observation(session)
+    # The same batched configurations against a pre-packed .rdb store:
+    # memmapped residues, stored geometry, and (fanned) index-reference
+    # payloads to workers instead of pickled lane matrices.
+    with tempfile.TemporaryDirectory() as store_dir:
+        store = open_database(
+            build_store(
+                db, pathlib.Path(store_dir) / "bench.rdb",
+                group_size=group_size,
+            ).path
+        )
+        db_seconds, _, session = time_batched(
+            query, store, gaps, workers=1, group_size=group_size
+        )
+        db_obs = _session_observation(session)
+        db_fanned_seconds, _, session = time_batched(
+            query, store, gaps, workers=n_workers, group_size=group_size
+        )
+        db_fanned_obs = _session_observation(session)
     striped_seconds, _, session = time_batched(
         query, db, gaps, workers=1, group_size=group_size,
         lane_engine="striped",
@@ -301,6 +325,17 @@ def run_benchmark(
         "gcups": gcups(fanned_seconds),
         "workers": n_workers,
         **fanned_obs,
+    }
+    engines["batched_db"] = {
+        "seconds": db_seconds,
+        "gcups": gcups(db_seconds),
+        **db_obs,
+    }
+    engines["batched_db_fanned"] = {
+        "seconds": db_fanned_seconds,
+        "gcups": gcups(db_fanned_seconds),
+        "workers": n_workers,
+        **db_fanned_obs,
     }
     engines["striped"] = {
         "seconds": striped_seconds,

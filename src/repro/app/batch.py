@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 from repro.app.cudasw import CudaSW, SearchReport
 from repro.app.results import SearchResult
-from repro.engine import FaultPolicy, MemoryBudget
+from repro.engine import DatabaseStore, FaultPolicy, MemoryBudget
 from repro.obs import (
     COLLECT_MODES,
     RunReport,
@@ -79,7 +79,7 @@ def predict_batch(
 def search_batch(
     app: CudaSW,
     queries: list[Sequence],
-    db: Database,
+    db: Database | DatabaseStore,
     *,
     engine: str = "batched",
     workers: int = 1,
@@ -94,6 +94,10 @@ def search_batch(
 ) -> tuple[list[SearchResult], BatchReport]:
     """Functionally search every query; returns per-query results plus
     the aggregated report.
+
+    ``db`` may be an opened :class:`~repro.engine.DatabaseStore` — the
+    pre-packed geometry then pays off once per *campaign*: every query
+    reuses the same memmapped residues and stored group plan.
 
     ``engine`` and ``workers`` select the functional score backend per
     :meth:`CudaSW.search` — the batched default reuses CUDASW++'s
@@ -160,16 +164,20 @@ def search_batch(
     with obs_collect(collect) as instr:
         instr.count("batch.queries", len(queries))
         out = run()
+    db_view = db.database if isinstance(db, DatabaseStore) else db
+    meta = {
+        "batch_queries": len(queries),
+        "database_sequences": len(db_view),
+        "database_residues": db_view.total_residues,
+        "engine": engine,
+        "workers": workers,
+        "campaign_gcups": out[1].gcups,
+    }
+    if isinstance(db, DatabaseStore):
+        meta["database_store"] = str(db.path)
     app.last_run_report = RunReport.from_instrumentation(
         instr,
         engine_report=app.last_engine_report,
-        meta={
-            "batch_queries": len(queries),
-            "database_sequences": len(db),
-            "database_residues": db.total_residues,
-            "engine": engine,
-            "workers": workers,
-            "campaign_gcups": out[1].gcups,
-        },
+        meta=meta,
     )
     return out

@@ -34,7 +34,13 @@ from repro.kernels.intratask_original import OriginalIntraTaskKernel
 from repro.app.results import SearchResult
 from repro.app.scheduler import schedule_inter_task
 from repro.app.transfer import TransferModel
-from repro.engine import BatchedEngine, EngineReport, FaultPolicy, MemoryBudget
+from repro.engine import (
+    BatchedEngine,
+    DatabaseStore,
+    EngineReport,
+    FaultPolicy,
+    MemoryBudget,
+)
 from repro.obs import (
     COLLECT_MODES,
     RunReport,
@@ -281,7 +287,7 @@ class CudaSW:
     def search(
         self,
         query: Sequence,
-        db: Database,
+        db: Database | DatabaseStore,
         *,
         engine: str = "batched",
         workers: int = 1,
@@ -298,6 +304,14 @@ class CudaSW:
         striped_column_overhead: float | None = None,
     ) -> tuple[SearchResult, SearchReport]:
         """Compute every database sequence's score, plus the timing report.
+
+        ``db`` is a materialized :class:`Database` or an opened
+        :class:`~repro.engine.DatabaseStore` (``repro db build`` +
+        :func:`~repro.engine.open_database`): the store path reads
+        residues through a validated memory map, reuses the group
+        geometry persisted at build time, and ships group references —
+        not pickled arrays — to pool workers.  Scores are bit-identical
+        either way, on every engine.
 
         Parameters
         ----------
@@ -402,6 +416,13 @@ class CudaSW:
         # stats visible.
         self.last_engine_report = None
         self.last_run_report = None
+        # A pre-packed store searches through its memmapped Database
+        # view; the store handle rides along so the batched engines can
+        # reuse its geometry and ship group references to pool workers.
+        store: DatabaseStore | None = None
+        if isinstance(db, DatabaseStore):
+            store = db
+            db = store.database
         if not db.has_residues:
             raise ValueError("functional search needs a materialized database")
         if query.alphabet != db.alphabet:
@@ -453,26 +474,31 @@ class CudaSW:
                 query, db, engine, workers, group_size, fault_policy,
                 checkpoint, resume, memory_budget, simulate_kernels,
                 split_threshold, strip_cell_cost, striped_column_overhead,
+                store,
             )
         with obs_collect(collect, memory=memory_phases) as instr:
             result, report = self._search_traced(
                 query, db, engine, workers, group_size, fault_policy,
                 checkpoint, resume, memory_budget, simulate_kernels,
                 split_threshold, strip_cell_cost, striped_column_overhead,
+                store,
             )
+        meta = {
+            "query_id": query.id,
+            "query_length": len(query),
+            "database_sequences": len(db),
+            "database_residues": db.total_residues,
+            "engine": "simulate_kernels" if simulate_kernels else engine,
+            "workers": workers,
+            "device": self.device.name,
+        }
+        if store is not None:
+            meta["database_store"] = str(store.path)
         self.last_run_report = RunReport.from_instrumentation(
             instr,
             engine_report=self.last_engine_report,
             search_report=report,
-            meta={
-                "query_id": query.id,
-                "query_length": len(query),
-                "database_sequences": len(db),
-                "database_residues": db.total_residues,
-                "engine": "simulate_kernels" if simulate_kernels else engine,
-                "workers": workers,
-                "device": self.device.name,
-            },
+            meta=meta,
         )
         return result, report
 
@@ -491,6 +517,7 @@ class CudaSW:
         split_threshold: int | str | None = None,
         strip_cell_cost: float | None = None,
         striped_column_overhead: float | None = None,
+        store: DatabaseStore | None = None,
     ) -> tuple[SearchResult, SearchReport]:
         """The search pipeline, phases wrapped in ambient-tracer spans."""
         instr = obs_current()
@@ -547,7 +574,10 @@ class CudaSW:
                     ),
                 )
                 scores, self.last_engine_report = batched.search(
-                    q_codes, db, checkpoint=checkpoint, resume=resume
+                    q_codes,
+                    store if store is not None else db,
+                    checkpoint=checkpoint,
+                    resume=resume,
                 )
             else:
                 score_pair = (

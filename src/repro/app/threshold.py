@@ -18,6 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.app.cudasw import CudaSW
+from repro.engine.dbstore import DatabaseStore
 from repro.engine.pack import DEFAULT_STRIP_WIDTH, plan_chunks
 from repro.sequence.database import Database
 
@@ -151,7 +152,7 @@ def optimal_threshold(
 
 
 def tune_split_threshold(
-    lengths: np.ndarray,
+    lengths: np.ndarray | DatabaseStore,
     *,
     group_size: int,
     strip_width: int = DEFAULT_STRIP_WIDTH,
@@ -175,7 +176,15 @@ def tune_split_threshold(
     cheapest modeled split wins, preferring the larger threshold on
     ties.  Pure geometry: no packing, no scoring, O(candidates x
     groups).
+
+    ``lengths`` may be an opened
+    :class:`~repro.engine.dbstore.DatabaseStore`: the tuner then reads
+    the store's *index* lengths — small in-memory arrays loaded at open
+    — so auto-thresholding a memmapped multi-gigabyte database costs
+    O(index), never faulting the residue blob in.
     """
+    if isinstance(lengths, DatabaseStore):
+        lengths = lengths.lengths
     lengths = np.asarray(lengths, dtype=np.int64)
     if lengths.size == 0:
         return 0

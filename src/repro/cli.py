@@ -1,16 +1,19 @@
 """Command-line interface.
 
-Five subcommands::
+Six subcommands::
 
     python -m repro align   A.fasta B.fasta        # pairwise alignment
     python -m repro search  query.fasta db.fasta   # database search + E-values
     python -m repro predict --profile swissprot    # modeled GCUPs report
     python -m repro exhibit figure3                # regenerate a paper exhibit
     python -m repro bench gate                     # CI perf-regression gate
+    python -m repro db build db.fasta db.rdb       # pre-packed binary store
 
 Every subcommand accepts ``--help``.  The functions return process exit
 codes and print to the handles passed in, so the test suite drives them
-directly.
+directly.  Exit codes: 0 success, 2 usage/stale-checkpoint errors, 3
+search deadline exceeded, 4 a ``.rdb`` database store was refused
+(see ``docs/db-format.md``), 130 interrupted.
 """
 
 from __future__ import annotations
@@ -85,7 +88,33 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_search = sub.add_parser("search", help="search a FASTA database")
     p_search.add_argument("query", help="query FASTA file")
-    p_search.add_argument("database", help="database FASTA file")
+    p_search.add_argument(
+        "database", nargs="?", default=None,
+        help="database FASTA file (optional when --db names a store; "
+        "required as the --db-fallback source)",
+    )
+    p_search.add_argument(
+        "--db", metavar="PATH", default=None,
+        help="search a pre-packed .rdb database store (repro db build) "
+        "instead of re-reading/re-packing the FASTA: residues are "
+        "memory-mapped, the stored group geometry is reused, and pool "
+        "workers receive group references instead of pickled arrays; "
+        "scores are bit-identical to the FASTA path.  A store that "
+        "fails validation exits with code 4 (see repro db verify)",
+    )
+    p_search.add_argument(
+        "--db-verify", choices=("fast", "deep"), default="fast",
+        help="store validation tier at open: 'fast' (default) checks "
+        "the header and every index section, 'deep' additionally "
+        "CRC-walks the residue blob and recomputes the content "
+        "fingerprint and geometry",
+    )
+    p_search.add_argument(
+        "--db-fallback", action="store_true",
+        help="degrade gracefully when the --db store is refused: warn, "
+        "then build the database in memory from the FASTA positional "
+        "argument (the pre-store pack path) instead of exiting 4",
+    )
     p_search.add_argument("--top", type=int, default=10)
     p_search.add_argument(
         "--max-evalue", type=float, default=None,
@@ -244,6 +273,49 @@ def build_parser() -> argparse.ArgumentParser:
     p_exhibit.add_argument("name", choices=_EXHIBITS)
     p_exhibit.add_argument("--seed", type=int, default=0)
 
+    p_db = sub.add_parser(
+        "db", help="pre-packed binary database stores (.rdb)"
+    )
+    db_sub = p_db.add_subparsers(dest="db_command", required=True)
+    p_db_build = db_sub.add_parser(
+        "build",
+        help="pack a FASTA database into an .rdb store, once, offline: "
+        "encoded residues, group geometry, id index and per-section "
+        "CRCs behind a fingerprinted header, written atomically "
+        "(temp + fsync + rename) so a crash can never leave a "
+        "readable partial store",
+    )
+    p_db_build.add_argument("fasta", help="database FASTA file (streamed)")
+    p_db_build.add_argument("store", help="output .rdb path")
+    p_db_build.add_argument(
+        "--group-size", type=int, default=None, metavar="N",
+        help="lanes per packed group persisted in the geometry tables "
+        "(default: the engine's tuned default); searches with a "
+        "different --group-size re-plan from the index",
+    )
+    p_db_build.add_argument(
+        "--comment", default="", metavar="TEXT",
+        help="free-text note stored in the (checksum-exempt) 64-byte "
+        "header comment field",
+    )
+    p_db_verify = db_sub.add_parser(
+        "verify",
+        help="validate an .rdb store; exits 4 if it cannot be trusted",
+    )
+    p_db_verify.add_argument("store", help=".rdb path")
+    p_db_verify.add_argument(
+        "--deep", action="store_true",
+        help="full-CRC walk: also checksum the residue blob and "
+        "recompute the content fingerprint and group geometry "
+        "(O(database), not O(index))",
+    )
+    p_db_info = db_sub.add_parser(
+        "info",
+        help="print an .rdb store's header, fingerprint and length "
+        "statistics (reads the index only, never the residue blob)",
+    )
+    p_db_info.add_argument("store", help=".rdb path")
+
     p_bench = sub.add_parser(
         "bench", help="benchmark history utilities (perf-regression gate)"
     )
@@ -317,14 +389,30 @@ def _cmd_search(args, out: IO[str]) -> int:
     from repro import obs
     from repro.engine import (
         CheckpointError,
+        DatabaseFormatError,
+        DatabaseStore,
         MemoryBudget,
         SearchDeadlineExceeded,
+        open_database,
     )
     from repro.stats import ScoreStatistics, annotate_hits
 
+    if args.database is None and args.db is None:
+        print(
+            "error: provide a database FASTA file or --db STORE",
+            file=out,
+        )
+        return 2
+    if args.db_fallback and (args.db is None or args.database is None):
+        print(
+            "error: --db-fallback needs both --db (the store to try) and "
+            "the database FASTA positional (the fallback source)",
+            file=out,
+        )
+        return 2
     matrix, gaps = _scoring(args)
     query = _first_record(args.query)
-    db = Database.from_sequences(read_fasta_file(args.database))
+    db_label = args.db if args.db is not None else args.database
     app = CudaSW(
         DEVICES[args.device],
         intra_kernel=args.kernel,
@@ -356,9 +444,40 @@ def _cmd_search(args, out: IO[str]) -> int:
     with obs.collect(
         "full" if observing else "off", memory=args.mem_phases
     ) as instr:
+        # Database resolution happens inside the collection session so
+        # the db_open span (and any dbstore counters) land in the
+        # profile alongside the search phases.
+        search_db: Database | DatabaseStore
+        try:
+            if args.db is not None:
+                search_db = open_database(
+                    args.db,
+                    verify=args.db_verify,
+                    fallback="fasta" if args.db_fallback else None,
+                    fasta=args.database,
+                )
+            else:
+                search_db = Database.from_sequences(
+                    read_fasta_file(args.database)
+                )
+        except DatabaseFormatError as exc:
+            print(f"error: {exc}", file=out)
+            return 4
+        db_view = (
+            search_db.database
+            if isinstance(search_db, DatabaseStore)
+            else search_db
+        )
+        if args.db is not None and not isinstance(search_db, DatabaseStore):
+            db_label = args.database
+            print(
+                f"# warning: store {args.db} was refused; degraded to the "
+                f"in-memory FASTA path ({args.database})",
+                file=out,
+            )
         try:
             result, report = app.search(
-                query, db, engine=args.engine, workers=args.workers,
+                query, search_db, engine=args.engine, workers=args.workers,
                 group_size=args.group_size, fault_policy=fault_policy,
                 checkpoint=args.checkpoint, resume=args.resume,
                 memory_budget=memory_budget,
@@ -373,7 +492,7 @@ def _cmd_search(args, out: IO[str]) -> int:
                 else 0
             )
             print(
-                f"error: {exc} ({done}/{len(db)} sequences scored)",
+                f"error: {exc} ({done}/{len(db_view)} sequences scored)",
                 file=out,
             )
             if args.checkpoint is not None:
@@ -406,24 +525,27 @@ def _cmd_search(args, out: IO[str]) -> int:
             )
     run_report = None
     if observing:
+        meta = {
+            "query_id": query.id,
+            "query_length": len(query),
+            "database": db_label,
+            "database_sequences": len(db_view),
+            "database_residues": db_view.total_residues,
+            "engine": args.engine,
+            "workers": args.workers,
+            "device": report.device,
+        }
+        if isinstance(search_db, DatabaseStore):
+            meta["database_store"] = str(search_db.path)
         run_report = obs.RunReport.from_instrumentation(
             instr,
             engine_report=app.last_engine_report,
             search_report=report,
-            meta={
-                "query_id": query.id,
-                "query_length": len(query),
-                "database": args.database,
-                "database_sequences": len(db),
-                "database_residues": db.total_residues,
-                "engine": args.engine,
-                "workers": args.workers,
-                "device": report.device,
-            },
+            meta=meta,
         )
     print(
-        f"# query {query.id} ({len(query)} aa) vs {args.database} "
-        f"({len(db)} sequences, {db.total_residues} residues)",
+        f"# query {query.id} ({len(query)} aa) vs {db_label} "
+        f"({len(db_view)} sequences, {db_view.total_residues} residues)",
         file=out,
     )
     print(f"{'hit':<24} {'len':>6} {'score':>6} {'bits':>7} {'E-value':>10}",
@@ -467,6 +589,67 @@ def _cmd_search(args, out: IO[str]) -> int:
             "https://ui.perfetto.dev)",
             file=out,
         )
+    return 0
+
+
+def _cmd_db(args, out: IO[str]) -> int:
+    from repro.engine import (
+        DatabaseFormatError,
+        DatabaseStore,
+        build_store_from_fasta,
+        open_database,
+    )
+    from repro.engine.dbstore import FORMAT_VERSION
+
+    if args.db_command == "build":
+        kwargs = {}
+        if args.group_size is not None:
+            kwargs["group_size"] = args.group_size
+        try:
+            info = build_store_from_fasta(
+                args.fasta, args.store, comment=args.comment, **kwargs
+            )
+        except (ValueError, OSError) as exc:
+            print(f"error: {exc}", file=out)
+            return 2
+        print(f"# built {info.path}", file=out)
+        print(f"sequences:    {info.sequences}", file=out)
+        print(f"residues:     {info.residues}", file=out)
+        print(f"group size:   {info.group_size}", file=out)
+        print(f"file bytes:   {info.file_bytes}", file=out)
+        print(f"fingerprint:  {info.fingerprint}", file=out)
+        return 0
+    deep = bool(getattr(args, "deep", False))
+    try:
+        store = open_database(args.store, verify="deep" if deep else "fast")
+    except DatabaseFormatError as exc:
+        print(f"error: {exc}", file=out)
+        return 4
+    assert isinstance(store, DatabaseStore)
+    if args.db_command == "verify":
+        print(
+            f"ok: {store.path} passed "
+            f"{'deep' if deep else 'fast'} validation",
+            file=out,
+        )
+        print(f"fingerprint:  {store.fingerprint}", file=out)
+        return 0
+    # info: index-only statistics — the residue blob is memmapped but
+    # never faulted in.
+    lengths = store.lengths
+    print(f"# {store.path}", file=out)
+    print(f"format:       .rdb v{FORMAT_VERSION}", file=out)
+    print(f"fingerprint:  {store.fingerprint}", file=out)
+    print(f"sequences:    {len(store)}", file=out)
+    print(f"residues:     {store.database.total_residues}", file=out)
+    print(f"group size:   {store.group_size}", file=out)
+    print(
+        f"lengths:      min {int(lengths.min())}, "
+        f"median {int(np.median(lengths))}, max {int(lengths.max())}",
+        file=out,
+    )
+    if store.comment:
+        print(f"comment:      {store.comment}", file=out)
     return 0
 
 
@@ -586,6 +769,7 @@ def main(argv: TySequence[str] | None = None, out: IO[str] | None = None) -> int
         "search": _cmd_search,
         "predict": _cmd_predict,
         "exhibit": _cmd_exhibit,
+        "db": _cmd_db,
         "bench": _cmd_bench,
     }
     return handlers[args.command](args, out)

@@ -38,6 +38,14 @@ from repro.engine.checkpoint import (
     atomic_write_text,
     search_fingerprint,
 )
+from repro.engine.dbstore import (
+    DatabaseFormatError,
+    DatabaseStore,
+    StoreGroupRef,
+    build_store,
+    build_store_from_fasta,
+    open_database,
+)
 from repro.engine.executor import run_groups
 from repro.engine.faults import (
     DEFAULT_POLICY,
@@ -50,6 +58,7 @@ from repro.engine.pack import (
     DEFAULT_STRIP_WIDTH,
     TAIL_EFFICIENCY_FLOOR,
     PackedGroup,
+    _record_pack_counters,
     pack_database,
     pack_database_hetero,
     pack_group,
@@ -70,16 +79,22 @@ __all__ = [
     "BatchedEngine",
     "CheckpointError",
     "CheckpointJournal",
+    "DatabaseFormatError",
+    "DatabaseStore",
     "EngineReport",
     "FaultPolicy",
     "InjectionPlan",
     "MemoryBudget",
     "PackedGroup",
     "SearchDeadlineExceeded",
+    "StoreGroupRef",
     "StripedProfile",
     "atomic_write_text",
+    "build_store",
+    "build_store_from_fasta",
     "count_striped_work",
     "estimate_group_bytes",
+    "open_database",
     "pack_database",
     "pack_database_hetero",
     "pack_group",
@@ -89,6 +104,7 @@ __all__ = [
     "score_packed_group_striped",
     "score_packed_group_strips",
     "search_fingerprint",
+    "DEFAULT_DB_FANOUT_MIN_CELLS",
     "DEFAULT_FANOUT_MIN_CELLS",
     "DEFAULT_GROUP_SIZE",
     "DEFAULT_POLICY",
@@ -113,6 +129,16 @@ DEFAULT_GROUP_SIZE = 128
 #: explicit non-default fault policy suppresses the demotion, since
 #: fault-injection and timeout semantics need the pool.
 DEFAULT_FANOUT_MIN_CELLS = 256 * 1024 * 1024
+
+#: Fan-out floor for *store-backed* searches.  With a pre-packed
+#: ``.rdb`` the pool's dominant per-chunk cost — pickling whole lane
+#: matrices to every worker — is gone (chunks ship
+#: :class:`~repro.engine.dbstore.StoreGroupRef` index vectors and each
+#: worker packs from its own memmap), so fanning out pays for itself on
+#: much smaller searches than the FASTA path's
+#: :data:`DEFAULT_FANOUT_MIN_CELLS`.  Applied only when the caller left
+#: ``fanout_min_cells`` at its default.
+DEFAULT_DB_FANOUT_MIN_CELLS = 32 * 1024 * 1024
 
 
 @dataclass(frozen=True)
@@ -290,11 +316,14 @@ class BatchedEngine:
             if fanout_min_cells is None
             else fanout_min_cells
         )
+        # Store-backed searches swap in the (lower) DB fan-out floor,
+        # but only when the caller didn't choose a floor explicitly.
+        self._fanout_default = fanout_min_cells is None
 
     def search(
         self,
         query: Sequence | np.ndarray | str,
-        db: Database,
+        db: Database | DatabaseStore,
         *,
         checkpoint: str | os.PathLike[str] | None = None,
         resume: bool = False,
@@ -304,6 +333,20 @@ class BatchedEngine:
         ``query`` may be a :class:`~repro.sequence.sequence.Sequence`, a
         code array or a string.  Returns ``int64`` scores in the
         database's original order plus the packing report.
+
+        ``db`` may be an opened
+        :class:`~repro.engine.dbstore.DatabaseStore`: the search then
+        reads residues through the store's memmap, reuses the group
+        geometry persisted at ``repro db build`` time when it matches
+        this engine's ``group_size`` (re-planning — with the
+        ``engine.dbstore.geometry_replanned`` counter — when it
+        doesn't, or for heterogeneous dispatch, whose split depends on
+        the query-time threshold), ships group *references* to pool
+        workers instead of pickled lane matrices, and folds the store's
+        content fingerprint into the checkpoint
+        :func:`~repro.engine.checkpoint.search_fingerprint` so a
+        journal refuses to resume against a rebuilt store.  Scores are
+        bit-identical to the same database searched from FASTA.
 
         ``checkpoint`` names a write-ahead journal file
         (:class:`~repro.engine.checkpoint.CheckpointJournal`): each
@@ -327,6 +370,10 @@ class BatchedEngine:
         """
         if resume and checkpoint is None:
             raise ValueError("resume=True requires a checkpoint path")
+        store: DatabaseStore | None = None
+        if isinstance(db, DatabaseStore):
+            store = db
+            db = store.database
         instr = obs_current()
         with instr.span("profile_build"):
             q_codes = as_codes(query, self.matrix)
@@ -344,6 +391,12 @@ class BatchedEngine:
         with instr.span("pack"):
             if self.lane_engine == "hetero":
                 threshold = self._resolve_threshold(db)
+                if store is not None:
+                    # The split depends on the query-time threshold, so
+                    # stored single-engine geometry cannot be reused —
+                    # but the re-plan reads only the index lengths
+                    # (already in memory), never the residue memmap.
+                    instr.count("engine.dbstore.geometry_replanned", 1)
                 groups = pack_database_hetero(
                     db,
                     self.group_size,
@@ -353,7 +406,27 @@ class BatchedEngine:
                 )
                 if instr.enabled:
                     self._count_dispatch(instr, groups, threshold)
+            elif store is not None and store.group_size == self.group_size:
+                # Reuse the geometry planned once at build time: the
+                # stored ranges are exactly what plan_chunks would
+                # produce (deep verification proves it), with the
+                # search-time memory budget applied on top.
+                plan = store.plan_for(
+                    "column" if self.lane_engine == "striped" else "row",
+                    budget=self.memory_budget,
+                )
+                groups = [
+                    pack_group(db, store.sort_order[start:end])
+                    for start, end in plan.ranges
+                ]
+                instr.count("engine.dbstore.geometry_reused", 1)
+                if instr.enabled:
+                    _record_pack_counters(instr, len(db), groups, plan)
             else:
+                if store is not None:
+                    # group_size differs from the store's build-time
+                    # geometry: plan from the index lengths instead.
+                    instr.count("engine.dbstore.geometry_replanned", 1)
                 # The striped column sweep opts out of the gap split:
                 # its cost scales with column iterations, not padded
                 # cells (see pack_database).
@@ -367,12 +440,15 @@ class BatchedEngine:
                     ),
                 )
         workers = self.workers
+        fanout_floor = self.fanout_min_cells
+        if store is not None and self._fanout_default:
+            fanout_floor = DEFAULT_DB_FANOUT_MIN_CELLS
         if (
             workers > 1
             and self.fault_policy is DEFAULT_POLICY
-            and self.fanout_min_cells
+            and fanout_floor
             and profile.length * sum(g.sweep_cells for g in groups)
-            < self.fanout_min_cells
+            < fanout_floor
         ):
             # Too small to amortize pool spin-up + per-chunk pickling:
             # run serially (see DEFAULT_FANOUT_MIN_CELLS).  Scores are
@@ -392,6 +468,9 @@ class BatchedEngine:
                 ),
                 engines=tuple(
                     self._engine_token(g) for g in groups
+                ),
+                store_fingerprint=(
+                    store.fingerprint if store is not None else ""
                 ),
             )
             with instr.span("checkpoint_replay"):
@@ -429,6 +508,7 @@ class BatchedEngine:
                         if self.lane_engine == "hetero"
                         else self.lane_engine
                     ),
+                    store=store,
                 )
             except SearchDeadlineExceeded as exc:
                 partial = np.full(len(db), -1, dtype=np.int64)

@@ -104,6 +104,7 @@ def search_fingerprint(
     *,
     budget_bytes: int = 0,
     engines: tuple[str, ...] = (),
+    store_fingerprint: str = "",
 ) -> str:
     """Content hash identifying one search's journal-compatible inputs.
 
@@ -118,6 +119,13 @@ def search_fingerprint(
     another instead of silently scattering scores into a different
     group decomposition.  Per-group residue content is covered
     separately by :func:`group_content_hash`, record by record.
+
+    ``store_fingerprint`` — the content sha256 of a pre-packed database
+    store when the search runs against one — folds the store identity
+    in, so a journal written against one build of a ``.rdb`` refuses to
+    resume against a rebuilt (and possibly re-ordered) one.  It also
+    means a journal written on the FASTA path does not match a
+    store-backed search of the same database: conservative by design.
     """
     h = hashlib.sha256()
     h.update(MAGIC)
@@ -132,6 +140,9 @@ def search_fingerprint(
     if engines:
         h.update(b"engines:")
         h.update("\x1f".join(engines).encode("utf-8", "replace"))
+    if store_fingerprint:
+        h.update(b"store:")
+        h.update(store_fingerprint.encode("ascii", "replace"))
     return h.hexdigest()
 
 

@@ -52,6 +52,7 @@ from repro.engine.faults import (
     SearchDeadlineExceeded,
     auto_chunksize,
 )
+from repro.engine.dbstore import DatabaseStore, StoreGroupRef, open_database
 from repro.engine.lanes import score_packed_group
 from repro.engine.pack import PackedGroup
 from repro.engine.striped import (
@@ -116,6 +117,8 @@ def _init_worker(
     inject: InjectionPlan | None,
     lane_engine: str = "gotoh",
     collect_mode: str = "off",
+    store_path: str | None = None,
+    store_fingerprint: str | None = None,
 ) -> None:
     _WORKER_STATE["query_codes"] = query_codes
     _WORKER_STATE["matrix"] = matrix
@@ -125,6 +128,26 @@ def _init_worker(
     _WORKER_STATE["inject"] = inject
     _WORKER_STATE["tasks_done"] = 0
     _WORKER_STATE["collect_mode"] = collect_mode
+    _WORKER_STATE["store"] = None
+    if store_path is not None:
+        # Each worker opens (and memory-maps) the pre-packed store by
+        # path, so chunk payloads can carry group *indices* instead of
+        # pickled lane matrices.  A refused store or a fingerprint skew
+        # (the file changed under the parent) raises here, breaking the
+        # pool — the parent's serial recovery path then rescores from
+        # its own copy, which is always correct.
+        store = open_database(store_path, verify="fast")
+        assert isinstance(store, DatabaseStore)
+        if (
+            store_fingerprint is not None
+            and store.fingerprint != store_fingerprint
+        ):
+            raise RuntimeError(
+                f"database store {store_path} changed while the search "
+                f"was running (fingerprint {store.fingerprint[:12]}… != "
+                f"expected {store_fingerprint[:12]}…)"
+            )
+        _WORKER_STATE["store"] = store
     # One epoch per worker process: successive per-chunk sessions anchor
     # their spans to it, so a worker's lane reads as one monotonic
     # timeline in the merged trace.
@@ -132,7 +155,7 @@ def _init_worker(
 
 
 def _score_chunk_task(
-    payload: list[tuple[int, PackedGroup]],
+    payload: list[tuple[int, PackedGroup | StoreGroupRef]],
 ) -> tuple[list[np.ndarray], WorkerTelemetry | None]:
     """Score one chunk of ``(group_index, group)`` pairs, worker-side.
 
@@ -154,14 +177,24 @@ def _score_chunk_task(
 
 
 def _score_chunk_groups(
-    payload: list[tuple[int, PackedGroup]],
+    payload: list[tuple[int, PackedGroup | StoreGroupRef]],
 ) -> list[np.ndarray]:
     gaps = _WORKER_STATE["gaps"]
     default_engine = _WORKER_STATE.get("lane_engine", "gotoh")
     inject: InjectionPlan | None = _WORKER_STATE.get("inject")
+    store: DatabaseStore | None = _WORKER_STATE.get("store")
     instr = obs_current()
     out = []
-    for group_index, group in payload:
+    for group_index, shipped in payload:
+        if isinstance(shipped, StoreGroupRef):
+            if store is None:
+                raise RuntimeError(
+                    "received a store group reference but this worker "
+                    "has no database store open"
+                )
+            group = shipped.materialize(store)
+        else:
+            group = shipped
         engine = group.lane_engine or default_engine
         profile = _profile_for(
             _WORKER_STATE["profiles"],
@@ -213,6 +246,7 @@ def run_groups(
     preloaded: dict[int, np.ndarray] | None = None,
     on_group_scored: Callable[[int, np.ndarray], None] | None = None,
     lane_engine: str = "gotoh",
+    store: DatabaseStore | None = None,
 ) -> list[np.ndarray]:
     """Score every group, serially or across ``workers`` processes.
 
@@ -240,6 +274,15 @@ def run_groups(
     passed profile's query codes and matrix.  Scores are bit-identical
     on every engine, so checkpoints and fault handling stay
     engine-agnostic.
+
+    ``store`` (an open :class:`~repro.engine.dbstore.DatabaseStore`
+    whose groups these are) switches the pool dispatch to *reference*
+    payloads: each worker opens the memmapped store by path in its
+    initializer and chunks ship
+    :class:`~repro.engine.dbstore.StoreGroupRef` index vectors instead
+    of pickled lane matrices — the fix for the workers>1 pickle
+    re-ship regression.  Serial scoring ignores it (the parent's
+    groups are already packed).
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -269,7 +312,7 @@ def run_groups(
         return [results[i] for i in range(len(groups))]
     return _run_pool(
         profile, groups, gaps, workers, policy, instr, clock,
-        results, pending, on_group_scored, lane_engine,
+        results, pending, on_group_scored, lane_engine, store,
     )
 
 
@@ -392,6 +435,7 @@ def _run_pool(
     pending: list[int],
     sink: Callable[[int, np.ndarray], None] | None = None,
     lane_engine: str = "gotoh",
+    store: DatabaseStore | None = None,
 ) -> list[np.ndarray]:
     n = len(groups)
     serial_group_indices: set[int] = set()
@@ -415,6 +459,8 @@ def _run_pool(
             initargs=(
                 profile.query_codes, profile.matrix, gaps, policy.inject,
                 lane_engine, instr.mode,
+                str(store.path) if store is not None else None,
+                store.fingerprint if store is not None else None,
             ),
         )
         pool = live_pool
@@ -425,7 +471,16 @@ def _run_pool(
 
         def submit(tid: int) -> None:
             attempts[tid] += 1
-            payload = [(gi, groups[gi]) for gi in tasks[tid]]
+            payload: list[tuple[int, PackedGroup | StoreGroupRef]]
+            if store is not None:
+                payload = [
+                    (gi, StoreGroupRef.of(groups[gi])) for gi in tasks[tid]
+                ]
+                instr.count(
+                    "engine.dbstore.pool_group_refs", len(tasks[tid])
+                )
+            else:
+                payload = [(gi, groups[gi]) for gi in tasks[tid]]
             in_flight[live_pool.submit(_score_chunk_task, payload)] = (
                 tid,
                 time.monotonic(),

@@ -69,6 +69,21 @@ BUCKET_SCHEMES: dict[str, tuple[float, ...]] = {
     "engine.executor.retry_delay_seconds": (
         0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
     ),
+    # Wall time to build an .rdb store (dominated by FASTA streaming +
+    # fingerprint hashing; scales with database residues).
+    "engine.dbstore.build_seconds": (
+        0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
+        2.5, 5.0, 10.0, 30.0, 60.0, 300.0,
+    ),
+    # Startup latency: wall time of one open_database() call.  The fast
+    # tier is O(index) — sub-millisecond for small stores, low
+    # milliseconds for multi-million-sequence indexes — while the deep
+    # tier CRC-walks the residue blob, so the ladder spans sub-ms
+    # mmap-only opens through multi-second deep verifies.
+    "engine.dbstore.open_seconds": (
+        0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+        0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+    ),
 }
 
 

@@ -16,7 +16,12 @@ This package is the data substrate of the reproduction:
 """
 
 from repro.sequence.database import Database, DatabaseStats, SequenceGroup
-from repro.sequence.fasta import read_fasta, read_fasta_file, write_fasta
+from repro.sequence.fasta import (
+    iter_fasta_file,
+    read_fasta,
+    read_fasta_file,
+    write_fasta,
+)
 from repro.sequence.frequencies import SWISSPROT_AA_FREQUENCIES, protein_frequencies
 from repro.sequence.codon import (
     reverse_complement,
@@ -44,6 +49,7 @@ __all__ = [
     "Database",
     "DatabaseStats",
     "SequenceGroup",
+    "iter_fasta_file",
     "read_fasta",
     "read_fasta_file",
     "write_fasta",

@@ -166,6 +166,59 @@ class Database:
         return cls(lengths, codes, offsets, ids, alphabet, name)
 
     @classmethod
+    def from_stream(
+        cls,
+        records: Iterable[Sequence],
+        name: str = "database",
+        *,
+        chunk_residues: int = 1 << 22,
+    ) -> "Database":
+        """Materialized database from a *stream* of records.
+
+        The streaming counterpart of :meth:`from_sequences`: records are
+        consumed one at a time and their codes concatenated into bounded
+        chunks (``chunk_residues`` residues apiece), so building from a
+        generator — e.g. :func:`~repro.sequence.fasta.iter_fasta_file`
+        over a multi-gigabyte file — never holds the record list, only
+        the growing packed arrays.
+        """
+        ids: list[str] = []
+        lengths: list[int] = []
+        chunks: list[np.ndarray] = []
+        pending: list[np.ndarray] = []
+        pending_size = 0
+        alphabet: Alphabet | None = None
+        for seq in records:
+            if alphabet is None:
+                alphabet = seq.alphabet
+            elif seq.alphabet != alphabet:
+                raise ValueError(
+                    f"mixed alphabets in database: {alphabet.name!r} vs "
+                    f"{seq.alphabet.name!r} ({seq.id!r})"
+                )
+            ids.append(seq.id)
+            lengths.append(len(seq))
+            pending.append(seq.codes)
+            pending_size += len(seq)
+            if pending_size >= chunk_residues:
+                chunks.append(np.concatenate(pending))
+                pending = []
+                pending_size = 0
+        if alphabet is None:
+            raise ValueError("cannot build a database from zero sequences")
+        if pending:
+            chunks.append(np.concatenate(pending))
+        codes = (
+            np.concatenate(chunks)
+            if len(chunks) != 1
+            else chunks[0]
+        )
+        lengths_arr = np.asarray(lengths, dtype=np.int64)
+        offsets = np.zeros(lengths_arr.size + 1, dtype=np.int64)
+        np.cumsum(lengths_arr, out=offsets[1:])
+        return cls(lengths_arr, codes, offsets, ids, alphabet, name)
+
+    @classmethod
     def from_lengths(
         cls,
         lengths: np.ndarray,

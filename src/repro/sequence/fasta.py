@@ -23,7 +23,12 @@ from typing import BinaryIO, Iterable, Iterator, TextIO, cast
 from repro.alphabet import PROTEIN, Alphabet
 from repro.sequence.sequence import Sequence
 
-__all__ = ["read_fasta", "read_fasta_file", "write_fasta"]
+__all__ = [
+    "iter_fasta_file",
+    "read_fasta",
+    "read_fasta_file",
+    "write_fasta",
+]
 
 #: gzip's two magic bytes; sniffed so ``db.fasta`` that is *actually*
 #: compressed (a common renaming accident) still streams correctly.
@@ -161,6 +166,27 @@ def _decode_lines(
         yield line
 
 
+def iter_fasta_file(
+    path: str | os.PathLike,
+    alphabet: Alphabet = PROTEIN,
+    *,
+    strict: bool = False,
+) -> Iterator[Sequence]:
+    """Stream :class:`Sequence` records from a FASTA file, one at a time.
+
+    Unlike :func:`read_fasta_file` this never materializes the decoded
+    file or the full record list: bytes stream through the gzip sniffer
+    (:func:`_open_binary`) and the latin-1-hardened line decoder
+    (:func:`_decode_lines`) record by record, so a multi-gigabyte
+    database can be folded into an on-disk store
+    (``repro db build``) with a peak working set of one record plus the
+    consumer's accumulators — not the whole file.
+    """
+    with _open_binary(path) as fh:
+        yield from read_fasta(_decode_lines(fh, path), alphabet,
+                              strict=strict)
+
+
 def read_fasta_file(
     path: str | os.PathLike,
     alphabet: Alphabet = PROTEIN,
@@ -172,10 +198,9 @@ def read_fasta_file(
     Gzip-compressed files are detected by magic bytes and streamed
     transparently; non-ASCII header bytes decode leniently as latin-1
     with a warning naming the record (see :func:`_decode_lines`).
+    Prefer :func:`iter_fasta_file` when the consumer can stream.
     """
-    with _open_binary(path) as fh:
-        return list(read_fasta(_decode_lines(fh, path), alphabet,
-                               strict=strict))
+    return list(iter_fasta_file(path, alphabet, strict=strict))
 
 
 def write_fasta(

@@ -377,6 +377,109 @@ class TestExhibit:
             run_cli(["exhibit", "nonsense"])
 
 
+class TestDbStore:
+    @pytest.fixture(scope="class")
+    def store_path(self, fasta_files, tmp_path_factory):
+        path = tmp_path_factory.mktemp("clidb") / "db.rdb"
+        code, text = run_cli(
+            ["db", "build", fasta_files["db"], str(path),
+             "--comment", "cli test"]
+        )
+        assert code == 0, text
+        return str(path)
+
+    def test_build_prints_summary(self, fasta_files, tmp_path):
+        code, text = run_cli(
+            ["db", "build", fasta_files["db"], str(tmp_path / "b.rdb")]
+        )
+        assert code == 0
+        assert "fingerprint:" in text
+        assert "sequences:    5" in text
+
+    def test_build_missing_fasta_is_usage_error(self, tmp_path):
+        code, text = run_cli(
+            ["db", "build", str(tmp_path / "no.fasta"),
+             str(tmp_path / "x.rdb")]
+        )
+        assert code == 2
+        assert "error:" in text
+
+    def test_verify_deep(self, store_path):
+        code, text = run_cli(["db", "verify", store_path, "--deep"])
+        assert code == 0
+        assert "passed deep validation" in text
+
+    def test_info_reads_index(self, store_path):
+        code, text = run_cli(["db", "info", store_path])
+        assert code == 0
+        assert "cli test" in text
+        assert "lengths:" in text
+
+    def test_search_with_store_matches_fasta(self, fasta_files, store_path):
+        code, base = run_cli(
+            ["search", fasta_files["query"], fasta_files["db"],
+             "--top", "3"]
+        )
+        assert code == 0
+        code, from_store = run_cli(
+            ["search", fasta_files["query"], "--db", store_path,
+             "--top", "3"]
+        )
+        assert code == 0
+        strip = lambda t: [
+            ln for ln in t.splitlines() if not ln.startswith("#")
+        ]
+        assert strip(from_store) == strip(base)
+
+    def test_search_requires_some_database(self, fasta_files):
+        code, text = run_cli(["search", fasta_files["query"]])
+        assert code == 2
+        assert "--db" in text
+
+    def test_fallback_needs_fasta_positional(self, fasta_files, store_path):
+        code, text = run_cli(
+            ["search", fasta_files["query"], "--db", store_path,
+             "--db-fallback"]
+        )
+        assert code == 2
+
+    def test_corrupt_store_exits_4(self, fasta_files, store_path, tmp_path):
+        data = open(store_path, "rb").read()
+        bad = tmp_path / "bad.rdb"
+        bad.write_bytes(data[: len(data) - 9])
+        code, text = run_cli(
+            ["search", fasta_files["query"], "--db", str(bad)]
+        )
+        assert code == 4
+        assert "not a trustworthy database store" in text
+        code, text = run_cli(["db", "verify", str(bad)])
+        assert code == 4
+
+    def test_fallback_degrades_to_fasta(
+        self, fasta_files, store_path, tmp_path
+    ):
+        data = open(store_path, "rb").read()
+        bad = tmp_path / "bad.rdb"
+        bad.write_bytes(data[:64])
+        with pytest.warns(UserWarning):
+            code, text = run_cli(
+                ["search", fasta_files["query"], fasta_files["db"],
+                 "--db", str(bad), "--db-fallback", "--top", "3"]
+            )
+        assert code == 0
+        assert "warning" in text
+        lines = [ln for ln in text.splitlines() if not ln.startswith("#")]
+        assert lines[1].startswith("HIT1")
+
+    def test_profile_includes_db_open_span(self, fasta_files, store_path):
+        code, text = run_cli(
+            ["search", fasta_files["query"], "--db", store_path,
+             "--profile", "--top", "3"]
+        )
+        assert code == 0
+        assert "db_open" in text
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
@@ -385,3 +488,9 @@ class TestParser:
     def test_help_builds(self):
         parser = build_parser()
         assert "align" in parser.format_help()
+
+    def test_db_subcommands_registered(self):
+        help_text = build_parser().format_help()
+        assert "db" in help_text
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["db"])
